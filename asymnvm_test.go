@@ -1,0 +1,197 @@
+package asymnvm_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"asymnvm"
+)
+
+// small log areas keep eight structures within the test device.
+var fOpts = asymnvm.DSOptions{
+	Create:  asymnvm.CreateOptions{MemLogSize: 512 << 10, OpLogSize: 256 << 10},
+	Buckets: 128,
+}
+
+// The facade smoke test: everything a README user touches, end to end —
+// cluster assembly, every structure constructor, workloads, stats,
+// restart recovery and mirror promotion.
+func TestFacadeEndToEnd(t *testing.T) {
+	cl, err := asymnvm.NewCluster(asymnvm.ClusterConfig{
+		Backends: 2, ReplicaMirrors: 1, ArchiveMirror: true, DeviceBytes: 64 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	client, err := cl.NewClient(1, asymnvm.ModeRCB(8<<20, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(client.Conns()) != 2 {
+		t.Fatalf("client has %d connections, want 2", len(client.Conns()))
+	}
+
+	// One of each structure through the facade.
+	st, err := client.CreateStack("f-stack", fOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = st.Push([]byte("x"))
+	q, err := client.CreateQueue("f-queue", fOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = q.Enqueue([]byte("y"))
+	ht, err := client.CreateHashTable("f-ht", fOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := client.CreateSkipList("f-sl", fOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bst, err := client.CreateBST("f-bst", fOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpt, err := client.CreateBPTree("f-bpt", fOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mvb, err := client.CreateMVBST("f-mvb", fOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mvp, err := client.CreateMVBPTree("f-mvp", fOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kv := range []asymnvm.KV{ht, sl, bst, bpt, mvb, mvp} {
+		for i := uint64(1); i <= 30; i++ {
+			if err := kv.Put(i, []byte(fmt.Sprintf("v%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := kv.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		v, ok, err := kv.Get(17)
+		if err != nil || !ok || !bytes.Equal(v, []byte("v17")) {
+			t.Fatalf("facade kv get: %q %v %v", v, ok, err)
+		}
+	}
+
+	// Partitioned across both back-ends.
+	part, err := client.CreatePartitioned(asymnvm.KindHashTable, "f-part", 4, fOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 50; i++ {
+		if err := part.Put(i*2654435761, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := part.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Workload generator round trip.
+	gen := asymnvm.NewWorkload(asymnvm.WorkloadConfig{Seed: 1, Keys: 100, WritePct: 50, Theta: 0.9, Scramble: true})
+	for i := 0; i < 100; i++ {
+		op := gen.Next()
+		if op.Key < 1 || op.Key > 100 {
+			t.Fatal("workload key out of range")
+		}
+	}
+
+	// Stats and virtual time moved.
+	if client.Stats().RDMAVerbs() == 0 || client.VirtualTime() == 0 {
+		t.Fatal("stats/virtual time not accounted")
+	}
+
+	// Drain the writers, then survive a power failure on back-end 0.
+	_ = st.Drain()
+	_ = q.Drain()
+	type drainer interface{ Drain() error }
+	for _, kv := range []asymnvm.KV{ht, sl, bst, bpt, mvb, mvp} {
+		if err := kv.(drainer).Drain(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.RestartBackend(0, true); err != nil {
+		t.Fatal(err)
+	}
+	client2, err := cl.NewClient(2, asymnvm.ModeRC(8<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpt2, err := client2.OpenBPTree("f-bpt", false, fOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := bpt2.Get(17)
+	if err != nil || !ok || !bytes.Equal(v, []byte("v17")) {
+		t.Fatalf("after restart: %q %v %v", v, ok, err)
+	}
+
+	// Promote the (re-attached) mirror of back-end 0 and read again.
+	if err := cl.PromoteMirror(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	client3, err := cl.NewClient(3, asymnvm.ModeRC(8<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpt3, err := client3.OpenBPTree("f-bpt", false, fOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err = bpt3.Get(29)
+	if err != nil || !ok || !bytes.Equal(v, []byte("v29")) {
+		t.Fatalf("after promotion: %q %v %v", v, ok, err)
+	}
+	if cl.Archive(0) == nil {
+		t.Fatal("archive mirror missing")
+	}
+}
+
+func TestFacadeApps(t *testing.T) {
+	cl, err := asymnvm.NewCluster(asymnvm.ClusterConfig{Backends: 1, DeviceBytes: 128 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	client, err := cl.NewClient(1, asymnvm.ModeRC(16<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tatp, err := client.NewTATP("f-tatp", 100, fOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank, err := client.NewSmallBank("f-bank", 100, fOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := uint64(1)
+	for i := 0; i < 500; i++ {
+		r ^= r << 13
+		r ^= r >> 7
+		r ^= r << 17
+		if err := tatp.DoTx(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := bank.DoTx(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tatp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bank.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,266 @@
+// Benchmark entry points: one testing.B benchmark per table and figure
+// of the paper's evaluation. Each runs its experiment driver at quick
+// scale and reports the headline virtual-time metrics; use
+// cmd/asymnvm-bench for full-scale runs and complete row sets.
+//
+//	go test -bench=. -benchmem
+package asymnvm_test
+
+import (
+	"fmt"
+	"testing"
+
+	"asymnvm/internal/bench"
+)
+
+func reportRows(b *testing.B, rows []bench.Row, metricOf func(bench.Row) (string, float64)) {
+	for _, r := range rows {
+		name, v := metricOf(r)
+		if name != "" {
+			b.ReportMetric(v, name)
+		}
+	}
+}
+
+func sanitizeMetric(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkTable2Allocators regenerates Table 2 (allocator throughput).
+func BenchmarkTable2Allocators(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table2(800)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, rows, func(r bench.Row) (string, float64) {
+				return sanitizeMetric(r.Series) + "_alloc_MOPS", r.Extra["alloc_MOPS"]
+			})
+		}
+	}
+}
+
+// BenchmarkLockPingPoint regenerates the §6.3 lock benchmark.
+func BenchmarkLockPingPoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.LockBench(400)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, rows, func(r bench.Row) (string, float64) {
+				return sanitizeMetric(fmt.Sprintf("%s_w%.0f", r.Series, r.X)) + "_KOPS", r.KOPS
+			})
+		}
+	}
+}
+
+// BenchmarkCachePolicies regenerates the §4.4 replacement comparison.
+func BenchmarkCachePolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.CacheBench(60000)
+		if i == b.N-1 {
+			reportRows(b, rows, func(r bench.Row) (string, float64) {
+				return sanitizeMetric(r.Series) + "_missPct", r.Extra["missPct"]
+			})
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the headline Table 3 (a reduced structure
+// set at bench scale; the cmd tool covers all ten benchmarks).
+func BenchmarkTable3(b *testing.B) {
+	sc := bench.QuickScale()
+	sc.Ops = 600
+	sc.Seed = 2000
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table3(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, rows, func(r bench.Row) (string, float64) {
+				if r.Label == "BST" || r.Label == "Queue" || r.Label == "MV-BST" {
+					return sanitizeMetric(r.Label + "_" + r.Series + "_KOPS"), r.KOPS
+				}
+				return "", 0
+			})
+		}
+	}
+}
+
+// BenchmarkFig6BatchSize regenerates Figure 6 (throughput vs batch size).
+func BenchmarkFig6BatchSize(b *testing.B) {
+	sc := bench.QuickScale()
+	sc.Ops = 600
+	sc.Seed = 2000
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig6BatchSize(sc, []int{1, 16, 256, 4096})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, rows, func(r bench.Row) (string, float64) {
+				if r.Series == "MV-BST" || r.Series == "BPT" {
+					return sanitizeMetric(fmt.Sprintf("%s_b%.0f_KOPS", r.Series, r.X)), r.KOPS
+				}
+				return "", 0
+			})
+		}
+	}
+}
+
+// BenchmarkFig7CacheSize regenerates Figure 7 (throughput vs cache size).
+func BenchmarkFig7CacheSize(b *testing.B) {
+	sc := bench.QuickScale()
+	sc.Ops = 600
+	sc.Seed = 2000
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig7CacheSize(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, rows, func(r bench.Row) (string, float64) {
+				if r.Series == "BPT" {
+					return sanitizeMetric(fmt.Sprintf("BPT_c%.0fpct_KOPS", r.X)), r.KOPS
+				}
+				return "", 0
+			})
+		}
+	}
+}
+
+// BenchmarkFig8Readers regenerates Figure 8 (SWMR reader scaling).
+func BenchmarkFig8Readers(b *testing.B) {
+	sc := bench.QuickScale()
+	sc.Ops = 400
+	sc.Seed = 1500
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig8Readers(sc, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, rows, func(r bench.Row) (string, float64) {
+				if r.Series == "BST(R)" || r.Series == "MV-BST(R)" {
+					return sanitizeMetric(fmt.Sprintf("%s_n%.0f_KOPS", r.Series, r.X)), r.KOPS
+				}
+				return "", 0
+			})
+		}
+	}
+}
+
+// BenchmarkFig9MultiDS regenerates Figure 9 (independent structures
+// sharing one back-end).
+func BenchmarkFig9MultiDS(b *testing.B) {
+	sc := bench.QuickScale()
+	sc.Ops = 400
+	sc.Seed = 1000
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig9MultiDS(sc, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, rows, func(r bench.Row) (string, float64) {
+				if r.Series == "BST" {
+					return sanitizeMetric(fmt.Sprintf("BST_n%.0f_aggKOPS", r.X)), r.KOPS
+				}
+				return "", 0
+			})
+		}
+	}
+}
+
+// BenchmarkFig10Partitions regenerates Figure 10 (partitioned structures
+// across back-ends).
+func BenchmarkFig10Partitions(b *testing.B) {
+	sc := bench.QuickScale()
+	sc.Ops = 400
+	sc.Seed = 1000
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig10Partitions(sc, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, rows, func(r bench.Row) (string, float64) {
+				if r.Series == "BPT" {
+					return sanitizeMetric(fmt.Sprintf("BPT_p%.0f_KOPS", r.X)), r.KOPS
+				}
+				return "", 0
+			})
+		}
+	}
+}
+
+// BenchmarkFig11CPU regenerates Figure 11 (CPU utilization).
+func BenchmarkFig11CPU(b *testing.B) {
+	sc := bench.QuickScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig11CPU(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, rows, func(r bench.Row) (string, float64) {
+				return sanitizeMetric(r.Series) + "_utilPct", r.Extra["util_pct"]
+			})
+		}
+	}
+}
+
+// BenchmarkFig12Zipf regenerates Figure 12 (skew tolerance).
+func BenchmarkFig12Zipf(b *testing.B) {
+	sc := bench.QuickScale()
+	sc.Ops = 600
+	sc.Seed = 2000
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig12Zipf(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, rows, func(r bench.Row) (string, float64) {
+				if r.Series == "BPT" {
+					return sanitizeMetric(fmt.Sprintf("BPT_%s_KOPS", r.Label)), r.KOPS
+				}
+				return "", 0
+			})
+		}
+	}
+}
+
+// BenchmarkFig13Mixes regenerates Figure 13 (read/write mixes per
+// structure and configuration).
+func BenchmarkFig13Mixes(b *testing.B) {
+	sc := bench.QuickScale()
+	sc.Ops = 400
+	sc.Seed = 1500
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig13Mixes(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, rows, func(r bench.Row) (string, float64) {
+				if r.Series == "BST/RC" || r.Series == "Queue/RCB" {
+					return sanitizeMetric(fmt.Sprintf("%s_w%.0f_KOPS", r.Series, r.X)), r.KOPS
+				}
+				return "", 0
+			})
+		}
+	}
+}

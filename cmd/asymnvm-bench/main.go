@@ -1,0 +1,97 @@
+// Command asymnvm-bench regenerates the paper's tables and figures on
+// the simulated AsymNVM cluster and prints them as text tables.
+//
+// Usage:
+//
+//	asymnvm-bench -exp table3,fig6 -scale quick
+//	asymnvm-bench -exp all -scale full > results.txt
+//
+// Experiments: table2, table3, lockbench, cachebench, fig6, fig7, fig8,
+// fig9, fig10, fig11, fig12, fig13, cost, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"asymnvm/internal/bench"
+)
+
+func main() {
+	expFlag := flag.String("exp", "table3", "comma-separated experiment ids, or 'all'")
+	scaleFlag := flag.String("scale", "quick", "quick or full")
+	opsFlag := flag.Int("ops", 0, "override measured operations per cell")
+	seedFlag := flag.Int("seed", 0, "override initial population per structure")
+	flag.Parse()
+
+	sc := bench.QuickScale()
+	if *scaleFlag == "full" {
+		sc = bench.FullScale()
+	}
+	if *opsFlag > 0 {
+		sc.Ops = *opsFlag
+	}
+	if *seedFlag > 0 {
+		sc.Seed = *seedFlag
+	}
+
+	wanted := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		wanted[strings.TrimSpace(e)] = true
+	}
+	all := wanted["all"]
+
+	type driver struct {
+		id  string
+		run func() ([]bench.Row, error)
+	}
+	drivers := []driver{
+		{"table2", func() ([]bench.Row, error) { return bench.Table2(sc.Ops) }},
+		{"lockbench", func() ([]bench.Row, error) { return bench.LockBench(sc.Ops) }},
+		{"cachebench", func() ([]bench.Row, error) { return bench.CacheBench(40 * sc.Ops), nil }},
+		{"table3", func() ([]bench.Row, error) { return bench.Table3(sc) }},
+		{"fig6", func() ([]bench.Row, error) { return bench.Fig6BatchSize(sc, nil) }},
+		{"fig7", func() ([]bench.Row, error) { return bench.Fig7CacheSize(sc) }},
+		{"fig8", func() ([]bench.Row, error) { return bench.Fig8Readers(sc, 6) }},
+		{"fig9", func() ([]bench.Row, error) { return bench.Fig9MultiDS(sc, 7) }},
+		{"fig10", func() ([]bench.Row, error) { return bench.Fig10Partitions(sc, 7) }},
+		{"fig11", func() ([]bench.Row, error) { return bench.Fig11CPU(sc) }},
+		{"fig12", func() ([]bench.Row, error) { return bench.Fig12Zipf(sc) }},
+		{"fig13", func() ([]bench.Row, error) { return bench.Fig13Mixes(sc) }},
+		{"cost", func() ([]bench.Row, error) { return bench.CostModel(100, nil), nil }},
+		{"ablation", func() ([]bench.Row, error) {
+			rows, err := bench.AblationCachePolicy(sc)
+			if err != nil {
+				return nil, err
+			}
+			more, err := bench.AblationVectorWrite(sc)
+			if err != nil {
+				return nil, err
+			}
+			return append(rows, more...), nil
+		}},
+	}
+
+	ranAny := false
+	for _, d := range drivers {
+		if !all && !wanted[d.id] {
+			continue
+		}
+		ranAny = true
+		start := time.Now()
+		rows, err := d.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asymnvm-bench: %s failed: %v\n", d.id, err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatRows(rows))
+		fmt.Printf("(%s finished in %v host time)\n\n", d.id, time.Since(start).Round(time.Millisecond))
+	}
+	if !ranAny {
+		fmt.Fprintf(os.Stderr, "asymnvm-bench: no experiment matched %q\n", *expFlag)
+		os.Exit(2)
+	}
+}

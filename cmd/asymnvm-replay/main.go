@@ -1,0 +1,132 @@
+// Command asymnvm-replay replays an operation trace (as produced by
+// asymnvm-workload) against a chosen persistent structure on a simulated
+// AsymNVM cluster and reports virtual-time throughput and fabric usage.
+//
+// Usage:
+//
+//	asymnvm-workload -n 50000 -theta 0.9 -write 10 | \
+//	    asymnvm-replay -ds bptree -mode rcb -cache 33554432 -batch 256
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"asymnvm"
+	"asymnvm/internal/workload"
+)
+
+func main() {
+	dsFlag := flag.String("ds", "bptree", "structure: hashtable, skiplist, bst, bptree, mvbst, mvbptree")
+	modeFlag := flag.String("mode", "rcb", "naive, r, rc, rcb")
+	cacheFlag := flag.Int64("cache", 32<<20, "cache bytes for rc/rcb")
+	batchFlag := flag.Int("batch", 256, "batch size for rcb")
+	valueCap := flag.Int("vcap", 2048, "inline value capacity (values above it are rejected)")
+	flag.Parse()
+
+	var mode asymnvm.Mode
+	switch *modeFlag {
+	case "naive":
+		mode = asymnvm.ModeNaive()
+	case "r":
+		mode = asymnvm.ModeR()
+	case "rc":
+		mode = asymnvm.ModeRC(*cacheFlag)
+	case "rcb":
+		mode = asymnvm.ModeRCB(*cacheFlag, *batchFlag)
+	default:
+		log.Fatalf("unknown mode %q", *modeFlag)
+	}
+
+	cl, err := asymnvm.NewCluster(asymnvm.ClusterConfig{Backends: 1, DeviceBytes: 1 << 30})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Stop()
+	client, err := cl.NewClient(1, mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := asymnvm.DSOptions{ValueCap: *valueCap, Buckets: 1 << 16}
+	var kv asymnvm.KV
+	switch *dsFlag {
+	case "hashtable":
+		kv, err = client.CreateHashTable("replay", opts)
+	case "skiplist":
+		kv, err = client.CreateSkipList("replay", opts)
+	case "bst":
+		kv, err = client.CreateBST("replay", opts)
+	case "bptree":
+		kv, err = client.CreateBPTree("replay", opts)
+	case "mvbst":
+		kv, err = client.CreateMVBST("replay", opts)
+	case "mvbptree":
+		kv, err = client.CreateMVBPTree("replay", opts)
+	default:
+		log.Fatalf("unknown structure %q", *dsFlag)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	ops, puts, gets, hits := 0, 0, 0, 0
+	vstart := client.VirtualTime()
+	before := client.Stats()
+	for sc.Scan() {
+		line := sc.Text()
+		if len(line) == 0 {
+			continue
+		}
+		var key uint64
+		var vlen int
+		switch line[0] {
+		case 'P':
+			if _, err := fmt.Sscanf(line, "P %d %d", &key, &vlen); err != nil {
+				log.Fatalf("bad trace line %q: %v", line, err)
+			}
+			if vlen > *valueCap {
+				vlen = *valueCap
+			}
+			if err := kv.Put(key, workload.Value(key, vlen)); err != nil {
+				log.Fatalf("put %d: %v", key, err)
+			}
+			puts++
+		case 'G':
+			if _, err := fmt.Sscanf(line, "G %d", &key); err != nil {
+				log.Fatalf("bad trace line %q: %v", line, err)
+			}
+			_, ok, err := kv.Get(key)
+			if err != nil {
+				log.Fatalf("get %d: %v", key, err)
+			}
+			if ok {
+				hits++
+			}
+			gets++
+		default:
+			log.Fatalf("bad trace line %q", line)
+		}
+		ops++
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if err := kv.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := client.VirtualTime() - vstart
+	d := client.Stats().Sub(before)
+	fmt.Printf("replayed %d ops (%d puts, %d gets, %d found) on %s/%s\n",
+		ops, puts, gets, hits, *dsFlag, *modeFlag)
+	if elapsed > 0 {
+		fmt.Printf("throughput: %.1f KOPS (virtual time %.3f s)\n",
+			float64(ops)/(float64(elapsed)/1e9)/1000, float64(elapsed)/1e9)
+	}
+	fmt.Printf("fabric: %d reads, %d writes, %d atomics; cache hit ratio %.0f%%\n",
+		d.RDMARead, d.RDMAWrite, d.RDMAAtomic, d.HitRatio()*100)
+}

@@ -1,0 +1,74 @@
+// banking: SmallBank transactions on AsymNVM with replication to an NVM
+// mirror, a permanent back-end failure mid-stream, mirror promotion, and
+// a money-conservation audit across the failover.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asymnvm"
+)
+
+func main() {
+	cl, err := asymnvm.NewCluster(asymnvm.ClusterConfig{Backends: 1, ReplicaMirrors: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Stop()
+
+	client, err := cl.NewClient(1, asymnvm.ModeRC(32<<20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	bank, err := client.NewSmallBank("bank", 500, asymnvm.DSOptions{Buckets: 1 << 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	total0, err := bank.TotalMoney()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("opened 500 accounts, total balance %d\n", total0)
+
+	// Run conserving transactions (SendPayment / Amalgamate bands).
+	rng := uint64(42)
+	for i := 0; i < 2000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		r := rng/100*100 + 50 // Amalgamate band
+		if i%2 == 0 {
+			r = rng/100*100 + 90 // SendPayment band
+		}
+		if err := bank.DoTx(r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := bank.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("2000 transfer transactions committed and replicated")
+
+	// The back-end machine is lost for good; the keepAlive service votes
+	// mirror 0 the new back-end.
+	if err := cl.PromoteMirror(0, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("back-end lost; NVM mirror promoted")
+
+	client2, err := cl.NewClient(2, asymnvm.ModeRC(32<<20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	bank2, err := client2.OpenSmallBank("bank", 500, true, asymnvm.DSOptions{Buckets: 1 << 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	total1, err := bank2.TotalMoney()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("audit on promoted mirror: total balance %d (conserved: %v)\n",
+		total1, total0 == total1)
+}

@@ -1,0 +1,3 @@
+module asymnvm
+
+go 1.22

@@ -1,0 +1,153 @@
+// Package alloc implements AsymNVM's two-tier memory management (§5):
+//
+//   - Bitmap is the back-end allocator: block-granular, backed by a
+//     persistent bitmap in NVM so allocation state survives crashes and
+//     can be reconstructed during recovery;
+//   - TwoTier is the front-end allocator: it obtains fixed-size slabs
+//     from the back-end (over RPC) and subdivides them into size classes
+//     with best-fit selection, keeping slabs on full/partial/empty lists
+//     and reclaiming surplus empty slabs back to the back-end.
+//
+// As in the paper, sub-slab allocation state lives only in front-end
+// DRAM: after a front-end crash, recovery reconstructs allocation status
+// at slab granularity from the back-end bitmap.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoSpace is returned when an allocation cannot be satisfied.
+var ErrNoSpace = errors.New("alloc: out of space")
+
+// Bitmap is the back-end block allocator. One bit per block; methods
+// return the byte range of the bitmap dirtied by each mutation so the
+// caller can persist exactly that range to NVM.
+type Bitmap struct {
+	bits      []byte
+	nBlocks   int
+	blockSize int
+	cursor    int // next-fit rotating cursor
+	freeCnt   int
+}
+
+// NewBitmap creates an allocator for nBlocks blocks of blockSize bytes.
+func NewBitmap(nBlocks, blockSize int) *Bitmap {
+	if nBlocks <= 0 || blockSize <= 0 {
+		panic("alloc: non-positive bitmap geometry")
+	}
+	return &Bitmap{
+		bits:      make([]byte, (nBlocks+7)/8),
+		nBlocks:   nBlocks,
+		blockSize: blockSize,
+		freeCnt:   nBlocks,
+	}
+}
+
+// LoadBitmap reconstructs an allocator from a persisted bitmap image.
+func LoadBitmap(img []byte, nBlocks, blockSize int) (*Bitmap, error) {
+	if len(img) < (nBlocks+7)/8 {
+		return nil, fmt.Errorf("alloc: bitmap image %d bytes, need %d", len(img), (nBlocks+7)/8)
+	}
+	b := NewBitmap(nBlocks, blockSize)
+	copy(b.bits, img)
+	free := 0
+	for i := 0; i < nBlocks; i++ {
+		if !b.isSet(i) {
+			free++
+		}
+	}
+	b.freeCnt = free
+	return b, nil
+}
+
+// Bytes exposes the live bitmap image (do not mutate).
+func (b *Bitmap) Bytes() []byte { return b.bits }
+
+// BlockSize reports the block size in bytes.
+func (b *Bitmap) BlockSize() int { return b.blockSize }
+
+// Blocks reports the total number of blocks.
+func (b *Bitmap) Blocks() int { return b.nBlocks }
+
+// FreeBlocks reports how many blocks are unallocated.
+func (b *Bitmap) FreeBlocks() int { return b.freeCnt }
+
+func (b *Bitmap) isSet(i int) bool { return b.bits[i/8]&(1<<(i%8)) != 0 }
+func (b *Bitmap) set(i int)        { b.bits[i/8] |= 1 << (i % 8) }
+func (b *Bitmap) clear(i int)      { b.bits[i/8] &^= 1 << (i % 8) }
+
+// DirtyRange is a byte range of the bitmap that a mutation touched.
+type DirtyRange struct{ Off, Len int }
+
+func dirty(lo, hi int) DirtyRange { // block index range → byte range
+	return DirtyRange{Off: lo / 8, Len: hi/8 - lo/8 + 1}
+}
+
+// Alloc finds n contiguous free blocks (next-fit from the rotating
+// cursor) and marks them allocated. It returns the first block index and
+// the dirtied bitmap range.
+func (b *Bitmap) Alloc(n int) (int, DirtyRange, error) {
+	if n <= 0 {
+		return 0, DirtyRange{}, fmt.Errorf("alloc: bad block count %d", n)
+	}
+	if n > b.freeCnt {
+		return 0, DirtyRange{}, ErrNoSpace
+	}
+	start := b.cursor
+	run := 0
+	runStart := 0
+	scanned := 0
+	i := start
+	for scanned < 2*b.nBlocks { // two passes cover wrap-around runs
+		if i == b.nBlocks {
+			i = 0
+			run = 0 // contiguous runs do not wrap the end of the area
+			scanned++
+			continue
+		}
+		if b.isSet(i) {
+			run = 0
+		} else {
+			if run == 0 {
+				runStart = i
+			}
+			run++
+			if run == n {
+				for j := runStart; j <= i; j++ {
+					b.set(j)
+				}
+				b.freeCnt -= n
+				b.cursor = (i + 1) % b.nBlocks
+				return runStart, dirty(runStart, i), nil
+			}
+		}
+		i++
+		scanned++
+	}
+	return 0, DirtyRange{}, ErrNoSpace
+}
+
+// Free marks n blocks starting at block as free. Double frees are
+// reported as errors so callers can surface corruption.
+func (b *Bitmap) Free(block, n int) (DirtyRange, error) {
+	if block < 0 || n <= 0 || block+n > b.nBlocks {
+		return DirtyRange{}, fmt.Errorf("alloc: bad free range [%d,%d)", block, block+n)
+	}
+	for i := block; i < block+n; i++ {
+		if !b.isSet(i) {
+			return DirtyRange{}, fmt.Errorf("alloc: double free of block %d", i)
+		}
+	}
+	for i := block; i < block+n; i++ {
+		b.clear(i)
+	}
+	b.freeCnt += n
+	return dirty(block, block+n-1), nil
+}
+
+// IsAllocated reports whether a block is currently allocated.
+func (b *Bitmap) IsAllocated(block int) bool {
+	return block >= 0 && block < b.nBlocks && b.isSet(block)
+}

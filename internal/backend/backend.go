@@ -1,0 +1,365 @@
+package backend
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asymnvm/internal/alloc"
+	"asymnvm/internal/clock"
+	"asymnvm/internal/logrec"
+	"asymnvm/internal/nvm"
+	"asymnvm/internal/rdma"
+	"asymnvm/internal/stats"
+)
+
+// MirrorSink receives replicated state from a primary back-end (§7.1).
+// The back-end pushes to its mirrors asynchronously — off the front-end
+// critical path — after log records become durable locally.
+type MirrorSink interface {
+	// WantsRaw reports whether the sink keeps a byte-identical replica
+	// (an NVM-equipped mirror). Raw forwards carry device ranges.
+	WantsRaw() bool
+	// MirrorWrite applies a raw device range to the replica.
+	MirrorWrite(devOff uint64, data []byte) error
+	// MirrorOp archives one encoded operation-log record (the semantic
+	// stream kept by SSD/disk mirrors).
+	MirrorOp(slot uint16, rec []byte) error
+	// MirrorKick signals that new replicated data is available.
+	MirrorKick()
+}
+
+// SlotStatus describes what restart recovery found for one structure
+// (the §7.2 case analysis is driven by these fields).
+type SlotStatus struct {
+	Slot uint16
+	Type uint8
+	Name string
+	// TornTail is true when the memory log ends in a transaction that
+	// has a header but fails commit/checksum validation (Case 3.b): the
+	// writing front-end never got its ack and must re-flush.
+	TornTail bool
+	// TornAt is the absolute memory-log offset of the torn record.
+	TornAt uint64
+	// PendingOps counts valid operation-log records at or above the OPN,
+	// i.e. operations whose memory logs were never persisted (Case 3.c):
+	// the front-end re-executes them.
+	PendingOps int
+	// LockHeld is the stale writer-lock owner (owner id + 1), 0 if free.
+	LockHeld uint64
+}
+
+// Backend is one back-end node: an NVM device plus the minimal passive
+// services of §3.3 — it never initiates communication with front-ends.
+type Backend struct {
+	id     uint16
+	dev    *nvm.Device
+	target *rdma.Target
+	layout Layout
+	clk    clock.Clock
+	st     *stats.Stats
+	prof   clock.Profile
+
+	allocMu sync.Mutex
+	balloc  *alloc.Bitmap
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	mu      sync.Mutex
+	dss     map[uint16]*dsReplay
+	rpcLast []uint64
+	mirrors []MirrorSink
+	repErr  error // first replication/replay error, surfaced in tests
+
+	recovered []SlotStatus
+}
+
+// dsReplay is the replayer's per-structure cursor state (rebuilt from the
+// aux block on restart; the NVM copy is authoritative).
+type dsReplay struct {
+	slot    uint16
+	auxOff  uint64
+	memArea logrec.Area
+	opArea  logrec.Area
+	lpn     atomic.Uint64 // memory-log bytes applied and persisted
+	opn     atomic.Uint64 // op-log offset covered by applied transactions
+	opSeen  uint64        // op-log scan cursor (backend goroutine only)
+	snOff   uint64
+}
+
+// Options configures a back-end node.
+type Options struct {
+	ID      uint16
+	Clock   clock.Clock    // defaults to a fresh virtual clock
+	Stats   *stats.Stats   // defaults to a private sink
+	Profile *clock.Profile // defaults to clock.DefaultProfile
+	Config  *Config        // format geometry, defaults to DefaultConfig
+}
+
+func (o *Options) fill() {
+	if o.Clock == nil {
+		o.Clock = clock.NewVirtual()
+	}
+	if o.Stats == nil {
+		o.Stats = &stats.Stats{}
+	}
+	if o.Profile == nil {
+		p := clock.DefaultProfile()
+		o.Profile = &p
+	}
+	if o.Config == nil {
+		c := DefaultConfig()
+		o.Config = &c
+	}
+}
+
+// New opens (or formats, when the device is blank) a back-end on dev and
+// runs restart recovery. Call Start to launch the service loop.
+func New(dev *nvm.Device, opts Options) (*Backend, error) {
+	opts.fill()
+	layout, err := ReadLayout(dev)
+	if err != nil {
+		layout, err = Format(dev, *opts.Config)
+		if err != nil {
+			return nil, err
+		}
+	}
+	b := &Backend{
+		id:     opts.ID,
+		dev:    dev,
+		target: rdma.NewTarget(dev),
+		layout: layout,
+		clk:    opts.Clock,
+		st:     opts.Stats,
+		prof:   *opts.Profile,
+		kick:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		dss:    make(map[uint16]*dsReplay),
+	}
+	if err := b.recover(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// ID returns the node id used in global addresses.
+func (b *Backend) ID() uint16 { return b.id }
+
+// Target returns the RDMA registration front-ends connect to.
+func (b *Backend) Target() *rdma.Target { return b.target }
+
+// Layout returns the decoded device layout.
+func (b *Backend) Layout() Layout { return b.layout }
+
+// Device returns the underlying NVM device (crash injection in tests).
+func (b *Backend) Device() *nvm.Device { return b.dev }
+
+// Stats returns the node's counter sink.
+func (b *Backend) Stats() *stats.Stats { return b.st }
+
+// Clock returns the node's virtual clock.
+func (b *Backend) Clock() clock.Clock { return b.clk }
+
+// RecoveredSlots reports what restart recovery found, one entry per used
+// naming slot. Fresh devices report nothing.
+func (b *Backend) RecoveredSlots() []SlotStatus { return b.recovered }
+
+// AddMirror attaches a mirror sink. Call before Start.
+func (b *Backend) AddMirror(m MirrorSink) {
+	b.mu.Lock()
+	b.mirrors = append(b.mirrors, m)
+	b.mu.Unlock()
+}
+
+// ReplicationError returns the first error the replication/replay path
+// hit, if any.
+func (b *Backend) ReplicationError() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.repErr
+}
+
+// Start launches the back-end service goroutine: it sleeps until kicked,
+// then serves RPC cells and replays new log records. The kick stands in
+// for the DMA-completion interrupt of a real NIC; no payload crosses it —
+// every byte the service consumes comes from the NVM device.
+func (b *Backend) Start() {
+	go b.run()
+}
+
+// Stop terminates the service loop and waits for it to drain.
+func (b *Backend) Stop() {
+	close(b.stop)
+	<-b.done
+}
+
+// Kick wakes the service loop (called by front-end libraries after they
+// write log records or RPC requests, and by mirrors feeding a promoted
+// node). Safe from any goroutine; coalesces.
+func (b *Backend) Kick() {
+	select {
+	case b.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (b *Backend) run() {
+	defer close(b.done)
+	for {
+		select {
+		case <-b.stop:
+			// Final drain so Stop() leaves the device fully applied.
+			b.serveRPC()
+			b.replayAll()
+			return
+		case <-b.kick:
+			b.serveRPC()
+			b.replayAll()
+		}
+	}
+}
+
+// setErr records the first background error.
+func (b *Backend) setErr(err error) {
+	if err == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.repErr == nil {
+		b.repErr = err
+	}
+	b.mu.Unlock()
+}
+
+// ---- memory management service (§5.1) ----
+
+// serveRPC scans every connection's request cell and executes fresh
+// requests. The whole path is local: bitmap update, persist, response.
+func (b *Backend) serveRPC() {
+	n := int(b.layout.RPCSlots)
+	buf := make([]byte, 64)
+	for c := 0; c < n; c++ {
+		if err := b.dev.ReadAt(b.layout.RPCReqOff(uint16(c)), buf); err != nil {
+			b.setErr(err)
+			return
+		}
+		b.chargeBusy(b.prof.LocalNVMRead(64))
+		req, ok := DecodeRPCRequest(buf)
+		if !ok || req.Seq == 0 || req.Seq <= b.rpcLast[c] {
+			continue
+		}
+		if req.Seq != b.rpcLast[c]+1 {
+			continue // out-of-order request; client retries
+		}
+		resp := b.execRPC(req)
+		wire := EncodeRPCResponse(resp)
+		if err := b.dev.WritePersist(b.layout.RPCRespOff(uint16(c)), wire); err != nil {
+			b.setErr(err)
+			return
+		}
+		b.chargeBusy(b.prof.LocalNVMWrite(64) + b.prof.PersistBarrier)
+		b.rpcLast[c] = req.Seq
+		b.st.RPCCalls.Add(1)
+		b.forwardRaw(b.layout.RPCRespOff(uint16(c)), wire)
+	}
+}
+
+func (b *Backend) execRPC(req RPCRequest) RPCResponse {
+	switch req.Op {
+	case RPCMalloc, RPCCalloc:
+		addr, err := b.mallocBlocks(req.A1)
+		if err != nil {
+			return RPCResponse{Seq: req.Seq, Status: RPCNoSpace}
+		}
+		if req.Op == RPCCalloc {
+			blocks := (req.A1 + b.layout.BlockSize - 1) / b.layout.BlockSize
+			zero := make([]byte, blocks*b.layout.BlockSize)
+			if err := b.dev.WritePersist(AddrOff(addr), zero); err != nil {
+				return RPCResponse{Seq: req.Seq, Status: RPCErr}
+			}
+			b.chargeBusy(b.prof.LocalNVMWrite(len(zero)))
+			b.forwardRaw(AddrOff(addr), zero)
+		}
+		b.st.Allocs.Add(1)
+		return RPCResponse{Seq: req.Seq, Status: RPCOK, Result: addr}
+	case RPCFree:
+		if err := b.freeBlocks(req.A1, req.A2); err != nil {
+			return RPCResponse{Seq: req.Seq, Status: RPCErr}
+		}
+		b.st.Frees.Add(1)
+		return RPCResponse{Seq: req.Seq, Status: RPCOK}
+	default:
+		return RPCResponse{Seq: req.Seq, Status: RPCErr}
+	}
+}
+
+// mallocBlocks allocates ceil(size/blockSize) contiguous blocks and
+// persists the dirtied bitmap range.
+func (b *Backend) mallocBlocks(size uint64) (uint64, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("backend: zero-size malloc")
+	}
+	blocks := int((size + b.layout.BlockSize - 1) / b.layout.BlockSize)
+	b.allocMu.Lock()
+	blk, dr, err := b.balloc.Alloc(blocks)
+	if err != nil {
+		b.allocMu.Unlock()
+		return 0, err
+	}
+	img := make([]byte, dr.Len)
+	copy(img, b.balloc.Bytes()[dr.Off:dr.Off+dr.Len])
+	b.allocMu.Unlock()
+	devOff := b.layout.BitmapBase + uint64(dr.Off)
+	if err := b.dev.WritePersist(devOff, img); err != nil {
+		return 0, err
+	}
+	b.chargeBusy(b.prof.LocalNVMWrite(dr.Len) + b.prof.PersistBarrier)
+	b.forwardRaw(devOff, img)
+	return GlobalAddr(b.id, b.layout.DataBase+uint64(blk)*b.layout.BlockSize), nil
+}
+
+func (b *Backend) freeBlocks(addr, size uint64) error {
+	node, off := SplitAddr(addr)
+	if node != b.id {
+		return fmt.Errorf("backend %d: free of foreign address %#x", b.id, addr)
+	}
+	if off < b.layout.DataBase || off%b.layout.BlockSize != 0 {
+		return fmt.Errorf("backend: misaligned free %#x", addr)
+	}
+	blk := int((off - b.layout.DataBase) / b.layout.BlockSize)
+	blocks := int((size + b.layout.BlockSize - 1) / b.layout.BlockSize)
+	b.allocMu.Lock()
+	dr, err := b.balloc.Free(blk, blocks)
+	if err != nil {
+		b.allocMu.Unlock()
+		return err
+	}
+	img := make([]byte, dr.Len)
+	copy(img, b.balloc.Bytes()[dr.Off:dr.Off+dr.Len])
+	b.allocMu.Unlock()
+	devOff := b.layout.BitmapBase + uint64(dr.Off)
+	if err := b.dev.WritePersist(devOff, img); err != nil {
+		return err
+	}
+	b.chargeBusy(b.prof.LocalNVMWrite(dr.Len) + b.prof.PersistBarrier)
+	b.forwardRaw(devOff, img)
+	return nil
+}
+
+// FreeBlocksCount reports the allocator's free block count (cost figures).
+func (b *Backend) FreeBlocksCount() int {
+	b.allocMu.Lock()
+	defer b.allocMu.Unlock()
+	return b.balloc.FreeBlocks()
+}
+
+// chargeBusy advances the node's virtual clock and records the time as
+// CPU-busy, so Figure 11 can report back-end utilization.
+func (b *Backend) chargeBusy(d time.Duration) {
+	b.clk.Advance(d)
+	b.st.AddBusy(d)
+}

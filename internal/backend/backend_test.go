@@ -1,0 +1,274 @@
+package backend
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"asymnvm/internal/clock"
+	"asymnvm/internal/logrec"
+	"asymnvm/internal/nvm"
+)
+
+var zprof = clock.ZeroProfile()
+
+func TestFormatAndReadLayout(t *testing.T) {
+	dev := nvm.NewDevice(8 << 20)
+	l, err := Format(dev, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLayout(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != l {
+		t.Fatalf("layout round trip mismatch:\n%+v\n%+v", got, l)
+	}
+	if l.DataBase%l.BlockSize != 0 {
+		t.Fatal("data base must be block aligned")
+	}
+	if l.DataBase+l.DataSize > dev.Size() {
+		t.Fatal("data area exceeds device")
+	}
+	if (l.NBlocks+7)/8 > l.BitmapBytes {
+		t.Fatal("bitmap too small for block count")
+	}
+}
+
+func TestFormatRejectsBadConfig(t *testing.T) {
+	dev := nvm.NewDevice(1 << 20)
+	if _, err := Format(dev, Config{BlockSize: 3000, RPCSlots: 4, NameEntries: 4}); err == nil {
+		t.Fatal("non-power-of-two block size must fail")
+	}
+	if _, err := Format(nvm.NewDevice(1024), DefaultConfig()); err == nil {
+		t.Fatal("tiny device must fail")
+	}
+}
+
+func TestReadLayoutUnformatted(t *testing.T) {
+	if _, err := ReadLayout(nvm.NewDevice(1 << 20)); err == nil {
+		t.Fatal("unformatted device must not decode")
+	}
+}
+
+func TestNameEntryRoundTrip(t *testing.T) {
+	e := NameEntry{Used: true, Type: TypeBPTree, Name: "accounts",
+		Root: 0x1234, Lock: 3, SN: 8, Aux: 0x9999, LockLog: 7}
+	buf, err := EncodeNameEntry(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeNameEntry(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e {
+		t.Fatalf("round trip mismatch: %+v != %+v", got, e)
+	}
+	if _, err := EncodeNameEntry(NameEntry{Name: "this-name-is-way-too-long-for-the-field"}); err == nil {
+		t.Fatal("long name must fail")
+	}
+}
+
+func TestGlobalAddrRoundTrip(t *testing.T) {
+	f := func(node uint16, off uint64) bool {
+		off &= 0xFFFFFFFFFFFF
+		if node == 0xFFFF {
+			node = 0 // +1 bias would overflow; the id space is 0..65534
+		}
+		a := GlobalAddr(node, off)
+		if a == 0 {
+			return false // never collides with nil
+		}
+		n2, o2 := SplitAddr(a)
+		return n2 == node && o2 == off
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRPCCodecRoundTrip(t *testing.T) {
+	req := RPCRequest{Seq: 9, Op: RPCMalloc, A1: 4096, A2: 0}
+	wire := EncodeRPCRequest(req)
+	got, ok := DecodeRPCRequest(wire)
+	if !ok || got != req {
+		t.Fatalf("request round trip: ok=%v %+v", ok, got)
+	}
+	wire[3] ^= 0xFF
+	if _, ok := DecodeRPCRequest(wire); ok {
+		t.Fatal("corrupt request must not decode")
+	}
+	resp := RPCResponse{Seq: 9, Status: RPCOK, Result: 0xABC}
+	rw := EncodeRPCResponse(resp)
+	gr, ok := DecodeRPCResponse(rw)
+	if !ok || gr != resp {
+		t.Fatalf("response round trip: ok=%v %+v", ok, gr)
+	}
+}
+
+func TestBackendServesRPCDirectly(t *testing.T) {
+	dev := nvm.NewDevice(8 << 20)
+	b, err := New(dev, Options{ID: 3, Profile: &zprof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Start()
+	defer b.Stop()
+	// Write a malloc request into slot 0's cell by hand and kick.
+	req := EncodeRPCRequest(RPCRequest{Seq: 1, Op: RPCMalloc, A1: 100})
+	if err := dev.WritePersist(b.Layout().RPCReqOff(0), req); err != nil {
+		t.Fatal(err)
+	}
+	b.Kick()
+	deadline := 0
+	for {
+		cell := make([]byte, 64)
+		_ = dev.ReadAt(b.Layout().RPCRespOff(0), cell)
+		if resp, ok := DecodeRPCResponse(cell); ok && resp.Seq == 1 {
+			if resp.Status != RPCOK {
+				t.Fatalf("malloc failed: %+v", resp)
+			}
+			if AddrNode(resp.Result) != 3 {
+				t.Fatalf("allocation carries wrong node id: %#x", resp.Result)
+			}
+			break
+		}
+		if deadline++; deadline > 1<<22 {
+			t.Fatal("no RPC response")
+		}
+	}
+}
+
+func TestBackendRPCIgnoresStaleAndCorrupt(t *testing.T) {
+	dev := nvm.NewDevice(8 << 20)
+	b, err := New(dev, Options{ID: 0, Profile: &zprof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Start()
+	// Corrupt request: never served.
+	garbage := bytes.Repeat([]byte{0x77}, 64)
+	_ = dev.WritePersist(b.Layout().RPCReqOff(1), garbage)
+	b.Kick()
+	b.Stop()
+	cell := make([]byte, 64)
+	_ = dev.ReadAt(b.Layout().RPCRespOff(1), cell)
+	if _, ok := DecodeRPCResponse(cell); ok {
+		t.Fatal("corrupt request must not produce a response")
+	}
+	if err := b.ReplicationError(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayerAppliesHandWrittenLog(t *testing.T) {
+	dev := nvm.NewDevice(8 << 20)
+	b, err := New(dev, Options{ID: 0, Profile: &zprof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := b.Layout()
+	// Hand-build a structure: aux block + log areas inside the data area.
+	aux := l.DataBase
+	memBase := l.DataBase + 4096
+	opBase := l.DataBase + 4096 + 65536
+	target := l.DataBase + 4096 + 65536 + 65536
+	auxImg := make([]byte, AuxSize)
+	putLE := func(off int, v uint64) {
+		for i := 0; i < 8; i++ {
+			auxImg[off+i] = byte(v >> (8 * i))
+		}
+	}
+	putLE(AuxMemLogBaseOff, memBase)
+	putLE(AuxMemLogSizeOff, 65536)
+	putLE(AuxOpLogBaseOff, opBase)
+	putLE(AuxOpLogSizeOff, 65536)
+	_ = dev.WritePersist(aux, auxImg)
+	entry, err := EncodeNameEntry(NameEntry{Used: true, Type: TypeBST, Name: "hand", Aux: GlobalAddr(0, aux)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = dev.WritePersist(l.NameEntryOff(0), entry)
+
+	// One committed transaction writing 8 bytes at target.
+	tx := logrec.TxRecord{DSSlot: 0, Abs: 0, Entries: []logrec.MemEntry{
+		{Flag: logrec.FlagInline, Addr: GlobalAddr(0, target), Len: 8, Value: []byte("ABCDEFGH")},
+	}}
+	_ = dev.WritePersist(memBase, tx.Encode())
+
+	b.Start()
+	b.Kick()
+	b.Stop()
+	got := make([]byte, 8)
+	_ = dev.ReadAt(target, got)
+	if string(got) != "ABCDEFGH" {
+		t.Fatalf("replayer did not apply the log: %q", got)
+	}
+	// The seqlock advanced by exactly two (one transaction).
+	sn, _ := dev.Load64(l.SNOff(0))
+	if sn != 2 {
+		t.Fatalf("SN = %d, want 2", sn)
+	}
+	// And the LPN is persisted in the aux block.
+	lpn, _ := dev.Load64(aux + AuxLPNOff)
+	if lpn == 0 {
+		t.Fatal("LPN not persisted after replay")
+	}
+}
+
+func TestCallocZeroesReusedBlocks(t *testing.T) {
+	dev := nvm.NewDevice(8 << 20)
+	b, err := New(dev, Options{ID: 0, Profile: &zprof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty a block, free it, calloc it back: it must come back zeroed.
+	addr, err := b.mallocBlocks(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := AddrOff(addr)
+	if err := dev.WritePersist(off, bytes.Repeat([]byte{0xFF}, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.freeBlocks(addr, 4096); err != nil {
+		t.Fatal(err)
+	}
+	resp := b.execRPC(RPCRequest{Seq: 1, Op: RPCCalloc, A1: 4096})
+	if resp.Status != RPCOK {
+		t.Fatalf("calloc failed: %+v", resp)
+	}
+	buf := make([]byte, 4096)
+	_ = dev.ReadAt(AddrOff(resp.Result), buf)
+	for i, v := range buf {
+		if v != 0 {
+			t.Fatalf("calloc left dirty byte at %d", i)
+		}
+	}
+}
+
+func TestRPCOutOfOrderIgnored(t *testing.T) {
+	dev := nvm.NewDevice(8 << 20)
+	b, err := New(dev, Options{ID: 0, Profile: &zprof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Start()
+	defer b.Stop()
+	// Seq 5 without 1..4 first: must not be served.
+	req := EncodeRPCRequest(RPCRequest{Seq: 5, Op: RPCMalloc, A1: 64})
+	_ = dev.WritePersist(b.Layout().RPCReqOff(2), req)
+	b.Kick()
+	// Give the service loop a chance, then check no response appeared.
+	for i := 0; i < 1000; i++ {
+		runtime.Gosched()
+	}
+	cell := make([]byte, 64)
+	_ = dev.ReadAt(b.Layout().RPCRespOff(2), cell)
+	if _, ok := DecodeRPCResponse(cell); ok {
+		t.Fatal("out-of-order request must not be served")
+	}
+}

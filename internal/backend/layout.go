@@ -1,0 +1,274 @@
+// Package backend implements the AsymNVM back-end node (§3–§7): the NVM
+// layout with its global naming space, the passive RPC service for memory
+// management, the memory-log replayer that applies committed transactions
+// to the data area under the writer-preferred seqlock, replication of logs
+// to mirror nodes, and restart recovery (checksum validation, LPN/OPN
+// reconstruction).
+package backend
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"asymnvm/internal/nvm"
+)
+
+// Magic identifies a formatted AsymNVM device ("ASYMNVM1", little-endian).
+const Magic uint64 = 0x314D564E4D595341
+
+// Version of the on-NVM format.
+const Version uint64 = 1
+
+// Header field offsets (all fields are 8 bytes, at "well-known" locations
+// per §5.1's global naming space).
+const (
+	hdrMagic       = 0
+	hdrVersion     = 8
+	hdrBitmapBase  = 16
+	hdrBitmapBytes = 24
+	hdrBlockSize   = 32
+	hdrNBlocks     = 40
+	hdrDataBase    = 48
+	hdrDataSize    = 56
+	hdrRPCBase     = 64
+	hdrRPCSlots    = 72
+	hdrNameBase    = 80
+	hdrNameEntries = 88
+	hdrEpoch       = 96 // incarnation counter, bumped on every restart
+	// EpochOff is the device offset of the incarnation counter; front-ends
+	// poll it to detect back-end restarts (Case 3 of §7.2).
+	EpochOff = hdrEpoch
+	// HeaderSize is the reserved size of the header block.
+	HeaderSize = 128
+)
+
+// Naming-table entry layout. Each used entry holds the root reference of
+// one data structure instance with its lock word, seqlock sequence number,
+// lock-ahead log word and a pointer to its auxiliary metadata block —
+// "the exclusive lock ... stored next to the root reference" (§5.1).
+const (
+	NameEntrySize = 96
+	neFlags       = 0  // 1 byte: bit0 used
+	neType        = 1  // 1 byte: data structure type tag
+	neNameHash    = 8  // 8 bytes
+	neName        = 16 // 32 bytes, NUL padded
+	neRoot        = 48 // 8 bytes: atomic root pointer (global address)
+	neLock        = 56 // 8 bytes: writer lock word (0 free, else ownerID+1)
+	neSN          = 64 // 8 bytes: seqlock sequence number
+	neAux         = 72 // 8 bytes: aux metadata block address (global)
+	neLockLog     = 80 // 8 bytes: lock-ahead log: (ownerID+1)<<1 | acquired
+
+	nameMaxLen = 32
+)
+
+// Aux metadata block layout (per data structure, allocated in the data
+// area). Holds the structure's private log areas and replay cursors.
+const (
+	AuxSize       = 256
+	auxMemLogBase = 0
+	auxMemLogSize = 8
+	auxOpLogBase  = 16
+	auxOpLogSize  = 24
+	auxLPN        = 32 // memory-log absolute offset applied & persisted
+	auxOPN        = 40 // op-log absolute offset covered by applied txs
+	auxMemTail    = 48 // writer's append hint (advisory; recovery rescans)
+	auxOpTail     = 56 // writer's append hint (advisory; recovery rescans)
+	// AuxUser is the first byte available for data-structure-specific
+	// metadata (queue head/tail slots, partition maps, B+Tree height…).
+	AuxUser = 64
+)
+
+// Exported aux-block field offsets for the front-end library.
+const (
+	AuxMemLogBaseOff = auxMemLogBase
+	AuxMemLogSizeOff = auxMemLogSize
+	AuxOpLogBaseOff  = auxOpLogBase
+	AuxOpLogSizeOff  = auxOpLogSize
+	AuxLPNOff        = auxLPN
+	AuxOPNOff        = auxOPN
+	AuxMemTailOff    = auxMemTail
+	AuxOpTailOff     = auxOpTail
+)
+
+// RPC ring geometry: each front-end connection owns one slot; a slot is a
+// request cell and a response cell (§5.1's two circular buffers, one pair
+// per front-end so one-sided writes never race).
+const (
+	RPCSlotSize = 128 // request cell at +0, response cell at +64
+	rpcReqOff   = 0
+	rpcRespOff  = 64
+)
+
+// Config sizes a device format.
+type Config struct {
+	BlockSize   int // back-end allocator block (slab) size, power of two
+	RPCSlots    int // max concurrent front-end connections
+	NameEntries int // naming-table capacity
+}
+
+// DefaultConfig returns the geometry used by the benchmarks.
+func DefaultConfig() Config {
+	return Config{BlockSize: 4096, RPCSlots: 16, NameEntries: 64}
+}
+
+// Layout is the decoded header: where everything lives on the device.
+type Layout struct {
+	BitmapBase  uint64
+	BitmapBytes uint64
+	BlockSize   uint64
+	NBlocks     uint64
+	DataBase    uint64
+	DataSize    uint64
+	RPCBase     uint64
+	RPCSlots    uint64
+	NameBase    uint64
+	NameEntries uint64
+	Epoch       uint64
+}
+
+// NameEntryOff returns the device offset of naming-table slot i.
+func (l Layout) NameEntryOff(slot uint16) uint64 {
+	return l.NameBase + uint64(slot)*NameEntrySize
+}
+
+// RootOff returns the device offset of slot i's root pointer.
+func (l Layout) RootOff(slot uint16) uint64 { return l.NameEntryOff(slot) + neRoot }
+
+// LockOff returns the device offset of slot i's writer lock word.
+func (l Layout) LockOff(slot uint16) uint64 { return l.NameEntryOff(slot) + neLock }
+
+// SNOff returns the device offset of slot i's seqlock word.
+func (l Layout) SNOff(slot uint16) uint64 { return l.NameEntryOff(slot) + neSN }
+
+// AuxPtrOff returns the device offset of slot i's aux-pointer word.
+func (l Layout) AuxPtrOff(slot uint16) uint64 { return l.NameEntryOff(slot) + neAux }
+
+// LockLogOff returns the device offset of slot i's lock-ahead log word.
+func (l Layout) LockLogOff(slot uint16) uint64 { return l.NameEntryOff(slot) + neLockLog }
+
+// RPCReqOff returns the device offset of connection c's request cell.
+func (l Layout) RPCReqOff(c uint16) uint64 { return l.RPCBase + uint64(c)*RPCSlotSize + rpcReqOff }
+
+// RPCRespOff returns the device offset of connection c's response cell.
+func (l Layout) RPCRespOff(c uint16) uint64 { return l.RPCBase + uint64(c)*RPCSlotSize + rpcRespOff }
+
+// Format initializes dev with the AsymNVM layout and returns it. All
+// remaining space after the metadata regions becomes the block-allocated
+// data area (which also hosts per-structure log areas and aux blocks).
+func Format(dev *nvm.Device, cfg Config) (Layout, error) {
+	if cfg.BlockSize <= 0 || cfg.BlockSize&(cfg.BlockSize-1) != 0 {
+		return Layout{}, fmt.Errorf("backend: block size %d not a power of two", cfg.BlockSize)
+	}
+	if cfg.RPCSlots <= 0 || cfg.NameEntries <= 0 {
+		return Layout{}, errors.New("backend: non-positive config")
+	}
+	total := dev.Size()
+	var l Layout
+	l.BlockSize = uint64(cfg.BlockSize)
+	l.RPCSlots = uint64(cfg.RPCSlots)
+	l.NameEntries = uint64(cfg.NameEntries)
+
+	off := uint64(HeaderSize)
+	l.RPCBase = off
+	off += l.RPCSlots * RPCSlotSize
+	l.NameBase = off
+	off += l.NameEntries * NameEntrySize
+
+	// The rest is split between bitmap and data area. nBlocks satisfies
+	// bitmapBytes + nBlocks*blockSize <= remaining, with the data base
+	// aligned to the block size so slab addresses are slab-aligned.
+	if off >= total {
+		return Layout{}, errors.New("backend: device too small")
+	}
+	l.BitmapBase = off
+	remaining := total - off
+	nBlocks := remaining / (l.BlockSize + 1) // 1 bit per block rounds to ≤1 byte
+	for nBlocks > 0 {
+		bitmapBytes := (nBlocks + 7) / 8
+		dataBase := (l.BitmapBase + bitmapBytes + l.BlockSize - 1) &^ (l.BlockSize - 1)
+		if dataBase+nBlocks*l.BlockSize <= total {
+			l.BitmapBytes = bitmapBytes
+			l.DataBase = dataBase
+			l.DataSize = nBlocks * l.BlockSize
+			l.NBlocks = nBlocks
+			break
+		}
+		nBlocks--
+	}
+	if l.NBlocks == 0 {
+		return Layout{}, errors.New("backend: device too small for any data block")
+	}
+
+	buf := make([]byte, HeaderSize)
+	put := func(off int, v uint64) { binary.LittleEndian.PutUint64(buf[off:], v) }
+	put(hdrMagic, Magic)
+	put(hdrVersion, Version)
+	put(hdrBitmapBase, l.BitmapBase)
+	put(hdrBitmapBytes, l.BitmapBytes)
+	put(hdrBlockSize, l.BlockSize)
+	put(hdrNBlocks, l.NBlocks)
+	put(hdrDataBase, l.DataBase)
+	put(hdrDataSize, l.DataSize)
+	put(hdrRPCBase, l.RPCBase)
+	put(hdrRPCSlots, l.RPCSlots)
+	put(hdrNameBase, l.NameBase)
+	put(hdrNameEntries, l.NameEntries)
+	put(hdrEpoch, 0)
+	if err := dev.WritePersist(0, buf); err != nil {
+		return Layout{}, err
+	}
+	// Zero the metadata regions (bitmap, naming table, RPC rings).
+	zero := make([]byte, l.BitmapBytes)
+	if err := dev.WritePersist(l.BitmapBase, zero); err != nil {
+		return Layout{}, err
+	}
+	zero = make([]byte, l.NameEntries*NameEntrySize)
+	if err := dev.WritePersist(l.NameBase, zero); err != nil {
+		return Layout{}, err
+	}
+	zero = make([]byte, l.RPCSlots*RPCSlotSize)
+	if err := dev.WritePersist(l.RPCBase, zero); err != nil {
+		return Layout{}, err
+	}
+	return l, nil
+}
+
+// ReadLayout decodes the header from a formatted device.
+func ReadLayout(dev *nvm.Device) (Layout, error) {
+	buf := make([]byte, HeaderSize)
+	if err := dev.ReadAt(0, buf); err != nil {
+		return Layout{}, err
+	}
+	return decodeLayout(buf)
+}
+
+// DecodeLayout parses a header block (used by front-ends that fetched the
+// header over RDMA).
+func DecodeLayout(buf []byte) (Layout, error) { return decodeLayout(buf) }
+
+func decodeLayout(buf []byte) (Layout, error) {
+	if len(buf) < HeaderSize {
+		return Layout{}, errors.New("backend: short header")
+	}
+	get := func(off int) uint64 { return binary.LittleEndian.Uint64(buf[off:]) }
+	if get(hdrMagic) != Magic {
+		return Layout{}, errors.New("backend: bad magic (device not formatted)")
+	}
+	if get(hdrVersion) != Version {
+		return Layout{}, fmt.Errorf("backend: format version %d unsupported", get(hdrVersion))
+	}
+	return Layout{
+		BitmapBase:  get(hdrBitmapBase),
+		BitmapBytes: get(hdrBitmapBytes),
+		BlockSize:   get(hdrBlockSize),
+		NBlocks:     get(hdrNBlocks),
+		DataBase:    get(hdrDataBase),
+		DataSize:    get(hdrDataSize),
+		RPCBase:     get(hdrRPCBase),
+		RPCSlots:    get(hdrRPCSlots),
+		NameBase:    get(hdrNameBase),
+		NameEntries: get(hdrNameEntries),
+		Epoch:       get(hdrEpoch),
+	}, nil
+}

@@ -1,0 +1,103 @@
+package backend
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+)
+
+// Data-structure type tags stored in naming-table entries.
+const (
+	TypeFree      uint8 = 0
+	TypeStack     uint8 = 1
+	TypeQueue     uint8 = 2
+	TypeHashTable uint8 = 3
+	TypeSkipList  uint8 = 4
+	TypeBST       uint8 = 5
+	TypeBPTree    uint8 = 6
+	TypeMVBST     uint8 = 7
+	TypeMVBPTree  uint8 = 8
+	TypeApp       uint8 = 9 // application-defined composite
+)
+
+// NameEntry is the decoded form of one naming-table slot.
+type NameEntry struct {
+	Used    bool
+	Type    uint8
+	Name    string
+	Root    uint64
+	Lock    uint64
+	SN      uint64
+	Aux     uint64
+	LockLog uint64
+}
+
+// ErrNameTooLong is returned for names exceeding the 32-byte field.
+var ErrNameTooLong = errors.New("backend: name longer than 32 bytes")
+
+// HashName returns the 64-bit FNV-1a hash stored next to a name for
+// cheap lookups.
+func HashName(name string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return h.Sum64()
+}
+
+// EncodeNameEntry serializes e into a NameEntrySize buffer.
+func EncodeNameEntry(e NameEntry) ([]byte, error) {
+	if len(e.Name) > nameMaxLen {
+		return nil, ErrNameTooLong
+	}
+	buf := make([]byte, NameEntrySize)
+	if e.Used {
+		buf[neFlags] = 1
+	}
+	buf[neType] = e.Type
+	binary.LittleEndian.PutUint64(buf[neNameHash:], HashName(e.Name))
+	copy(buf[neName:neName+nameMaxLen], e.Name)
+	binary.LittleEndian.PutUint64(buf[neRoot:], e.Root)
+	binary.LittleEndian.PutUint64(buf[neLock:], e.Lock)
+	binary.LittleEndian.PutUint64(buf[neSN:], e.SN)
+	binary.LittleEndian.PutUint64(buf[neAux:], e.Aux)
+	binary.LittleEndian.PutUint64(buf[neLockLog:], e.LockLog)
+	return buf, nil
+}
+
+// DecodeNameEntry parses a NameEntrySize buffer.
+func DecodeNameEntry(buf []byte) (NameEntry, error) {
+	if len(buf) < NameEntrySize {
+		return NameEntry{}, errors.New("backend: short name entry")
+	}
+	var e NameEntry
+	e.Used = buf[neFlags]&1 != 0
+	e.Type = buf[neType]
+	raw := buf[neName : neName+nameMaxLen]
+	n := 0
+	for n < len(raw) && raw[n] != 0 {
+		n++
+	}
+	e.Name = string(raw[:n])
+	e.Root = binary.LittleEndian.Uint64(buf[neRoot:])
+	e.Lock = binary.LittleEndian.Uint64(buf[neLock:])
+	e.SN = binary.LittleEndian.Uint64(buf[neSN:])
+	e.Aux = binary.LittleEndian.Uint64(buf[neAux:])
+	e.LockLog = binary.LittleEndian.Uint64(buf[neLockLog:])
+	return e, nil
+}
+
+// GlobalAddr packs a node id and a device offset into one NVM pointer.
+// Node ids are biased by one so that address 0 remains the nil pointer.
+func GlobalAddr(node uint16, off uint64) uint64 {
+	return uint64(node+1)<<48 | off&0xFFFFFFFFFFFF
+}
+
+// SplitAddr unpacks a global NVM pointer. Only call on non-nil addresses.
+func SplitAddr(addr uint64) (node uint16, off uint64) {
+	return uint16(addr>>48) - 1, addr & 0xFFFFFFFFFFFF
+}
+
+// AddrNode reports which node an address lives on.
+func AddrNode(addr uint64) uint16 { return uint16(addr>>48) - 1 }
+
+// AddrOff reports the device offset of an address.
+func AddrOff(addr uint64) uint64 { return addr & 0xFFFFFFFFFFFF }

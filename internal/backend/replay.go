@@ -1,0 +1,465 @@
+package backend
+
+import (
+	"errors"
+	"fmt"
+
+	"asymnvm/internal/alloc"
+	"asymnvm/internal/logrec"
+)
+
+// maxTxChunk bounds a single refill of the replay scan buffer. It must
+// exceed the largest possible transaction record (a batch of 4096
+// operations can log a few megabytes), or the replayer would mistake a
+// huge record for a torn tail.
+const maxTxChunk = 16 << 20
+
+// recover rebuilds volatile state from the device after (re)start: the
+// block allocator from the persistent bitmap, the RPC sequence numbers
+// from the response cells, the per-structure replay cursors from the aux
+// blocks — then validates log tails with checksums and applies every
+// committed transaction that was persisted but not yet applied (§7.2,
+// back-end Cases 3.a/3.b/3.c).
+func (b *Backend) recover() error {
+	// Allocator from the persistent bitmap.
+	img := make([]byte, b.layout.BitmapBytes)
+	if err := b.dev.ReadAt(b.layout.BitmapBase, img); err != nil {
+		return err
+	}
+	ba, err := alloc.LoadBitmap(img, int(b.layout.NBlocks), int(b.layout.BlockSize))
+	if err != nil {
+		return err
+	}
+	b.balloc = ba
+
+	// RPC cursors from the response cells.
+	b.rpcLast = make([]uint64, b.layout.RPCSlots)
+	cell := make([]byte, 64)
+	for c := range b.rpcLast {
+		if err := b.dev.ReadAt(b.layout.RPCRespOff(uint16(c)), cell); err != nil {
+			return err
+		}
+		if resp, ok := DecodeRPCResponse(cell); ok {
+			b.rpcLast[c] = resp.Seq
+		}
+	}
+
+	// Bump the epoch so front-ends can detect a restart.
+	epoch, err := b.dev.Load64(hdrEpoch)
+	if err != nil {
+		return err
+	}
+	if err := b.dev.Store64(hdrEpoch, epoch+1); err != nil {
+		return err
+	}
+
+	// Discover structures and replay their logs.
+	if err := b.refreshSlots(); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	dss := make([]*dsReplay, 0, len(b.dss))
+	for _, ds := range b.dss {
+		dss = append(dss, ds)
+	}
+	b.mu.Unlock()
+	for _, ds := range dss {
+		status, err := b.replaySlot(ds)
+		if err != nil {
+			return err
+		}
+		entry, err := b.readNameEntry(ds.slot)
+		if err != nil {
+			return err
+		}
+		status.Slot = ds.slot
+		status.Type = entry.Type
+		status.Name = entry.Name
+		status.LockHeld = entry.Lock
+		status.PendingOps = b.countPendingOps(ds)
+		b.recovered = append(b.recovered, status)
+	}
+	return nil
+}
+
+// readNameEntry reads and decodes one naming-table slot.
+func (b *Backend) readNameEntry(slot uint16) (NameEntry, error) {
+	buf := make([]byte, NameEntrySize)
+	if err := b.dev.ReadAt(b.layout.NameEntryOff(slot), buf); err != nil {
+		return NameEntry{}, err
+	}
+	return DecodeNameEntry(buf)
+}
+
+// refreshSlots scans the naming table for structures the replayer does not
+// know yet and loads their aux blocks. Front-ends create structures with
+// one-sided writes, so discovery happens here, on the next kick.
+func (b *Backend) refreshSlots() error {
+	n := uint16(b.layout.NameEntries)
+	for slot := uint16(0); slot < n; slot++ {
+		b.mu.Lock()
+		_, known := b.dss[slot]
+		b.mu.Unlock()
+		if known {
+			continue
+		}
+		entry, err := b.readNameEntry(slot)
+		if err != nil {
+			return err
+		}
+		if !entry.Used || entry.Aux == 0 {
+			continue
+		}
+		if AddrNode(entry.Aux) != b.id {
+			continue // foreign aux: partition metadata owned elsewhere
+		}
+		auxOff := AddrOff(entry.Aux)
+		aux := make([]byte, AuxSize)
+		if err := b.dev.ReadAt(auxOff, aux); err != nil {
+			return err
+		}
+		ds := &dsReplay{
+			slot:   slot,
+			auxOff: auxOff,
+			snOff:  b.layout.SNOff(slot),
+		}
+		ds.memArea = logrec.Area{Base: le64at(aux, auxMemLogBase), Size: le64at(aux, auxMemLogSize)}
+		ds.opArea = logrec.Area{Base: le64at(aux, auxOpLogBase), Size: le64at(aux, auxOpLogSize)}
+		ds.lpn.Store(le64at(aux, auxLPN))
+		ds.opn.Store(le64at(aux, auxOPN))
+		ds.opSeen = ds.opn.Load()
+		if ds.memArea.Size == 0 || ds.opArea.Size == 0 {
+			continue // creation still in progress; retry on next kick
+		}
+		// Replicate the naming entry and aux block so mirrors know the
+		// structure exists.
+		entryBuf := make([]byte, NameEntrySize)
+		if err := b.dev.ReadAt(b.layout.NameEntryOff(slot), entryBuf); err != nil {
+			return err
+		}
+		b.forwardRaw(b.layout.NameEntryOff(slot), entryBuf)
+		b.forwardRaw(auxOff, aux)
+		b.mu.Lock()
+		b.dss[slot] = ds
+		b.mu.Unlock()
+	}
+	return nil
+}
+
+// replayAll is the service-loop body: discover new structures, then for
+// each structure forward fresh op-log records to mirrors and apply fresh
+// committed transactions to the data area.
+func (b *Backend) replayAll() {
+	if err := b.refreshSlots(); err != nil {
+		b.setErr(err)
+		return
+	}
+	b.mu.Lock()
+	dss := make([]*dsReplay, 0, len(b.dss))
+	for _, ds := range b.dss {
+		dss = append(dss, ds)
+	}
+	b.mu.Unlock()
+	kickMirrors := false
+	for _, ds := range dss {
+		b.archiveOps(ds)
+		if _, err := b.replaySlot(ds); err != nil {
+			b.setErr(err)
+		}
+		kickMirrors = true
+	}
+	if kickMirrors {
+		b.mu.Lock()
+		mirrors := append([]MirrorSink(nil), b.mirrors...)
+		b.mu.Unlock()
+		for _, m := range mirrors {
+			m.MirrorKick()
+		}
+	}
+}
+
+// readArea reads n logical bytes starting at abs from a circular area,
+// splitting around the wrap point.
+func (b *Backend) readArea(area logrec.Area, abs uint64, n int) ([]byte, error) {
+	out := make([]byte, n)
+	pos := 0
+	for _, r := range area.Split(abs, n) {
+		if err := b.dev.ReadAt(r.DevOff, out[pos:pos+r.Len]); err != nil {
+			return nil, err
+		}
+		pos += r.Len
+	}
+	b.chargeBusy(b.prof.LocalNVMRead(n))
+	return out, nil
+}
+
+// replaySlot applies every complete, checksum-valid transaction between
+// the LPN and the log tail, in log order, bumping the structure's seqlock
+// around each application (Algorithm 2's Write_Begin/Write_End run here,
+// in the back-end, exactly as the paper specifies).
+func (b *Backend) replaySlot(ds *dsReplay) (SlotStatus, error) {
+	var status SlotStatus
+	chunk := 4 << 10
+	for {
+		n := chunk
+		if uint64(n) > ds.memArea.Size {
+			n = int(ds.memArea.Size)
+		}
+		lpn := ds.lpn.Load()
+		buf, err := b.readArea(ds.memArea, lpn, n)
+		if err != nil {
+			return status, err
+		}
+		pos := 0
+		progressed := false
+		for {
+			rec, used, derr := logrec.DecodeTx(buf[pos:], lpn)
+			if derr != nil {
+				if errors.Is(derr, logrec.ErrShort) && !progressed && chunk < maxTxChunk && uint64(chunk) < ds.memArea.Size {
+					chunk *= 2 // a record larger than the scan buffer
+					break
+				}
+				if errors.Is(derr, logrec.ErrShort) && progressed {
+					break // refill from the new LPN
+				}
+				// End of valid log. Distinguish a clean tail from a torn
+				// transaction: a matching header whose commit/checksum
+				// fails means a front-end died mid-flush (Case 3.b).
+				if errors.Is(derr, logrec.ErrBadCRC) || errors.Is(derr, logrec.ErrNoCommit) {
+					status.TornTail = true
+					status.TornAt = lpn
+				}
+				return status, nil
+			}
+			if err := b.applyTx(ds, &rec, lpn+uint64(used)); err != nil {
+				return status, err
+			}
+			lpn += uint64(used)
+			ds.lpn.Store(lpn)
+			ds.opn.Store(rec.CoverOp)
+			pos += used
+			progressed = true
+			if len(buf)-pos < 32 {
+				break // refill
+			}
+		}
+		if !progressed && chunk >= maxTxChunk {
+			return status, nil
+		}
+	}
+}
+
+// applyTx replicates the raw record to mirrors, then applies each memory
+// log entry to the data area and persists the new cursors.
+func (b *Backend) applyTx(ds *dsReplay, rec *logrec.TxRecord, newLPN uint64) error {
+	// Replicate the log record before applying it (§7.1: logs reach the
+	// mirror before the transaction commits to the data area).
+	wire := rec.Encode()
+	for _, r := range ds.memArea.Split(rec.Abs, len(wire)) {
+		chunkOff := r.DevOff
+		chunk := make([]byte, r.Len)
+		if err := b.dev.ReadAt(chunkOff, chunk); err != nil {
+			return err
+		}
+		b.forwardRaw(chunkOff, chunk)
+	}
+
+	// Write_Begin: SN becomes odd while the structure is inconsistent.
+	sn, err := b.dev.Load64(ds.snOff)
+	if err != nil {
+		return err
+	}
+	if err := b.dev.Store64(ds.snOff, sn+1); err != nil {
+		return err
+	}
+	for i := range rec.Entries {
+		e := &rec.Entries[i]
+		val := e.Value
+		if e.Flag == logrec.FlagOpRef {
+			val, err = b.readArea(ds.opArea, e.OpAbs+logrec.ParamsWireOff+uint64(e.SrcOff), int(e.Len))
+			if err != nil {
+				return err
+			}
+		}
+		if AddrNode(e.Addr) != b.id {
+			return fmt.Errorf("backend %d: replay of foreign address %#x", b.id, e.Addr)
+		}
+		off := AddrOff(e.Addr)
+		if err := b.dev.WriteAt(off, val[:e.Len]); err != nil {
+			return err
+		}
+		b.chargeBusy(b.prof.LocalNVMWrite(int(e.Len)))
+	}
+	b.dev.PersistAll()
+	b.chargeBusy(b.prof.PersistBarrier)
+	// Write_End: SN even again; readers revalidate against it.
+	if err := b.dev.Store64(ds.snOff, sn+2); err != nil {
+		return err
+	}
+	// Persist the cursors (the LPN/OPN of §5.1).
+	if err := b.dev.Store64(ds.auxOff+auxLPN, newLPN); err != nil {
+		return err
+	}
+	if err := b.dev.Store64(ds.auxOff+auxOPN, rec.CoverOp); err != nil {
+		return err
+	}
+	b.st.TxReplayed.Add(1)
+	return nil
+}
+
+// archiveOps scans the op log for records the mirrors have not seen and
+// forwards them — raw for replica mirrors (same offsets), semantic for
+// archive mirrors.
+func (b *Backend) archiveOps(ds *dsReplay) {
+	b.mu.Lock()
+	nMirrors := len(b.mirrors)
+	b.mu.Unlock()
+	if nMirrors == 0 {
+		return
+	}
+	chunk := 4 << 10
+	for {
+		n := chunk
+		if uint64(n) > ds.opArea.Size {
+			n = int(ds.opArea.Size)
+		}
+		buf, err := b.readArea(ds.opArea, ds.opSeen, n)
+		if err != nil {
+			b.setErr(err)
+			return
+		}
+		pos := 0
+		progressed := false
+		for {
+			rec, used, derr := logrec.DecodeOp(buf[pos:], ds.opSeen)
+			if derr != nil {
+				if errors.Is(derr, logrec.ErrShort) && !progressed && chunk < maxTxChunk && uint64(chunk) < ds.opArea.Size {
+					chunk *= 2
+					break
+				}
+				return
+			}
+			wire := buf[pos : pos+used]
+			for _, r := range ds.opArea.Split(rec.Abs, used) {
+				// Forward at physical offsets for replica mirrors.
+				b.forwardRawOnly(r.DevOff, wire[:r.Len])
+				wire = wire[r.Len:]
+			}
+			b.forwardOp(ds.slot, buf[pos:pos+used])
+			ds.opSeen += uint64(used)
+			pos += used
+			progressed = true
+			if len(buf)-pos < 16 {
+				break
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// countPendingOps counts valid op records at or above the OPN: operations
+// acknowledged as persistent whose memory logs never arrived. Recovery
+// hands these back to the owning front-end for re-execution (Case 2.c/3.c).
+func (b *Backend) countPendingOps(ds *dsReplay) int {
+	ops, err := b.PendingOps(ds.slot)
+	if err != nil {
+		return 0
+	}
+	return len(ops)
+}
+
+// PendingOps returns the decoded op-log records at or above the OPN for a
+// slot, in append order.
+func (b *Backend) PendingOps(slot uint16) ([]logrec.OpRecord, error) {
+	b.mu.Lock()
+	ds, ok := b.dss[slot]
+	b.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("backend: unknown slot %d", slot)
+	}
+	var out []logrec.OpRecord
+	abs := ds.opn.Load()
+	chunk := 4 << 10
+	for {
+		n := chunk
+		if uint64(n) > ds.opArea.Size {
+			n = int(ds.opArea.Size)
+		}
+		buf, err := b.readArea(ds.opArea, abs, n)
+		if err != nil {
+			return nil, err
+		}
+		pos := 0
+		progressed := false
+		for {
+			rec, used, derr := logrec.DecodeOp(buf[pos:], abs)
+			if derr != nil {
+				if errors.Is(derr, logrec.ErrShort) && !progressed && chunk < maxTxChunk && uint64(chunk) < ds.opArea.Size {
+					chunk *= 2
+					break
+				}
+				return out, nil
+			}
+			out = append(out, rec)
+			abs += uint64(used)
+			pos += used
+			progressed = true
+			if len(buf)-pos < 16 {
+				break
+			}
+		}
+		if !progressed {
+			return out, nil
+		}
+	}
+}
+
+// forwardRaw pushes a device range to every replica mirror and charges the
+// back-end clock for the transfer (replication happens on the back-end's
+// time, not the front-end's — §7.1's asynchronous replication).
+func (b *Backend) forwardRaw(devOff uint64, data []byte) {
+	b.mu.Lock()
+	mirrors := append([]MirrorSink(nil), b.mirrors...)
+	b.mu.Unlock()
+	for _, m := range mirrors {
+		if !m.WantsRaw() {
+			continue
+		}
+		b.clk.Advance(b.prof.WriteCost(len(data)))
+		b.st.RDMAWrite.Add(1)
+		b.st.BytesWrite.Add(int64(len(data)))
+		if err := m.MirrorWrite(devOff, data); err != nil {
+			b.setErr(err)
+		}
+	}
+}
+
+// forwardRawOnly is forwardRaw without the lock dance for the hot op path.
+func (b *Backend) forwardRawOnly(devOff uint64, data []byte) {
+	b.forwardRaw(devOff, data)
+}
+
+// forwardOp pushes one encoded op record to archive mirrors.
+func (b *Backend) forwardOp(slot uint16, rec []byte) {
+	b.mu.Lock()
+	mirrors := append([]MirrorSink(nil), b.mirrors...)
+	b.mu.Unlock()
+	for _, m := range mirrors {
+		if m.WantsRaw() {
+			continue
+		}
+		b.clk.Advance(b.prof.WriteCost(len(rec)))
+		b.st.RDMAWrite.Add(1)
+		b.st.BytesWrite.Add(int64(len(rec)))
+		if err := m.MirrorOp(slot, append([]byte(nil), rec...)); err != nil {
+			b.setErr(err)
+		}
+	}
+}
+
+func le64at(b []byte, off int) uint64 {
+	return uint64(b[off]) | uint64(b[off+1])<<8 | uint64(b[off+2])<<16 | uint64(b[off+3])<<24 |
+		uint64(b[off+4])<<32 | uint64(b[off+5])<<40 | uint64(b[off+6])<<48 | uint64(b[off+7])<<56
+}

@@ -1,0 +1,101 @@
+package backend
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// The memory-management RPC of §5.1 follows the RFP (remote fetching
+// paradigm) design the paper cites: the front-end RDMA-writes a request
+// into its private request cell and RDMA-reads the response cell until the
+// sequence number matches; the back-end stays passive, polling the cells
+// with its local CPU. One request/response pair costs two network round
+// trips, matching the "one round for each RPC invocation" the paper
+// reports for its allocator.
+
+// RPC opcodes.
+const (
+	RPCMalloc uint64 = 1
+	RPCFree   uint64 = 2
+	// RPCCalloc allocates zero-filled blocks: the back-end clears them
+	// locally, saving the front-end a large RDMA write. Log areas are
+	// created with it so tail scans terminate deterministically.
+	RPCCalloc uint64 = 3
+)
+
+// RPC status codes.
+const (
+	RPCOK      uint64 = 0
+	RPCErr     uint64 = 1
+	RPCNoSpace uint64 = 2
+)
+
+var rpcCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// RPCRequest is the decoded request cell.
+type RPCRequest struct {
+	Seq uint64 // must be previous seq + 1
+	Op  uint64
+	A1  uint64 // malloc: size in bytes; free: global address
+	A2  uint64 // free: size in bytes
+}
+
+// EncodeRPCRequest serializes a request cell (36 bytes used of 64).
+func EncodeRPCRequest(r RPCRequest) []byte {
+	buf := make([]byte, 64)
+	binary.LittleEndian.PutUint64(buf[0:], r.Seq)
+	binary.LittleEndian.PutUint64(buf[8:], r.Op)
+	binary.LittleEndian.PutUint64(buf[16:], r.A1)
+	binary.LittleEndian.PutUint64(buf[24:], r.A2)
+	binary.LittleEndian.PutUint32(buf[32:], crc32.Checksum(buf[:32], rpcCRCTable))
+	return buf
+}
+
+// DecodeRPCRequest parses a request cell, verifying its checksum (a torn
+// request write simply is not served until rewritten intact).
+func DecodeRPCRequest(buf []byte) (RPCRequest, bool) {
+	if len(buf) < 36 {
+		return RPCRequest{}, false
+	}
+	if crc32.Checksum(buf[:32], rpcCRCTable) != binary.LittleEndian.Uint32(buf[32:]) {
+		return RPCRequest{}, false
+	}
+	return RPCRequest{
+		Seq: binary.LittleEndian.Uint64(buf[0:]),
+		Op:  binary.LittleEndian.Uint64(buf[8:]),
+		A1:  binary.LittleEndian.Uint64(buf[16:]),
+		A2:  binary.LittleEndian.Uint64(buf[24:]),
+	}, true
+}
+
+// RPCResponse is the decoded response cell.
+type RPCResponse struct {
+	Seq    uint64
+	Status uint64
+	Result uint64 // malloc: allocated global address
+}
+
+// EncodeRPCResponse serializes a response cell (28 bytes used of 64).
+func EncodeRPCResponse(r RPCResponse) []byte {
+	buf := make([]byte, 64)
+	binary.LittleEndian.PutUint64(buf[0:], r.Seq)
+	binary.LittleEndian.PutUint64(buf[8:], r.Status)
+	binary.LittleEndian.PutUint64(buf[16:], r.Result)
+	binary.LittleEndian.PutUint32(buf[24:], crc32.Checksum(buf[:24], rpcCRCTable))
+	return buf
+}
+
+// DecodeRPCResponse parses a response cell.
+func DecodeRPCResponse(buf []byte) (RPCResponse, bool) {
+	if len(buf) < 28 {
+		return RPCResponse{}, false
+	}
+	if crc32.Checksum(buf[:24], rpcCRCTable) != binary.LittleEndian.Uint32(buf[24:]) {
+		return RPCResponse{}, false
+	}
+	return RPCResponse{
+		Seq:    binary.LittleEndian.Uint64(buf[0:]),
+		Status: binary.LittleEndian.Uint64(buf[8:]),
+		Result: binary.LittleEndian.Uint64(buf[16:]),
+	}, true
+}

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"sort"
+
+	"asymnvm/internal/core"
+	"asymnvm/internal/ds"
+	"asymnvm/internal/workload"
+)
+
+// AblationCachePolicy isolates the §8.3 tree-caching hint: the same
+// binary-search-tree workload (deep paths, so upper levels matter) with
+// the adaptive level-threshold policy versus native LRU over all nodes.
+// The cache is deliberately small (2% of the footprint) — the regime the
+// paper's Figure 7 discussion targets, where it reports the LRU variant
+// 38% slower.
+func AblationCachePolicy(sc Scale) ([]Row, error) {
+	var rows []Row
+	for _, flat := range []bool{false, true} {
+		cl, err := newAsymCluster(512 << 20)
+		if err != nil {
+			return nil, err
+		}
+		mode := core.ModeRC(cacheBytesFor("BST", sc.Seed, 2))
+		_, conns, err := cl.NewFrontend(1, mode)
+		if err != nil {
+			cl.Stop()
+			return nil, err
+		}
+		opts := ds.Options{Create: benchCreateOpts(), FlatCache: flat}
+		h, err := buildKV(conns[0], "BST", sc, opts)
+		if err != nil {
+			cl.Stop()
+			return nil, err
+		}
+		kops, err := h.run(sc.Ops, 100)
+		cl.Stop()
+		if err != nil {
+			return nil, err
+		}
+		series := "level-hinted"
+		if flat {
+			series = "native-LRU"
+		}
+		rows = append(rows, Row{Experiment: "ablation-cache", Series: series, KOPS: kops})
+	}
+	return rows, nil
+}
+
+// AblationVectorWrite isolates Algorithm 3: inserting sorted key batches
+// through VectorPut (one shared descent per batch) versus the same keys
+// as individual puts under the same batching mode.
+func AblationVectorWrite(sc Scale) ([]Row, error) {
+	var rows []Row
+	for _, vector := range []bool{false, true} {
+		cl, err := newAsymCluster(512 << 20)
+		if err != nil {
+			return nil, err
+		}
+		mode := core.ModeRCB(cacheBytesFor("BST", sc.Seed, 10), 128)
+		fe, conns, err := cl.NewFrontend(1, mode)
+		if err != nil {
+			cl.Stop()
+			return nil, err
+		}
+		bt, err := ds.CreateBST(conns[0], "vecabl", ds.Options{Create: benchCreateOpts()})
+		if err != nil {
+			cl.Stop()
+			return nil, err
+		}
+		if err := seedKV(bt, sc); err != nil {
+			cl.Stop()
+			return nil, err
+		}
+		gen := workload.New(workload.Config{Seed: 31, Keys: uint64(sc.Keys), WritePct: 100, ValueLen: 64})
+		start := fe.Clock().Now()
+		const vbatch = 128
+		done := 0
+		for done < sc.Ops {
+			n := vbatch
+			if sc.Ops-done < n {
+				n = sc.Ops - done
+			}
+			keys := make([]uint64, 0, n)
+			vals := make([][]byte, 0, n)
+			seen := map[uint64]bool{}
+			for len(keys) < n {
+				k := gen.Next().Key
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				keys = append(keys, k)
+				vals = append(vals, workload.Value(k, 64))
+			}
+			if vector {
+				if err := bt.VectorPut(keys, vals); err != nil {
+					cl.Stop()
+					return nil, err
+				}
+			} else {
+				order := make([]int, n)
+				for i := range order {
+					order[i] = i
+				}
+				sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+				for _, i := range order {
+					if err := bt.Put(keys[i], vals[i]); err != nil {
+						cl.Stop()
+						return nil, err
+					}
+				}
+			}
+			done += n
+		}
+		if err := bt.Flush(); err != nil {
+			cl.Stop()
+			return nil, err
+		}
+		kops := kopsOf(sc.Ops, fe.Clock().Now()-start)
+		cl.Stop()
+		series := "scalar puts"
+		if vector {
+			series = "vector write"
+		}
+		rows = append(rows, Row{Experiment: "ablation-vector", Series: series, KOPS: kops})
+	}
+	return rows, nil
+}

@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"testing"
+
+	"asymnvm/internal/core"
+	"asymnvm/internal/stats"
+	"asymnvm/internal/workload"
+)
+
+func TestCacheMatrix(t *testing.T) {
+	for _, theta := range []float64{0.7, 0.9, 0.99} {
+		for _, keys := range []uint64{160000, 500000} {
+			for _, cap := range []int64{1 << 20, 256 << 10} {
+				res := map[string]float64{}
+				for _, pol := range []struct {
+					name string
+					p    core.Policy
+				}{{"H", core.PolicyHybrid}, {"L", core.PolicyLRU}, {"R", core.PolicyRR}} {
+					st := &stats.Stats{}
+					c := core.NewCache(cap, pol.p, st)
+					gen := workload.New(workload.Config{Seed: 21, Keys: keys, WritePct: 0, Theta: theta, Scramble: true})
+					e := make([]byte, 64)
+					for i := 0; i < 120000; i++ {
+						k := gen.Next().Key
+						if _, ok := c.Get(k, core.EpochAlways, true); !ok {
+							c.Put(k, e, 0, core.EpochAlways)
+						}
+					}
+					s := st.Snapshot()
+					res[pol.name] = float64(s.CacheMiss) / float64(s.CacheMiss+s.CacheHit) * 100
+				}
+				t.Logf("theta=%.2f keys=%d cap=%d: H=%.1f L=%.1f R=%.1f", theta, keys, cap, res["H"], res["L"], res["R"])
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestVirtualAdvance(t *testing.T) {
+	c := NewVirtual()
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock at %v, want 0", c.Now())
+	}
+	c.Advance(3 * time.Microsecond)
+	c.Advance(500 * time.Nanosecond)
+	if got := c.Now(); got != 3500*time.Nanosecond {
+		t.Fatalf("Now = %v, want 3.5µs", got)
+	}
+	c.Advance(-time.Second) // negative charges are ignored
+	if got := c.Now(); got != 3500*time.Nanosecond {
+		t.Fatalf("Now after negative advance = %v, want 3.5µs", got)
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("Now after reset = %v, want 0", c.Now())
+	}
+}
+
+func TestZeroClock(t *testing.T) {
+	Zero.Advance(time.Hour)
+	if Zero.Now() != 0 {
+		t.Fatal("Zero clock must stay at 0")
+	}
+}
+
+func TestVirtualConcurrent(t *testing.T) {
+	c := NewVirtual()
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			for j := 0; j < 1000; j++ {
+				c.Advance(time.Nanosecond)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	if got := c.Now(); got != 4000*time.Nanosecond {
+		t.Fatalf("concurrent advance lost updates: %v", got)
+	}
+}
+
+func TestProfileCosts(t *testing.T) {
+	p := DefaultProfile()
+	if p.ReadCost(0) < p.RDMARTT {
+		t.Fatal("read cost must include at least one RTT")
+	}
+	small := p.ReadCost(8)
+	big := p.ReadCost(1 << 20)
+	if big <= small {
+		t.Fatal("large transfers must cost more than small ones")
+	}
+	if p.WriteCost(64) <= p.RDMARTT {
+		t.Fatal("write cost must add media latency on top of the RTT")
+	}
+	z := ZeroProfile()
+	if z.ReadCost(4096) != 0 || z.WriteCost(4096) != 0 {
+		t.Fatal("zero profile must be free")
+	}
+}
+
+func TestTransferMonotone(t *testing.T) {
+	p := DefaultProfile()
+	if p.NetTransfer(-1) != 0 || p.NetTransfer(0) != 0 {
+		t.Fatal("non-positive sizes are free")
+	}
+	// 5 GB/s → 1 KiB ≈ 204 ns.
+	d := p.NetTransfer(1024)
+	if d < 150*time.Nanosecond || d > 300*time.Nanosecond {
+		t.Fatalf("1 KiB at 5 GB/s = %v, expected ≈205ns", d)
+	}
+}

@@ -1,0 +1,95 @@
+package clock
+
+import "time"
+
+// Profile holds the latency model of the simulated hardware. The defaults
+// follow the numbers quoted in the paper (§3.2): an RDMA round trip of
+// about 2 µs and NVM media latency of about 100 ns for reads and 300 ns for
+// writes, with InfiniBand-class bandwidth for large transfers.
+type Profile struct {
+	// RDMARTT is the round-trip time of a one-sided RDMA verb.
+	RDMARTT time.Duration
+	// RDMAAtomic is the round-trip time of an RDMA atomic verb (CAS,
+	// fetch-and-add). Atomics are slightly more expensive than plain
+	// verbs on real NICs.
+	RDMAAtomic time.Duration
+	// NVMRead is the media latency of reading one block (<=256 B) of NVM.
+	NVMRead time.Duration
+	// NVMWrite is the media latency of persisting one block of NVM.
+	NVMWrite time.Duration
+	// DRAMAccess is the latency of one local DRAM cache access.
+	DRAMAccess time.Duration
+	// PersistBarrier is the cost of a local persist fence
+	// (clwb+sfence), charged by the symmetric baseline.
+	PersistBarrier time.Duration
+	// NetBytesPerSec is the network bandwidth used for the size-dependent
+	// term of large transfers.
+	NetBytesPerSec float64
+	// NVMBytesPerSec is the device bandwidth for the size-dependent term
+	// of large media accesses.
+	NVMBytesPerSec float64
+	// CPUByte approximates per-byte software cost of building or copying
+	// a buffer (marshalling logs, memcpy into the cache).
+	CPUByte time.Duration
+	// CPUOp approximates fixed per-operation software cost (function-call
+	// overhead, hashing, comparisons) charged once per data-structure
+	// operation.
+	CPUOp time.Duration
+}
+
+// DefaultProfile returns the latency model used by the benchmark harness.
+func DefaultProfile() Profile {
+	return Profile{
+		RDMARTT:        2 * time.Microsecond,
+		RDMAAtomic:     2200 * time.Nanosecond,
+		NVMRead:        100 * time.Nanosecond,
+		NVMWrite:       300 * time.Nanosecond,
+		DRAMAccess:     80 * time.Nanosecond,
+		PersistBarrier: 250 * time.Nanosecond,
+		NetBytesPerSec: 5e9, // ~40 Gb/s InfiniBand
+		NVMBytesPerSec: 2e9, // Optane DC write bandwidth class
+		CPUByte:        0,   // folded into bandwidth terms
+		CPUOp:          150 * time.Nanosecond,
+	}
+}
+
+// ZeroProfile returns a profile with no latency at all; unit tests use it.
+func ZeroProfile() Profile { return Profile{NetBytesPerSec: 0, NVMBytesPerSec: 0} }
+
+// NetTransfer returns the size-dependent network cost of moving n bytes.
+func (p Profile) NetTransfer(n int) time.Duration {
+	if p.NetBytesPerSec <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / p.NetBytesPerSec * float64(time.Second))
+}
+
+// NVMTransfer returns the size-dependent media cost of moving n bytes.
+func (p Profile) NVMTransfer(n int) time.Duration {
+	if p.NVMBytesPerSec <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / p.NVMBytesPerSec * float64(time.Second))
+}
+
+// ReadCost is the full cost, charged at the initiator, of a one-sided
+// RDMA read of n bytes from remote NVM.
+func (p Profile) ReadCost(n int) time.Duration {
+	return p.RDMARTT + p.NVMRead + p.NetTransfer(n) + p.NVMTransfer(n)
+}
+
+// WriteCost is the full cost of a one-sided RDMA write of n bytes that is
+// acknowledged only after it reaches the remote persistence domain.
+func (p Profile) WriteCost(n int) time.Duration {
+	return p.RDMARTT + p.NVMWrite + p.NetTransfer(n) + p.NVMTransfer(n)
+}
+
+// LocalNVMRead is the cost of a local (symmetric baseline) NVM read of n bytes.
+func (p Profile) LocalNVMRead(n int) time.Duration {
+	return p.NVMRead + p.NVMTransfer(n)
+}
+
+// LocalNVMWrite is the cost of a local persisted NVM write of n bytes.
+func (p Profile) LocalNVMWrite(n int) time.Duration {
+	return p.NVMWrite + p.NVMTransfer(n)
+}

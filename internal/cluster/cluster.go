@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"fmt"
+
+	"asymnvm/internal/backend"
+	"asymnvm/internal/clock"
+	"asymnvm/internal/core"
+	"asymnvm/internal/logrec"
+	"asymnvm/internal/mirror"
+	"asymnvm/internal/nvm"
+	"asymnvm/internal/stats"
+)
+
+// Config sizes a simulated deployment (the paper's testbed is 10 nodes:
+// seven front-ends, one back-end, two mirrors).
+type Config struct {
+	Backends       int
+	MirrorsPerBack int  // replica mirrors attached to each back-end
+	ArchivePerBack bool // additionally attach one archive mirror
+	DeviceBytes    int  // NVM capacity per back-end (and replica)
+	Profile        clock.Profile
+	BackendConfig  *backend.Config
+}
+
+// DefaultConfig returns a one-back-end, two-mirror deployment with
+// benchmark-sized devices.
+func DefaultConfig() Config {
+	return Config{
+		Backends:       1,
+		MirrorsPerBack: 0,
+		DeviceBytes:    256 << 20,
+		Profile:        clock.DefaultProfile(),
+	}
+}
+
+// Cluster is an assembled deployment.
+type Cluster struct {
+	cfg      Config
+	Backends []*backend.Backend
+	Mirrors  [][]*mirror.Replica
+	Archives []*mirror.Archive
+	KA       *KeepAlive
+	devs     []*nvm.Device
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Backends <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one back-end")
+	}
+	if cfg.DeviceBytes == 0 {
+		cfg.DeviceBytes = 256 << 20
+	}
+	cl := &Cluster{cfg: cfg, KA: NewKeepAlive()}
+	for i := 0; i < cfg.Backends; i++ {
+		dev := nvm.NewDevice(cfg.DeviceBytes)
+		opts := backend.Options{ID: uint16(i), Profile: &cfg.Profile, Config: cfg.BackendConfig}
+		bk, err := backend.New(dev, opts)
+		if err != nil {
+			return nil, err
+		}
+		var reps []*mirror.Replica
+		for m := 0; m < cfg.MirrorsPerBack; m++ {
+			mdev := nvm.NewDevice(cfg.DeviceBytes)
+			rep, err := mirror.NewReplica(mdev, bk, backend.Options{Profile: &cfg.Profile})
+			if err != nil {
+				return nil, err
+			}
+			reps = append(reps, rep)
+			_ = cl.KA.Register(fmt.Sprintf("mirror%d.%d", i, m), RoleMirror, 3)
+		}
+		if cfg.ArchivePerBack {
+			adev := nvm.NewDevice(cfg.DeviceBytes)
+			arch, err := mirror.NewArchive(adev, bk, nil, nil, cfg.Profile)
+			if err != nil {
+				return nil, err
+			}
+			cl.Archives = append(cl.Archives, arch)
+		}
+		bk.Start()
+		cl.Backends = append(cl.Backends, bk)
+		cl.Mirrors = append(cl.Mirrors, reps)
+		cl.devs = append(cl.devs, dev)
+		_ = cl.KA.Register(fmt.Sprintf("backend%d", i), RoleBackend, 3)
+	}
+	return cl, nil
+}
+
+// Stop drains and stops every node.
+func (c *Cluster) Stop() {
+	for _, bk := range c.Backends {
+		bk.Stop()
+	}
+	for _, reps := range c.Mirrors {
+		for _, r := range reps {
+			r.Stop()
+		}
+	}
+}
+
+// NewFrontend creates a front-end node registered with keepAlive and
+// connected to every back-end. The returned connections are indexed by
+// back-end id.
+func (c *Cluster) NewFrontend(id uint16, mode core.Mode) (*core.Frontend, []*core.Conn, error) {
+	fe := core.NewFrontend(core.FrontendOptions{ID: id, Mode: mode, Profile: &c.cfg.Profile})
+	conns := make([]*core.Conn, 0, len(c.Backends))
+	for _, bk := range c.Backends {
+		conn, err := fe.Connect(bk)
+		if err != nil {
+			return nil, nil, err
+		}
+		conns = append(conns, conn)
+	}
+	_ = c.KA.Register(fmt.Sprintf("frontend%d", id), RoleFrontend, 3)
+	return fe, conns, nil
+}
+
+// Device exposes a back-end's NVM device for crash injection.
+func (c *Cluster) Device(backendID int) *nvm.Device { return c.devs[backendID] }
+
+// ---- recovery orchestration (§7.2) ----
+
+// RestartBackend models Case 3, a transient back-end failure: the node's
+// process dies (optionally with a power failure on the device) and comes
+// back on the same NVM. The replayer validates the last transaction's
+// checksum and re-applies whatever was persisted but not applied. The new
+// instance replaces the old one in the cluster; front-ends reconnect.
+func (c *Cluster) RestartBackend(backendID int, powerFail bool) (*backend.Backend, []backend.SlotStatus, error) {
+	old := c.Backends[backendID]
+	old.Stop()
+	if powerFail {
+		c.devs[backendID].Crash(nil)
+	}
+	bk, err := backend.New(c.devs[backendID], backend.Options{
+		ID: uint16(backendID), Profile: &c.cfg.Profile,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Re-attach the surviving mirrors (a fresh initial sync, as at
+	// deployment time).
+	for m := range c.Mirrors[backendID] {
+		mdev := c.Mirrors[backendID][m].Device()
+		rep, err := mirror.NewReplica(mdev, bk, backend.Options{Profile: &c.cfg.Profile})
+		if err != nil {
+			return nil, nil, err
+		}
+		c.Mirrors[backendID][m] = rep
+	}
+	bk.Start()
+	c.Backends[backendID] = bk
+	_ = c.KA.Renew(fmt.Sprintf("backend%d", backendID))
+	return bk, bk.RecoveredSlots(), nil
+}
+
+// PromoteMirror models Case 4, a permanent back-end failure with an NVM
+// replica available: the mirror is voted the new back-end and keeps the
+// dead node's identity so all stored global addresses stay valid.
+func (c *Cluster) PromoteMirror(backendID, mirrorIdx int) (*backend.Backend, error) {
+	c.KA.Expire(fmt.Sprintf("backend%d", backendID))
+	c.Backends[backendID].Stop()
+	rep := c.Mirrors[backendID][mirrorIdx]
+	bk, err := rep.Promote(backend.Options{Profile: &c.cfg.Profile})
+	if err != nil {
+		return nil, err
+	}
+	bk.Start()
+	c.Backends[backendID] = bk
+	c.devs[backendID] = rep.Device()
+	c.Mirrors[backendID] = append(c.Mirrors[backendID][:mirrorIdx], c.Mirrors[backendID][mirrorIdx+1:]...)
+	_ = c.KA.Renew(fmt.Sprintf("backend%d", backendID))
+	return bk, nil
+}
+
+// Reexec replays one archived operation through data-structure semantics;
+// the ds layer provides implementations per structure type.
+type Reexec func(slot uint16, rec logrec.OpRecord) error
+
+// RebuildFromArchive models Case 4 without an NVM replica: a brand-new
+// back-end is formatted and the front-ends re-execute the archived
+// operation stream through their normal write paths.
+func (c *Cluster) RebuildFromArchive(backendID int, arch *mirror.Archive, reexec Reexec) (*backend.Backend, error) {
+	c.KA.Expire(fmt.Sprintf("backend%d", backendID))
+	c.Backends[backendID].Stop()
+	dev := nvm.NewDevice(c.cfg.DeviceBytes)
+	bk, err := backend.New(dev, backend.Options{ID: uint16(backendID), Profile: &c.cfg.Profile})
+	if err != nil {
+		return nil, err
+	}
+	bk.Start()
+	c.Backends[backendID] = bk
+	c.devs[backendID] = dev
+	ops, err := arch.Ops()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range ops {
+		if err := reexec(op.Slot, op.Rec); err != nil {
+			return nil, fmt.Errorf("cluster: re-executing archived op: %w", err)
+		}
+	}
+	_ = c.KA.Renew(fmt.Sprintf("backend%d", backendID))
+	return bk, nil
+}
+
+// FrontendStats aggregates snapshots from several front-ends.
+func FrontendStats(fes ...*core.Frontend) stats.Snapshot {
+	var total stats.Snapshot
+	for _, fe := range fes {
+		total = addSnap(total, fe.Stats().Snapshot())
+	}
+	return total
+}
+
+func addSnap(a, b stats.Snapshot) stats.Snapshot {
+	var zero stats.Snapshot
+	return a.Sub(zero.Sub(b))
+}

@@ -1,0 +1,163 @@
+// Package cluster assembles AsymNVM deployments — front-end nodes,
+// back-end nodes, mirror nodes — and implements the consensus-based
+// failure handling of §7.2: a lease-based keepAlive service (the paper
+// runs ZooKeeper; this is the same protocol role in-process), and the
+// recovery orchestration for the five crash cases.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Role tags a cluster member.
+type Role int
+
+// Member roles.
+const (
+	RoleFrontend Role = iota
+	RoleBackend
+	RoleMirror
+)
+
+// EventKind distinguishes keepAlive notifications.
+type EventKind int
+
+// Event kinds.
+const (
+	EventCrashed EventKind = iota
+	EventJoined
+	EventRecovered
+)
+
+// Event is one membership notification.
+type Event struct {
+	Kind EventKind
+	Name string
+	Role Role
+}
+
+// lease tracks one member's liveness. Leases are counted in ticks of the
+// service's logical clock; a member that fails to renew within its TTL is
+// declared crashed and every watcher is notified — the paper's "if the
+// lease expires and the node cannot renew its lease, the node is
+// considered to be crashed".
+type lease struct {
+	role     Role
+	ttl      int
+	lastSeen int
+	alive    bool
+}
+
+// KeepAlive is the failure-detection service. The replicated ZooKeeper
+// ensemble of the paper is collapsed into one in-process instance; the
+// protocol seen by members (register, renew, watch) is the same.
+type KeepAlive struct {
+	mu     sync.Mutex
+	now    int
+	leases map[string]*lease
+	subs   []chan Event
+}
+
+// NewKeepAlive creates the service.
+func NewKeepAlive() *KeepAlive {
+	return &KeepAlive{leases: make(map[string]*lease)}
+}
+
+// Register adds a member with a TTL in ticks.
+func (k *KeepAlive) Register(name string, role Role, ttl int) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if ttl <= 0 {
+		return fmt.Errorf("cluster: non-positive ttl %d", ttl)
+	}
+	if l, ok := k.leases[name]; ok && l.alive {
+		return fmt.Errorf("cluster: %q already registered", name)
+	}
+	k.leases[name] = &lease{role: role, ttl: ttl, lastSeen: k.now, alive: true}
+	k.notify(Event{Kind: EventJoined, Name: name, Role: role})
+	return nil
+}
+
+// Renew refreshes a member's lease. Renewing a crashed member revives it
+// (a rebooted front-end re-registering under its old name).
+func (k *KeepAlive) Renew(name string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	l, ok := k.leases[name]
+	if !ok {
+		return fmt.Errorf("cluster: %q not registered", name)
+	}
+	l.lastSeen = k.now
+	if !l.alive {
+		l.alive = true
+		k.notify(Event{Kind: EventRecovered, Name: name, Role: l.role})
+	}
+	return nil
+}
+
+// Tick advances the logical clock and expires overdue leases.
+func (k *KeepAlive) Tick() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.now++
+	for name, l := range k.leases {
+		if l.alive && k.now-l.lastSeen > l.ttl {
+			l.alive = false
+			k.notify(Event{Kind: EventCrashed, Name: name, Role: l.role})
+		}
+	}
+}
+
+// Expire force-expires a member (test hook standing in for elapsed time).
+func (k *KeepAlive) Expire(name string) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	l, ok := k.leases[name]
+	if ok && l.alive {
+		l.alive = false
+		k.notify(Event{Kind: EventCrashed, Name: name, Role: l.role})
+	}
+}
+
+// Alive reports a member's liveness.
+func (k *KeepAlive) Alive(name string) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	l, ok := k.leases[name]
+	return ok && l.alive
+}
+
+// Watch subscribes to membership events; the channel is buffered and
+// never closed.
+func (k *KeepAlive) Watch() <-chan Event {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	ch := make(chan Event, 64)
+	k.subs = append(k.subs, ch)
+	return ch
+}
+
+// notify must run with the mutex held; drops events on full subscribers
+// rather than blocking the service.
+func (k *KeepAlive) notify(e Event) {
+	for _, ch := range k.subs {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+}
+
+// AliveCount reports how many members of a role hold live leases.
+func (k *KeepAlive) AliveCount(role Role) int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	n := 0
+	for _, l := range k.leases {
+		if l.alive && l.role == role {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,225 @@
+// Package core implements the AsymNVM front-end framework — the paper's
+// primary contribution. A front-end node mounts remote back-ends over the
+// RDMA fabric and gives data-structure implementations the underlying API
+// of Table 1: rnvm_read/rnvm_write, rnvm_mem_log/rnvm_op_log/rnvm_tx_write,
+// rnvm_malloc/rnvm_free, and the writer/reader locks — together with the
+// DRAM cache, memory-log batching, the Gather–Apply write path, and the
+// crash-recovery client side of §7.2.
+package core
+
+import (
+	"container/list"
+	"math/rand"
+
+	"asymnvm/internal/stats"
+)
+
+// Policy selects the cache replacement strategy of §4.4.
+type Policy int
+
+// Replacement policies. PolicyHybrid is the paper's choice: pick a random
+// candidate set, evict the least recently used member — LRU-quality hit
+// ratios at random-replacement cost.
+const (
+	PolicyHybrid Policy = iota
+	PolicyLRU
+	PolicyRR
+)
+
+// HybridSetSize is the random candidate-set size (32 in §4.4).
+const HybridSetSize = 32
+
+type cacheEntry struct {
+	addr  uint64
+	data  []byte
+	tag   uint32 // owning structure (for per-structure invalidation)
+	epoch uint64 // seqlock SN the bytes were read under; ^0 = always valid
+	use   uint64 // logical use counter for hybrid sampling
+	elem  *list.Element
+	slot  int // index in the sampling slice
+}
+
+// EpochAlways marks entries that never go stale (immutable nodes of
+// multi-version structures, and the single writer's own write-through
+// entries).
+const EpochAlways = ^uint64(0)
+
+// Cache is the front-end DRAM object cache. Entries are whole structure
+// nodes ("pages" whose size is set per structure, §4.4), keyed by global
+// NVM address. Owned by a single front-end actor; not safe for concurrent
+// use.
+type Cache struct {
+	capacity int64
+	used     int64
+	policy   Policy
+	entries  map[uint64]*cacheEntry
+	lru      *list.List // front = most recent
+	sample   []*cacheEntry
+	tick     uint64
+	rng      *rand.Rand
+	st       *stats.Stats
+}
+
+// NewCache builds a cache holding at most capacity bytes of node data.
+func NewCache(capacity int64, policy Policy, st *stats.Stats) *Cache {
+	if st == nil {
+		st = &stats.Stats{}
+	}
+	return &Cache{
+		capacity: capacity,
+		policy:   policy,
+		entries:  make(map[uint64]*cacheEntry),
+		lru:      list.New(),
+		rng:      rand.New(rand.NewSource(0x5eed)),
+		st:       st,
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Used reports the cached bytes.
+func (c *Cache) Used() int64 { return c.used }
+
+// Get returns the cached bytes for addr when present and valid at epoch.
+// Entries tagged EpochAlways match any epoch. The returned slice is the
+// cache's own copy; callers must not retain it across mutations. A miss
+// is counted only when countMiss is set — reads the caller deliberately
+// routes around the cache (cold tree levels, §8.3) are direct remote
+// reads, not cache misses.
+func (c *Cache) Get(addr uint64, epoch uint64, countMiss bool) ([]byte, bool) {
+	e, ok := c.entries[addr]
+	if !ok {
+		if countMiss {
+			c.st.CacheMiss.Add(1)
+		}
+		return nil, false
+	}
+	if e.epoch != EpochAlways && e.epoch != epoch {
+		// Stale under the seqlock: drop so the refill replaces it.
+		c.remove(e)
+		if countMiss {
+			c.st.CacheMiss.Add(1)
+		}
+		return nil, false
+	}
+	c.touch(e)
+	c.st.CacheHit.Add(1)
+	return e.data, true
+}
+
+// Contains reports presence without counting a hit or miss.
+func (c *Cache) Contains(addr uint64) bool {
+	_, ok := c.entries[addr]
+	return ok
+}
+
+// Put inserts (or replaces) the bytes for addr.
+func (c *Cache) Put(addr uint64, data []byte, tag uint32, epoch uint64) {
+	if int64(len(data)) > c.capacity {
+		return // larger than the whole cache: bypass
+	}
+	if e, ok := c.entries[addr]; ok {
+		c.used += int64(len(data)) - int64(len(e.data))
+		e.data = append(e.data[:0], data...)
+		e.tag = tag
+		e.epoch = epoch
+		c.touch(e)
+	} else {
+		e := &cacheEntry{addr: addr, data: append([]byte(nil), data...), tag: tag, epoch: epoch}
+		e.elem = c.lru.PushFront(e)
+		e.slot = len(c.sample)
+		c.sample = append(c.sample, e)
+		c.entries[addr] = e
+		c.used += int64(len(data))
+		c.touch(e)
+	}
+	for c.used > c.capacity {
+		c.evictOne()
+	}
+}
+
+// Update applies an in-place sub-range modification to a cached entry if
+// present (the write-through of Figure 4's step 4). It reports whether the
+// entry existed.
+func (c *Cache) Update(addr uint64, off int, data []byte) bool {
+	e, ok := c.entries[addr]
+	if !ok {
+		return false
+	}
+	if off < 0 || off+len(data) > len(e.data) {
+		// Partial overlap with a differently-sized entry: drop it.
+		c.remove(e)
+		return false
+	}
+	copy(e.data[off:], data)
+	return true
+}
+
+// Invalidate drops the entry for addr if present.
+func (c *Cache) Invalidate(addr uint64) {
+	if e, ok := c.entries[addr]; ok {
+		c.remove(e)
+	}
+}
+
+// InvalidateTag drops every entry owned by one structure.
+func (c *Cache) InvalidateTag(tag uint32) {
+	for _, e := range c.entries {
+		if e.tag == tag {
+			c.remove(e)
+		}
+	}
+}
+
+// Clear empties the cache (used when a back-end failure aborts the
+// in-flight transaction, §4.3).
+func (c *Cache) Clear() {
+	c.entries = make(map[uint64]*cacheEntry)
+	c.lru.Init()
+	c.sample = c.sample[:0]
+	c.used = 0
+}
+
+func (c *Cache) touch(e *cacheEntry) {
+	c.tick++
+	e.use = c.tick
+	c.lru.MoveToFront(e.elem)
+}
+
+func (c *Cache) remove(e *cacheEntry) {
+	delete(c.entries, e.addr)
+	c.lru.Remove(e.elem)
+	last := len(c.sample) - 1
+	c.sample[e.slot] = c.sample[last]
+	c.sample[e.slot].slot = e.slot
+	c.sample = c.sample[:last]
+	c.used -= int64(len(e.data))
+}
+
+// evictOne removes one victim according to the policy.
+func (c *Cache) evictOne() {
+	if len(c.sample) == 0 {
+		return
+	}
+	var victim *cacheEntry
+	switch c.policy {
+	case PolicyLRU:
+		victim = c.lru.Back().Value.(*cacheEntry)
+	case PolicyRR:
+		victim = c.sample[c.rng.Intn(len(c.sample))]
+	default: // PolicyHybrid: random set, then least-recently-used member
+		k := HybridSetSize
+		if k > len(c.sample) {
+			k = len(c.sample)
+		}
+		for i := 0; i < k; i++ {
+			cand := c.sample[c.rng.Intn(len(c.sample))]
+			if victim == nil || cand.use < victim.use {
+				victim = cand
+			}
+		}
+	}
+	c.remove(victim)
+	c.st.CacheEvict.Add(1)
+}

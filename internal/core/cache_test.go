@@ -1,0 +1,160 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"asymnvm/internal/stats"
+)
+
+func newCache(capacity int64, p Policy) (*Cache, *stats.Stats) {
+	st := &stats.Stats{}
+	return NewCache(capacity, p, st), st
+}
+
+func TestCachePutGet(t *testing.T) {
+	c, st := newCache(1<<20, PolicyHybrid)
+	c.Put(100, []byte("hello"), 1, EpochAlways)
+	got, ok := c.Get(100, 0, true)
+	if !ok || !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("get: %q %v", got, ok)
+	}
+	if _, ok := c.Get(200, 0, true); ok {
+		t.Fatal("absent key hit")
+	}
+	s := st.Snapshot()
+	if s.CacheHit != 1 || s.CacheMiss != 1 {
+		t.Fatalf("counters: %+v", s)
+	}
+}
+
+func TestCacheUncountedMiss(t *testing.T) {
+	c, st := newCache(1<<20, PolicyHybrid)
+	if _, ok := c.Get(1, 0, false); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if st.Snapshot().CacheMiss != 0 {
+		t.Fatal("direct-read miss must not count")
+	}
+}
+
+func TestCacheEpochInvalidation(t *testing.T) {
+	c, _ := newCache(1<<20, PolicyHybrid)
+	c.Put(5, []byte("v1"), 0, 10)
+	if _, ok := c.Get(5, 10, true); !ok {
+		t.Fatal("same-epoch entry must hit")
+	}
+	// A different seqlock epoch invalidates the entry.
+	if _, ok := c.Get(5, 12, true); ok {
+		t.Fatal("stale-epoch entry must miss")
+	}
+	if c.Contains(5) {
+		t.Fatal("stale entry must be dropped")
+	}
+	// EpochAlways entries survive any epoch.
+	c.Put(6, []byte("v2"), 0, EpochAlways)
+	if _, ok := c.Get(6, 999, true); !ok {
+		t.Fatal("EpochAlways entry must hit")
+	}
+}
+
+func TestCacheUpdateWriteThrough(t *testing.T) {
+	c, _ := newCache(1<<20, PolicyHybrid)
+	c.Put(7, []byte("aaaa"), 0, EpochAlways)
+	if !c.Update(7, 1, []byte("XY")) {
+		t.Fatal("update of present entry failed")
+	}
+	got, _ := c.Get(7, 0, true)
+	if string(got) != "aXYa" {
+		t.Fatalf("write-through got %q", got)
+	}
+	if c.Update(99, 0, []byte("z")) {
+		t.Fatal("update of absent entry must report false")
+	}
+	// Out-of-range update drops the entry rather than corrupting it.
+	if c.Update(7, 3, []byte("toolong")) {
+		t.Fatal("out-of-range update must fail")
+	}
+	if c.Contains(7) {
+		t.Fatal("mismatched entry must be dropped")
+	}
+}
+
+func TestCacheCapacityEviction(t *testing.T) {
+	c, st := newCache(1024, PolicyLRU)
+	for i := uint64(0); i < 32; i++ {
+		c.Put(i, make([]byte, 64), 0, EpochAlways) // 2 KiB total demand
+	}
+	if c.Used() > 1024 {
+		t.Fatalf("cache overfull: %d", c.Used())
+	}
+	if st.Snapshot().CacheEvict == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	// LRU: the most recent entries survive.
+	if _, ok := c.Get(31, 0, true); !ok {
+		t.Fatal("most recent entry evicted under LRU")
+	}
+	if _, ok := c.Get(0, 0, true); ok {
+		t.Fatal("oldest entry survived under LRU")
+	}
+}
+
+func TestCacheOversizeBypass(t *testing.T) {
+	c, _ := newCache(128, PolicyHybrid)
+	c.Put(1, make([]byte, 256), 0, EpochAlways)
+	if c.Len() != 0 {
+		t.Fatal("oversize entry must bypass the cache")
+	}
+}
+
+func TestCacheInvalidateTagAndClear(t *testing.T) {
+	c, _ := newCache(1<<20, PolicyHybrid)
+	c.Put(1, []byte("a"), 7, EpochAlways)
+	c.Put(2, []byte("b"), 7, EpochAlways)
+	c.Put(3, []byte("c"), 8, EpochAlways)
+	c.InvalidateTag(7)
+	if c.Contains(1) || c.Contains(2) || !c.Contains(3) {
+		t.Fatal("tag invalidation wrong")
+	}
+	c.Clear()
+	if c.Len() != 0 || c.Used() != 0 {
+		t.Fatal("clear left state")
+	}
+}
+
+func TestCacheHybridKeepsHotEntries(t *testing.T) {
+	c, _ := newCache(64*100, PolicyHybrid) // room for 100 entries
+	// 20 hot keys touched constantly, 2000 cold keys streaming through.
+	for round := 0; round < 50; round++ {
+		for k := uint64(0); k < 20; k++ {
+			if _, ok := c.Get(k, 0, true); !ok {
+				c.Put(k, make([]byte, 64), 0, EpochAlways)
+			}
+		}
+		for k := uint64(1000 + 40*round); k < uint64(1000+40*round+40); k++ {
+			if _, ok := c.Get(k, 0, true); !ok {
+				c.Put(k, make([]byte, 64), 0, EpochAlways)
+			}
+		}
+	}
+	hot := 0
+	for k := uint64(0); k < 20; k++ {
+		if c.Contains(k) {
+			hot++
+		}
+	}
+	if hot < 15 {
+		t.Fatalf("hybrid policy retained only %d/20 hot entries", hot)
+	}
+}
+
+func TestCacheReplacePolicyRandomStillBounded(t *testing.T) {
+	c, _ := newCache(64*10, PolicyRR)
+	for i := uint64(0); i < 1000; i++ {
+		c.Put(i, make([]byte, 64), 0, EpochAlways)
+	}
+	if c.Len() > 10 {
+		t.Fatalf("RR cache overfull: %d entries", c.Len())
+	}
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"asymnvm/internal/alloc"
+	"asymnvm/internal/backend"
+	"asymnvm/internal/clock"
+	"asymnvm/internal/rdma"
+	"asymnvm/internal/stats"
+)
+
+// ErrBackendDown is returned when the fabric reports the back-end gone.
+var ErrBackendDown = errors.New("core: back-end unreachable")
+
+// Mode is the optimization ladder of the evaluation (Table 3):
+// the naive configuration turns everything off; R enables the op-log
+// write path with decoupled replay; C enables the DRAM cache; B>1
+// enables batching of memory logs (and group commit of op logs).
+type Mode struct {
+	// OpLog enables the operation-log write path (R). When false, writes
+	// go directly in place over RDMA with no crash consistency — the
+	// paper's naive baseline.
+	OpLog bool
+	// CacheBytes > 0 enables the DRAM cache (C) with that capacity.
+	CacheBytes int64
+	// Batch is the number of operations whose memory logs are coalesced
+	// into one rnvm_tx_write (B). 1 disables batching.
+	Batch int
+	// Policy selects the cache replacement policy (hybrid by default).
+	Policy Policy
+}
+
+// ModeNaive is the unoptimized baseline.
+func ModeNaive() Mode { return Mode{} }
+
+// ModeR enables log reproducing only.
+func ModeR() Mode { return Mode{OpLog: true, Batch: 1} }
+
+// ModeRC adds a cache of the given size.
+func ModeRC(cacheBytes int64) Mode { return Mode{OpLog: true, Batch: 1, CacheBytes: cacheBytes} }
+
+// ModeRCB adds batching.
+func ModeRCB(cacheBytes int64, batch int) Mode {
+	return Mode{OpLog: true, Batch: batch, CacheBytes: cacheBytes}
+}
+
+// Frontend is one front-end node: a client machine with no NVM of its own
+// that operates persistent structures living on remote back-ends.
+type Frontend struct {
+	id    uint16
+	clk   clock.Clock
+	st    *stats.Stats
+	prof  clock.Profile
+	cache *Cache
+	mode  Mode
+	conns map[uint16]*Conn
+	rng   uint64 // xorshift state for skiplist levels etc.
+}
+
+// FrontendOptions configures a front-end node.
+type FrontendOptions struct {
+	ID      uint16
+	Mode    Mode
+	Clock   clock.Clock
+	Stats   *stats.Stats
+	Profile *clock.Profile
+}
+
+// NewFrontend creates a front-end node.
+func NewFrontend(opts FrontendOptions) *Frontend {
+	if opts.Clock == nil {
+		opts.Clock = clock.NewVirtual()
+	}
+	if opts.Stats == nil {
+		opts.Stats = &stats.Stats{}
+	}
+	if opts.Profile == nil {
+		p := clock.DefaultProfile()
+		opts.Profile = &p
+	}
+	fe := &Frontend{
+		id:    opts.ID,
+		clk:   opts.Clock,
+		st:    opts.Stats,
+		prof:  *opts.Profile,
+		mode:  opts.Mode,
+		conns: make(map[uint16]*Conn),
+		rng:   uint64(opts.ID)*0x9E3779B97F4A7C15 + 0x1234567,
+	}
+	if opts.Mode.CacheBytes > 0 {
+		fe.cache = NewCache(opts.Mode.CacheBytes, opts.Mode.Policy, opts.Stats)
+	}
+	return fe
+}
+
+// ID returns the front-end node id (also its RPC slot on each back-end
+// and its writer-lock owner id).
+func (fe *Frontend) ID() uint16 { return fe.id }
+
+// Clock returns the node's virtual clock.
+func (fe *Frontend) Clock() clock.Clock { return fe.clk }
+
+// Stats returns the node's counters.
+func (fe *Frontend) Stats() *stats.Stats { return fe.st }
+
+// Mode returns the optimization configuration.
+func (fe *Frontend) Mode() Mode { return fe.mode }
+
+// Cache returns the DRAM cache, or nil when caching is off.
+func (fe *Frontend) Cache() *Cache { return fe.cache }
+
+// Profile returns the latency model.
+func (fe *Frontend) Profile() clock.Profile { return fe.prof }
+
+// ChargeOp charges the fixed per-operation CPU cost.
+func (fe *Frontend) ChargeOp() {
+	fe.clk.Advance(fe.prof.CPUOp)
+	fe.st.AddBusy(fe.prof.CPUOp)
+}
+
+// Rand returns a fast pseudo-random 64-bit value (xorshift*; front-end
+// local, deterministic per node id).
+func (fe *Frontend) Rand() uint64 {
+	fe.rng ^= fe.rng >> 12
+	fe.rng ^= fe.rng << 25
+	fe.rng ^= fe.rng >> 27
+	return fe.rng * 0x2545F4914F6CDD1D
+}
+
+// Conn is this front-end's connection to one back-end: the RDMA endpoint,
+// the decoded layout, the RPC client and the two-tier allocator.
+type Conn struct {
+	fe        *Frontend
+	backendID uint16
+	ep        *rdma.Endpoint
+	layout    backend.Layout
+	kick      func()
+	rpcSeq    uint64
+	slab      *alloc.TwoTier
+	epoch     uint64 // back-end incarnation observed at connect
+}
+
+// Connect mounts a back-end. kick wakes the back-end service loop — it
+// models the RDMA completion event, carries no data, and is the only
+// non-NVM channel between the nodes.
+func (fe *Frontend) Connect(bk *backend.Backend) (*Conn, error) {
+	ep := rdma.Connect(bk.Target(), fe.clk, fe.st, fe.prof)
+	hdr := make([]byte, backend.HeaderSize)
+	if err := ep.Read(0, hdr); err != nil {
+		return nil, err
+	}
+	layout, err := backend.DecodeLayout(hdr)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(fe.id) >= layout.RPCSlots {
+		return nil, fmt.Errorf("core: front-end id %d exceeds the back-end's %d connection slots", fe.id, layout.RPCSlots)
+	}
+	c := &Conn{
+		fe:        fe,
+		backendID: bk.ID(),
+		ep:        ep,
+		layout:    layout,
+		kick:      bk.Kick,
+	}
+	// Resume the RPC sequence from the response cell (idempotent across
+	// front-end restarts).
+	cell := make([]byte, 64)
+	if err := ep.Read(layout.RPCRespOff(fe.id), cell); err != nil {
+		return nil, err
+	}
+	if resp, ok := backend.DecodeRPCResponse(cell); ok {
+		c.rpcSeq = resp.Seq
+	}
+	c.epoch, err = ep.Load64(backend.EpochOff)
+	if err != nil {
+		return nil, err
+	}
+	c.slab = alloc.NewTwoTier((*slabRPC)(c), int(layout.BlockSize))
+	fe.conns[bk.ID()] = c
+	return c, nil
+}
+
+// BackendID reports the remote node id.
+func (c *Conn) BackendID() uint16 { return c.backendID }
+
+// Layout returns the remote device layout.
+func (c *Conn) Layout() backend.Layout { return c.layout }
+
+// Endpoint exposes the raw verb interface (used by tests and recovery).
+func (c *Conn) Endpoint() *rdma.Endpoint { return c.ep }
+
+// Kick wakes the remote service loop.
+func (c *Conn) Kick() { c.kick() }
+
+// Frontend returns the owning node.
+func (c *Conn) Frontend() *Frontend { return c.fe }
+
+// rpc performs one ring RPC: write the request cell, kick, poll the
+// response cell. Two round trips in the common case, exactly the RFP
+// pattern of §5.1.
+func (c *Conn) rpc(op, a1, a2 uint64) (backend.RPCResponse, error) {
+	c.rpcSeq++
+	req := backend.EncodeRPCRequest(backend.RPCRequest{Seq: c.rpcSeq, Op: op, A1: a1, A2: a2})
+	if err := c.ep.Write(c.layout.RPCReqOff(c.fe.id), req); err != nil {
+		return backend.RPCResponse{}, err
+	}
+	c.kick()
+	cell := make([]byte, 64)
+	for i := 0; ; i++ {
+		var err error
+		if i == 0 {
+			// The response fetch costs one round trip; repeat polls are
+			// quiet (see rdma.ReadQuiet).
+			err = c.ep.Read(c.layout.RPCRespOff(c.fe.id), cell)
+		} else {
+			err = c.ep.ReadQuiet(c.layout.RPCRespOff(c.fe.id), cell)
+		}
+		if err != nil {
+			return backend.RPCResponse{}, err
+		}
+		if resp, ok := backend.DecodeRPCResponse(cell); ok && resp.Seq == c.rpcSeq {
+			return resp, nil
+		}
+		if i > 1<<22 {
+			return backend.RPCResponse{}, fmt.Errorf("core: RPC seq %d: no response", c.rpcSeq)
+		}
+		runtime.Gosched()
+	}
+}
+
+// Malloc allocates raw back-end blocks (rnvm_malloc through the ring).
+func (c *Conn) Malloc(size uint64) (uint64, error) {
+	resp, err := c.rpc(backend.RPCMalloc, size, 0)
+	if err != nil {
+		return 0, err
+	}
+	if resp.Status != backend.RPCOK {
+		return 0, fmt.Errorf("core: malloc(%d) failed with status %d", size, resp.Status)
+	}
+	return resp.Result, nil
+}
+
+// Free releases raw back-end blocks (rnvm_free).
+func (c *Conn) Free(addr, size uint64) error {
+	resp, err := c.rpc(backend.RPCFree, addr, size)
+	if err != nil {
+		return err
+	}
+	if resp.Status != backend.RPCOK {
+		return fmt.Errorf("core: free(%#x,%d) failed with status %d", addr, size, resp.Status)
+	}
+	return nil
+}
+
+// Alloc allocates size bytes through the two-tier allocator: sub-slab
+// requests are served from front-end slab lists, large ones go straight
+// to the back-end (§5.2).
+func (c *Conn) Alloc(size int) (uint64, error) {
+	c.fe.st.Allocs.Add(1)
+	return c.slab.Alloc(size)
+}
+
+// Release frees an allocation made with Alloc.
+func (c *Conn) Release(addr uint64, size int) error {
+	c.fe.st.Frees.Add(1)
+	return c.slab.Free(addr, size)
+}
+
+// slabRPC adapts the ring RPC to the allocator's SlabSource.
+type slabRPC Conn
+
+func (s *slabRPC) AllocSlab(n int) (uint64, error) { return (*Conn)(s).Malloc(uint64(n)) }
+func (s *slabRPC) FreeSlab(addr uint64, n int) error {
+	return (*Conn)(s).Free(addr, uint64(n))
+}
+
+// ReadEpoch re-reads the back-end incarnation counter; a change means the
+// back-end restarted since connect (Case 3 of §7.2).
+func (c *Conn) ReadEpoch() (uint64, error) { return c.ep.Load64(backend.EpochOff) }

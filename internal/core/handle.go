@@ -1,0 +1,714 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"asymnvm/internal/backend"
+	"asymnvm/internal/logrec"
+	"asymnvm/internal/rdma"
+)
+
+// Write-path tuning knobs.
+const (
+	// hintEvery spaces out the advisory tail-hint persists (§5.1 metadata),
+	// keeping them off the per-operation path.
+	hintEvery = 16
+	// pruneMarks bounds the number of un-pruned flush marks before the
+	// overlay consults the back-end LPN.
+	pruneMarks = 48
+	// gcDelayFlushes and gcMinAge together form the lazy-reclamation
+	// delay of §6.2 (the paper waits n+l µs and requires every pending
+	// reader operation to finish within n µs). The flush-count part ties
+	// reclamation to write progress; the host-time floor covers readers
+	// whose goroutines the host descheduled mid-traversal — the
+	// simulator's equivalent of the paper's timing assumption.
+	gcDelayFlushes = 8
+	gcMinAge       = 200 * time.Millisecond
+	// pollLimit bounds remote polling loops so a wedged back-end surfaces
+	// as an error instead of a hang.
+	pollLimit = 1 << 22
+)
+
+// ErrNotWriter is returned when a read-only handle performs a write.
+var ErrNotWriter = errors.New("core: handle is not in writer mode")
+
+// ErrUnitMismatch reports a read whose length differs from the unit the
+// writer previously logged at that address. Data-structure code must read
+// and write at matching unit granularity (a whole node, or a standalone
+// word) — this is what keeps the overlay, the cache and replay coherent.
+var ErrUnitMismatch = errors.New("core: read length does not match written unit")
+
+// ovEntry is one overlay unit: the writer's freshest bytes for an address
+// whose memory logs have not been confirmed replayed yet.
+type ovEntry struct {
+	data []byte
+	refs int // flush marks (plus the pending tx) still referencing it
+}
+
+// flushMark remembers which overlay units one flushed transaction wrote,
+// and the memory-log offset its replay completion is visible at.
+type flushMark struct {
+	endAbs uint64
+	addrs  []uint64
+}
+
+// gcItem is a lazily reclaimed old-version allocation (§6.2).
+type gcItem struct {
+	addr   uint64
+	size   int
+	after  int // flushCnt after which release is safe
+	bornAt time.Time
+}
+
+// Handle is a front-end's session with one persistent data structure: the
+// rnvm_* API of Table 1 bound to a naming-table slot.
+type Handle struct {
+	c    *Conn
+	slot uint16
+	typ  uint8
+	tag  uint32
+	mv   bool // multi-version: immutable nodes, no seqlock needed
+
+	auxAddr uint64 // global address of the aux block
+	memArea logrec.Area
+	opArea  logrec.Area
+
+	// Writer-side state (valid when writer is true).
+	writer       bool
+	lockHeld     bool
+	memTail      uint64
+	opTail       uint64
+	lpnKnown     uint64
+	opnKnown     uint64
+	pending      []logrec.MemEntry
+	pendingAddrs []uint64
+	coveredOp    uint64
+	opsInTx      int
+	opBuf        []byte
+	opBufAbs     uint64
+	opBufCnt     int
+	overlay      map[uint64]*ovEntry
+	ovSeq        uint64
+	marks        []flushMark
+	gcList       []gcItem
+	flushCnt     int
+	inFlush      bool
+
+	// opGroupCommit defers op-log flushes to the batch boundary. Off by
+	// default: §4.3's write durability point is the op-log persist, so
+	// each operation flushes its op record immediately (Figure 2, line
+	// 15). Stack and queue enable it — their §8.1 annihilation keeps
+	// "un-executed operation logs in the front-end memory", trading a
+	// bounded durability window for group commit.
+	opGroupCommit bool
+
+	// Reader-side state.
+	curSN uint64
+}
+
+// SetOpGroupCommit enables op-log group commit (stack/queue, §8.1).
+func (h *Handle) SetOpGroupCommit(on bool) { h.opGroupCommit = on }
+
+// Slot returns the naming-table slot.
+func (h *Handle) Slot() uint16 { return h.slot }
+
+// Type returns the structure's type tag.
+func (h *Handle) Type() uint8 { return h.typ }
+
+// Conn returns the underlying connection.
+func (h *Handle) Conn() *Conn { return h.c }
+
+// IsWriter reports whether this handle owns the write path.
+func (h *Handle) IsWriter() bool { return h.writer }
+
+// MultiVersion marks the handle as operating a multi-version structure:
+// node bytes are immutable, so cached entries never go stale and readers
+// skip the seqlock.
+func (h *Handle) MultiVersion(on bool) { h.mv = on }
+
+// AuxAddr returns the global address of the structure's aux block; bytes
+// at AuxAddr()+backend.AuxUser.. are the structure's private metadata.
+func (h *Handle) AuxAddr() uint64 { return h.auxAddr }
+
+// RootAddr returns the global address of the root pointer slot.
+func (h *Handle) RootAddr() uint64 {
+	return backend.GlobalAddr(h.c.backendID, h.c.layout.RootOff(h.slot))
+}
+
+// devOff translates a global address to a device offset on this handle's
+// back-end, rejecting foreign addresses.
+func (h *Handle) devOff(addr uint64) (uint64, error) {
+	if addr == 0 {
+		return 0, errors.New("core: nil NVM address")
+	}
+	if backend.AddrNode(addr) != h.c.backendID {
+		return 0, fmt.Errorf("core: address %#x is not on back-end %d", addr, h.c.backendID)
+	}
+	return backend.AddrOff(addr), nil
+}
+
+// readEpoch is the cache-validity epoch for this handle's role. The
+// single writer's view never goes stale (its overlay is authoritative);
+// readers — including multi-version readers — tag entries with the
+// seqlock SN observed at the start of the operation: when the replayer
+// applies a transaction the SN moves and stale entries fall out, which is
+// what makes node-address reuse by the lazy GC safe for cached copies.
+func (h *Handle) readEpoch() uint64 {
+	if h.writer {
+		return EpochAlways
+	}
+	return h.curSN
+}
+
+// cacheOn reports whether this access may use the DRAM cache.
+func (h *Handle) cacheOn(cacheable bool) bool {
+	return cacheable && h.c.fe.cache != nil
+}
+
+// Read implements rnvm_read: overlay (the writer's unreplayed units),
+// then the DRAM cache, then a one-sided RDMA read — Figure 4's gather
+// path. cacheable selects between swap-in (hot data) and direct remote
+// read (cold data), the structure-specific choice of §4.4/§8: the cache
+// is always consulted (a hit is a hit), but only cacheable reads fill it
+// or count as misses.
+func (h *Handle) Read(addr uint64, n int, cacheable bool) ([]byte, error) {
+	fe := h.c.fe
+	if h.writer && h.overlay != nil {
+		if e, ok := h.overlay[addr]; ok {
+			if len(e.data) != n {
+				return nil, fmt.Errorf("%w: addr %#x unit %d, read %d", ErrUnitMismatch, addr, len(e.data), n)
+			}
+			fe.clk.Advance(fe.prof.DRAMAccess)
+			return append([]byte(nil), e.data...), nil
+		}
+	}
+	if fe.cache != nil {
+		if b, ok := fe.cache.Get(addr, h.readEpoch(), cacheable); ok {
+			fe.clk.Advance(fe.prof.DRAMAccess)
+			out := make([]byte, n)
+			if copy(out, b) != n {
+				// Cached under a different unit size; treat as a miss.
+				fe.cache.Invalidate(addr)
+			} else {
+				return out, nil
+			}
+		}
+	}
+	off, err := h.devOff(addr)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	if err := h.c.ep.Read(off, buf); err != nil {
+		return nil, err
+	}
+	if h.cacheOn(cacheable) {
+		fe.cache.Put(addr, buf, h.tag, h.readEpoch())
+	}
+	return buf, nil
+}
+
+// CachePut force-inserts bytes into the DRAM cache under the handle's
+// current epoch (structures that decide cacheability only after reading a
+// node, like the skiplist's level bias).
+func (h *Handle) CachePut(addr uint64, data []byte) {
+	if h.c.fe.cache != nil {
+		h.c.fe.cache.Put(addr, data, h.tag, h.readEpoch())
+	}
+}
+
+// ReadUncached is a direct remote read that bypasses cache and overlay
+// (multi-version root loads, recovery scans).
+func (h *Handle) ReadUncached(addr uint64, n int) ([]byte, error) {
+	off, err := h.devOff(addr)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	if err := h.c.ep.Read(off, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Write implements rnvm_write at unit granularity. In the optimized modes
+// it appends a memory log entry (rnvm_mem_log) to the front-end buffer,
+// patches the overlay and writes through to the cache; in the naive
+// baseline it writes the unit in place over RDMA.
+func (h *Handle) Write(addr uint64, data []byte) error {
+	return h.write(addr, data, 0, 0, false)
+}
+
+// WriteFromOp is Write for bytes that literally appear in a previously
+// appended operation log record: the memory log entry carries a pointer
+// {opAbs, srcOff} instead of the value (Figure 3's Flag), shrinking the
+// flushed log (§4.3).
+func (h *Handle) WriteFromOp(addr uint64, data []byte, opAbs uint64, srcOff uint32) error {
+	return h.write(addr, data, opAbs, srcOff, true)
+}
+
+func (h *Handle) write(addr uint64, data []byte, opAbs uint64, srcOff uint32, fromOp bool) error {
+	if !h.writer {
+		return ErrNotWriter
+	}
+	fe := h.c.fe
+	if !fe.mode.OpLog {
+		// Naive baseline: a separate in-place RDMA write per unit.
+		off, err := h.devOff(addr)
+		if err != nil {
+			return err
+		}
+		return h.c.ep.Write(off, data)
+	}
+	e := logrec.MemEntry{Addr: addr, Len: uint32(len(data))}
+	if fromOp && fe.mode.Batch > 1 {
+		// The pointer form only pays off when the op log is group
+		// committed ahead of the memory logs.
+		e.Flag = logrec.FlagOpRef
+		e.OpAbs = opAbs
+		e.SrcOff = srcOff
+	} else {
+		e.Flag = logrec.FlagInline
+		e.Value = append([]byte(nil), data...)
+	}
+	h.pending = append(h.pending, e)
+	h.pendingAddrs = append(h.pendingAddrs, addr)
+	fe.st.MemLogs.Add(1)
+
+	// Overlay: authoritative until the replayer confirms application.
+	if h.overlay == nil {
+		h.overlay = make(map[uint64]*ovEntry)
+	}
+	if oe, ok := h.overlay[addr]; ok {
+		oe.data = append(oe.data[:0], data...)
+		oe.refs++
+	} else {
+		h.overlay[addr] = &ovEntry{data: append([]byte(nil), data...), refs: 1}
+	}
+	// Write-through to the cache (Figure 4, step 4).
+	if fe.cache != nil {
+		fe.cache.Update(addr, 0, data)
+	}
+	return nil
+}
+
+// OpLog implements rnvm_op_log: it persists {opType, params} for this
+// structure and returns the record's absolute op-log offset, which
+// WriteFromOp entries may reference. With batching the record joins a
+// group commit flushed together with the next rnvm_tx_write; without, it
+// is a single immediate RDMA write — the write's durability point.
+func (h *Handle) OpLog(opType uint8, params []byte) (uint64, error) {
+	if !h.writer {
+		return 0, ErrNotWriter
+	}
+	fe := h.c.fe
+	if !fe.mode.OpLog {
+		return 0, nil
+	}
+	rec := logrec.OpRecord{DSSlot: h.slot, OpType: opType, Abs: h.opTail, Params: params}
+	wire := rec.Encode()
+	if h.opBufCnt == 0 {
+		h.opBufAbs = h.opTail
+	}
+	h.opBuf = append(h.opBuf, wire...)
+	h.opBufCnt++
+	h.opTail += uint64(len(wire))
+	fe.st.OpLogs.Add(1)
+	if fe.mode.Batch <= 1 || !h.opGroupCommit {
+		if err := h.flushOps(); err != nil {
+			return 0, err
+		}
+	}
+	return rec.Abs, nil
+}
+
+// EndOp marks the end of one data-structure operation: every memory log
+// of the op is buffered, so the operation log up to here is covered by
+// the pending transaction. When the batch quota is reached the buffers
+// flush (§4.3's batching).
+func (h *Handle) EndOp() error {
+	if !h.writer || !h.c.fe.mode.OpLog {
+		return nil
+	}
+	h.coveredOp = h.opTail
+	h.opsInTx++
+	if h.opsInTx >= h.c.fe.mode.Batch {
+		return h.Flush()
+	}
+	return nil
+}
+
+// Flush forces the op-log group commit and the pending rnvm_tx_write out.
+func (h *Handle) Flush() error {
+	if !h.writer || !h.c.fe.mode.OpLog {
+		return nil
+	}
+	if err := h.flushOps(); err != nil {
+		return err
+	}
+	return h.txWrite()
+}
+
+// flushOps writes the buffered op records to the op-log area in one
+// doorbell (§4.3: persisting an operation log is a single RDMA write).
+func (h *Handle) flushOps() error {
+	if h.opBufCnt == 0 {
+		return nil
+	}
+	if err := h.waitOpSpace(); err != nil {
+		return err
+	}
+	ops := h.areaWriteOps(h.opArea, h.opBufAbs, h.opBuf)
+	if err := h.c.ep.WriteV(ops); err != nil {
+		return err
+	}
+	h.opBuf = h.opBuf[:0]
+	h.opBufCnt = 0
+	h.c.kick()
+	return nil
+}
+
+// txWrite implements rnvm_tx_write: the buffered memory logs, a commit
+// flag and a checksum, appended to the memory-log area with one doorbell.
+func (h *Handle) txWrite() error {
+	if len(h.pending) == 0 {
+		return nil
+	}
+	rec := logrec.TxRecord{
+		DSSlot:  h.slot,
+		Abs:     h.memTail,
+		CoverOp: h.coveredOp,
+		Entries: h.pending,
+	}
+	wire := rec.Encode()
+	if err := h.waitMemSpace(len(wire)); err != nil {
+		return err
+	}
+	ops := h.areaWriteOps(h.memArea, h.memTail, wire)
+	if err := h.c.ep.WriteV(ops); err != nil {
+		return err
+	}
+	h.memTail += uint64(len(wire))
+	h.c.fe.st.TxCommits.Add(1)
+	h.marks = append(h.marks, flushMark{endAbs: h.memTail, addrs: h.pendingAddrs})
+	h.pending = nil
+	h.pendingAddrs = nil
+	h.opsInTx = 0
+	h.flushCnt++
+	h.c.kick()
+
+	if len(h.marks) > pruneMarks {
+		if err := h.pruneOverlay(); err != nil {
+			return err
+		}
+	}
+	if h.flushCnt%hintEvery == 0 {
+		h.persistHints()
+	}
+	h.releaseDueGC()
+	return nil
+}
+
+// areaWriteOps splits a logical append across the circular boundary into
+// at most two physically contiguous writes, posted with one doorbell.
+func (h *Handle) areaWriteOps(area logrec.Area, abs uint64, wire []byte) []rdma.WriteOp {
+	var ops []rdma.WriteOp
+	pos := 0
+	for _, r := range area.Split(abs, len(wire)) {
+		ops = append(ops, rdma.WriteOp{Off: r.DevOff, Data: wire[pos : pos+r.Len]})
+		pos += r.Len
+	}
+	return ops
+}
+
+// auxField reads one 8-byte aux-block word remotely.
+func (h *Handle) auxField(fieldOff uint64) (uint64, error) {
+	off, err := h.devOff(h.auxAddr)
+	if err != nil {
+		return 0, err
+	}
+	return h.c.ep.Load64(off + fieldOff)
+}
+
+// auxFieldQuiet refreshes an aux word inside a poll loop without a new
+// virtual-time charge (the episode's first probe was charged).
+func (h *Handle) auxFieldQuiet(fieldOff uint64) (uint64, error) {
+	off, err := h.devOff(h.auxAddr)
+	if err != nil {
+		return 0, err
+	}
+	return h.c.ep.Load64Quiet(off + fieldOff)
+}
+
+// waitMemSpace blocks (kicking the replayer) until the memory-log area
+// has room for n more bytes — the natural back-pressure of the decoupled
+// log design.
+func (h *Handle) waitMemSpace(n int) error {
+	for i := 0; ; i++ {
+		if h.memTail-h.lpnKnown+uint64(n) <= h.memArea.Size {
+			return nil
+		}
+		var lpn uint64
+		var err error
+		if i == 0 {
+			lpn, err = h.auxField(backend.AuxLPNOff)
+		} else {
+			lpn, err = h.auxFieldQuiet(backend.AuxLPNOff)
+		}
+		if err != nil {
+			return err
+		}
+		h.lpnKnown = lpn
+		if h.memTail-h.lpnKnown+uint64(n) <= h.memArea.Size {
+			return nil
+		}
+		if i > pollLimit {
+			return fmt.Errorf("core: memory log area stuck full (tail=%d lpn=%d need=%d)", h.memTail, h.lpnKnown, n)
+		}
+		h.c.kick()
+		runtime.Gosched()
+	}
+}
+
+// waitOpSpace blocks until the op-log area can take the buffered group.
+// Coverage only advances with transaction flushes, so when the area is
+// full the pending memory logs are flushed first.
+func (h *Handle) waitOpSpace() error {
+	n := uint64(len(h.opBuf))
+	for i := 0; ; i++ {
+		if h.opTail-h.opnKnown <= h.opArea.Size-min64(n, h.opArea.Size) {
+			return nil
+		}
+		var opn uint64
+		var err error
+		if i == 0 {
+			opn, err = h.auxField(backend.AuxOPNOff)
+		} else {
+			opn, err = h.auxFieldQuiet(backend.AuxOPNOff)
+		}
+		if err != nil {
+			return err
+		}
+		h.opnKnown = opn
+		if h.opTail-h.opnKnown <= h.opArea.Size-min64(n, h.opArea.Size) {
+			return nil
+		}
+		if !h.inFlush && len(h.pending) > 0 {
+			h.inFlush = true
+			err := h.txWrite()
+			h.inFlush = false
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		if i > pollLimit {
+			return fmt.Errorf("core: op log area stuck full (tail=%d opn=%d)", h.opTail, h.opnKnown)
+		}
+		h.c.kick()
+		runtime.Gosched()
+	}
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// pruneOverlay drops overlay units whose transactions the replayer has
+// confirmed applied (one LPN read amortized over many flushes).
+func (h *Handle) pruneOverlay() error {
+	lpn, err := h.auxField(backend.AuxLPNOff)
+	if err != nil {
+		return err
+	}
+	h.lpnKnown = lpn
+	keep := h.marks[:0]
+	for _, m := range h.marks {
+		if m.endAbs <= lpn {
+			for _, a := range m.addrs {
+				if oe, ok := h.overlay[a]; ok {
+					oe.refs--
+					if oe.refs <= 0 {
+						delete(h.overlay, a)
+					}
+				}
+			}
+		} else {
+			keep = append(keep, m)
+		}
+	}
+	h.marks = keep
+	return nil
+}
+
+// persistHints stores the advisory tail positions so a recovering writer
+// can shorten its log scan (§5.1's metadata; correctness never depends on
+// these, only scan length).
+func (h *Handle) persistHints() {
+	off, err := h.devOff(h.auxAddr)
+	if err != nil {
+		return
+	}
+	_ = h.c.ep.Store64(off+backend.AuxMemTailOff, h.memTail)
+	_ = h.c.ep.Store64(off+backend.AuxOpTailOff, h.opTail)
+}
+
+// DelayedFree schedules an old-version allocation for the lazy garbage
+// collection of §6.2: the space returns to the allocator only after
+// gcDelayFlushes more transaction flushes, long after any reader that
+// could still hold the old root has finished.
+func (h *Handle) DelayedFree(addr uint64, size int) {
+	h.gcList = append(h.gcList, gcItem{addr: addr, size: size, after: h.flushCnt + gcDelayFlushes, bornAt: time.Now()})
+}
+
+func (h *Handle) releaseDueGC() {
+	n := 0
+	now := time.Now()
+	for _, g := range h.gcList {
+		if g.after <= h.flushCnt && now.Sub(g.bornAt) >= gcMinAge {
+			_ = h.c.Release(g.addr, g.size)
+		} else {
+			h.gcList[n] = g
+			n++
+		}
+	}
+	h.gcList = h.gcList[:n]
+}
+
+// Abort is the §4.3 back-end-failure path on the client: the in-flight
+// transaction (buffered memory logs, un-flushed op logs, overlay units it
+// created) is dropped and the DRAM cache is cleared; the caller re-runs
+// its operation against the recovered or promoted back-end. Acknowledged
+// operations are unaffected — they are already durable in NVM.
+func (h *Handle) Abort() {
+	for _, a := range h.pendingAddrs {
+		if oe, ok := h.overlay[a]; ok {
+			oe.refs--
+			if oe.refs <= 0 {
+				delete(h.overlay, a)
+			}
+		}
+	}
+	h.pending = nil
+	h.pendingAddrs = nil
+	if h.opBufCnt > 0 {
+		// Rewind over the never-persisted buffered op records only;
+		// already-flushed records are durable and stay.
+		h.opTail = h.opBufAbs
+	}
+	h.opBuf = h.opBuf[:0]
+	h.opBufCnt = 0
+	h.opsInTx = 0
+	if h.coveredOp > h.opTail {
+		h.coveredOp = h.opTail
+	}
+	if h.c.fe.cache != nil {
+		h.c.fe.cache.Clear()
+	}
+}
+
+// Drain flushes everything and waits until the replayer has applied the
+// full log — the persistent fence of §4.1: reads after it see only
+// persisted, applied state.
+func (h *Handle) Drain() error {
+	if !h.writer || !h.c.fe.mode.OpLog {
+		return nil
+	}
+	if err := h.Flush(); err != nil {
+		return err
+	}
+	for i := 0; ; i++ {
+		var lpn uint64
+		var err error
+		if i == 0 {
+			lpn, err = h.auxField(backend.AuxLPNOff)
+		} else {
+			lpn, err = h.auxFieldQuiet(backend.AuxLPNOff)
+		}
+		if err != nil {
+			return err
+		}
+		h.lpnKnown = lpn
+		if lpn >= h.memTail {
+			// Everything applied; the overlay is no longer needed.
+			h.overlay = make(map[uint64]*ovEntry)
+			h.marks = nil
+			return nil
+		}
+		if i > pollLimit {
+			return fmt.Errorf("core: drain stuck (tail=%d lpn=%d)", h.memTail, lpn)
+		}
+		h.c.kick()
+		runtime.Gosched()
+	}
+}
+
+// Alloc allocates NVM for a node through the two-tier allocator.
+func (h *Handle) Alloc(size int) (uint64, error) { return h.c.Alloc(size) }
+
+// Free releases a node allocation immediately (single-version structures
+// whose readers are excluded by the seqlock).
+func (h *Handle) Free(addr uint64, size int) error { return h.c.Release(addr, size) }
+
+// --- root pointer access ---
+
+// ReadRoot returns the structure's root pointer using the handle's role:
+// the writer reads its own overlay/cache view, lock-based readers go
+// through the epoch-validated cache, and multi-version readers fetch the
+// root *and* the adjacent sequence number with one read — the SN becomes
+// the cache epoch for the traversal, so entries cached before any later
+// applied transaction (including ones whose node addresses the lazy GC
+// reused) cannot be served stale.
+func (h *Handle) ReadRoot() (uint64, error) {
+	if h.mv && !h.writer {
+		// Root (+0) and SN (+16) live side by side in the naming entry;
+		// one 24-byte read returns a consistent pair.
+		off, err := h.devOff(h.RootAddr())
+		if err != nil {
+			return 0, err
+		}
+		buf := make([]byte, 24)
+		if err := h.c.ep.Read(off, buf); err != nil {
+			return 0, err
+		}
+		h.curSN = le64(buf[16:])
+		return le64(buf), nil
+	}
+	b, err := h.Read(h.RootAddr(), 8, true)
+	if err != nil {
+		return 0, err
+	}
+	return le64(b), nil
+}
+
+// WriteRoot updates the root pointer through the log path (or in place,
+// in naive mode), so replay and mirrors both see it.
+func (h *Handle) WriteRoot(v uint64) error {
+	var b [8]byte
+	putLE64(b[:], v)
+	return h.Write(h.RootAddr(), b[:])
+}
+
+func le64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

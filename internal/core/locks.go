@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"asymnvm/internal/backend"
+)
+
+// Concurrency control (§6). Writes are exclusive per structure (SWMR):
+// the writer takes an RDMA-CAS lock whose word sits next to the root
+// reference, journalling every acquire/release in the lock-ahead log so a
+// crashed holder can be identified and the lock broken during recovery
+// (§6.1). Readers of lock-based structures use the retry-based optimistic
+// seqlock of Algorithm 2: the sequence number is incremented twice around
+// every transaction application — by the back-end replayer, which is where
+// modifications actually land.
+
+// WriterLock acquires the structure's exclusive write lock (Algorithm 1),
+// spinning on RDMA_Compare_And_Swap, then journals the acquisition and
+// fetches the LPN as §6.1 prescribes.
+func (h *Handle) WriterLock() error {
+	if !h.writer {
+		return ErrNotWriter
+	}
+	if h.lockHeld {
+		return nil
+	}
+	lockOff := h.c.layout.LockOff(h.slot)
+	me := uint64(h.c.fe.id) + 1
+	for i := 0; ; i++ {
+		_, ok, err := h.c.ep.CompareAndSwap(lockOff, 0, me)
+		if err != nil {
+			return err
+		}
+		if ok {
+			break
+		}
+		if i > pollLimit {
+			return fmt.Errorf("core: writer lock on slot %d stuck", h.slot)
+		}
+		runtime.Gosched()
+	}
+	// Lock-ahead log: written before any memory logs are appended.
+	if err := h.c.ep.Store64(h.c.layout.LockLogOff(h.slot), me<<1|1); err != nil {
+		return err
+	}
+	// Fetch the LPN (§6.1) so flow control starts from fresh state.
+	lpn, err := h.auxField(backend.AuxLPNOff)
+	if err != nil {
+		return err
+	}
+	h.lpnKnown = lpn
+	h.lockHeld = true
+	return nil
+}
+
+// WriterUnlock flushes outstanding logs, journals the release, and resets
+// the lock word with an RDMA write.
+func (h *Handle) WriterUnlock() error {
+	if !h.lockHeld {
+		return nil
+	}
+	if err := h.Flush(); err != nil {
+		return err
+	}
+	me := uint64(h.c.fe.id) + 1
+	if err := h.c.ep.Store64(h.c.layout.LockLogOff(h.slot), me<<1); err != nil {
+		return err
+	}
+	if err := h.c.ep.Store64(h.c.layout.LockOff(h.slot), 0); err != nil {
+		return err
+	}
+	h.lockHeld = false
+	return nil
+}
+
+// BreakLock force-clears a lock held by a crashed front-end (invoked by
+// recovery after the keepAlive service declares the holder dead). It
+// journals the break so the action itself is crash-safe.
+func (h *Handle) BreakLock(deadOwner uint16) error {
+	lockOff := h.c.layout.LockOff(h.slot)
+	dead := uint64(deadOwner) + 1
+	cur, err := h.c.ep.Load64(lockOff)
+	if err != nil {
+		return err
+	}
+	if cur != dead {
+		return nil // not held by the dead node (already released)
+	}
+	if err := h.c.ep.Store64(h.c.layout.LockLogOff(h.slot), dead<<1); err != nil {
+		return err
+	}
+	_, _, err = h.c.ep.CompareAndSwap(lockOff, dead, 0)
+	return err
+}
+
+// ReaderLock begins an optimistic read section (Algorithm 2): it loads
+// the sequence number, waiting out odd values (a transaction is being
+// applied), and records it as the cache-validity epoch for the section.
+func (h *Handle) ReaderLock() error {
+	if h.mv {
+		return nil // multi-version readers are lock-free
+	}
+	snOff := h.c.layout.SNOff(h.slot)
+	for i := 0; ; i++ {
+		sn, err := h.c.ep.Load64(snOff)
+		if err != nil {
+			return err
+		}
+		if sn%2 == 0 {
+			h.curSN = sn
+			return nil
+		}
+		if i > pollLimit {
+			return fmt.Errorf("core: seqlock on slot %d stuck odd", h.slot)
+		}
+		runtime.Gosched()
+	}
+}
+
+// ReaderValidate ends the section: the reads in between form a consistent
+// snapshot iff the sequence number did not move. On false the caller
+// retries the whole operation (stale cache entries fall out automatically
+// because their epoch no longer matches).
+func (h *Handle) ReaderValidate() (bool, error) {
+	if h.mv {
+		return true, nil
+	}
+	sn, err := h.c.ep.Load64(h.c.layout.SNOff(h.slot))
+	if err != nil {
+		return false, err
+	}
+	if sn == h.curSN {
+		return true, nil
+	}
+	h.c.fe.st.ReadRetry.Add(1)
+	return false, nil
+}

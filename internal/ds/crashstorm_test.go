@@ -1,0 +1,164 @@
+package ds
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"asymnvm/internal/backend"
+	"asymnvm/internal/clock"
+	"asymnvm/internal/core"
+	"asymnvm/internal/nvm"
+)
+
+// TestCrashStorm drives a hash table through rounds of operations with a
+// back-end power failure after every round, re-opening the structure each
+// time and checking it still matches an oracle of all drained writes.
+// This is the §7.2 recovery machinery under repeated fire.
+func TestCrashStorm(t *testing.T) {
+	prof := clock.ZeroProfile()
+	dev := nvm.NewDevice(128 << 20)
+	bk, err := backend.New(dev, backend.Options{ID: 0, Profile: &prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk.Start()
+
+	oracle := map[uint64][]byte{}
+	rng := rand.New(rand.NewSource(777))
+	opts := Options{Create: core.CreateOptions{MemLogSize: 1 << 20, OpLogSize: 512 << 10}, Buckets: 256}
+
+	fe := core.NewFrontend(core.FrontendOptions{ID: 1, Mode: core.ModeRCB(1<<20, 8), Profile: &prof})
+	conn, err := fe.Connect(bk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht, err := CreateHashTable(conn, "storm", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 12; round++ {
+		for i := 0; i < 60; i++ {
+			k := uint64(rng.Intn(200)) + 1
+			v := []byte{byte(round), byte(i), byte(k)}
+			if err := ht.Put(k, v); err != nil {
+				t.Fatalf("round %d put: %v", round, err)
+			}
+			oracle[k] = v
+		}
+		// Everything above is drained (acknowledged + applied) before the
+		// power failure, so nothing may be lost.
+		if err := ht.Drain(); err != nil {
+			t.Fatalf("round %d drain: %v", round, err)
+		}
+		if err := ht.Handle().WriterUnlock(); err != nil {
+			t.Fatal(err)
+		}
+
+		bk.Stop()
+		dev.Crash(rand.New(rand.NewSource(int64(round))))
+		bk, err = backend.New(dev, backend.Options{ID: 0, Profile: &prof})
+		if err != nil {
+			t.Fatalf("round %d restart: %v", round, err)
+		}
+		bk.Start()
+
+		fe = core.NewFrontend(core.FrontendOptions{ID: uint16(2 + round%8), Mode: core.ModeRCB(1<<20, 8), Profile: &prof})
+		conn, err = fe.Connect(bk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ht, err = OpenHashTable(conn, "storm", true, opts)
+		if err != nil {
+			t.Fatalf("round %d reopen: %v", round, err)
+		}
+		for k, want := range oracle {
+			got, ok, err := ht.Get(k)
+			if err != nil {
+				t.Fatalf("round %d get %d: %v", round, k, err)
+			}
+			if !ok || !bytes.Equal(got, want) {
+				t.Fatalf("round %d: key %d lost or wrong after crash (ok=%v got=%v want=%v)", round, k, ok, got, want)
+			}
+		}
+	}
+	bk.Stop()
+}
+
+// TestCrashMidBatch crashes with an un-flushed batch in the front-end:
+// un-acknowledged operations may vanish (they were never durable), but
+// the drained prefix must survive and the structure must stay readable.
+func TestCrashMidBatch(t *testing.T) {
+	prof := clock.ZeroProfile()
+	dev := nvm.NewDevice(64 << 20)
+	bk, err := backend.New(dev, backend.Options{ID: 0, Profile: &prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk.Start()
+	opts := Options{Create: core.CreateOptions{MemLogSize: 1 << 20, OpLogSize: 512 << 10}}
+	fe := core.NewFrontend(core.FrontendOptions{ID: 1, Mode: core.ModeRCB(1<<20, 1000), Profile: &prof})
+	conn, err := fe.Connect(bk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := CreateBST(conn, "midbatch", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 50; i++ {
+		_ = bt.Put(i, []byte{byte(i)})
+	}
+	if err := bt.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	// 30 more puts stay in the batch buffer — never flushed.
+	for i := uint64(100); i < 130; i++ {
+		_ = bt.Put(i, []byte{9})
+	}
+	bk.Stop()
+	dev.Crash(nil)
+
+	bk2, err := backend.New(dev, backend.Options{ID: 0, Profile: &prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk2.Start()
+	defer bk2.Stop()
+	fe2 := core.NewFrontend(core.FrontendOptions{ID: 2, Mode: core.ModeR(), Profile: &prof})
+	conn2, err := fe2.Connect(bk2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := conn2.Open("midbatch", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := raw.BreakLock(1); err != nil {
+		t.Fatal(err)
+	}
+	bt2, err := OpenBST(conn2, "midbatch", true, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bt2.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 50; i++ {
+		got, ok, err := bt2.Get(i)
+		if err != nil || !ok || got[0] != byte(i) {
+			t.Fatalf("drained key %d lost: ok=%v err=%v", i, ok, err)
+		}
+	}
+	// Pending op-log records (if their group commit made it out) were
+	// re-executed by OpenBST; either way the tree is consistent. Count
+	// the recovered tail keys for the log.
+	recovered := 0
+	for i := uint64(100); i < 130; i++ {
+		if _, ok, _ := bt2.Get(i); ok {
+			recovered++
+		}
+	}
+	t.Logf("un-flushed batch: %d/30 operations were durable and re-executed", recovered)
+}

@@ -1,0 +1,312 @@
+package ds
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"asymnvm/internal/backend"
+	"asymnvm/internal/core"
+	"asymnvm/internal/logrec"
+)
+
+// HashTable is the chained hash table of §8.2. A fixed bucket array of
+// 8-byte head pointers is allocated at creation (its address and size are
+// persisted in the aux user area); nodes chain off the buckets. Caching
+// is item-granular — bucket words and chain nodes are each their own
+// cacheable unit, so hot keys stay in front-end DRAM. Batching brings no
+// benefit for O(1) structures (per the paper), but works if enabled.
+//
+// Node layout: {next u64, key u64, vlen u32, pad u32, value[cap]}.
+const htHdr = 24
+
+// HashTable is a persistent chained hash map, SWMR like every structure.
+type HashTable struct {
+	h       *core.Handle
+	w       writerSession
+	cap     int
+	buckets uint64
+	arr     uint64 // global address of the bucket array
+	writer  bool
+}
+
+func (t *HashTable) nodeSize() int { return htHdr + t.cap }
+
+// Aux user layout: +0 bucket array address, +8 bucket count.
+
+// CreateHashTable registers a new hash table and allocates its buckets.
+func CreateHashTable(c *core.Conn, name string, opts Options) (*HashTable, error) {
+	opts.fill()
+	h, err := c.Create(name, backend.TypeHashTable, opts.Create)
+	if err != nil {
+		return nil, err
+	}
+	arr, err := c.Calloc(uint64(opts.Buckets) * 8)
+	if err != nil {
+		return nil, err
+	}
+	// Persist the array location in the aux user area through the log
+	// path, so replay — and therefore the mirrors — see it.
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], arr)
+	binary.LittleEndian.PutUint64(b[8:], uint64(opts.Buckets))
+	if err := h.Write(h.AuxAddr()+backend.AuxUser, b[:]); err != nil {
+		return nil, err
+	}
+	if err := h.Flush(); err != nil {
+		return nil, err
+	}
+	t := &HashTable{h: h, w: writerSession{h: h, lockPerOp: opts.LockPerOp},
+		cap: opts.ValueCap, buckets: uint64(opts.Buckets), arr: arr, writer: true}
+	if !opts.LockPerOp {
+		if err := h.WriterLock(); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// OpenHashTable attaches to an existing table.
+func OpenHashTable(c *core.Conn, name string, writer bool, opts Options) (*HashTable, error) {
+	opts.fill()
+	h, err := c.Open(name, writer)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := h.Read(h.AuxAddr()+backend.AuxUser, 16, false)
+	if err != nil {
+		return nil, err
+	}
+	t := &HashTable{h: h, w: writerSession{h: h, lockPerOp: opts.LockPerOp},
+		cap: opts.ValueCap,
+		arr: binary.LittleEndian.Uint64(meta[:8]), buckets: binary.LittleEndian.Uint64(meta[8:]),
+		writer: writer}
+	if writer {
+		if !opts.LockPerOp {
+			if err := h.WriterLock(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := ReplayPending(h, t); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Handle exposes the underlying framework handle.
+func (t *HashTable) Handle() *core.Handle { return t.h }
+
+// hashKey mixes the key to a bucket index (fibonacci hashing).
+func (t *HashTable) bucketAddr(key uint64) uint64 {
+	idx := (key * 0x9E3779B97F4A7C15) % t.buckets
+	return t.arr + idx*8
+}
+
+func (t *HashTable) encodeNode(next, key uint64, val []byte) []byte {
+	buf := make([]byte, t.nodeSize())
+	binary.LittleEndian.PutUint64(buf, next)
+	binary.LittleEndian.PutUint64(buf[8:], key)
+	binary.LittleEndian.PutUint32(buf[16:], uint32(len(val)))
+	copy(buf[htHdr:], val)
+	return buf
+}
+
+func (t *HashTable) decodeNode(buf []byte) (next, key uint64, val []byte, err error) {
+	next = binary.LittleEndian.Uint64(buf)
+	key = binary.LittleEndian.Uint64(buf[8:])
+	vlen := binary.LittleEndian.Uint32(buf[16:])
+	if int(vlen) > t.cap {
+		return 0, 0, nil, fmt.Errorf("ds: corrupt hash node (vlen=%d)", vlen)
+	}
+	return next, key, append([]byte(nil), buf[htHdr:htHdr+int(vlen)]...), nil
+}
+
+// Put inserts or updates key.
+func (t *HashTable) Put(key uint64, val []byte) error {
+	if len(val) > t.cap {
+		return ErrValueTooLarge
+	}
+	if err := t.w.begin(); err != nil {
+		return err
+	}
+	opAbs, err := t.h.OpLog(OpPut, kvParams(key, val))
+	if err != nil {
+		return err
+	}
+	if err := t.put(key, val, opAbs); err != nil {
+		return err
+	}
+	return t.w.end()
+}
+
+func (t *HashTable) put(key uint64, val []byte, opAbs uint64) error {
+	bAddr := t.bucketAddr(key)
+	headB, err := t.h.Read(bAddr, 8, true)
+	if err != nil {
+		return err
+	}
+	head := binary.LittleEndian.Uint64(headB)
+	// Walk the chain looking for the key.
+	for n := head; n != 0; {
+		buf, err := t.h.Read(n, t.nodeSize(), true)
+		if err != nil {
+			return err
+		}
+		next, k, _, err := t.decodeNode(buf)
+		if err != nil {
+			return err
+		}
+		if k == key {
+			// In-place update: rewrite the whole node unit.
+			return t.h.Write(n, t.encodeNode(next, key, val))
+		}
+		n = next
+	}
+	// Insert at the chain head.
+	node, err := t.h.Alloc(t.nodeSize())
+	if err != nil {
+		return err
+	}
+	if err := t.h.Write(node, t.encodeNode(head, key, val)); err != nil {
+		return err
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], node)
+	_ = opAbs // bucket word is tiny; pointer-form logging buys nothing here
+	return t.h.Write(bAddr, b[:])
+}
+
+// Get looks a key up. Readers retry under the seqlock.
+func (t *HashTable) Get(key uint64) ([]byte, bool, error) {
+	t.h.Conn().Frontend().ChargeOp()
+	var out []byte
+	var found bool
+	err := readRetry(t.h, func() error {
+		out, found = nil, false
+		bAddr := t.bucketAddr(key)
+		headB, err := t.h.Read(bAddr, 8, true)
+		if err != nil {
+			return err
+		}
+		for n := binary.LittleEndian.Uint64(headB); n != 0; {
+			buf, err := t.h.Read(n, t.nodeSize(), true)
+			if err != nil {
+				return err
+			}
+			next, k, v, err := t.decodeNode(buf)
+			if err != nil {
+				return err
+			}
+			if k == key {
+				out, found = v, true
+				return nil
+			}
+			n = next
+		}
+		return nil
+	})
+	return out, found, err
+}
+
+// Delete removes a key, reporting whether it existed.
+func (t *HashTable) Delete(key uint64) (bool, error) {
+	if err := t.w.begin(); err != nil {
+		return false, err
+	}
+	if _, err := t.h.OpLog(OpDelete, kvParams(key, nil)); err != nil {
+		return false, err
+	}
+	removed, err := t.delete(key)
+	if err != nil {
+		return false, err
+	}
+	return removed, t.w.end()
+}
+
+func (t *HashTable) delete(key uint64) (bool, error) {
+	bAddr := t.bucketAddr(key)
+	headB, err := t.h.Read(bAddr, 8, true)
+	if err != nil {
+		return false, err
+	}
+	prev := uint64(0)
+	var prevBuf []byte
+	for n := binary.LittleEndian.Uint64(headB); n != 0; {
+		buf, err := t.h.Read(n, t.nodeSize(), true)
+		if err != nil {
+			return false, err
+		}
+		next, k, _, err := t.decodeNode(buf)
+		if err != nil {
+			return false, err
+		}
+		if k == key {
+			if prev == 0 {
+				var b [8]byte
+				binary.LittleEndian.PutUint64(b[:], next)
+				if err := t.h.Write(bAddr, b[:]); err != nil {
+					return false, err
+				}
+			} else {
+				relinked := append([]byte(nil), prevBuf...)
+				binary.LittleEndian.PutUint64(relinked, next)
+				if err := t.h.Write(prev, relinked); err != nil {
+					return false, err
+				}
+			}
+			t.h.DelayedFree(n, t.nodeSize())
+			return true, nil
+		}
+		prev, prevBuf = n, buf
+		n = next
+	}
+	return false, nil
+}
+
+// Flush flushes the batch buffers.
+func (t *HashTable) Flush() error { return t.h.Flush() }
+
+// Drain flushes and waits for replay.
+func (t *HashTable) Drain() error {
+	if err := t.h.Flush(); err != nil {
+		return err
+	}
+	return t.h.Drain()
+}
+
+// Close drains and releases the writer lock.
+func (t *HashTable) Close() error {
+	if !t.writer {
+		return nil
+	}
+	if err := t.Drain(); err != nil {
+		return err
+	}
+	return t.h.WriterUnlock()
+}
+
+// ReplayOp re-executes one pending op-log record.
+func (t *HashTable) ReplayOp(rec logrec.OpRecord) error {
+	switch rec.OpType {
+	case OpPut:
+		key, val, err := splitKV(rec.Params)
+		if err != nil {
+			return err
+		}
+		if err := t.put(key, val, 0); err != nil {
+			return err
+		}
+		return t.h.EndOp()
+	case OpDelete:
+		key, _, err := splitKV(rec.Params)
+		if err != nil {
+			return err
+		}
+		if _, err := t.delete(key); err != nil {
+			return err
+		}
+		return t.h.EndOp()
+	default:
+		return fmt.Errorf("ds: hash table cannot replay op %d", rec.OpType)
+	}
+}

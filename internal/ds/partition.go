@@ -1,0 +1,167 @@
+package ds
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"asymnvm/internal/backend"
+	"asymnvm/internal/core"
+)
+
+// Partitioning (§8.3): a structure is split into P independent instances
+// by key hash, each with its own writer lock, seqlock and log areas —
+// possibly on different back-ends — eliminating the single-lock
+// bottleneck and letting a writer in one partition proceed while readers
+// work in others. The partition count is persisted in a naming-table
+// meta entry (the "mapping table between key range and partition ...
+// stored in the global naming space"); partition i lives under the name
+// "<name>#<i>" on back-end conns[i % len(conns)].
+
+// Partitioned routes KV operations to per-partition instances.
+type Partitioned struct {
+	parts []KV
+	meta  *core.Handle
+}
+
+// partIndex hashes a key to a partition.
+func partIndex(key uint64, n int) int {
+	return int((key * 0x9E3779B97F4A7C15) >> 33 % uint64(n))
+}
+
+// Put routes to the owning partition.
+func (p *Partitioned) Put(key uint64, val []byte) error {
+	return p.parts[partIndex(key, len(p.parts))].Put(key, val)
+}
+
+// Get routes to the owning partition.
+func (p *Partitioned) Get(key uint64) ([]byte, bool, error) {
+	return p.parts[partIndex(key, len(p.parts))].Get(key)
+}
+
+// Flush flushes every partition.
+func (p *Partitioned) Flush() error {
+	for _, part := range p.parts {
+		if err := part.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Parts exposes the partition instances (benchmarks address them
+// individually for the multi-back-end scaling figure).
+func (p *Partitioned) Parts() []KV { return p.parts }
+
+// KVKind selects the structure type backing each partition.
+type KVKind int
+
+// Partitionable structure kinds.
+const (
+	KindBST KVKind = iota
+	KindBPTree
+	KindSkipList
+	KindHashTable
+	KindMVBST
+	KindMVBPTree
+)
+
+// createKV builds one instance of the requested kind.
+func createKV(c *core.Conn, kind KVKind, name string, opts Options) (KV, error) {
+	switch kind {
+	case KindBST:
+		return CreateBST(c, name, opts)
+	case KindBPTree:
+		return CreateBPTree(c, name, opts)
+	case KindSkipList:
+		return CreateSkipList(c, name, opts)
+	case KindHashTable:
+		return CreateHashTable(c, name, opts)
+	case KindMVBST:
+		return CreateMVBST(c, name, opts)
+	case KindMVBPTree:
+		return CreateMVBPTree(c, name, opts)
+	default:
+		return nil, fmt.Errorf("ds: unknown kind %d", kind)
+	}
+}
+
+// openKV opens one instance of the requested kind.
+func openKV(c *core.Conn, kind KVKind, name string, writer bool, opts Options) (KV, error) {
+	switch kind {
+	case KindBST:
+		return OpenBST(c, name, writer, opts)
+	case KindBPTree:
+		return OpenBPTree(c, name, writer, opts)
+	case KindSkipList:
+		return OpenSkipList(c, name, writer, opts)
+	case KindHashTable:
+		return OpenHashTable(c, name, writer, opts)
+	case KindMVBST:
+		return OpenMVBST(c, name, writer, opts)
+	case KindMVBPTree:
+		return OpenMVBPTree(c, name, writer, opts)
+	default:
+		return nil, fmt.Errorf("ds: unknown kind %d", kind)
+	}
+}
+
+// CreatePartitioned creates P partitions of the given kind, spread
+// round-robin across the provided back-end connections, and records the
+// mapping in a meta entry on conns[0].
+func CreatePartitioned(conns []*core.Conn, kind KVKind, name string, parts int, opts Options) (*Partitioned, error) {
+	if parts <= 0 || len(conns) == 0 {
+		return nil, fmt.Errorf("ds: bad partition config (parts=%d conns=%d)", parts, len(conns))
+	}
+	meta, err := conns[0].Create(name, backend.TypeApp, core.CreateOptions{MemLogSize: 64 << 10, OpLogSize: 64 << 10})
+	if err != nil {
+		return nil, err
+	}
+	// Persist {kind, parts} in the meta aux user area through the log
+	// path so mirrors see the mapping table.
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], uint64(kind))
+	binary.LittleEndian.PutUint64(b[8:], uint64(parts))
+	if err := meta.Write(meta.AuxAddr()+backend.AuxUser, b[:]); err != nil {
+		return nil, err
+	}
+	if err := meta.Flush(); err != nil {
+		return nil, err
+	}
+	p := &Partitioned{meta: meta}
+	for i := 0; i < parts; i++ {
+		c := conns[i%len(conns)]
+		part, err := createKV(c, kind, fmt.Sprintf("%s#%d", name, i), opts)
+		if err != nil {
+			return nil, err
+		}
+		p.parts = append(p.parts, part)
+	}
+	return p, nil
+}
+
+// OpenPartitioned reads the mapping meta entry and opens every partition.
+func OpenPartitioned(conns []*core.Conn, name string, writer bool, opts Options) (*Partitioned, error) {
+	meta, err := conns[0].Open(name, false)
+	if err != nil {
+		return nil, err
+	}
+	mb, err := meta.Read(meta.AuxAddr()+backend.AuxUser, 16, false)
+	if err != nil {
+		return nil, err
+	}
+	kind := KVKind(binary.LittleEndian.Uint64(mb[:8]))
+	parts := int(binary.LittleEndian.Uint64(mb[8:]))
+	if parts <= 0 || parts > 1<<16 {
+		return nil, fmt.Errorf("ds: corrupt partition meta (parts=%d)", parts)
+	}
+	p := &Partitioned{meta: meta}
+	for i := 0; i < parts; i++ {
+		c := conns[i%len(conns)]
+		part, err := openKV(c, kind, fmt.Sprintf("%s#%d", name, i), writer, opts)
+		if err != nil {
+			return nil, err
+		}
+		p.parts = append(p.parts, part)
+	}
+	return p, nil
+}

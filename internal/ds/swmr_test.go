@@ -1,0 +1,120 @@
+package ds
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"asymnvm/internal/core"
+)
+
+// TestSWMRConsistency runs one writer and several concurrent readers on
+// the same structure. Readers must only ever observe values the writer
+// actually wrote (no torn or mixed states), for both the seqlock-based
+// B+Tree and the lock-free multi-version tree.
+func TestSWMRConsistency(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func(c *core.Conn) (KV, error)
+		op   func(c *core.Conn) (KV, error)
+	}{
+		{"bptree",
+			func(c *core.Conn) (KV, error) { return CreateBPTree(c, "swmr-bpt", Options{Create: testCreate}) },
+			func(c *core.Conn) (KV, error) { return OpenBPTree(c, "swmr-bpt", false, Options{Create: testCreate}) }},
+		{"mvbst",
+			func(c *core.Conn) (KV, error) { return CreateMVBST(c, "swmr-mv", Options{Create: testCreate}) },
+			func(c *core.Conn) (KV, error) { return OpenMVBST(c, "swmr-mv", false, Options{Create: testCreate}) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := newRig(t)
+			wc := r.conn(1, core.ModeRCB(2<<20, 8))
+			kv, err := tc.mk(wc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Values encode (key, version); readers check key match and
+			// that the version is one the writer could have produced.
+			const keys = 16
+			mkVal := func(k, ver uint64) []byte {
+				b := make([]byte, 16)
+				binary.LittleEndian.PutUint64(b, k)
+				binary.LittleEndian.PutUint64(b[8:], ver)
+				return b
+			}
+			for k := uint64(1); k <= keys; k++ {
+				if err := kv.Put(k, mkVal(k, 0)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			type drainer interface{ Drain() error }
+			if err := kv.(drainer).Drain(); err != nil {
+				t.Fatal(err)
+			}
+
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			errs := make(chan error, 4)
+			var maxVer atomic.Uint64
+			for i := 0; i < 3; i++ {
+				wg.Add(1)
+				go func(id uint16) {
+					defer wg.Done()
+					rc := r.conn(id, core.ModeRC(2<<20))
+					rd, err := tc.op(rc)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for !stop.Load() {
+						for k := uint64(1); k <= keys; k++ {
+							v, ok, err := rd.Get(k)
+							if err != nil {
+								errs <- err
+								return
+							}
+							if !ok {
+								errs <- errStr("key vanished")
+								return
+							}
+							if len(v) != 16 || binary.LittleEndian.Uint64(v) != k {
+								errs <- errStr("torn or mismatched value")
+								return
+							}
+							if binary.LittleEndian.Uint64(v[8:]) > maxVer.Load()+1 {
+								errs <- errStr("version from the future")
+								return
+							}
+						}
+						runtime.Gosched()
+					}
+				}(uint16(2 + i))
+			}
+			for ver := uint64(1); ver <= 150; ver++ {
+				maxVer.Store(ver)
+				for k := uint64(1); k <= keys; k++ {
+					if err := kv.Put(k, mkVal(k, ver)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				runtime.Gosched()
+			}
+			if err := kv.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			stop.Store(true)
+			wg.Wait()
+			select {
+			case err := <-errs:
+				t.Fatal(err)
+			default:
+			}
+		})
+	}
+}
+
+type errStr string
+
+func (e errStr) Error() string { return string(e) }

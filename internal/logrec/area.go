@@ -1,0 +1,52 @@
+package logrec
+
+// Area describes a circular log area inside a back-end's NVM space.
+// Producers and consumers track *absolute* byte offsets that grow without
+// bound; Phys maps them onto the circle. A record never straddles usable
+// space larger than Size, and writes that cross the physical end are
+// split into two ranges by Split.
+type Area struct {
+	Base uint64 // first byte of the area in device space
+	Size uint64 // area length in bytes
+}
+
+// Phys maps an absolute log offset to a device offset.
+func (a Area) Phys(abs uint64) uint64 { return a.Base + abs%a.Size }
+
+// Contains reports whether the device offset lies inside the area.
+func (a Area) Contains(devOff uint64) bool {
+	return devOff >= a.Base && devOff < a.Base+a.Size
+}
+
+// Range is one physically contiguous chunk of a logical write or read.
+type Range struct {
+	DevOff uint64
+	Len    int
+}
+
+// Split cuts the logical range [abs, abs+n) into at most two physically
+// contiguous device ranges (two when the range wraps the circle).
+func (a Area) Split(abs uint64, n int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	start := abs % a.Size
+	if start+uint64(n) <= a.Size {
+		return []Range{{DevOff: a.Base + start, Len: n}}
+	}
+	first := int(a.Size - start)
+	return []Range{
+		{DevOff: a.Base + start, Len: first},
+		{DevOff: a.Base, Len: n - first},
+	}
+}
+
+// Free reports how many bytes may be appended when the consumer has
+// applied everything up to appliedAbs and the producer is at tailAbs.
+func (a Area) Free(appliedAbs, tailAbs uint64) uint64 {
+	used := tailAbs - appliedAbs
+	if used >= a.Size {
+		return 0
+	}
+	return a.Size - used
+}

@@ -1,0 +1,265 @@
+// Package logrec implements the on-NVM log formats of the paper's Figure 3:
+//
+//   - memory log entries: {flag, address, length, value} pairs, where the
+//     flag says whether the value is inline or a pointer into a previously
+//     persisted operation log (the batching optimization of §4.3);
+//   - transaction logs: a run of memory log entries terminated by a commit
+//     flag and a CRC32 checksum, appended to the back-end's memory log
+//     area by rnvm_tx_write and replayed in order;
+//   - operation logs: {operation type, parameters, checksum} records that
+//     make a single RDMA write sufficient to persist a data structure
+//     operation.
+//
+// Records carry the absolute (monotone, non-wrapping) byte offset at which
+// they were appended; when the circular log areas wrap, a stale record's
+// embedded offset no longer matches its physical position, so scanning
+// stops exactly at the true tail without any zeroing of reclaimed space.
+package logrec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Record magics distinguish record kinds and catch scans running into
+// unwritten space.
+const (
+	TxMagic byte = 0xA5
+	OpMagic byte = 0x5A
+	// CommitFlag terminates a transaction body.
+	CommitFlag byte = 0xC3
+)
+
+// Memory-log entry flags.
+const (
+	// FlagInline marks an entry whose value bytes are stored in the entry.
+	FlagInline byte = 0x00
+	// FlagOpRef marks an entry whose value lives in an already persisted
+	// operation log record: the payload is {opAbs uint64, srcOff uint32}
+	// and the value is params[srcOff : srcOff+Len] of that record.
+	FlagOpRef byte = 0x01
+)
+
+// Errors reported by decoders.
+var (
+	ErrShort    = errors.New("logrec: buffer too short")
+	ErrBadMagic = errors.New("logrec: bad magic")
+	ErrBadCRC   = errors.New("logrec: checksum mismatch")
+	ErrBadAbs   = errors.New("logrec: absolute offset mismatch (stale record)")
+	ErrNoCommit = errors.New("logrec: missing commit flag")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// MemEntry is one memory log entry: write Value (or the referenced op-log
+// bytes) at Addr.
+type MemEntry struct {
+	Flag   byte
+	Addr   uint64 // global NVM address (backend id in the top 16 bits)
+	Len    uint32 // length of the target range
+	Value  []byte // inline value; nil when Flag==FlagOpRef
+	OpAbs  uint64 // FlagOpRef: absolute offset of the op record
+	SrcOff uint32 // FlagOpRef: offset of the value inside the op params
+}
+
+// EncodedLen reports the wire size of the entry.
+func (e *MemEntry) EncodedLen() int {
+	if e.Flag == FlagOpRef {
+		return 1 + 8 + 4 + 8 + 4
+	}
+	return 1 + 8 + 4 + int(e.Len)
+}
+
+func (e *MemEntry) encode(dst []byte) int {
+	dst[0] = e.Flag
+	binary.LittleEndian.PutUint64(dst[1:], e.Addr)
+	binary.LittleEndian.PutUint32(dst[9:], e.Len)
+	if e.Flag == FlagOpRef {
+		binary.LittleEndian.PutUint64(dst[13:], e.OpAbs)
+		binary.LittleEndian.PutUint32(dst[21:], e.SrcOff)
+		return 25
+	}
+	copy(dst[13:], e.Value[:e.Len])
+	return 13 + int(e.Len)
+}
+
+func decodeMemEntry(src []byte) (MemEntry, int, error) {
+	if len(src) < 13 {
+		return MemEntry{}, 0, ErrShort
+	}
+	var e MemEntry
+	e.Flag = src[0]
+	e.Addr = binary.LittleEndian.Uint64(src[1:])
+	e.Len = binary.LittleEndian.Uint32(src[9:])
+	if e.Flag == FlagOpRef {
+		if len(src) < 25 {
+			return MemEntry{}, 0, ErrShort
+		}
+		e.OpAbs = binary.LittleEndian.Uint64(src[13:])
+		e.SrcOff = binary.LittleEndian.Uint32(src[21:])
+		return e, 25, nil
+	}
+	if e.Flag != FlagInline {
+		return MemEntry{}, 0, fmt.Errorf("%w: mem entry flag %#x", ErrBadMagic, e.Flag)
+	}
+	end := 13 + int(e.Len)
+	if len(src) < end {
+		return MemEntry{}, 0, ErrShort
+	}
+	e.Value = append([]byte(nil), src[13:end]...)
+	return e, end, nil
+}
+
+// TxRecord is one transaction in the memory log area.
+type TxRecord struct {
+	DSSlot uint16 // naming-table slot of the structure this tx belongs to
+	Abs    uint64 // absolute log offset the record was appended at
+	// CoverOp is the absolute op-log offset up to which this transaction's
+	// memory logs cover the operation log: every op record below CoverOp
+	// has all of its effects included in transactions up to and including
+	// this one. The replayer persists it as the OPN of §5.1, and recovery
+	// re-executes only op records at or above it.
+	CoverOp uint64
+	Entries []MemEntry
+}
+
+// txHeaderLen is magic(1) + dsSlot(2) + count(2) + abs(8) + coverOp(8) + bodyLen(4).
+const txHeaderLen = 1 + 2 + 2 + 8 + 8 + 4
+
+// EncodedLen reports the wire size of the record.
+func (t *TxRecord) EncodedLen() int {
+	n := txHeaderLen
+	for i := range t.Entries {
+		n += t.Entries[i].EncodedLen()
+	}
+	return n + 1 + 4 // commit flag + crc
+}
+
+// Encode serializes the record, computing the checksum over everything
+// before it (header, body, commit flag).
+func (t *TxRecord) Encode() []byte {
+	buf := make([]byte, t.EncodedLen())
+	buf[0] = TxMagic
+	binary.LittleEndian.PutUint16(buf[1:], t.DSSlot)
+	binary.LittleEndian.PutUint16(buf[3:], uint16(len(t.Entries)))
+	binary.LittleEndian.PutUint64(buf[5:], t.Abs)
+	binary.LittleEndian.PutUint64(buf[13:], t.CoverOp)
+	off := txHeaderLen
+	for i := range t.Entries {
+		off += t.Entries[i].encode(buf[off:])
+	}
+	binary.LittleEndian.PutUint32(buf[txHeaderLen-4:], uint32(off-txHeaderLen))
+	buf[off] = CommitFlag
+	off++
+	binary.LittleEndian.PutUint32(buf[off:], crc32.Checksum(buf[:off], castagnoli))
+	return buf
+}
+
+// DecodeTx parses one transaction record from src, verifying the embedded
+// absolute offset against expectAbs and the checksum. It returns the
+// record and the number of bytes consumed.
+func DecodeTx(src []byte, expectAbs uint64) (TxRecord, int, error) {
+	if len(src) < txHeaderLen {
+		return TxRecord{}, 0, ErrShort
+	}
+	if src[0] != TxMagic {
+		return TxRecord{}, 0, ErrBadMagic
+	}
+	var t TxRecord
+	t.DSSlot = binary.LittleEndian.Uint16(src[1:])
+	count := int(binary.LittleEndian.Uint16(src[3:]))
+	t.Abs = binary.LittleEndian.Uint64(src[5:])
+	t.CoverOp = binary.LittleEndian.Uint64(src[13:])
+	bodyLen := int(binary.LittleEndian.Uint32(src[21:]))
+	if t.Abs != expectAbs {
+		return TxRecord{}, 0, ErrBadAbs
+	}
+	end := txHeaderLen + bodyLen
+	if bodyLen < 0 || len(src) < end+5 {
+		return TxRecord{}, 0, ErrShort
+	}
+	if src[end] != CommitFlag {
+		return TxRecord{}, 0, ErrNoCommit
+	}
+	want := binary.LittleEndian.Uint32(src[end+1:])
+	if crc32.Checksum(src[:end+1], castagnoli) != want {
+		return TxRecord{}, 0, ErrBadCRC
+	}
+	off := txHeaderLen
+	t.Entries = make([]MemEntry, 0, count)
+	for i := 0; i < count; i++ {
+		e, n, err := decodeMemEntry(src[off:end])
+		if err != nil {
+			return TxRecord{}, 0, err
+		}
+		t.Entries = append(t.Entries, e)
+		off += n
+	}
+	if off != end {
+		return TxRecord{}, 0, fmt.Errorf("logrec: tx body length mismatch: %d != %d", off, end)
+	}
+	return t, end + 5, nil
+}
+
+// OpRecord is one operation log record: a data-structure operation with
+// its parameters, self-contained enough to be re-executed during recovery.
+type OpRecord struct {
+	DSSlot uint16
+	OpType uint8
+	Abs    uint64 // absolute op-log offset the record was appended at
+	Params []byte
+}
+
+// opHeaderLen is magic(1) + dsSlot(2) + opType(1) + abs(8) + paramLen(4).
+const opHeaderLen = 1 + 2 + 1 + 8 + 4
+
+// EncodedLen reports the wire size of the record.
+func (o *OpRecord) EncodedLen() int { return opHeaderLen + len(o.Params) + 4 }
+
+// ParamsWireOff is the offset of the params bytes inside the encoded
+// record; FlagOpRef memory entries point at Abs+ParamsWireOff+SrcOff.
+const ParamsWireOff = opHeaderLen
+
+// Encode serializes the record with its trailing checksum.
+func (o *OpRecord) Encode() []byte {
+	buf := make([]byte, o.EncodedLen())
+	buf[0] = OpMagic
+	binary.LittleEndian.PutUint16(buf[1:], o.DSSlot)
+	buf[3] = o.OpType
+	binary.LittleEndian.PutUint64(buf[4:], o.Abs)
+	binary.LittleEndian.PutUint32(buf[12:], uint32(len(o.Params)))
+	copy(buf[opHeaderLen:], o.Params)
+	binary.LittleEndian.PutUint32(buf[opHeaderLen+len(o.Params):],
+		crc32.Checksum(buf[:opHeaderLen+len(o.Params)], castagnoli))
+	return buf
+}
+
+// DecodeOp parses one operation record, verifying offset and checksum.
+func DecodeOp(src []byte, expectAbs uint64) (OpRecord, int, error) {
+	if len(src) < opHeaderLen {
+		return OpRecord{}, 0, ErrShort
+	}
+	if src[0] != OpMagic {
+		return OpRecord{}, 0, ErrBadMagic
+	}
+	var o OpRecord
+	o.DSSlot = binary.LittleEndian.Uint16(src[1:])
+	o.OpType = src[3]
+	o.Abs = binary.LittleEndian.Uint64(src[4:])
+	plen := int(binary.LittleEndian.Uint32(src[12:]))
+	if o.Abs != expectAbs {
+		return OpRecord{}, 0, ErrBadAbs
+	}
+	end := opHeaderLen + plen
+	if plen < 0 || len(src) < end+4 {
+		return OpRecord{}, 0, ErrShort
+	}
+	want := binary.LittleEndian.Uint32(src[end:])
+	if crc32.Checksum(src[:end], castagnoli) != want {
+		return OpRecord{}, 0, ErrBadCRC
+	}
+	o.Params = append([]byte(nil), src[opHeaderLen:end]...)
+	return o, end + 4, nil
+}

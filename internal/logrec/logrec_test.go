@@ -1,0 +1,190 @@
+package logrec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemEntryInlineRoundTrip(t *testing.T) {
+	e := MemEntry{Flag: FlagInline, Addr: 0x1234, Len: 5, Value: []byte("abcde")}
+	buf := make([]byte, e.EncodedLen())
+	n := e.encode(buf)
+	if n != len(buf) {
+		t.Fatalf("encode wrote %d, want %d", n, len(buf))
+	}
+	got, m, err := decodeMemEntry(buf)
+	if err != nil || m != n {
+		t.Fatalf("decode: %v consumed=%d", err, m)
+	}
+	if got.Addr != e.Addr || !bytes.Equal(got.Value, e.Value) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestMemEntryOpRefRoundTrip(t *testing.T) {
+	e := MemEntry{Flag: FlagOpRef, Addr: 99, Len: 64, OpAbs: 777, SrcOff: 16}
+	buf := make([]byte, e.EncodedLen())
+	e.encode(buf)
+	got, _, err := decodeMemEntry(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OpAbs != 777 || got.SrcOff != 16 || got.Len != 64 {
+		t.Fatalf("op-ref round trip mismatch: %+v", got)
+	}
+}
+
+func TestTxRecordRoundTrip(t *testing.T) {
+	tx := TxRecord{
+		DSSlot: 3,
+		Abs:    4096,
+		Entries: []MemEntry{
+			{Flag: FlagInline, Addr: 10, Len: 3, Value: []byte{1, 2, 3}},
+			{Flag: FlagOpRef, Addr: 20, Len: 8, OpAbs: 123, SrcOff: 4},
+		},
+	}
+	wire := tx.Encode()
+	got, n, err := DecodeTx(wire, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(wire) {
+		t.Fatalf("consumed %d, want %d", n, len(wire))
+	}
+	if got.DSSlot != 3 || len(got.Entries) != 2 || got.Entries[1].OpAbs != 123 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestTxRecordDetectsCorruption(t *testing.T) {
+	tx := TxRecord{Abs: 0, Entries: []MemEntry{{Flag: FlagInline, Addr: 1, Len: 1, Value: []byte{9}}}}
+	wire := tx.Encode()
+	// Flip a body byte: checksum must catch it.
+	wire[len(wire)-6] ^= 0xFF
+	if _, _, err := DecodeTx(wire, 0); err == nil {
+		t.Fatal("corrupted record must not decode")
+	}
+}
+
+func TestTxRecordStaleOffset(t *testing.T) {
+	tx := TxRecord{Abs: 100}
+	wire := tx.Encode()
+	if _, _, err := DecodeTx(wire, 200); err != ErrBadAbs {
+		t.Fatalf("stale record must report ErrBadAbs, got %v", err)
+	}
+}
+
+func TestTxRecordTruncated(t *testing.T) {
+	tx := TxRecord{Abs: 0, Entries: []MemEntry{{Flag: FlagInline, Addr: 1, Len: 100, Value: make([]byte, 100)}}}
+	wire := tx.Encode()
+	for _, cut := range []int{1, 5, txHeaderLen, len(wire) - 1} {
+		if _, _, err := DecodeTx(wire[:cut], 0); err == nil {
+			t.Fatalf("truncated to %d bytes must not decode", cut)
+		}
+	}
+}
+
+func TestOpRecordRoundTrip(t *testing.T) {
+	o := OpRecord{DSSlot: 9, OpType: 2, Abs: 555, Params: []byte("params!")}
+	wire := o.Encode()
+	got, n, err := DecodeOp(wire, 555)
+	if err != nil || n != len(wire) {
+		t.Fatalf("decode: %v n=%d", err, n)
+	}
+	if got.OpType != 2 || !bytes.Equal(got.Params, []byte("params!")) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestOpRecordCorruption(t *testing.T) {
+	o := OpRecord{Abs: 0, Params: []byte{1, 2, 3, 4}}
+	wire := o.Encode()
+	wire[opHeaderLen] ^= 1
+	if _, _, err := DecodeOp(wire, 0); err == nil {
+		t.Fatal("corrupted op record must not decode")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, _, err := DecodeTx([]byte{0, 0, 0}, 0); err == nil {
+		t.Fatal("garbage must not decode as tx")
+	}
+	if _, _, err := DecodeOp(bytes.Repeat([]byte{0xFF}, 64), 0); err == nil {
+		t.Fatal("garbage must not decode as op")
+	}
+	zeros := make([]byte, 64)
+	if _, _, err := DecodeTx(zeros, 0); err == nil {
+		t.Fatal("zeroed space must not decode as tx")
+	}
+}
+
+// Property: arbitrary tx records round-trip.
+func TestQuickTxRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(slot uint16, abs uint64, nEntries uint8) bool {
+		tx := TxRecord{DSSlot: slot, Abs: abs}
+		for i := 0; i < int(nEntries%16); i++ {
+			vl := rng.Intn(200)
+			v := make([]byte, vl)
+			rng.Read(v)
+			tx.Entries = append(tx.Entries, MemEntry{
+				Flag: FlagInline, Addr: rng.Uint64(), Len: uint32(vl), Value: v,
+			})
+		}
+		wire := tx.Encode()
+		got, n, err := DecodeTx(wire, abs)
+		if err != nil || n != len(wire) || len(got.Entries) != len(tx.Entries) {
+			return false
+		}
+		for i := range got.Entries {
+			if got.Entries[i].Addr != tx.Entries[i].Addr ||
+				!bytes.Equal(got.Entries[i].Value, tx.Entries[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAreaPhysAndSplit(t *testing.T) {
+	a := Area{Base: 1000, Size: 100}
+	if a.Phys(0) != 1000 || a.Phys(250) != 1050 {
+		t.Fatalf("phys mapping wrong: %d %d", a.Phys(0), a.Phys(250))
+	}
+	// No wrap.
+	rs := a.Split(10, 20)
+	if len(rs) != 1 || rs[0].DevOff != 1010 || rs[0].Len != 20 {
+		t.Fatalf("no-wrap split: %+v", rs)
+	}
+	// Wrap: starts at 90, 30 bytes → 10 at the end + 20 at the start.
+	rs = a.Split(190, 30)
+	if len(rs) != 2 || rs[0].DevOff != 1090 || rs[0].Len != 10 ||
+		rs[1].DevOff != 1000 || rs[1].Len != 20 {
+		t.Fatalf("wrap split: %+v", rs)
+	}
+}
+
+func TestAreaFree(t *testing.T) {
+	a := Area{Base: 0, Size: 100}
+	if a.Free(0, 0) != 100 {
+		t.Fatal("empty area must be all free")
+	}
+	if a.Free(0, 60) != 40 {
+		t.Fatal("free accounting wrong")
+	}
+	if a.Free(50, 150) != 0 {
+		t.Fatal("full area must report 0 free")
+	}
+}
+
+func TestAreaContains(t *testing.T) {
+	a := Area{Base: 10, Size: 5}
+	if a.Contains(9) || !a.Contains(10) || !a.Contains(14) || a.Contains(15) {
+		t.Fatal("Contains boundaries wrong")
+	}
+}

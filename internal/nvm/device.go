@@ -1,0 +1,294 @@
+// Package nvm simulates a byte-addressable non-volatile memory device of
+// the kind AsymNVM attaches to its back-end nodes (the paper used Intel
+// Optane DC Persistent Memory in App Direct mode).
+//
+// The simulation keeps the two properties the paper's crash-consistency
+// design actually depends on:
+//
+//   - byte-addressable random access, with media latency charged by the
+//     caller (the RDMA layer or a local accessor), and
+//   - a persistence window: bytes written but not yet flushed live in a
+//     volatile window and may be lost — possibly partially, at a 64-byte
+//     line granularity — when power fails. This is what forces the
+//     framework to checksum transaction logs and validate them on restart.
+package nvm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// LineSize is the granularity at which a power failure can tear a write.
+// Optane persists data in units no smaller than a cache line.
+const LineSize = 64
+
+// ErrOutOfRange is returned for accesses beyond the device capacity.
+var ErrOutOfRange = errors.New("nvm: access out of range")
+
+// pending records the undo image of one not-yet-persisted write.
+type pending struct {
+	off uint64
+	old []byte // previous contents, for revert on power failure
+}
+
+// Device is a simulated NVM DIMM: a flat byte space with explicit
+// persistence points and power-failure injection.
+//
+// Writes become visible immediately (reads see them) but stay revertible
+// until Persist or PersistAll is called; Crash reverts a random suffix of
+// the unpersisted writes and may tear the oldest surviving one at a line
+// boundary. All methods are safe for concurrent use.
+type Device struct {
+	mu      sync.RWMutex
+	data    []byte
+	pend    []pending
+	crashes int
+}
+
+// NewDevice creates a device with the given capacity in bytes, zero-filled.
+func NewDevice(size int) *Device {
+	return &Device{data: make([]byte, size)}
+}
+
+// Size reports the device capacity in bytes.
+func (d *Device) Size() uint64 { return uint64(len(d.data)) }
+
+// check validates an access range.
+func (d *Device) check(off uint64, n int) error {
+	if n < 0 || off > uint64(len(d.data)) || uint64(n) > uint64(len(d.data))-off {
+		return fmt.Errorf("%w: off=%d len=%d cap=%d", ErrOutOfRange, off, n, len(d.data))
+	}
+	return nil
+}
+
+// ReadAt copies len(buf) bytes starting at off into buf. It always returns
+// the most recent write, persisted or not (NVM is memory: loads see stores).
+func (d *Device) ReadAt(off uint64, buf []byte) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.check(off, len(buf)); err != nil {
+		return err
+	}
+	copy(buf, d.data[off:])
+	return nil
+}
+
+// WriteAt stores data at off. The write is immediately visible but not yet
+// durable; it joins the persistence window until Persist/PersistAll.
+func (d *Device) WriteAt(off uint64, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.writeLocked(off, data)
+}
+
+func (d *Device) writeLocked(off uint64, data []byte) error {
+	if err := d.check(off, len(data)); err != nil {
+		return err
+	}
+	old := make([]byte, len(data))
+	copy(old, d.data[off:])
+	d.pend = append(d.pend, pending{off: off, old: old})
+	copy(d.data[off:], data)
+	return nil
+}
+
+// WritePersist stores data and immediately makes the whole device durable.
+// It models a one-sided RDMA write whose acknowledgement implies the data
+// reached the persistence domain, and local writes followed by a flush.
+func (d *Device) WritePersist(off uint64, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.writeLocked(off, data); err != nil {
+		return err
+	}
+	d.pend = d.pend[:0]
+	return nil
+}
+
+// PersistAll drains the persistence window: every prior write becomes
+// durable and can no longer be lost by Crash.
+func (d *Device) PersistAll() {
+	d.mu.Lock()
+	d.pend = d.pend[:0]
+	d.mu.Unlock()
+}
+
+// PendingWrites reports how many writes are still in the volatile window.
+func (d *Device) PendingWrites() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.pend)
+}
+
+// Crashes reports how many power failures the device has absorbed.
+func (d *Device) Crashes() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.crashes
+}
+
+// Crash simulates a power failure. A random suffix of the unpersisted
+// writes is lost (reverted, newest first), and the oldest lost write may
+// be torn: a prefix of its lines survives. rng drives the randomness so
+// tests can be deterministic; a nil rng loses the entire window untorn.
+// It returns the number of writes fully or partially lost.
+func (d *Device) Crash(rng *rand.Rand) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashes++
+	n := len(d.pend)
+	if n == 0 {
+		return 0
+	}
+	lose := n
+	tear := false
+	if rng != nil {
+		lose = 1 + rng.Intn(n) // lose at least the newest write
+		tear = rng.Intn(2) == 0
+	}
+	// Revert newest-first so overlapping writes unwind correctly.
+	for i := n - 1; i >= n-lose; i-- {
+		p := d.pend[i]
+		if tear && i == n-lose && len(p.old) > LineSize {
+			// Tear: a prefix of whole lines of the new data survives.
+			keep := (rng.Intn(len(p.old)/LineSize + 1)) * LineSize
+			copy(d.data[p.off+uint64(keep):], p.old[keep:])
+			continue
+		}
+		copy(d.data[p.off:], p.old)
+	}
+	d.pend = d.pend[:0]
+	return lose
+}
+
+// Snapshot returns a copy of the full device contents (persisted view is
+// not distinguished; callers wanting the durable image should PersistAll
+// or Crash first).
+func (d *Device) Snapshot() []byte {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]byte, len(d.data))
+	copy(out, d.data)
+	return out
+}
+
+// Restore overwrites the device contents with img (which must match the
+// capacity) and clears the persistence window.
+func (d *Device) Restore(img []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(img) != len(d.data) {
+		return fmt.Errorf("nvm: restore size %d != capacity %d", len(img), len(d.data))
+	}
+	copy(d.data, img)
+	d.pend = d.pend[:0]
+	return nil
+}
+
+// sealRange makes the current contents of [off, off+n) immune to Crash by
+// rewriting the overlapping parts of every pending undo image. Atomic verbs
+// use it: they are durable on return even though earlier plain writes to
+// the same lines are still volatile.
+func (d *Device) sealRange(off uint64, n int) {
+	end := off + uint64(n)
+	for i := range d.pend {
+		p := &d.pend[i]
+		pEnd := p.off + uint64(len(p.old))
+		if p.off >= end || pEnd <= off {
+			continue
+		}
+		lo := max64(p.off, off)
+		hi := min64(pEnd, end)
+		copy(p.old[lo-p.off:hi-p.off], d.data[lo:hi])
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// CompareAndSwap64 atomically (under the device lock) compares the 8 bytes
+// at off, interpreted little-endian, with old and writes new if they match.
+// The result is durable immediately, modelling an RDMA atomic that is
+// acknowledged from the persistence domain. It returns the previous value
+// and whether the swap happened.
+func (d *Device) CompareAndSwap64(off uint64, old, new uint64) (uint64, bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.check(off, 8); err != nil {
+		return 0, false, err
+	}
+	cur := le64(d.data[off:])
+	if cur != old {
+		return cur, false, nil
+	}
+	putLE64(d.data[off:], new)
+	d.sealRange(off, 8)
+	return cur, true, nil
+}
+
+// FetchAdd64 atomically adds delta to the 8 bytes at off and returns the
+// previous value. Durable immediately.
+func (d *Device) FetchAdd64(off uint64, delta uint64) (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.check(off, 8); err != nil {
+		return 0, err
+	}
+	cur := le64(d.data[off:])
+	putLE64(d.data[off:], cur+delta)
+	d.sealRange(off, 8)
+	return cur, nil
+}
+
+// Load64 atomically reads the 8 bytes at off as a little-endian uint64.
+func (d *Device) Load64(off uint64) (uint64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.check(off, 8); err != nil {
+		return 0, err
+	}
+	return le64(d.data[off:]), nil
+}
+
+// Store64 atomically writes v at off, durable immediately.
+func (d *Device) Store64(off uint64, v uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.check(off, 8); err != nil {
+		return err
+	}
+	putLE64(d.data[off:], v)
+	d.sealRange(off, 8)
+	return nil
+}
+
+func le64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

@@ -1,0 +1,227 @@
+// Package rdma simulates the one-sided RDMA fabric AsymNVM runs over.
+//
+// A Target wraps one back-end node's NVM device and registers it for
+// remote access; an Endpoint is a front-end node's queue pair to one
+// target. Verbs execute directly against the target's memory — no code
+// runs on the back-end, which is exactly the "passive back-end" property
+// the paper's architecture is built on — while the full round-trip cost
+// is charged to the initiating actor's virtual clock and counted in its
+// stats.
+//
+// Supported verbs mirror what the paper uses: one-sided Read and Write
+// (Write acknowledged from the persistence domain), 64-bit atomic
+// CompareAndSwap / FetchAdd / Load / Store, and a doorbell-batched
+// vector write (several writes posted together, paying one round trip).
+package rdma
+
+import (
+	"errors"
+
+	"asymnvm/internal/clock"
+	"asymnvm/internal/nvm"
+	"asymnvm/internal/stats"
+)
+
+// ErrInjected is returned by verbs failed through a FaultHook.
+var ErrInjected = errors.New("rdma: injected fault")
+
+// Op identifies a verb type for fault-injection hooks.
+type Op int
+
+// Verb kinds passed to FaultHook.
+const (
+	OpRead Op = iota
+	OpWrite
+	OpCAS
+	OpFetchAdd
+	OpLoad64
+	OpStore64
+)
+
+// FaultHook intercepts a verb before it executes. Returning false fails
+// the verb with ErrInjected after the wire has possibly been touched:
+// for OpWrite, truncate reports how many bytes still reached the target
+// (modelling a connection lost mid-transfer).
+type FaultHook func(op Op, off uint64, n int) (ok bool, truncate int)
+
+// Target registers a back-end node's NVM device for remote access.
+type Target struct {
+	dev *nvm.Device
+}
+
+// NewTarget registers dev.
+func NewTarget(dev *nvm.Device) *Target { return &Target{dev: dev} }
+
+// Device exposes the underlying device (used by the back-end's own local
+// accessors and by tests).
+func (t *Target) Device() *nvm.Device { return t.dev }
+
+// Endpoint is one front-end's connection (queue pair) to one target.
+// An Endpoint is owned by a single actor goroutine.
+type Endpoint struct {
+	t     *Target
+	clk   clock.Clock
+	st    *stats.Stats
+	prof  clock.Profile
+	fault FaultHook
+}
+
+// Connect creates an endpoint charging latency to clk and counting verbs
+// into st. st may be nil, in which case a private sink is used.
+func Connect(t *Target, clk clock.Clock, st *stats.Stats, prof clock.Profile) *Endpoint {
+	if st == nil {
+		st = &stats.Stats{}
+	}
+	return &Endpoint{t: t, clk: clk, st: st, prof: prof}
+}
+
+// SetFault installs (or clears, with nil) a fault-injection hook.
+func (e *Endpoint) SetFault(h FaultHook) { e.fault = h }
+
+// Stats returns the endpoint's counter sink.
+func (e *Endpoint) Stats() *stats.Stats { return e.st }
+
+// Clock returns the endpoint's virtual clock.
+func (e *Endpoint) Clock() clock.Clock { return e.clk }
+
+// Profile returns the latency model in use.
+func (e *Endpoint) Profile() clock.Profile { return e.prof }
+
+// Read performs a one-sided RDMA read of len(buf) bytes at off.
+func (e *Endpoint) Read(off uint64, buf []byte) error {
+	e.st.RDMARead.Add(1)
+	e.st.BytesRead.Add(int64(len(buf)))
+	e.clk.Advance(e.prof.ReadCost(len(buf)))
+	if e.fault != nil {
+		if ok, _ := e.fault(OpRead, off, len(buf)); !ok {
+			return ErrInjected
+		}
+	}
+	return e.t.dev.ReadAt(off, buf)
+}
+
+// Write performs a one-sided RDMA write that is acknowledged only after
+// the data is in the target's persistence domain (the paper assumes
+// RDMA writes with persistence semantics at the back-end).
+func (e *Endpoint) Write(off uint64, data []byte) error {
+	e.st.RDMAWrite.Add(1)
+	e.st.BytesWrite.Add(int64(len(data)))
+	e.clk.Advance(e.prof.WriteCost(len(data)))
+	if e.fault != nil {
+		if ok, trunc := e.fault(OpWrite, off, len(data)); !ok {
+			// The connection died mid-transfer: a prefix may have hit
+			// the device volatile window without being persisted.
+			if trunc > 0 && trunc <= len(data) {
+				_ = e.t.dev.WriteAt(off, data[:trunc])
+			}
+			return ErrInjected
+		}
+	}
+	return e.t.dev.WritePersist(off, data)
+}
+
+// ReadQuiet reads without charging latency or counting a verb. It models
+// the *repeat* iterations of a poll loop: the simulator charges the first
+// probe of an episode normally, and refreshes via quiet reads so that
+// single-core host scheduling does not inflate virtual time (a real
+// back-end answers long before a front-end's second poll).
+func (e *Endpoint) ReadQuiet(off uint64, buf []byte) error {
+	return e.t.dev.ReadAt(off, buf)
+}
+
+// Load64Quiet is ReadQuiet for one 64-bit word.
+func (e *Endpoint) Load64Quiet(off uint64) (uint64, error) {
+	return e.t.dev.Load64(off)
+}
+
+// WriteOp is one element of a doorbell-batched vector write.
+type WriteOp struct {
+	Off  uint64
+	Data []byte
+}
+
+// WriteV posts all ops with a single doorbell: one round trip is charged,
+// plus the bandwidth term for the combined payload. All writes are
+// persisted (acknowledged) together.
+func (e *Endpoint) WriteV(ops []WriteOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	total := 0
+	for _, op := range ops {
+		total += len(op.Data)
+	}
+	e.st.RDMAWrite.Add(1)
+	e.st.BytesWrite.Add(int64(total))
+	e.clk.Advance(e.prof.WriteCost(total))
+	for i, op := range ops {
+		if e.fault != nil {
+			if ok, trunc := e.fault(OpWrite, op.Off, len(op.Data)); !ok {
+				if trunc > 0 && trunc <= len(op.Data) {
+					_ = e.t.dev.WriteAt(op.Off, op.Data[:trunc])
+				}
+				return ErrInjected
+			}
+		}
+		var err error
+		if i == len(ops)-1 {
+			err = e.t.dev.WritePersist(op.Off, op.Data)
+		} else {
+			err = e.t.dev.WriteAt(op.Off, op.Data)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CompareAndSwap executes an RDMA atomic compare-and-swap on the 8 bytes
+// at off, returning the previous value and whether the swap happened.
+func (e *Endpoint) CompareAndSwap(off uint64, old, new uint64) (uint64, bool, error) {
+	e.st.RDMAAtomic.Add(1)
+	e.clk.Advance(e.prof.RDMAAtomic)
+	if e.fault != nil {
+		if ok, _ := e.fault(OpCAS, off, 8); !ok {
+			return 0, false, ErrInjected
+		}
+	}
+	return e.t.dev.CompareAndSwap64(off, old, new)
+}
+
+// FetchAdd executes an RDMA atomic fetch-and-add, returning the previous value.
+func (e *Endpoint) FetchAdd(off uint64, delta uint64) (uint64, error) {
+	e.st.RDMAAtomic.Add(1)
+	e.clk.Advance(e.prof.RDMAAtomic)
+	if e.fault != nil {
+		if ok, _ := e.fault(OpFetchAdd, off, 8); !ok {
+			return 0, ErrInjected
+		}
+	}
+	return e.t.dev.FetchAdd64(off, delta)
+}
+
+// Load64 atomically reads an 8-byte word (implemented as a small one-sided
+// read on real NICs; charged as an atomic verb round trip).
+func (e *Endpoint) Load64(off uint64) (uint64, error) {
+	e.st.RDMAAtomic.Add(1)
+	e.clk.Advance(e.prof.RDMAAtomic)
+	if e.fault != nil {
+		if ok, _ := e.fault(OpLoad64, off, 8); !ok {
+			return 0, ErrInjected
+		}
+	}
+	return e.t.dev.Load64(off)
+}
+
+// Store64 atomically writes an 8-byte word, durable on return.
+func (e *Endpoint) Store64(off uint64, v uint64) error {
+	e.st.RDMAAtomic.Add(1)
+	e.clk.Advance(e.prof.RDMAAtomic)
+	if e.fault != nil {
+		if ok, _ := e.fault(OpStore64, off, 8); !ok {
+			return ErrInjected
+		}
+	}
+	return e.t.dev.Store64(off, v)
+}

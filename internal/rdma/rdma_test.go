@@ -1,0 +1,167 @@
+package rdma
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"asymnvm/internal/clock"
+	"asymnvm/internal/nvm"
+	"asymnvm/internal/stats"
+)
+
+func newEP(size int, prof clock.Profile) (*Endpoint, *clock.Virtual) {
+	dev := nvm.NewDevice(size)
+	clk := clock.NewVirtual()
+	return Connect(NewTarget(dev), clk, &stats.Stats{}, prof), clk
+}
+
+func TestReadWrite(t *testing.T) {
+	ep, _ := newEP(1024, clock.ZeroProfile())
+	if err := ep.Write(64, []byte("remote data")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 11)
+	if err := ep.Read(64, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "remote data" {
+		t.Fatalf("read %q", buf)
+	}
+	st := ep.Stats().Snapshot()
+	if st.RDMARead != 1 || st.RDMAWrite != 1 {
+		t.Fatalf("verb counters: %+v", st)
+	}
+	if st.BytesRead != 11 || st.BytesWrite != 11 {
+		t.Fatalf("byte counters: %+v", st)
+	}
+}
+
+func TestLatencyCharged(t *testing.T) {
+	prof := clock.DefaultProfile()
+	ep, clk := newEP(1024, prof)
+	_ = ep.Write(0, make([]byte, 64))
+	w := clk.Now()
+	if w < prof.RDMARTT {
+		t.Fatalf("write charged %v, want >= RTT %v", w, prof.RDMARTT)
+	}
+	_ = ep.Read(0, make([]byte, 64))
+	if clk.Now()-w < prof.RDMARTT {
+		t.Fatal("read must charge at least one RTT")
+	}
+}
+
+func TestWriteIsDurable(t *testing.T) {
+	ep, _ := newEP(256, clock.ZeroProfile())
+	_ = ep.Write(0, []byte("ACKED"))
+	ep.t.dev.Crash(nil)
+	buf := make([]byte, 5)
+	_ = ep.Read(0, buf)
+	if string(buf) != "ACKED" {
+		t.Fatal("acknowledged RDMA write must survive a power failure")
+	}
+}
+
+func TestWriteVSingleRoundTrip(t *testing.T) {
+	prof := clock.DefaultProfile()
+	ep, clk := newEP(4096, prof)
+	ops := []WriteOp{
+		{Off: 0, Data: []byte("aaaa")},
+		{Off: 100, Data: []byte("bbbb")},
+		{Off: 200, Data: []byte("cccc")},
+	}
+	if err := ep.WriteV(ops); err != nil {
+		t.Fatal(err)
+	}
+	if n := ep.Stats().RDMAWrite.Load(); n != 1 {
+		t.Fatalf("WriteV must cost one doorbell, counted %d", n)
+	}
+	if clk.Now() > 2*prof.RDMARTT {
+		t.Fatalf("WriteV charged %v, want about one RTT", clk.Now())
+	}
+	buf := make([]byte, 4)
+	_ = ep.Read(200, buf)
+	if string(buf) != "cccc" {
+		t.Fatal("vector write content lost")
+	}
+}
+
+func TestAtomics(t *testing.T) {
+	ep, _ := newEP(64, clock.ZeroProfile())
+	if err := ep.Store64(8, 5); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ep.Load64(8); v != 5 {
+		t.Fatalf("Load64 = %d", v)
+	}
+	if _, ok, _ := ep.CompareAndSwap(8, 5, 6); !ok {
+		t.Fatal("CAS should succeed")
+	}
+	if prev, _ := ep.FetchAdd(8, 10); prev != 6 {
+		t.Fatalf("FetchAdd prev = %d", prev)
+	}
+	if v, _ := ep.Load64(8); v != 16 {
+		t.Fatalf("final = %d", v)
+	}
+	if n := ep.Stats().RDMAAtomic.Load(); n != 5 {
+		t.Fatalf("atomic verb count = %d, want 5", n)
+	}
+}
+
+func TestFaultInjectionWrite(t *testing.T) {
+	ep, _ := newEP(256, clock.ZeroProfile())
+	_ = ep.Write(0, bytes.Repeat([]byte{0xAA}, 128)) // durable baseline
+	ep.SetFault(func(op Op, off uint64, n int) (bool, int) {
+		if op == OpWrite {
+			return false, 64 // connection dies after 64 bytes
+		}
+		return true, 0
+	})
+	err := ep.Write(0, bytes.Repeat([]byte{0xBB}, 128))
+	if err != ErrInjected {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	ep.SetFault(nil)
+	// The truncated prefix is in the volatile window; a crash reverts it.
+	ep.t.dev.Crash(nil)
+	buf := make([]byte, 128)
+	_ = ep.Read(0, buf)
+	if !bytes.Equal(buf, bytes.Repeat([]byte{0xAA}, 128)) {
+		t.Fatal("unacknowledged partial write must not be durable")
+	}
+}
+
+func TestFaultInjectionRead(t *testing.T) {
+	ep, _ := newEP(64, clock.ZeroProfile())
+	ep.SetFault(func(Op, uint64, int) (bool, int) { return false, 0 })
+	if err := ep.Read(0, make([]byte, 8)); err != ErrInjected {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if _, _, err := ep.CompareAndSwap(0, 0, 1); err != ErrInjected {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+}
+
+func TestNilStatsGetsSink(t *testing.T) {
+	dev := nvm.NewDevice(64)
+	ep := Connect(NewTarget(dev), clock.Zero, nil, clock.ZeroProfile())
+	if ep.Stats() == nil {
+		t.Fatal("endpoint must always have a stats sink")
+	}
+	_ = ep.Write(0, []byte{1})
+}
+
+func TestBandwidthTerm(t *testing.T) {
+	prof := clock.DefaultProfile()
+	ep, clk := newEP(1<<21, prof)
+	_ = ep.Write(0, make([]byte, 8))
+	small := clk.Now()
+	_ = ep.Write(0, make([]byte, 1<<20))
+	big := clk.Now() - small
+	if big < small {
+		t.Fatalf("1 MiB write (%v) must cost more than 8 B write (%v)", big, small)
+	}
+	if big < 100*time.Microsecond {
+		t.Fatalf("1 MiB at 5 GB/s should be ≈200µs, got %v", big)
+	}
+}

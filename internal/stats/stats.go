@@ -1,0 +1,131 @@
+// Package stats collects the counters the AsymNVM evaluation reports:
+// RDMA verbs by type, bytes moved, cache behaviour, seqlock retries, log
+// volumes and replay progress, and busy-time accounting for the CPU
+// utilization figure.
+//
+// All counters are updated with atomics so any actor may share a Stats.
+package stats
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Stats is a set of monotone counters. The zero value is ready to use.
+type Stats struct {
+	RDMARead    atomic.Int64 // one-sided reads issued
+	RDMAWrite   atomic.Int64 // one-sided writes issued
+	RDMAAtomic  atomic.Int64 // CAS / fetch-add / atomic 64-bit verbs
+	RPCCalls    atomic.Int64 // ring-based RPC invocations (malloc/free)
+	BytesRead   atomic.Int64
+	BytesWrite  atomic.Int64
+	CacheHit    atomic.Int64
+	CacheMiss   atomic.Int64
+	CacheEvict  atomic.Int64
+	ReadRetry   atomic.Int64 // seqlock read retries
+	OpLogs      atomic.Int64 // operation logs appended
+	MemLogs     atomic.Int64 // memory log entries appended
+	TxCommits   atomic.Int64 // rnvm_tx_write flushes
+	TxReplayed  atomic.Int64 // transactions applied by the replayer
+	OpsAnnulled atomic.Int64 // stack/queue operations cancelled in the op log
+	Allocs      atomic.Int64
+	Frees       atomic.Int64
+
+	// BusyNS accumulates virtual nanoseconds during which the owning
+	// node's CPU was doing work (as opposed to waiting on the fabric).
+	BusyNS atomic.Int64
+}
+
+// AddBusy charges d of CPU-busy virtual time.
+func (s *Stats) AddBusy(d time.Duration) {
+	if d > 0 {
+		s.BusyNS.Add(int64(d))
+	}
+}
+
+// Snapshot is a plain-value copy of all counters.
+type Snapshot struct {
+	RDMARead, RDMAWrite, RDMAAtomic, RPCCalls int64
+	BytesRead, BytesWrite                     int64
+	CacheHit, CacheMiss, CacheEvict           int64
+	ReadRetry                                 int64
+	OpLogs, MemLogs, TxCommits, TxReplayed    int64
+	OpsAnnulled                               int64
+	Allocs, Frees                             int64
+	BusyNS                                    int64
+}
+
+// Snapshot captures the current counter values.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		RDMARead:    s.RDMARead.Load(),
+		RDMAWrite:   s.RDMAWrite.Load(),
+		RDMAAtomic:  s.RDMAAtomic.Load(),
+		RPCCalls:    s.RPCCalls.Load(),
+		BytesRead:   s.BytesRead.Load(),
+		BytesWrite:  s.BytesWrite.Load(),
+		CacheHit:    s.CacheHit.Load(),
+		CacheMiss:   s.CacheMiss.Load(),
+		CacheEvict:  s.CacheEvict.Load(),
+		ReadRetry:   s.ReadRetry.Load(),
+		OpLogs:      s.OpLogs.Load(),
+		MemLogs:     s.MemLogs.Load(),
+		TxCommits:   s.TxCommits.Load(),
+		TxReplayed:  s.TxReplayed.Load(),
+		OpsAnnulled: s.OpsAnnulled.Load(),
+		Allocs:      s.Allocs.Load(),
+		Frees:       s.Frees.Load(),
+		BusyNS:      s.BusyNS.Load(),
+	}
+}
+
+// Sub returns the per-field difference a-b, for measuring an interval.
+func (a Snapshot) Sub(b Snapshot) Snapshot {
+	return Snapshot{
+		RDMARead:    a.RDMARead - b.RDMARead,
+		RDMAWrite:   a.RDMAWrite - b.RDMAWrite,
+		RDMAAtomic:  a.RDMAAtomic - b.RDMAAtomic,
+		RPCCalls:    a.RPCCalls - b.RPCCalls,
+		BytesRead:   a.BytesRead - b.BytesRead,
+		BytesWrite:  a.BytesWrite - b.BytesWrite,
+		CacheHit:    a.CacheHit - b.CacheHit,
+		CacheMiss:   a.CacheMiss - b.CacheMiss,
+		CacheEvict:  a.CacheEvict - b.CacheEvict,
+		ReadRetry:   a.ReadRetry - b.ReadRetry,
+		OpLogs:      a.OpLogs - b.OpLogs,
+		MemLogs:     a.MemLogs - b.MemLogs,
+		TxCommits:   a.TxCommits - b.TxCommits,
+		TxReplayed:  a.TxReplayed - b.TxReplayed,
+		OpsAnnulled: a.OpsAnnulled - b.OpsAnnulled,
+		Allocs:      a.Allocs - b.Allocs,
+		Frees:       a.Frees - b.Frees,
+		BusyNS:      a.BusyNS - b.BusyNS,
+	}
+}
+
+// RDMAVerbs is the total number of network round trips in the snapshot.
+func (a Snapshot) RDMAVerbs() int64 {
+	return a.RDMARead + a.RDMAWrite + a.RDMAAtomic
+}
+
+// HitRatio reports the cache hit ratio, or 0 when no accesses happened.
+func (a Snapshot) HitRatio() float64 {
+	t := a.CacheHit + a.CacheMiss
+	if t == 0 {
+		return 0
+	}
+	return float64(a.CacheHit) / float64(t)
+}
+
+// String renders a compact human-readable summary.
+func (a Snapshot) String() string {
+	return fmt.Sprintf(
+		"rdma{r=%d w=%d atom=%d rpc=%d} bytes{r=%d w=%d} cache{hit=%d miss=%d} logs{op=%d mem=%d tx=%d replayed=%d} retry=%d",
+		a.RDMARead, a.RDMAWrite, a.RDMAAtomic, a.RPCCalls,
+		a.BytesRead, a.BytesWrite,
+		a.CacheHit, a.CacheMiss,
+		a.OpLogs, a.MemLogs, a.TxCommits, a.TxReplayed,
+		a.ReadRetry,
+	)
+}

@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSnapshotAndSub(t *testing.T) {
+	var s Stats
+	s.RDMARead.Add(10)
+	s.RDMAWrite.Add(4)
+	s.CacheHit.Add(7)
+	s.CacheMiss.Add(3)
+	a := s.Snapshot()
+	s.RDMARead.Add(5)
+	s.CacheHit.Add(1)
+	d := s.Snapshot().Sub(a)
+	if d.RDMARead != 5 || d.RDMAWrite != 0 || d.CacheHit != 1 {
+		t.Fatalf("delta wrong: %+v", d)
+	}
+	if a.RDMAVerbs() != 14 {
+		t.Fatalf("verbs = %d, want 14", a.RDMAVerbs())
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	var s Stats
+	if r := s.Snapshot().HitRatio(); r != 0 {
+		t.Fatalf("empty ratio %v", r)
+	}
+	s.CacheHit.Add(3)
+	s.CacheMiss.Add(1)
+	if r := s.Snapshot().HitRatio(); r != 0.75 {
+		t.Fatalf("ratio %v, want 0.75", r)
+	}
+}
+
+func TestBusyAccounting(t *testing.T) {
+	var s Stats
+	s.AddBusy(3 * time.Microsecond)
+	s.AddBusy(-time.Second) // ignored
+	if got := s.Snapshot().BusyNS; got != 3000 {
+		t.Fatalf("busy = %d, want 3000", got)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	var s Stats
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.TxCommits.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Snapshot().TxCommits; got != 8000 {
+		t.Fatalf("lost updates: %d", got)
+	}
+}
+
+func TestStringContainsCounters(t *testing.T) {
+	var s Stats
+	s.OpLogs.Add(42)
+	out := s.Snapshot().String()
+	if !strings.Contains(out, "op=42") {
+		t.Fatalf("String() = %q", out)
+	}
+}

@@ -1,0 +1,82 @@
+package symmetric
+
+import (
+	"bytes"
+	"testing"
+
+	"asymnvm/internal/clock"
+	"asymnvm/internal/ds"
+)
+
+func TestProfileIsLocal(t *testing.T) {
+	p := Profile()
+	remote := clock.DefaultProfile()
+	if p.RDMARTT != 0 {
+		t.Fatal("symmetric round trips must be free")
+	}
+	if p.NVMRead != remote.NVMRead || p.NVMWrite != remote.NVMWrite {
+		t.Fatal("media latency must be unchanged")
+	}
+	if p.RDMAAtomic >= remote.RDMAAtomic {
+		t.Fatal("local atomics must be far cheaper than fabric atomics")
+	}
+}
+
+func TestSymmetricNodeRunsStructures(t *testing.T) {
+	node, err := New(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+	conn, err := node.Client(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := ds.CreateBPTree(conn, "local", ds.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 500; i++ {
+		if err := bt.Put(i, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bt.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := bt.Get(123)
+	if err != nil || !ok || !bytes.Equal(v, []byte{123}) {
+		t.Fatalf("get: %v %v %v", v, ok, err)
+	}
+}
+
+func TestSymmetricFasterThanRemote(t *testing.T) {
+	// The same op sequence must cost far less virtual time locally than
+	// over the fabric — the premise of the whole comparison.
+	node, err := New(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+	conn, err := node.Client(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := ds.CreateBPTree(conn, "timing", ds.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe := conn.Frontend()
+	start := fe.Clock().Now()
+	for i := uint64(1); i <= 200; i++ {
+		if err := bt.Put(i, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perOp := (fe.Clock().Now() - start) / 200
+	// A remote unbatched put costs at least 2 RTTs ≈ 4 µs; local must be
+	// well under one RTT.
+	if perOp > 2000 {
+		t.Fatalf("local put costs %v ns, expected sub-microsecond scale", perOp)
+	}
+}

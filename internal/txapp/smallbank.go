@@ -1,0 +1,234 @@
+package txapp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"asymnvm/internal/core"
+	"asymnvm/internal/ds"
+)
+
+// SmallBank transaction types with the standard mix.
+type SBTx int
+
+// Transaction kinds.
+const (
+	SBBalance         SBTx = iota // 15%: read both balances
+	SBDepositChecking             // 15%: update checking
+	SBTransactSavings             // 15%: update savings
+	SBAmalgamate                  // 15%: move both balances to another account
+	SBWriteCheck                  // 25%: conditional checking update
+	SBSendPayment                 // 15%: checking→checking transfer
+	sbTxKinds
+)
+
+// SmallBank runs the banking benchmark over one hash table, keys
+// custID*2 (savings) and custID*2+1 (checking), values 8-byte balances —
+// "we use HashTable ... as the index data structure of SmallBank".
+type SmallBank struct {
+	ht       *ds.HashTable
+	accounts uint64
+	counts   [sbTxKinds]int64
+	writer   bool
+}
+
+// NewSmallBank creates and populates the bank with n accounts holding an
+// initial balance each.
+func NewSmallBank(c *core.Conn, name string, n uint64, opts ds.Options) (*SmallBank, error) {
+	ht, err := ds.CreateHashTable(c, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	b := &SmallBank{ht: ht, accounts: n, writer: true}
+	for id := uint64(1); id <= n; id++ {
+		if err := b.setBal(savKey(id), 10000); err != nil {
+			return nil, err
+		}
+		if err := b.setBal(chkKey(id), 5000); err != nil {
+			return nil, err
+		}
+	}
+	if err := ht.Flush(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// OpenSmallBank attaches to an existing bank.
+func OpenSmallBank(c *core.Conn, name string, n uint64, writer bool, opts ds.Options) (*SmallBank, error) {
+	ht, err := ds.OpenHashTable(c, name, writer, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &SmallBank{ht: ht, accounts: n, writer: writer}, nil
+}
+
+func savKey(id uint64) uint64 { return id * 2 }
+func chkKey(id uint64) uint64 { return id*2 + 1 }
+
+func (b *SmallBank) bal(key uint64) (int64, error) {
+	v, ok, err := b.ht.Get(key)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("txapp: missing account row %d", key)
+	}
+	return int64(binary.LittleEndian.Uint64(v)), nil
+}
+
+func (b *SmallBank) setBal(key uint64, v int64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	return b.ht.Put(key, buf[:])
+}
+
+// pickSB draws a transaction from the standard mix.
+func pickSB(r uint64) SBTx {
+	p := r % 100
+	switch {
+	case p < 15:
+		return SBBalance
+	case p < 30:
+		return SBDepositChecking
+	case p < 45:
+		return SBTransactSavings
+	case p < 60:
+		return SBAmalgamate
+	case p < 85:
+		return SBWriteCheck
+	default:
+		return SBSendPayment
+	}
+}
+
+// DoTx executes one transaction from the mix.
+func (b *SmallBank) DoTx(r uint64) error {
+	tx := pickSB(r)
+	b.counts[tx]++
+	id := r>>8%b.accounts + 1
+	id2 := r>>32%b.accounts + 1
+	if id2 == id {
+		// Two-account transactions need distinct accounts.
+		id2 = id%b.accounts + 1
+	}
+	amount := int64(r>>16%100) + 1
+	switch tx {
+	case SBBalance:
+		if _, err := b.bal(savKey(id)); err != nil {
+			return err
+		}
+		_, err := b.bal(chkKey(id))
+		return err
+	case SBDepositChecking:
+		if !b.writer {
+			return nil
+		}
+		cur, err := b.bal(chkKey(id))
+		if err != nil {
+			return err
+		}
+		return b.setBal(chkKey(id), cur+amount)
+	case SBTransactSavings:
+		if !b.writer {
+			return nil
+		}
+		cur, err := b.bal(savKey(id))
+		if err != nil {
+			return err
+		}
+		return b.setBal(savKey(id), cur+amount)
+	case SBAmalgamate:
+		if !b.writer {
+			return nil
+		}
+		sv, err := b.bal(savKey(id))
+		if err != nil {
+			return err
+		}
+		cv, err := b.bal(chkKey(id))
+		if err != nil {
+			return err
+		}
+		dst, err := b.bal(chkKey(id2))
+		if err != nil {
+			return err
+		}
+		if err := b.setBal(savKey(id), 0); err != nil {
+			return err
+		}
+		if err := b.setBal(chkKey(id), 0); err != nil {
+			return err
+		}
+		return b.setBal(chkKey(id2), dst+sv+cv)
+	case SBWriteCheck:
+		if !b.writer {
+			return nil
+		}
+		sv, err := b.bal(savKey(id))
+		if err != nil {
+			return err
+		}
+		cv, err := b.bal(chkKey(id))
+		if err != nil {
+			return err
+		}
+		if sv+cv < amount {
+			amount++ // overdraft penalty
+		}
+		return b.setBal(chkKey(id), cv-amount)
+	case SBSendPayment:
+		if !b.writer {
+			return nil
+		}
+		cv, err := b.bal(chkKey(id))
+		if err != nil {
+			return err
+		}
+		if cv < amount {
+			return nil // insufficient funds: abort (no effect)
+		}
+		dst, err := b.bal(chkKey(id2))
+		if err != nil {
+			return err
+		}
+		if err := b.setBal(chkKey(id), cv-amount); err != nil {
+			return err
+		}
+		return b.setBal(chkKey(id2), dst+amount)
+	}
+	return fmt.Errorf("txapp: unknown tx %d", tx)
+}
+
+// TotalMoney sums every balance (conservation checks in tests).
+func (b *SmallBank) TotalMoney() (int64, error) {
+	var total int64
+	for id := uint64(1); id <= b.accounts; id++ {
+		sv, err := b.bal(savKey(id))
+		if err != nil {
+			return 0, err
+		}
+		cv, err := b.bal(chkKey(id))
+		if err != nil {
+			return 0, err
+		}
+		total += sv + cv
+	}
+	return total, nil
+}
+
+// Counts returns per-type executed transaction counts.
+func (b *SmallBank) Counts() [6]int64 {
+	var out [6]int64
+	copy(out[:], b.counts[:])
+	return out
+}
+
+// Table exposes the underlying hash table.
+func (b *SmallBank) Table() *ds.HashTable { return b.ht }
+
+// Flush flushes batched writes.
+func (b *SmallBank) Flush() error { return b.ht.Flush() }
+
+// Close drains and releases the writer lock.
+func (b *SmallBank) Close() error { return b.ht.Close() }

@@ -1,0 +1,212 @@
+// Package txapp implements the two transaction applications of the
+// paper's end-to-end evaluation (§9.2): TATP (the telecom application
+// benchmark) indexed by a B+Tree, and SmallBank indexed by a hash table,
+// both running entirely on the AsymNVM framework's persistent structures.
+package txapp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"asymnvm/internal/core"
+	"asymnvm/internal/ds"
+)
+
+// TATP table tags, packed into the top byte of the composite key.
+const (
+	tatpSubscriber uint64 = 1 << 56
+	tatpAccessInfo uint64 = 2 << 56
+	tatpSpecialFac uint64 = 3 << 56
+	tatpCallFwd    uint64 = 4 << 56
+)
+
+// TATP transaction types (the standard mix).
+type TATPTx int
+
+// Transaction types with their standard mix percentages.
+const (
+	TxGetSubscriberData    TATPTx = iota // 35%
+	TxGetNewDestination                  // 10%
+	TxGetAccessData                      // 35%
+	TxUpdateSubscriberData               // 2%
+	TxUpdateLocation                     // 14%
+	TxInsertCallForwarding               // 2%
+	TxDeleteCallForwarding               // 2%
+	tatpTxKinds
+)
+
+// TATP runs the telecom benchmark over one B+Tree index holding all four
+// tables under composite keys, as the paper does ("we use ... BPT as the
+// index data structure of ... TATP").
+type TATP struct {
+	idx         *ds.BPTree
+	subscribers uint64
+	counts      [tatpTxKinds]int64
+	writer      bool
+}
+
+// subscriber record: sub_nbr digits + bit/hex/byte fields + locations,
+// condensed to 96 bytes.
+const tatpSubRecLen = 96
+
+// NewTATP creates the index and loads n subscribers with their access
+// info, special facility and call forwarding rows (standard population:
+// 2.5 AI rows, 2.5 SF rows, 1.5 CF rows per subscriber on average).
+func NewTATP(c *core.Conn, name string, n uint64, opts ds.Options) (*TATP, error) {
+	if opts.ValueCap < tatpSubRecLen {
+		opts.ValueCap = 128
+	}
+	idx, err := ds.CreateBPTree(c, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	t := &TATP{idx: idx, subscribers: n, writer: true}
+	rng := rand.New(rand.NewSource(20200316))
+	for s := uint64(1); s <= n; s++ {
+		if err := idx.Put(tatpSubscriber|s, t.subRecord(s, uint16(rng.Intn(1<<16)))); err != nil {
+			return nil, err
+		}
+		nAI := 1 + rng.Intn(4)
+		for ai := 1; ai <= nAI; ai++ {
+			if err := idx.Put(tatpAccessInfo|s<<8|uint64(ai), smallRec(s, uint64(ai), 40)); err != nil {
+				return nil, err
+			}
+		}
+		nSF := 1 + rng.Intn(4)
+		for sf := 1; sf <= nSF; sf++ {
+			if err := idx.Put(tatpSpecialFac|s<<8|uint64(sf), smallRec(s, uint64(sf), 40)); err != nil {
+				return nil, err
+			}
+			if rng.Intn(2) == 0 {
+				start := uint64(rng.Intn(3) * 8)
+				key := tatpCallFwd | s<<16 | uint64(sf)<<8 | start
+				if err := idx.Put(key, smallRec(s, start, 24)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := idx.Flush(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// OpenTATP attaches to an existing TATP database.
+func OpenTATP(c *core.Conn, name string, n uint64, writer bool, opts ds.Options) (*TATP, error) {
+	if opts.ValueCap < tatpSubRecLen {
+		opts.ValueCap = 128
+	}
+	idx, err := ds.OpenBPTree(c, name, writer, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &TATP{idx: idx, subscribers: n, writer: writer}, nil
+}
+
+func (t *TATP) subRecord(s uint64, bits uint16) []byte {
+	rec := make([]byte, tatpSubRecLen)
+	binary.LittleEndian.PutUint64(rec, s)
+	binary.LittleEndian.PutUint16(rec[8:], bits)
+	for i := 16; i < tatpSubRecLen; i++ {
+		rec[i] = byte(s + uint64(i))
+	}
+	return rec
+}
+
+func smallRec(a, b uint64, n int) []byte {
+	rec := make([]byte, n)
+	binary.LittleEndian.PutUint64(rec, a)
+	binary.LittleEndian.PutUint64(rec[8:], b)
+	return rec
+}
+
+// pickTx draws a transaction type from the standard TATP mix (80% read).
+func pickTx(r uint64) TATPTx {
+	p := r % 100
+	switch {
+	case p < 35:
+		return TxGetSubscriberData
+	case p < 45:
+		return TxGetNewDestination
+	case p < 80:
+		return TxGetAccessData
+	case p < 82:
+		return TxUpdateSubscriberData
+	case p < 96:
+		return TxUpdateLocation
+	case p < 98:
+		return TxInsertCallForwarding
+	default:
+		return TxDeleteCallForwarding
+	}
+}
+
+// DoTx executes one transaction drawn from the standard mix, using r as
+// the randomness source (two independent draws packed in one uint64).
+func (t *TATP) DoTx(r uint64) error {
+	tx := pickTx(r)
+	t.counts[tx]++
+	s := r>>8%t.subscribers + 1
+	switch tx {
+	case TxGetSubscriberData:
+		_, _, err := t.idx.Get(tatpSubscriber | s)
+		return err
+	case TxGetAccessData:
+		_, _, err := t.idx.Get(tatpAccessInfo | s<<8 | (r>>40%4 + 1))
+		return err
+	case TxGetNewDestination:
+		sf := r>>40%4 + 1
+		if _, ok, err := t.idx.Get(tatpSpecialFac | s<<8 | sf); err != nil || !ok {
+			return err
+		}
+		_, _, err := t.idx.Get(tatpCallFwd | s<<16 | sf<<8 | (r >> 44 % 3 * 8))
+		return err
+	case TxUpdateSubscriberData:
+		if !t.writer {
+			return nil
+		}
+		if err := t.idx.Put(tatpSubscriber|s, t.subRecord(s, uint16(r>>16))); err != nil {
+			return err
+		}
+		return t.idx.Put(tatpSpecialFac|s<<8|(r>>40%4+1), smallRec(s, r>>16, 40))
+	case TxUpdateLocation:
+		if !t.writer {
+			return nil
+		}
+		return t.idx.Put(tatpSubscriber|s, t.subRecord(s, uint16(r>>24)))
+	case TxInsertCallForwarding:
+		if !t.writer {
+			return nil
+		}
+		sf := r>>40%4 + 1
+		return t.idx.Put(tatpCallFwd|s<<16|sf<<8|(r>>44%3*8), smallRec(s, r>>16, 24))
+	case TxDeleteCallForwarding:
+		if !t.writer {
+			return nil
+		}
+		// The B+Tree carries no delete; TATP deletes are modeled as
+		// tombstone writes (an all-zero record), which exercises the
+		// identical write path.
+		sf := r>>40%4 + 1
+		return t.idx.Put(tatpCallFwd|s<<16|sf<<8|(r>>44%3*8), make([]byte, 24))
+	}
+	return fmt.Errorf("txapp: unknown tx %d", tx)
+}
+
+// Counts returns per-type executed transaction counts.
+func (t *TATP) Counts() [7]int64 {
+	var out [7]int64
+	copy(out[:], t.counts[:])
+	return out
+}
+
+// Index exposes the underlying B+Tree.
+func (t *TATP) Index() *ds.BPTree { return t.idx }
+
+// Flush flushes batched writes.
+func (t *TATP) Flush() error { return t.idx.Flush() }
+
+// Close drains and releases the writer lock.
+func (t *TATP) Close() error { return t.idx.Close() }

@@ -1,0 +1,219 @@
+package txapp
+
+import (
+	"testing"
+
+	"asymnvm/internal/backend"
+	"asymnvm/internal/clock"
+	"asymnvm/internal/core"
+	"asymnvm/internal/ds"
+	"asymnvm/internal/nvm"
+)
+
+var zprof = clock.ZeroProfile()
+
+var tOpts = ds.Options{
+	Create:  core.CreateOptions{MemLogSize: 4 << 20, OpLogSize: 2 << 20},
+	Buckets: 1 << 12,
+}
+
+func newConn(t *testing.T, id uint16, mode core.Mode) *core.Conn {
+	t.Helper()
+	dev := nvm.NewDevice(256 << 20)
+	bk, err := backend.New(dev, backend.Options{ID: 0, Profile: &zprof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk.Start()
+	t.Cleanup(bk.Stop)
+	fe := core.NewFrontend(core.FrontendOptions{ID: id, Mode: mode, Profile: &zprof})
+	c, err := fe.Connect(bk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestTATPMixRuns(t *testing.T) {
+	c := newConn(t, 1, core.ModeRC(8<<20))
+	app, err := NewTATP(c, "tatp", 200, tOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := uint64(1)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for i := 0; i < 3000; i++ {
+		if err := app.DoTx(next()); err != nil {
+			t.Fatalf("tx %d: %v", i, err)
+		}
+	}
+	counts := app.Counts()
+	total := int64(0)
+	for _, n := range counts {
+		total += n
+	}
+	if total != 3000 {
+		t.Fatalf("counted %d txs", total)
+	}
+	// The mix should roughly match the standard percentages.
+	if counts[TxGetSubscriberData] < 800 || counts[TxGetAccessData] < 800 {
+		t.Fatalf("read mix off: %v", counts)
+	}
+	if counts[TxUpdateLocation] < 200 {
+		t.Fatalf("UpdateLocation mix off: %v", counts)
+	}
+	if err := app.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTATPSubscriberUpdateVisible(t *testing.T) {
+	c := newConn(t, 1, core.ModeRC(8<<20))
+	app, err := NewTATP(c, "tatp2", 50, tOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// UpdateLocation on subscriber 7, then read it back.
+	if err := app.DoTx(82 | 6<<8 | 0xABCD<<24); err != nil { // p=82 → UpdateLocation
+		t.Fatal(err)
+	}
+	v, ok, err := app.Index().Get(tatpSubscriber | 7)
+	if err != nil || !ok {
+		t.Fatalf("subscriber missing: %v %v", ok, err)
+	}
+	if len(v) != tatpSubRecLen {
+		t.Fatalf("record length %d", len(v))
+	}
+	_ = app.Close()
+}
+
+func TestSmallBankConservation(t *testing.T) {
+	c := newConn(t, 1, core.ModeRC(8<<20))
+	bank, err := NewSmallBank(c, "bank", 100, tOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := bank.TotalMoney()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SendPayment and Amalgamate conserve money; run only those.
+	rng := uint64(99)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for i := 0; i < 500; i++ {
+		r := next()
+		// Force p into the SendPayment band (85..99) half the time and
+		// Amalgamate (45..59) the other half.
+		if i%2 == 0 {
+			r = r/100*100 + 90
+		} else {
+			r = r/100*100 + 50
+		}
+		if err := bank.DoTx(r); err != nil {
+			t.Fatalf("tx %d: %v", i, err)
+		}
+	}
+	if err := bank.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := bank.TotalMoney()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Fatalf("money not conserved: %d → %d", before, after)
+	}
+	_ = bank.Close()
+}
+
+func TestSmallBankFullMixRuns(t *testing.T) {
+	c := newConn(t, 1, core.ModeRCB(8<<20, 32))
+	bank, err := NewSmallBank(c, "bank2", 100, tOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := uint64(5)
+	for i := 0; i < 2000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		if err := bank.DoTx(rng); err != nil {
+			t.Fatalf("tx %d: %v", i, err)
+		}
+	}
+	counts := bank.Counts()
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	if total != 2000 {
+		t.Fatalf("counted %d", total)
+	}
+	if counts[SBWriteCheck] < 350 {
+		t.Fatalf("WriteCheck mix off: %v", counts)
+	}
+	if err := bank.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmallBankSurvivesReopen(t *testing.T) {
+	dev := nvm.NewDevice(256 << 20)
+	bk, err := backend.New(dev, backend.Options{ID: 0, Profile: &zprof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk.Start()
+	fe := core.NewFrontend(core.FrontendOptions{ID: 1, Mode: core.ModeR(), Profile: &zprof})
+	c, err := fe.Connect(bk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank, err := NewSmallBank(c, "bank3", 20, tOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bank.DoTx(90 | 3<<8 | 7<<32 | 50<<16); err != nil { // SendPayment
+		t.Fatal(err)
+	}
+	before, _ := bank.TotalMoney()
+	if err := bank.Close(); err != nil {
+		t.Fatal(err)
+	}
+	bk.Stop()
+	dev.Crash(nil)
+
+	bk2, err := backend.New(dev, backend.Options{ID: 0, Profile: &zprof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk2.Start()
+	defer bk2.Stop()
+	fe2 := core.NewFrontend(core.FrontendOptions{ID: 2, Mode: core.ModeR(), Profile: &zprof})
+	c2, err := fe2.Connect(bk2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank2, err := OpenSmallBank(c2, "bank3", 20, true, tOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := bank2.TotalMoney()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Fatalf("balance changed across crash: %d → %d", before, after)
+	}
+	_ = bank2.Close()
+}

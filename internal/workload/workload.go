@@ -1,0 +1,211 @@
+// Package workload generates the key streams and operation mixes of the
+// paper's evaluation (§9.6): YCSB-style uniform and Zipf-skewed key
+// distributions (parameters .5, .9, .99), configurable PUT/GET and
+// PUSH/POP mixes, and a synthetic stand-in for the Alibaba industry trace
+// (power-law keys, 64-byte hashed key space, values from 64 B to 8 KB) —
+// the real trace is proprietary, and its properties stated in the paper
+// (power-law skew, op mix, size range) are what the generator reproduces.
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// OpKind is a generated operation type.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpGet OpKind = iota
+	OpPut
+)
+
+// Op is one generated operation.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+	// ValueLen is the value size for puts (the driver materializes the
+	// bytes; keeping the trace compact makes million-op runs cheap).
+	ValueLen int
+}
+
+// Generator produces an operation stream.
+type Generator struct {
+	rng      *rand.Rand
+	keys     KeyDist
+	writePct int // 0..100
+	valueLen func(*rand.Rand) int
+}
+
+// KeyDist draws keys in [1, n].
+type KeyDist interface {
+	Next(*rand.Rand) uint64
+	// N reports the key-space size.
+	N() uint64
+}
+
+// Uniform draws keys uniformly.
+type Uniform struct{ Keys uint64 }
+
+// Next draws one key.
+func (u Uniform) Next(r *rand.Rand) uint64 { return uint64(r.Int63n(int64(u.Keys))) + 1 }
+
+// N reports the key-space size.
+func (u Uniform) N() uint64 { return u.Keys }
+
+// Zipf draws keys with the YCSB zipfian distribution of exponent Theta
+// (0 < Theta < 1; .5/.9/.99 in Figure 12). It implements the standard
+// Gray et al. computation with precomputed zeta.
+type Zipf struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	half  float64
+}
+
+// NewZipf precomputes the distribution over [1, n].
+func NewZipf(n uint64, theta float64) *Zipf {
+	z := &Zipf{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	z.half = 1.0 + math.Pow(0.5, theta)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws one key (hot keys are the small ordinals, then scattered by
+// a multiplicative hash so skew does not correlate with key order).
+func (z *Zipf) Next(r *rand.Rand) uint64 {
+	u := r.Float64()
+	uz := u * z.zetan
+	var rank uint64
+	switch {
+	case uz < 1.0:
+		rank = 1
+	case uz < z.half:
+		rank = 2
+	default:
+		rank = 1 + uint64(float64(z.n)*math.Pow(z.eta*u-z.eta+1, z.alpha))
+	}
+	if rank > z.n {
+		rank = z.n
+	}
+	return rank
+}
+
+// N reports the key-space size.
+func (z *Zipf) N() uint64 { return z.n }
+
+// Scrambled wraps a KeyDist, scattering ranks over the key space with a
+// multiplicative hash (YCSB's "scrambled zipfian").
+type Scrambled struct{ Inner KeyDist }
+
+// Next draws and scrambles one key.
+func (s Scrambled) Next(r *rand.Rand) uint64 {
+	k := s.Inner.Next(r)
+	return k*0x9E3779B97F4A7C15%s.Inner.N() + 1
+}
+
+// N reports the key-space size.
+func (s Scrambled) N() uint64 { return s.Inner.N() }
+
+// Config assembles a generator.
+type Config struct {
+	Seed     int64
+	Keys     uint64
+	WritePct int     // percentage of puts (pushes)
+	Theta    float64 // 0 = uniform; else zipf exponent
+	Scramble bool
+	// ValueLen fixes put value sizes; 0 selects the industry-trace size
+	// distribution (64 B–8 KB, power law).
+	ValueLen int
+}
+
+// New builds a generator.
+func New(cfg Config) *Generator {
+	var kd KeyDist
+	if cfg.Theta > 0 {
+		kd = NewZipf(cfg.Keys, cfg.Theta)
+	} else {
+		kd = Uniform{Keys: cfg.Keys}
+	}
+	if cfg.Scramble {
+		kd = Scrambled{Inner: kd}
+	}
+	g := &Generator{
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		keys:     kd,
+		writePct: cfg.WritePct,
+	}
+	if cfg.ValueLen > 0 {
+		n := cfg.ValueLen
+		g.valueLen = func(*rand.Rand) int { return n }
+	} else {
+		g.valueLen = industryValueLen
+	}
+	return g
+}
+
+// industryValueLen draws sizes between 64 B and 8 KB with a power-law
+// tail, the range the paper states for the Alibaba trace.
+func industryValueLen(r *rand.Rand) int {
+	// 80% small (64–256 B), 15% medium (256 B–1 KB), 5% large (1–8 KB).
+	p := r.Intn(100)
+	switch {
+	case p < 80:
+		return 64 + r.Intn(192)
+	case p < 95:
+		return 256 + r.Intn(768)
+	default:
+		return 1024 + r.Intn(7168)
+	}
+}
+
+// KeySpace reports the generator's key-space size.
+func (g *Generator) KeySpace() uint64 { return g.keys.N() }
+
+// Next produces the next operation.
+func (g *Generator) Next() Op {
+	op := Op{Key: g.keys.Next(g.rng)}
+	if g.rng.Intn(100) < g.writePct {
+		op.Kind = OpPut
+		op.ValueLen = g.valueLen(g.rng)
+	}
+	return op
+}
+
+// Fill produces n operations into a reusable slice.
+func (g *Generator) Fill(ops []Op) []Op {
+	for i := range ops {
+		ops[i] = g.Next()
+	}
+	return ops
+}
+
+// Value materializes deterministic value bytes for a key (drivers use it
+// so traces stay compact but contents are reproducible).
+func Value(key uint64, n int) []byte {
+	if n <= 0 {
+		n = 64
+	}
+	b := make([]byte, n)
+	x := key*0x9E3779B97F4A7C15 + 1
+	for i := range b {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		b[i] = byte(x)
+	}
+	return b
+}

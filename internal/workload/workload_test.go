@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniformCoversKeySpace(t *testing.T) {
+	g := New(Config{Seed: 1, Keys: 100, WritePct: 50})
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		op := g.Next()
+		if op.Key < 1 || op.Key > 100 {
+			t.Fatalf("key %d out of range", op.Key)
+		}
+		seen[op.Key] = true
+	}
+	if len(seen) < 95 {
+		t.Fatalf("uniform covered only %d/100 keys", len(seen))
+	}
+}
+
+func TestWriteMix(t *testing.T) {
+	for _, pct := range []int{0, 10, 50, 100} {
+		g := New(Config{Seed: 2, Keys: 1000, WritePct: pct})
+		writes := 0
+		n := 20000
+		for i := 0; i < n; i++ {
+			if g.Next().Kind == OpPut {
+				writes++
+			}
+		}
+		got := float64(writes) / float64(n) * 100
+		if math.Abs(got-float64(pct)) > 2.0 {
+			t.Fatalf("write pct %d: measured %.1f", pct, got)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// Higher theta concentrates more mass on the hottest keys.
+	mass := func(theta float64) float64 {
+		z := NewZipf(10000, theta)
+		g := New(Config{Seed: 3, Keys: 10000, WritePct: 0, Theta: theta})
+		_ = z
+		hot := 0
+		n := 50000
+		for i := 0; i < n; i++ {
+			if g.Next().Key <= 100 { // top 1% of keys
+				hot++
+			}
+		}
+		return float64(hot) / float64(n)
+	}
+	m5, m9, m99 := mass(0.5), mass(0.9), mass(0.99)
+	if !(m99 > m9 && m9 > m5) {
+		t.Fatalf("skew not monotone: .5→%.3f .9→%.3f .99→%.3f", m5, m9, m99)
+	}
+	if m99 < 0.3 {
+		t.Fatalf("zipf .99 top-1%% mass only %.3f", m99)
+	}
+	u := mass(0) // uniform via theta=0 goes through Uniform path
+	if u > 0.05 {
+		t.Fatalf("uniform top-1%% mass %.3f", u)
+	}
+}
+
+func TestScrambledStaysInRange(t *testing.T) {
+	g := New(Config{Seed: 4, Keys: 777, WritePct: 0, Theta: 0.9, Scramble: true})
+	for i := 0; i < 5000; i++ {
+		k := g.Next().Key
+		if k < 1 || k > 777 {
+			t.Fatalf("scrambled key %d out of range", k)
+		}
+	}
+}
+
+func TestIndustryValueSizes(t *testing.T) {
+	g := New(Config{Seed: 5, Keys: 100, WritePct: 100})
+	small, large := 0, 0
+	for i := 0; i < 10000; i++ {
+		op := g.Next()
+		if op.ValueLen < 64 || op.ValueLen > 8192 {
+			t.Fatalf("value len %d outside the stated 64B–8KB range", op.ValueLen)
+		}
+		if op.ValueLen <= 256 {
+			small++
+		}
+		if op.ValueLen > 1024 {
+			large++
+		}
+	}
+	if small < 7000 {
+		t.Fatalf("expected a small-value-heavy power law, small=%d", small)
+	}
+	if large == 0 {
+		t.Fatal("tail never produced large values")
+	}
+}
+
+func TestValueDeterministic(t *testing.T) {
+	a := Value(42, 64)
+	b := Value(42, 64)
+	c := Value(43, 64)
+	if string(a) != string(b) {
+		t.Fatal("value not deterministic")
+	}
+	if string(a) == string(c) {
+		t.Fatal("different keys produced identical values")
+	}
+	if len(Value(1, 0)) != 64 {
+		t.Fatal("default value length wrong")
+	}
+}
+
+func TestFill(t *testing.T) {
+	g := New(Config{Seed: 6, Keys: 10, WritePct: 30})
+	ops := g.Fill(make([]Op, 256))
+	if len(ops) != 256 {
+		t.Fatal("fill length")
+	}
+	var puts int
+	for _, op := range ops {
+		if op.Kind == OpPut {
+			puts++
+		}
+	}
+	if puts == 0 || puts == 256 {
+		t.Fatalf("degenerate mix: %d puts", puts)
+	}
+}
