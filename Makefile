@@ -1,0 +1,30 @@
+# Developer entry points. `make check` is the pre-merge gate: static
+# checks, the full race-enabled test suite, and the fixed-seed chaos
+# soak (5000 ops under crashes, partitions and truncations; exits
+# non-zero on any invariant violation).
+
+GO ?= go
+
+.PHONY: all build vet test race chaos check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+chaos: build
+	$(GO) run ./cmd/asymnvm-chaos -seed 1 -ops 5000
+
+check: vet build race chaos
+
+bench:
+	$(GO) test -bench=. -benchmem ./internal/bench/

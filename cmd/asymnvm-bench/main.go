@@ -7,7 +7,7 @@
 //	asymnvm-bench -exp all -scale full > results.txt
 //
 // Experiments: table2, table3, lockbench, cachebench, fig6, fig7, fig8,
-// fig9, fig10, fig11, fig12, fig13, cost, all.
+// fig9, fig10, fig11, fig12, fig13, cost, chaos, ablation, all.
 package main
 
 import (
@@ -62,6 +62,7 @@ func main() {
 		{"fig12", func() ([]bench.Row, error) { return bench.Fig12Zipf(sc) }},
 		{"fig13", func() ([]bench.Row, error) { return bench.Fig13Mixes(sc) }},
 		{"cost", func() ([]bench.Row, error) { return bench.CostModel(100, nil), nil }},
+		{"chaos", func() ([]bench.Row, error) { return bench.FaultDegradation(sc) }},
 		{"ablation", func() ([]bench.Row, error) {
 			rows, err := bench.AblationCachePolicy(sc)
 			if err != nil {

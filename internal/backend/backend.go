@@ -64,9 +64,10 @@ type Backend struct {
 	allocMu sync.Mutex
 	balloc  *alloc.Bitmap
 
-	kick chan struct{}
-	stop chan struct{}
-	done chan struct{}
+	kick     chan struct{}
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
 
 	mu      sync.Mutex
 	dss     map[uint16]*dsReplay
@@ -191,10 +192,24 @@ func (b *Backend) Start() {
 	go b.run()
 }
 
-// Stop terminates the service loop and waits for it to drain.
+// Stop terminates the service loop and waits for it to drain. Stop is
+// idempotent: crash and failover paths (cluster.CrashBackend followed by
+// mirror promotion) may both try to halt the same node.
 func (b *Backend) Stop() {
-	close(b.stop)
+	b.stopOnce.Do(func() { close(b.stop) })
 	<-b.done
+}
+
+// WrapMirrors replaces every attached mirror sink with wrap(sink). The
+// fault plane uses it to interpose lag queues between the primary's
+// replication path and its replicas. Call before Start (or while the
+// service loop is quiescent).
+func (b *Backend) WrapMirrors(wrap func(MirrorSink) MirrorSink) {
+	b.mu.Lock()
+	for i, m := range b.mirrors {
+		b.mirrors[i] = wrap(m)
+	}
+	b.mu.Unlock()
 }
 
 // Kick wakes the service loop (called by front-end libraries after they

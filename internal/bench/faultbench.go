@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+
+	"asymnvm/internal/cluster"
+	"asymnvm/internal/core"
+	"asymnvm/internal/ds"
+	"asymnvm/internal/fault"
+)
+
+// FaultDegradation measures throughput of the HashTable workload under
+// increasing per-verb fault rates: the cost of the front-end's bounded
+// retry (exponential backoff charged to the virtual clock) as the fabric
+// degrades. The 0-rate row is the healthy baseline; each faulted row
+// reports its retry count so the degradation can be attributed.
+func FaultDegradation(sc Scale) ([]Row, error) {
+	rates := []float64{0, 0.001, 0.01, 0.05}
+	var rows []Row
+	for _, rate := range rates {
+		cl, err := newAsymCluster(512 << 20)
+		if err != nil {
+			return nil, err
+		}
+		plane := fault.NewPlane(1)
+		cl.AttachFaultPlane(plane)
+		_, conns, err := cl.NewFrontend(1, core.ModeR())
+		if err != nil {
+			cl.Stop()
+			return nil, err
+		}
+		h, err := buildKV(conns[0], "HashTable", sc, ds.Options{Create: benchCreateOpts(), Buckets: 1 << 14})
+		if err != nil {
+			cl.Stop()
+			return nil, err
+		}
+		// Faults start after the seeding phase: the experiment measures
+		// steady-state operation on a degrading fabric.
+		plane.Injector(cluster.InjectorName(1, 0)).SetVerbFaults(fault.VerbFaults{
+			DropProb:     rate / 2,
+			TruncateProb: rate / 4,
+			DelayProb:    rate / 4,
+		})
+		before := h.fe.Stats().VerbRetries.Load()
+		kops, err := h.run(sc.Ops, 50)
+		cl.Stop()
+		if err != nil {
+			return nil, fmt.Errorf("bench: chaos rate %g: %w", rate, err)
+		}
+		rows = append(rows, Row{
+			Experiment: "chaos",
+			Series:     "AsymNVM-R",
+			Label:      fmt.Sprintf("fault=%g", rate),
+			X:          rate,
+			KOPS:       kops,
+			Extra: map[string]float64{
+				"retries": float64(h.fe.Stats().VerbRetries.Load() - before),
+			},
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,448 @@
+// Package chaos is the seeded fault soak harness: it drives a mixed
+// smallbank + hash-table workload against a one-back-end cluster while a
+// deterministic fault plane injects verb faults, partitions, back-end
+// crashes (with mirror promotion) and restarts, and checks durability and
+// consistency invariants after every recovery:
+//
+//   - money conservation: the smallbank workload is restricted to
+//     conserving transactions, so the sum of all balances must equal the
+//     initial endowment at every check point;
+//   - no acknowledged update lost: every Put the harness was told
+//     committed must read back, byte for byte, through a fresh reader
+//     front-end (seqlock path) after each failover;
+//   - archive completeness: after the soak, the full operation stream is
+//     replayed into a brand-new back-end (§7.2 Case 4 without a replica)
+//     and both structures must reconstruct exactly.
+//
+// Everything is deterministic per seed: two runs with the same Config
+// produce byte-identical reports, including the fault event log (the
+// fault plane's reproducibility contract).
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"asymnvm/internal/cluster"
+	"asymnvm/internal/core"
+	"asymnvm/internal/ds"
+	"asymnvm/internal/fault"
+	"asymnvm/internal/logrec"
+	"asymnvm/internal/stats"
+	"asymnvm/internal/txapp"
+)
+
+const (
+	bankName = "chaos-bank"
+	kvName   = "chaos-kv"
+	// Each account is seeded with savings 10000 + checking 5000.
+	moneyPerAccount = 15000
+)
+
+// Config parameterizes one soak run.
+type Config struct {
+	Seed     int64
+	Ops      int    // workload operations
+	Accounts uint64 // smallbank accounts
+	Keys     uint64 // hash-table key space
+	Mirrors  int    // replica mirrors (promotion candidates)
+
+	Promotes   int // scheduled permanent crashes (mirror promotion)
+	Restarts   int // scheduled transient crash-restarts
+	Partitions int // scheduled partition windows
+
+	DropProb     float64 // per-verb drop probability
+	TruncateProb float64 // per-verb mid-transfer truncation probability
+	DelayProb    float64 // per-verb delay probability
+	MirrorLag    int     // replication lag in kicks (0 = synchronous)
+
+	Rebuild bool // end with an archive-replay rebuild check
+	Verbose bool // include every injected fault event in the report
+}
+
+// DefaultConfig returns the acceptance-run configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:         1,
+		Ops:          5000,
+		Accounts:     20,
+		Keys:         256,
+		Mirrors:      2,
+		Promotes:     2,
+		Restarts:     2,
+		Partitions:   4,
+		DropProb:     0.01,
+		TruncateProb: 0.005,
+		DelayProb:    0.01,
+		MirrorLag:    2,
+		Rebuild:      true,
+	}
+}
+
+// Report is the outcome of a soak. Lines is deterministic per seed —
+// comparing two reports line by line is the reproducibility check.
+type Report struct {
+	Lines      []string
+	Checks     int    // invariant checks performed
+	Violations int    // invariant checks failed
+	Digest     uint64 // fault event log digest
+	Stats      stats.Snapshot
+}
+
+// String renders the report.
+func (r *Report) String() string { return strings.Join(r.Lines, "\n") + "\n" }
+
+// soak carries the run state.
+type soak struct {
+	cfg    Config
+	clu    *cluster.Cluster
+	plane  *fault.Plane
+	inj    *fault.Injector
+	fe     *core.Frontend
+	bank   *txapp.SmallBank
+	kv     *ds.HashTable
+	oracle map[uint64][]byte
+	rep    *Report
+}
+
+func dsOpts() ds.Options {
+	// Logs sized so the soak never blocks on replayer progress (that wait
+	// polls the remote tail and would make the verb count scheduling-
+	// dependent).
+	return ds.Options{
+		Buckets: 1 << 10,
+		Create:  core.CreateOptions{MemLogSize: 32 << 20, OpLogSize: 8 << 20},
+	}
+}
+
+// Run executes one soak and returns its report. A non-nil error means the
+// harness itself failed (setup, schedule); invariant failures are counted
+// in Report.Violations instead.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Promotes > cfg.Mirrors {
+		return nil, fmt.Errorf("chaos: %d promotions need at least that many mirrors, have %d", cfg.Promotes, cfg.Mirrors)
+	}
+	ccfg := cluster.DefaultConfig()
+	ccfg.MirrorsPerBack = cfg.Mirrors
+	ccfg.ArchivePerBack = true
+	clu, err := cluster.New(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	defer clu.Stop()
+
+	plane := fault.NewPlane(cfg.Seed)
+	plane.SetMirrorLag(cfg.MirrorLag)
+	clu.AttachFaultPlane(plane)
+
+	fe, conns, err := clu.NewFrontend(1, core.ModeR())
+	if err != nil {
+		return nil, err
+	}
+	s := &soak{
+		cfg:    cfg,
+		clu:    clu,
+		plane:  plane,
+		inj:    plane.Injector(cluster.InjectorName(1, 0)),
+		fe:     fe,
+		oracle: make(map[uint64][]byte),
+		rep:    &Report{},
+	}
+	s.line("chaos: seed=%d ops=%d accounts=%d keys=%d mirrors=%d lag=%d", cfg.Seed, cfg.Ops, cfg.Accounts, cfg.Keys, cfg.Mirrors, cfg.MirrorLag)
+
+	// Build both structures before faults start: creation is plumbing, the
+	// soak exercises steady-state operation under failure.
+	if s.bank, err = txapp.NewSmallBank(conns[0], bankName, cfg.Accounts, dsOpts()); err != nil {
+		return nil, err
+	}
+	if s.kv, err = ds.CreateHashTable(conns[0], kvName, dsOpts()); err != nil {
+		return nil, err
+	}
+	if err := s.drain(); err != nil {
+		return nil, err
+	}
+
+	sched := plane.BuildSchedule(cfg.Ops, cfg.Promotes, cfg.Restarts, cfg.Partitions)
+	for _, a := range sched {
+		s.line("sched: op=%d %s arg=%d", a.AtOp, a.Kind, a.Arg)
+	}
+	s.inj.SetVerbFaults(fault.VerbFaults{
+		DropProb:     cfg.DropProb,
+		TruncateProb: cfg.TruncateProb,
+		DelayProb:    cfg.DelayProb,
+	})
+
+	if err := s.soakLoop(sched); err != nil {
+		return nil, err
+	}
+	s.verify("final")
+
+	if cfg.Rebuild {
+		if err := s.rebuildCheck(); err != nil {
+			return nil, err
+		}
+	}
+
+	s.rep.Digest = plane.Digest()
+	events := plane.EventLog()
+	s.line("fault events: n=%d digest=%016x", len(events), s.rep.Digest)
+	if cfg.Verbose {
+		for _, e := range events {
+			s.line("  %s", e)
+		}
+	}
+	s.rep.Stats = fe.Stats().Snapshot()
+	// Only scheduling-independent writer counters go in the report: log
+	// appends, commits, allocations and the resilience counters are pure
+	// functions of (seed, workload); replayer-side counters are not.
+	s.line("final: oplogs=%d memlogs=%d txcommits=%d allocs=%d retries=%d failovers=%d",
+		s.rep.Stats.OpLogs, s.rep.Stats.MemLogs, s.rep.Stats.TxCommits,
+		s.rep.Stats.Allocs, s.rep.Stats.VerbRetries, s.rep.Stats.Failovers)
+	s.line("checks=%d violations=%d", s.rep.Checks, s.rep.Violations)
+	return s.rep, nil
+}
+
+func (s *soak) line(format string, args ...interface{}) {
+	s.rep.Lines = append(s.rep.Lines, fmt.Sprintf(format, args...))
+}
+
+func (s *soak) violation(format string, args ...interface{}) {
+	s.rep.Violations++
+	s.line("VIOLATION: "+format, args...)
+}
+
+// drain settles both writer handles: flushes any batched logs, waits for
+// the replayer, and clears the read overlays so the next operation's verb
+// sequence is independent of replayer scheduling.
+func (s *soak) drain() error {
+	if err := s.bank.Table().Drain(); err != nil {
+		return err
+	}
+	return s.kv.Drain()
+}
+
+// conservingR crafts a DoTx selector hitting only money-conserving
+// transactions: Balance (read-only), Amalgamate (moves everything), and
+// SendPayment (transfers or aborts). Deposit/TransactSavings mint money
+// and WriteCheck burns it, which would break the conservation invariant.
+func conservingR(rng *rand.Rand) uint64 {
+	base := rng.Uint64()
+	var p uint64
+	switch rng.Intn(3) {
+	case 0:
+		p = uint64(rng.Intn(15)) // Balance
+	case 1:
+		p = 45 + uint64(rng.Intn(15)) // Amalgamate
+	default:
+		p = 85 + uint64(rng.Intn(15)) // SendPayment
+	}
+	return base - base%100 + p
+}
+
+// soakLoop runs the workload, firing scheduled failures at op boundaries
+// so transactions stay atomic with respect to orchestrated crashes (verb
+// faults still land mid-transaction; that is what the op-log recovery
+// path is for).
+func (s *soak) soakLoop(sched []fault.Action) error {
+	rng := rand.New(rand.NewSource(s.cfg.Seed ^ 0x63686173)) // workload stream
+	si := 0
+	for i := 0; i < s.cfg.Ops; i++ {
+		pending := ""
+		for si < len(sched) && sched[si].AtOp == i {
+			a := sched[si]
+			si++
+			switch a.Kind {
+			case "promote":
+				// Permanent crash: the next verb faults fatally and the
+				// front-end drives the mirror promotion itself.
+				s.clu.CrashBackend(0, true)
+				pending = fmt.Sprintf("promote@%d", i)
+			case "restart":
+				// Transient crash: the node returns on the same NVM. The
+				// old endpoint still reaches the (shared) device, so the
+				// injector is cut first — the front-end must observe the
+				// death and re-target the new incarnation.
+				s.inj.Disconnect()
+				if _, _, err := s.clu.RestartBackend(0, true); err != nil {
+					return err
+				}
+				pending = fmt.Sprintf("restart@%d", i)
+			case "partition":
+				s.inj.Partition(a.Arg)
+			}
+		}
+		if err := s.workOp(rng); err != nil {
+			return fmt.Errorf("chaos: op %d: %w", i, err)
+		}
+		if pending != "" {
+			s.verify(pending)
+		}
+	}
+	return nil
+}
+
+// workOp performs one workload operation and settles the pipeline.
+func (s *soak) workOp(rng *rand.Rand) error {
+	p := rng.Float64()
+	switch {
+	case p < 0.5:
+		if err := s.bank.DoTx(conservingR(rng)); err != nil {
+			return err
+		}
+	case p < 0.8:
+		k := uint64(rng.Int63n(int64(s.cfg.Keys))) + 1
+		val := make([]byte, 8+rng.Intn(40))
+		rng.Read(val)
+		if err := s.kv.Put(k, val); err != nil {
+			return err
+		}
+		s.oracle[k] = val
+	default:
+		k := uint64(rng.Int63n(int64(s.cfg.Keys))) + 1
+		got, ok, err := s.kv.Get(k)
+		if err != nil {
+			return err
+		}
+		want, exists := s.oracle[k]
+		if exists != ok || (exists && !bytes.Equal(got, want)) {
+			s.violation("writer read key=%d ok=%v want %d bytes", k, ok, len(want))
+		}
+	}
+	return s.drain()
+}
+
+// verify checks the two invariants through a fresh reader front-end: the
+// committed state survives on whatever node currently serves the role.
+func (s *soak) verify(tag string) {
+	if err := s.drain(); err != nil {
+		s.violation("verify[%s]: drain: %v", tag, err)
+		return
+	}
+	wantMoney := int64(s.cfg.Accounts) * moneyPerAccount
+	money, err := s.bank.TotalMoney()
+	if err != nil {
+		s.violation("verify[%s]: writer TotalMoney: %v", tag, err)
+		return
+	}
+	s.rep.Checks++
+	if money != wantMoney {
+		s.violation("verify[%s]: writer money=%d want %d", tag, money, wantMoney)
+	}
+
+	// Reader-side check: a separate front-end with its own endpoint reads
+	// the promoted/restarted node through the seqlock path.
+	_, conns, err := s.clu.NewFrontend(9, core.ModeR())
+	if err != nil {
+		s.violation("verify[%s]: reader connect: %v", tag, err)
+		return
+	}
+	rbank, err := txapp.OpenSmallBank(conns[0], bankName, s.cfg.Accounts, false, dsOpts())
+	if err != nil {
+		s.violation("verify[%s]: reader open bank: %v", tag, err)
+		return
+	}
+	rmoney, err := rbank.TotalMoney()
+	s.rep.Checks++
+	if err != nil {
+		s.violation("verify[%s]: reader TotalMoney: %v", tag, err)
+	} else if rmoney != wantMoney {
+		s.violation("verify[%s]: reader money=%d want %d", tag, rmoney, wantMoney)
+	}
+	rkv, err := ds.OpenHashTable(conns[0], kvName, false, dsOpts())
+	if err != nil {
+		s.violation("verify[%s]: reader open kv: %v", tag, err)
+		return
+	}
+	bad := s.checkOracle(func(k uint64) ([]byte, bool, error) { return rkv.Get(k) })
+	s.rep.Checks++
+	if bad != 0 {
+		s.violation("verify[%s]: %d/%d committed keys wrong on reader", tag, bad, len(s.oracle))
+	}
+	s.line("verify[%s]: money=%d reader=%d keys=%d ok=%v", tag, money, rmoney, len(s.oracle), bad == 0 && money == wantMoney && rmoney == wantMoney)
+}
+
+// checkOracle reads every committed key in sorted order and counts
+// mismatches against the oracle.
+func (s *soak) checkOracle(get func(uint64) ([]byte, bool, error)) int {
+	keys := make([]uint64, 0, len(s.oracle))
+	for k := range s.oracle {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	bad := 0
+	for _, k := range keys {
+		got, ok, err := get(k)
+		if err != nil || !ok || !bytes.Equal(got, s.oracle[k]) {
+			bad++
+		}
+	}
+	return bad
+}
+
+// rebuildCheck models total loss of the back-end and every replica: a
+// brand-new node is formatted and the archived operation stream is
+// re-executed through normal front-end write paths (§7.2 Case 4). Both
+// structures must reconstruct to the exact committed state.
+func (s *soak) rebuildCheck() error {
+	bankSlot := s.bank.Table().Handle().Slot()
+	kvSlot := s.kv.Handle().Slot()
+	var rconn *core.Conn
+	var rbank, rkv *ds.HashTable
+	_, err := s.clu.RebuildFromArchive(0, s.clu.Archives[0], func(slot uint16, rec logrec.OpRecord) error {
+		if rconn == nil {
+			_, conns, err := s.clu.NewFrontend(8, core.ModeR())
+			if err != nil {
+				return err
+			}
+			rconn = conns[0]
+			if rbank, err = ds.CreateHashTable(rconn, bankName, dsOpts()); err != nil {
+				return err
+			}
+			if rkv, err = ds.CreateHashTable(rconn, kvName, dsOpts()); err != nil {
+				return err
+			}
+		}
+		switch slot {
+		case bankSlot:
+			return rbank.ReplayOp(rec)
+		case kvSlot:
+			return rkv.ReplayOp(rec)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if rconn == nil {
+		s.violation("rebuild: archive is empty")
+		return nil
+	}
+	if err := rbank.Drain(); err != nil {
+		return err
+	}
+	if err := rkv.Drain(); err != nil {
+		return err
+	}
+	wantMoney := int64(s.cfg.Accounts) * moneyPerAccount
+	nb, err := txapp.OpenSmallBank(rconn, bankName, s.cfg.Accounts, false, dsOpts())
+	if err != nil {
+		return err
+	}
+	money, err := nb.TotalMoney()
+	s.rep.Checks++
+	if err != nil {
+		s.violation("rebuild: TotalMoney: %v", err)
+	} else if money != wantMoney {
+		s.violation("rebuild: money=%d want %d", money, wantMoney)
+	}
+	bad := s.checkOracle(func(k uint64) ([]byte, bool, error) { return rkv.Get(k) })
+	s.rep.Checks++
+	if bad != 0 {
+		s.violation("rebuild: %d/%d committed keys wrong after archive replay", bad, len(s.oracle))
+	}
+	s.line("rebuild: money=%d keys=%d ok=%v", money, len(s.oracle), bad == 0 && money == wantMoney)
+	return nil
+}

@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallConfig(seed int64) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.Ops = 600
+	cfg.Accounts = 10
+	cfg.Keys = 64
+	return cfg
+}
+
+// TestSoakInvariantsHold runs a small soak with the full failure menu —
+// two permanent crashes (mirror promotions), two crash-restarts, four
+// partition windows, verb drops/truncations/delays, lagged mirrors — and
+// requires zero invariant violations plus at least the scheduled number
+// of failovers.
+func TestSoakInvariantsHold(t *testing.T) {
+	rep, err := Run(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("soak reported %d violations:\n%s", rep.Violations, rep.String())
+	}
+	if rep.Checks < 8 {
+		t.Fatalf("soak performed only %d checks, want per-recovery + final + rebuild", rep.Checks)
+	}
+	if rep.Stats.Failovers < 3 {
+		t.Fatalf("soak drove %d failovers, want >= 3 (2 promotions + 2 restarts scheduled)", rep.Stats.Failovers)
+	}
+	if rep.Stats.VerbRetries == 0 {
+		t.Fatal("verb faults were injected but nothing was retried")
+	}
+}
+
+// TestSoakDeterministic is the reproducibility contract: two runs with
+// the same seed must produce byte-identical reports — same fault event
+// log digest, same verify lines, same final counters.
+func TestSoakDeterministic(t *testing.T) {
+	a, err := Run(smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("fault log digests differ: %016x vs %016x", a.Digest, b.Digest)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("reports differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a.String(), b.String())
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("final stats differ:\n%+v\n%+v", a.Stats, b.Stats)
+	}
+}
+
+// TestSoakSeedChangesSchedule guards against the schedule ignoring the
+// seed (two different seeds should almost surely produce different fault
+// streams).
+func TestSoakSeedChangesSchedule(t *testing.T) {
+	a, err := Run(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest == b.Digest {
+		t.Fatal("different seeds produced identical fault logs")
+	}
+}
+
+// TestConservingSelector pins the crafted DoTx selector to the
+// money-conserving transaction classes.
+func TestConservingSelector(t *testing.T) {
+	cfg := smallConfig(5)
+	cfg.Ops = 400
+	cfg.Promotes, cfg.Restarts, cfg.Partitions = 0, 0, 0
+	cfg.DropProb, cfg.TruncateProb, cfg.DelayProb = 0, 0, 0
+	cfg.Rebuild = false
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("fault-free soak must conserve money:\n%s", rep.String())
+	}
+	for _, l := range rep.Lines {
+		if strings.HasPrefix(l, "verify[final]:") && !strings.Contains(l, "ok=true") {
+			t.Fatalf("final verify failed: %s", l)
+		}
+	}
+}

@@ -2,10 +2,12 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 
 	"asymnvm/internal/backend"
 	"asymnvm/internal/clock"
 	"asymnvm/internal/core"
+	"asymnvm/internal/fault"
 	"asymnvm/internal/logrec"
 	"asymnvm/internal/mirror"
 	"asymnvm/internal/nvm"
@@ -42,6 +44,15 @@ type Cluster struct {
 	Archives []*mirror.Archive
 	KA       *KeepAlive
 	devs     []*nvm.Device
+
+	// foMu serializes failure orchestration (crash, restart, promotion,
+	// front-end failover decisions). gens counts back-end incarnations per
+	// slot so a front-end can tell "someone already replaced this node"
+	// from "I must drive the promotion myself".
+	foMu     sync.Mutex
+	gens     []uint64
+	plane    *fault.Plane
+	injNames [][]string // per back-end slot: injector names of its connections
 }
 
 // New builds and starts a cluster.
@@ -82,9 +93,40 @@ func New(cfg Config) (*Cluster, error) {
 		cl.Backends = append(cl.Backends, bk)
 		cl.Mirrors = append(cl.Mirrors, reps)
 		cl.devs = append(cl.devs, dev)
+		cl.gens = append(cl.gens, 0)
+		cl.injNames = append(cl.injNames, nil)
 		_ = cl.KA.Register(fmt.Sprintf("backend%d", i), RoleBackend, 3)
 	}
 	return cl, nil
+}
+
+// InjectorName is the fault-plane naming convention for the logical
+// connection of front-end feID to back-end slot bkID.
+func InjectorName(feID uint16, bkID int) string {
+	return fmt.Sprintf("fe%d->bk%d", feID, bkID)
+}
+
+// AttachFaultPlane installs a fault-injection plane: front-ends created
+// afterwards get a deterministic per-connection verb injector, failure
+// orchestration is recorded on the plane's event log, and — when the
+// plane configures mirror lag — replication traffic is routed through lag
+// queues. Attach before creating front-ends.
+func (c *Cluster) AttachFaultPlane(p *fault.Plane) {
+	c.foMu.Lock()
+	defer c.foMu.Unlock()
+	c.plane = p
+	if p != nil && p.MirrorLag() > 0 {
+		for _, bk := range c.Backends {
+			bk.WrapMirrors(p.WrapMirror)
+		}
+	}
+}
+
+// Plane returns the attached fault plane, or nil.
+func (c *Cluster) Plane() *fault.Plane {
+	c.foMu.Lock()
+	defer c.foMu.Unlock()
+	return c.plane
 }
 
 // Stop drains and stops every node.
@@ -105,15 +147,66 @@ func (c *Cluster) Stop() {
 func (c *Cluster) NewFrontend(id uint16, mode core.Mode) (*core.Frontend, []*core.Conn, error) {
 	fe := core.NewFrontend(core.FrontendOptions{ID: id, Mode: mode, Profile: &c.cfg.Profile})
 	conns := make([]*core.Conn, 0, len(c.Backends))
-	for _, bk := range c.Backends {
+	for i, bk := range c.Backends {
 		conn, err := fe.Connect(bk)
 		if err != nil {
 			return nil, nil, err
 		}
+		c.enableResilience(id, i, conn)
 		conns = append(conns, conn)
 	}
 	_ = c.KA.Register(fmt.Sprintf("frontend%d", id), RoleFrontend, 3)
 	return fe, conns, nil
+}
+
+// enableResilience installs the connection's fault injector (when a plane
+// is attached) and its failover delegate.
+func (c *Cluster) enableResilience(feID uint16, slot int, conn *core.Conn) {
+	c.foMu.Lock()
+	defer c.foMu.Unlock()
+	name := InjectorName(feID, slot)
+	if c.plane != nil {
+		inj := c.plane.Injector(name)
+		// A fresh connection to the current incarnation is connected by
+		// definition; clear any disconnect left from an earlier crash.
+		inj.Reconnect()
+		conn.Endpoint().SetFault(inj.Hook())
+		known := false
+		for _, n := range c.injNames[slot] {
+			if n == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			c.injNames[slot] = append(c.injNames[slot], name)
+		}
+	}
+	gen := c.gens[slot] // incarnation this connection last targeted
+	conn.SetFailover(func() (*backend.Backend, error) {
+		c.foMu.Lock()
+		defer c.foMu.Unlock()
+		lease := fmt.Sprintf("backend%d", slot)
+		if c.gens[slot] == gen {
+			// No replacement yet. Only the keep-alive authority may
+			// declare the back-end dead (§7.2 Case 3/4) — a front-end that
+			// merely lost its own connection must keep retrying.
+			if c.KA.Alive(lease) {
+				return nil, fmt.Errorf("cluster: %s lease still alive; not failing over", lease)
+			}
+			if len(c.Mirrors[slot]) == 0 {
+				return nil, fmt.Errorf("cluster: %s lost with no replica to promote", lease)
+			}
+			if _, err := c.promoteLocked(slot, 0); err != nil {
+				return nil, err
+			}
+		}
+		gen = c.gens[slot]
+		if c.plane != nil {
+			c.plane.Injector(name).Reconnect()
+		}
+		return c.Backends[slot], nil
+	})
 }
 
 // Device exposes a back-end's NVM device for crash injection.
@@ -121,14 +214,52 @@ func (c *Cluster) Device(backendID int) *nvm.Device { return c.devs[backendID] }
 
 // ---- recovery orchestration (§7.2) ----
 
+// archiveFor returns the archive sink attached to a back-end slot, or nil.
+func (c *Cluster) archiveFor(backendID int) *mirror.Archive {
+	if !c.cfg.ArchivePerBack || backendID >= len(c.Archives) {
+		return nil
+	}
+	return c.Archives[backendID]
+}
+
+// CrashBackend kills a back-end without replacing it: the process stops
+// (optionally with a power failure on the device) and its lease expires,
+// which authorizes front-ends to drive a mirror promotion through their
+// failover delegates. When a fault plane is attached, the dead node's
+// connections are marked disconnected so the next verb on each surfaces
+// rdma.ErrDisconnected instead of hanging.
+func (c *Cluster) CrashBackend(backendID int, powerFail bool) {
+	c.foMu.Lock()
+	defer c.foMu.Unlock()
+	c.Backends[backendID].Stop()
+	if powerFail {
+		c.devs[backendID].Crash(nil)
+	}
+	c.KA.Expire(fmt.Sprintf("backend%d", backendID))
+	if c.plane != nil {
+		for _, name := range c.injNames[backendID] {
+			c.plane.Injector(name).Disconnect()
+		}
+		c.plane.Record(fmt.Sprintf("crash backend%d powerFail=%v", backendID, powerFail))
+	}
+}
+
 // RestartBackend models Case 3, a transient back-end failure: the node's
 // process dies (optionally with a power failure on the device) and comes
 // back on the same NVM. The replayer validates the last transaction's
 // checksum and re-applies whatever was persisted but not applied. The new
-// instance replaces the old one in the cluster; front-ends reconnect.
+// instance replaces the old one in the cluster; front-ends with a
+// failover delegate re-target on their next verb, others reconnect.
 func (c *Cluster) RestartBackend(backendID int, powerFail bool) (*backend.Backend, []backend.SlotStatus, error) {
+	c.foMu.Lock()
+	defer c.foMu.Unlock()
 	old := c.Backends[backendID]
 	old.Stop()
+	if c.plane != nil {
+		// Flush and discard lag queues: the replicas get a fresh full
+		// sync below, so stale queued writes must not resurface later.
+		c.plane.DropMirrors()
+	}
 	if powerFail {
 		c.devs[backendID].Crash(nil)
 	}
@@ -139,7 +270,9 @@ func (c *Cluster) RestartBackend(backendID int, powerFail bool) (*backend.Backen
 		return nil, nil, err
 	}
 	// Re-attach the surviving mirrors (a fresh initial sync, as at
-	// deployment time).
+	// deployment time), then the archive: its op cursor resumes at the
+	// replayer's applied point, everything earlier was archived before
+	// the stop drain.
 	for m := range c.Mirrors[backendID] {
 		mdev := c.Mirrors[backendID][m].Device()
 		rep, err := mirror.NewReplica(mdev, bk, backend.Options{Profile: &c.cfg.Profile})
@@ -148,8 +281,18 @@ func (c *Cluster) RestartBackend(backendID int, powerFail bool) (*backend.Backen
 		}
 		c.Mirrors[backendID][m] = rep
 	}
+	if arch := c.archiveFor(backendID); arch != nil {
+		bk.AddMirror(arch)
+	}
+	if c.plane != nil && c.plane.MirrorLag() > 0 {
+		bk.WrapMirrors(c.plane.WrapMirror)
+	}
 	bk.Start()
 	c.Backends[backendID] = bk
+	c.gens[backendID]++
+	if c.plane != nil {
+		c.plane.Record(fmt.Sprintf("restart backend%d powerFail=%v gen=%d", backendID, powerFail, c.gens[backendID]))
+	}
 	_ = c.KA.Renew(fmt.Sprintf("backend%d", backendID))
 	return bk, bk.RecoveredSlots(), nil
 }
@@ -158,17 +301,51 @@ func (c *Cluster) RestartBackend(backendID int, powerFail bool) (*backend.Backen
 // replica available: the mirror is voted the new back-end and keeps the
 // dead node's identity so all stored global addresses stay valid.
 func (c *Cluster) PromoteMirror(backendID, mirrorIdx int) (*backend.Backend, error) {
+	c.foMu.Lock()
+	defer c.foMu.Unlock()
+	return c.promoteLocked(backendID, mirrorIdx)
+}
+
+// promoteLocked performs the promotion; foMu must be held. The dead
+// primary is stopped (idempotent — the crash path usually already did),
+// lag queues are drained first: promotion models the replica having
+// acknowledged every safe transaction, so nothing may still sit in the
+// replication pipe. Surviving replicas are then re-attached to the new
+// primary with a fresh full sync, and the archive stream re-homed, so a
+// later failure of the promoted node remains survivable.
+func (c *Cluster) promoteLocked(backendID, mirrorIdx int) (*backend.Backend, error) {
 	c.KA.Expire(fmt.Sprintf("backend%d", backendID))
 	c.Backends[backendID].Stop()
+	if c.plane != nil {
+		c.plane.DropMirrors()
+	}
 	rep := c.Mirrors[backendID][mirrorIdx]
 	bk, err := rep.Promote(backend.Options{Profile: &c.cfg.Profile})
 	if err != nil {
 		return nil, err
 	}
+	c.Mirrors[backendID] = append(c.Mirrors[backendID][:mirrorIdx], c.Mirrors[backendID][mirrorIdx+1:]...)
+	for m := range c.Mirrors[backendID] {
+		mdev := c.Mirrors[backendID][m].Device()
+		nrep, err := mirror.NewReplica(mdev, bk, backend.Options{Profile: &c.cfg.Profile})
+		if err != nil {
+			return nil, err
+		}
+		c.Mirrors[backendID][m] = nrep
+	}
+	if arch := c.archiveFor(backendID); arch != nil {
+		bk.AddMirror(arch)
+	}
+	if c.plane != nil && c.plane.MirrorLag() > 0 {
+		bk.WrapMirrors(c.plane.WrapMirror)
+	}
 	bk.Start()
 	c.Backends[backendID] = bk
 	c.devs[backendID] = rep.Device()
-	c.Mirrors[backendID] = append(c.Mirrors[backendID][:mirrorIdx], c.Mirrors[backendID][mirrorIdx+1:]...)
+	c.gens[backendID]++
+	if c.plane != nil {
+		c.plane.Record(fmt.Sprintf("promote backend%d mirror=%d gen=%d", backendID, mirrorIdx, c.gens[backendID]))
+	}
 	_ = c.KA.Renew(fmt.Sprintf("backend%d", backendID))
 	return bk, nil
 }
@@ -181,16 +358,28 @@ type Reexec func(slot uint16, rec logrec.OpRecord) error
 // back-end is formatted and the front-ends re-execute the archived
 // operation stream through their normal write paths.
 func (c *Cluster) RebuildFromArchive(backendID int, arch *mirror.Archive, reexec Reexec) (*backend.Backend, error) {
+	c.foMu.Lock()
 	c.KA.Expire(fmt.Sprintf("backend%d", backendID))
 	c.Backends[backendID].Stop()
+	if c.plane != nil {
+		c.plane.DropMirrors() // flush any lagged tail into the archive
+	}
 	dev := nvm.NewDevice(c.cfg.DeviceBytes)
 	bk, err := backend.New(dev, backend.Options{ID: uint16(backendID), Profile: &c.cfg.Profile})
 	if err != nil {
+		c.foMu.Unlock()
 		return nil, err
 	}
 	bk.Start()
 	c.Backends[backendID] = bk
 	c.devs[backendID] = dev
+	c.gens[backendID]++
+	if c.plane != nil {
+		c.plane.Record(fmt.Sprintf("rebuild backend%d gen=%d", backendID, c.gens[backendID]))
+	}
+	// Release before re-execution: reexec drives normal front-end write
+	// paths, which may themselves need the failover machinery.
+	c.foMu.Unlock()
 	ops, err := arch.Ops()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"asymnvm/internal/core"
+	"asymnvm/internal/ds"
+	"asymnvm/internal/fault"
+	"asymnvm/internal/workload"
+)
+
+// TestClientDrivenFailover: the back-end dies permanently mid-workload;
+// the writer's next verb faults fatally, the failover delegate promotes a
+// mirror (the lease has expired, authorizing it), and the workload
+// continues transparently. Everything written before and after the crash
+// must be readable on the promoted node.
+func TestClientDrivenFailover(t *testing.T) {
+	cl := smallCluster(t, Config{Backends: 1, MirrorsPerBack: 2})
+	plane := fault.NewPlane(11)
+	cl.AttachFaultPlane(plane)
+	fe, conns, err := cl.NewFrontend(1, core.ModeR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht, err := ds.CreateHashTable(conns[0], "fo", dsOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 20; k++ {
+		if err := ht.Put(k, workload.Value(k, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ht.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	cl.CrashBackend(0, true) // permanent: nobody restarts it
+
+	for k := uint64(21); k <= 40; k++ {
+		if err := ht.Put(k, workload.Value(k, 32)); err != nil {
+			t.Fatalf("put %d across the crash must fail over transparently: %v", k, err)
+		}
+	}
+	if err := ht.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fe.Stats().Failovers.Load(); got != 1 {
+		t.Fatalf("Failovers = %d, want 1", got)
+	}
+	if len(cl.Mirrors[0]) != 1 {
+		t.Fatalf("%d mirrors left, want 1 (one promoted)", len(cl.Mirrors[0]))
+	}
+
+	// A fresh reader sees the full history on the promoted node.
+	_, conns2, err := cl.NewFrontend(2, core.ModeR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := ds.OpenHashTable(conns2[0], "fo", false, dsOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 40; k++ {
+		v, ok, err := rd.Get(k)
+		if err != nil || !ok || !bytes.Equal(v, workload.Value(k, 32)) {
+			t.Fatalf("key %d lost across failover: ok=%v err=%v", k, ok, err)
+		}
+	}
+
+	log := strings.Join(plane.EventLog(), "\n")
+	if !strings.Contains(log, "crash backend0") || !strings.Contains(log, "promote backend0") {
+		t.Fatalf("event log must record the crash and the promotion:\n%s", log)
+	}
+}
+
+// TestPartitionAbsorbedByRetries: a partition window shorter than the
+// attempt budget delays the verb but never surfaces, and does not
+// trigger a failover.
+func TestPartitionAbsorbedByRetries(t *testing.T) {
+	cl := smallCluster(t, Config{Backends: 1})
+	plane := fault.NewPlane(5)
+	cl.AttachFaultPlane(plane)
+	fe, conns, err := cl.NewFrontend(1, core.ModeR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht, err := ds.CreateHashTable(conns[0], "part", dsOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ht.Put(1, []byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ht.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	plane.Injector(InjectorName(1, 0)).Partition(3)
+	if err := ht.Put(2, []byte("mid")); err != nil {
+		t.Fatalf("3-verb partition within a 10-attempt budget must be absorbed: %v", err)
+	}
+	if err := ht.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fe.Stats().VerbRetries.Load(); got < 3 {
+		t.Fatalf("VerbRetries = %d, want >= 3", got)
+	}
+	if got := fe.Stats().Failovers.Load(); got != 0 {
+		t.Fatalf("a partition must not fail over, got %d", got)
+	}
+	if v, ok, _ := ht.Get(2); !ok || string(v) != "mid" {
+		t.Fatal("write issued during the partition lost")
+	}
+}
+
+// TestFailoverRequiresExpiredLease: a front-end that merely lost its own
+// connection must not steal the back-end's role while the keep-alive
+// authority still holds its lease live (§7.2: only lease expiry declares
+// a node crashed).
+func TestFailoverRequiresExpiredLease(t *testing.T) {
+	cl := smallCluster(t, Config{Backends: 1, MirrorsPerBack: 1})
+	plane := fault.NewPlane(5)
+	cl.AttachFaultPlane(plane)
+	_, conns, err := cl.NewFrontend(1, core.ModeR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht, err := ds.CreateHashTable(conns[0], "lease", dsOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ht.Put(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ht.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	inj := plane.Injector(InjectorName(1, 0))
+	inj.Disconnect() // connection lost, but the back-end is fine
+	err = ht.Put(2, []byte("b"))
+	if !errors.Is(err, core.ErrBackendDown) {
+		t.Fatalf("want ErrBackendDown while the lease is alive, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "lease still alive") {
+		t.Fatalf("refusal must cite the live lease: %v", err)
+	}
+	if len(cl.Mirrors[0]) != 1 {
+		t.Fatal("no promotion may happen while the lease is alive")
+	}
+
+	inj.Reconnect()
+	if err := ht.Put(2, []byte("b")); err != nil {
+		t.Fatalf("put after reconnect: %v", err)
+	}
+	if err := ht.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := ht.Get(2); !ok || string(v) != "b" {
+		t.Fatal("post-reconnect write lost")
+	}
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// TestLeaseRenewalAtExactTTL pins the expiry boundary: a lease with TTL n
+// is alive through tick n (expiry is strictly now-lastSeen > ttl), and a
+// renewal landing exactly at the boundary restarts the full window — the
+// race the paper's lease protocol must win for a healthy-but-slow node.
+func TestLeaseRenewalAtExactTTL(t *testing.T) {
+	ka := NewKeepAlive()
+	if err := ka.Register("bk", RoleBackend, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		ka.Tick()
+	}
+	if !ka.Alive("bk") {
+		t.Fatal("lease must survive exactly ttl ticks without renewal")
+	}
+	if err := ka.Renew("bk"); err != nil { // renewal racing expiry, at the boundary
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		ka.Tick()
+	}
+	if !ka.Alive("bk") {
+		t.Fatal("boundary renewal must restart the full ttl window")
+	}
+	ka.Tick() // ttl+1 ticks since the renewal
+	if ka.Alive("bk") {
+		t.Fatal("lease must expire one tick past the ttl")
+	}
+}
+
+// TestRejoinAfterCrash: a member declared crashed can come back two ways
+// — re-registering under its old name (a rebooted process) fires
+// EventJoined, while a late renewal from the same incarnation fires
+// EventRecovered. Both must leave the lease alive.
+func TestRejoinAfterCrash(t *testing.T) {
+	ka := NewKeepAlive()
+	ch := ka.Watch()
+	if err := ka.Register("fe", RoleFrontend, 1); err != nil {
+		t.Fatal(err)
+	}
+	if e := <-ch; e.Kind != EventJoined {
+		t.Fatalf("want join, got %+v", e)
+	}
+	ka.Expire("fe")
+	if e := <-ch; e.Kind != EventCrashed || e.Name != "fe" {
+		t.Fatalf("want crash, got %+v", e)
+	}
+	// Reboot path: registering over a crashed lease is allowed.
+	if err := ka.Register("fe", RoleFrontend, 1); err != nil {
+		t.Fatalf("re-register after crash must succeed: %v", err)
+	}
+	if e := <-ch; e.Kind != EventJoined {
+		t.Fatalf("rejoin must notify as a join, got %+v", e)
+	}
+	if !ka.Alive("fe") {
+		t.Fatal("rejoined member must be alive")
+	}
+	// Slow-node path: a renewal arriving after the crash verdict revives.
+	ka.Expire("fe")
+	<-ch // crashed
+	if err := ka.Renew("fe"); err != nil {
+		t.Fatal(err)
+	}
+	if e := <-ch; e.Kind != EventRecovered || e.Name != "fe" {
+		t.Fatalf("late renewal must notify as recovery, got %+v", e)
+	}
+	if !ka.Alive("fe") {
+		t.Fatal("recovered member must be alive")
+	}
+}
+
+// TestWatcherNotificationOrdering: watchers observe membership changes in
+// the order the service decided them, and a late subscriber sees only
+// events after its subscription (no replay).
+func TestWatcherNotificationOrdering(t *testing.T) {
+	ka := NewKeepAlive()
+	early := ka.Watch()
+	_ = ka.Register("a", RoleBackend, 2)
+	_ = ka.Register("b", RoleMirror, 2)
+	ka.Expire("a")
+	_ = ka.Renew("a")
+	late := ka.Watch()
+	ka.Expire("b")
+
+	want := []Event{
+		{Kind: EventJoined, Name: "a", Role: RoleBackend},
+		{Kind: EventJoined, Name: "b", Role: RoleMirror},
+		{Kind: EventCrashed, Name: "a", Role: RoleBackend},
+		{Kind: EventRecovered, Name: "a", Role: RoleBackend},
+		{Kind: EventCrashed, Name: "b", Role: RoleMirror},
+	}
+	for i, w := range want {
+		if got := <-early; got != w {
+			t.Fatalf("event %d: got %+v, want %+v", i, got, w)
+		}
+	}
+	if got := <-late; got != (Event{Kind: EventCrashed, Name: "b", Role: RoleMirror}) {
+		t.Fatalf("late watcher must only see post-subscription events, got %+v", got)
+	}
+	select {
+	case e := <-late:
+		t.Fatalf("late watcher must not replay history, got %+v", e)
+	default:
+	}
+}

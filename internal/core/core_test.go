@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"asymnvm/internal/backend"
@@ -501,16 +502,26 @@ func TestTornTxDetectedAndDiscarded(t *testing.T) {
 	_, _ = h.OpLog(1, v2)
 	_ = h.Write(n2, v2)
 	_ = h.WriteRoot(n2)
+	// The fault persists across the retry budget so the flush really
+	// fails; every attempt leaves the same 64-byte volatile prefix.
 	injected := false
-	c.Endpoint().SetFault(func(op rdma.Op, off uint64, n int) (bool, int) {
-		if op == rdma.OpWrite && n > 80 && !injected {
+	c.Endpoint().SetFault(func(op rdma.Op, off uint64, n int) rdma.Fault {
+		if op == rdma.OpWrite && n > 80 {
 			injected = true
-			return false, 64
+			return rdma.Fault{Err: rdma.ErrInjected, Truncate: 64}
 		}
-		return true, 0
+		return rdma.Fault{}
 	})
 	if err := h.EndOp(); err == nil {
 		t.Fatal("tx flush should have failed")
+	} else if !errors.Is(err, rdma.ErrInjected) {
+		t.Fatalf("flush error must unwrap to ErrInjected, got %v", err)
+	}
+	if !injected {
+		t.Fatal("fault hook never fired")
+	}
+	if fe.Stats().VerbRetries.Load() == 0 {
+		t.Fatal("transient fault must be retried before surfacing")
 	}
 	c.Endpoint().SetFault(nil)
 

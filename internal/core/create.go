@@ -54,7 +54,7 @@ func (c *Conn) Calloc(size uint64) (uint64, error) {
 // readNameTable fetches the whole naming table with one RDMA read.
 func (c *Conn) readNameTable() ([]byte, error) {
 	buf := make([]byte, c.layout.NameEntries*backend.NameEntrySize)
-	if err := c.ep.Read(c.layout.NameBase, buf); err != nil {
+	if err := c.epRead(c.layout.NameBase, buf); err != nil {
 		return nil, err
 	}
 	return buf, nil
@@ -102,7 +102,7 @@ func (c *Conn) Create(name string, typ uint8, opts CreateOptions) (*Handle, erro
 			continue
 		}
 		word := uint64(1) | uint64(typ)<<8
-		_, ok, err := c.ep.CompareAndSwap(c.layout.NameEntryOff(s), 0, word)
+		_, ok, err := c.epCAS(c.layout.NameEntryOff(s), 0, word)
 		if err != nil {
 			return nil, err
 		}
@@ -121,7 +121,7 @@ func (c *Conn) Create(name string, typ uint8, opts CreateOptions) (*Handle, erro
 		return nil, err
 	}
 	// Preserve the claimed first word; write the remainder.
-	if err := c.ep.Write(c.layout.NameEntryOff(slot)+8, entry[8:]); err != nil {
+	if err := c.epWrite(c.layout.NameEntryOff(slot)+8, entry[8:]); err != nil {
 		return nil, err
 	}
 
@@ -142,12 +142,12 @@ func (c *Conn) Create(name string, typ uint8, opts CreateOptions) (*Handle, erro
 	binary.LittleEndian.PutUint64(aux[backend.AuxMemLogSizeOff:], opts.MemLogSize)
 	binary.LittleEndian.PutUint64(aux[backend.AuxOpLogBaseOff:], backend.AddrOff(opAddr))
 	binary.LittleEndian.PutUint64(aux[backend.AuxOpLogSizeOff:], opts.OpLogSize)
-	if err := c.ep.Write(backend.AddrOff(auxAddr), aux); err != nil {
+	if err := c.epWrite(backend.AddrOff(auxAddr), aux); err != nil {
 		return nil, err
 	}
 	// Publish: the aux pointer becomes visible atomically; the back-end's
 	// next kick discovers the structure and starts replicating it.
-	if err := c.ep.Store64(c.layout.AuxPtrOff(slot), auxAddr); err != nil {
+	if err := c.epStore64(c.layout.AuxPtrOff(slot), auxAddr); err != nil {
 		return nil, err
 	}
 	c.kick()
@@ -181,7 +181,7 @@ func (c *Conn) Open(name string, writer bool) (*Handle, error) {
 		return nil, fmt.Errorf("core: %q creation incomplete", name)
 	}
 	aux := make([]byte, backend.AuxUser)
-	if err := c.ep.Read(backend.AddrOff(entry.Aux), aux); err != nil {
+	if err := c.epRead(backend.AddrOff(entry.Aux), aux); err != nil {
 		return nil, err
 	}
 	h := &Handle{
@@ -303,7 +303,7 @@ func (h *Handle) scanOne(area logrec.Area, abs uint64, dec func([]byte, uint64) 
 		buf := make([]byte, chunk)
 		pos := 0
 		for _, r := range area.Split(abs, chunk) {
-			if err := h.c.ep.Read(r.DevOff, buf[pos:pos+r.Len]); err != nil {
+			if err := h.c.epRead(r.DevOff, buf[pos:pos+r.Len]); err != nil {
 				return 0, err
 			}
 			pos += r.Len

@@ -58,6 +58,7 @@ type Frontend struct {
 	mode  Mode
 	conns map[uint16]*Conn
 	rng   uint64 // xorshift state for skiplist levels etc.
+	retry RetryPolicy
 }
 
 // FrontendOptions configures a front-end node.
@@ -67,6 +68,7 @@ type FrontendOptions struct {
 	Clock   clock.Clock
 	Stats   *stats.Stats
 	Profile *clock.Profile
+	Retry   *RetryPolicy // verb retry policy, DefaultRetryPolicy when nil
 }
 
 // NewFrontend creates a front-end node.
@@ -89,6 +91,10 @@ func NewFrontend(opts FrontendOptions) *Frontend {
 		mode:  opts.Mode,
 		conns: make(map[uint16]*Conn),
 		rng:   uint64(opts.ID)*0x9E3779B97F4A7C15 + 0x1234567,
+		retry: DefaultRetryPolicy(),
+	}
+	if opts.Retry != nil {
+		fe.retry = *opts.Retry
 	}
 	if opts.Mode.CacheBytes > 0 {
 		fe.cache = NewCache(opts.Mode.CacheBytes, opts.Mode.Policy, opts.Stats)
@@ -141,6 +147,7 @@ type Conn struct {
 	rpcSeq    uint64
 	slab      *alloc.TwoTier
 	epoch     uint64 // back-end incarnation observed at connect
+	failover  func() (*backend.Backend, error)
 }
 
 // Connect mounts a back-end. kick wakes the back-end service loop — it
@@ -199,37 +206,56 @@ func (c *Conn) Kick() { c.kick() }
 // Frontend returns the owning node.
 func (c *Conn) Frontend() *Frontend { return c.fe }
 
+// errRPCNoResponse marks an RPC poll timeout. It is retried like a lost
+// completion: re-sending the same sequence number is exactly-once (the
+// back-end dedups by seq, and a stale duplicate finds its response already
+// in the cell).
+var errRPCNoResponse = errors.New("core: no RPC response")
+
 // rpc performs one ring RPC: write the request cell, kick, poll the
 // response cell. Two round trips in the common case, exactly the RFP
-// pattern of §5.1.
+// pattern of §5.1. The whole exchange is the retry/failover unit — a
+// faulted request write, a dropped response, or a back-end death mid-call
+// each re-drive the same sequence number, against the replacement node
+// after a failover.
 func (c *Conn) rpc(op, a1, a2 uint64) (backend.RPCResponse, error) {
 	c.rpcSeq++
 	req := backend.EncodeRPCRequest(backend.RPCRequest{Seq: c.rpcSeq, Op: op, A1: a1, A2: a2})
-	if err := c.ep.Write(c.layout.RPCReqOff(c.fe.id), req); err != nil {
+	var resp backend.RPCResponse
+	err := c.do(func() error {
+		if err := c.ep.Write(c.layout.RPCReqOff(c.fe.id), req); err != nil {
+			return err
+		}
+		c.kick()
+		cell := make([]byte, 64)
+		for i := 0; ; i++ {
+			var err error
+			if i == 0 {
+				// The response fetch costs one round trip; repeat polls are
+				// quiet (see rdma.ReadQuiet) so host scheduling neither
+				// inflates virtual time nor consumes fault-schedule
+				// randomness.
+				err = c.ep.Read(c.layout.RPCRespOff(c.fe.id), cell)
+			} else {
+				err = c.ep.ReadQuiet(c.layout.RPCRespOff(c.fe.id), cell)
+			}
+			if err != nil {
+				return err
+			}
+			if r, ok := backend.DecodeRPCResponse(cell); ok && r.Seq == c.rpcSeq {
+				resp = r
+				return nil
+			}
+			if i > 1<<20 {
+				return fmt.Errorf("%w: seq %d", errRPCNoResponse, c.rpcSeq)
+			}
+			runtime.Gosched()
+		}
+	})
+	if err != nil {
 		return backend.RPCResponse{}, err
 	}
-	c.kick()
-	cell := make([]byte, 64)
-	for i := 0; ; i++ {
-		var err error
-		if i == 0 {
-			// The response fetch costs one round trip; repeat polls are
-			// quiet (see rdma.ReadQuiet).
-			err = c.ep.Read(c.layout.RPCRespOff(c.fe.id), cell)
-		} else {
-			err = c.ep.ReadQuiet(c.layout.RPCRespOff(c.fe.id), cell)
-		}
-		if err != nil {
-			return backend.RPCResponse{}, err
-		}
-		if resp, ok := backend.DecodeRPCResponse(cell); ok && resp.Seq == c.rpcSeq {
-			return resp, nil
-		}
-		if i > 1<<22 {
-			return backend.RPCResponse{}, fmt.Errorf("core: RPC seq %d: no response", c.rpcSeq)
-		}
-		runtime.Gosched()
-	}
+	return resp, nil
 }
 
 // Malloc allocates raw back-end blocks (rnvm_malloc through the ring).
@@ -280,4 +306,4 @@ func (s *slabRPC) FreeSlab(addr uint64, n int) error {
 
 // ReadEpoch re-reads the back-end incarnation counter; a change means the
 // back-end restarted since connect (Case 3 of §7.2).
-func (c *Conn) ReadEpoch() (uint64, error) { return c.ep.Load64(backend.EpochOff) }
+func (c *Conn) ReadEpoch() (uint64, error) { return c.epLoad64(backend.EpochOff) }

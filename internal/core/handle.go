@@ -202,7 +202,7 @@ func (h *Handle) Read(addr uint64, n int, cacheable bool) ([]byte, error) {
 		return nil, err
 	}
 	buf := make([]byte, n)
-	if err := h.c.ep.Read(off, buf); err != nil {
+	if err := h.c.epRead(off, buf); err != nil {
 		return nil, err
 	}
 	if h.cacheOn(cacheable) {
@@ -228,7 +228,7 @@ func (h *Handle) ReadUncached(addr uint64, n int) ([]byte, error) {
 		return nil, err
 	}
 	buf := make([]byte, n)
-	if err := h.c.ep.Read(off, buf); err != nil {
+	if err := h.c.epRead(off, buf); err != nil {
 		return nil, err
 	}
 	return buf, nil
@@ -261,7 +261,7 @@ func (h *Handle) write(addr uint64, data []byte, opAbs uint64, srcOff uint32, fr
 		if err != nil {
 			return err
 		}
-		return h.c.ep.Write(off, data)
+		return h.c.epWrite(off, data)
 	}
 	e := logrec.MemEntry{Addr: addr, Len: uint32(len(data))}
 	if fromOp && fe.mode.Batch > 1 {
@@ -362,7 +362,7 @@ func (h *Handle) flushOps() error {
 		return err
 	}
 	ops := h.areaWriteOps(h.opArea, h.opBufAbs, h.opBuf)
-	if err := h.c.ep.WriteV(ops); err != nil {
+	if err := h.c.epWriteV(ops); err != nil {
 		return err
 	}
 	h.opBuf = h.opBuf[:0]
@@ -388,7 +388,7 @@ func (h *Handle) txWrite() error {
 		return err
 	}
 	ops := h.areaWriteOps(h.memArea, h.memTail, wire)
-	if err := h.c.ep.WriteV(ops); err != nil {
+	if err := h.c.epWriteV(ops); err != nil {
 		return err
 	}
 	h.memTail += uint64(len(wire))
@@ -430,7 +430,7 @@ func (h *Handle) auxField(fieldOff uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return h.c.ep.Load64(off + fieldOff)
+	return h.c.epLoad64(off + fieldOff)
 }
 
 // auxFieldQuiet refreshes an aux word inside a poll loop without a new
@@ -555,8 +555,8 @@ func (h *Handle) persistHints() {
 	if err != nil {
 		return
 	}
-	_ = h.c.ep.Store64(off+backend.AuxMemTailOff, h.memTail)
-	_ = h.c.ep.Store64(off+backend.AuxOpTailOff, h.opTail)
+	_ = h.c.epStore64(off+backend.AuxMemTailOff, h.memTail)
+	_ = h.c.epStore64(off+backend.AuxOpTailOff, h.opTail)
 }
 
 // DelayedFree schedules an old-version allocation for the lazy garbage
@@ -674,7 +674,7 @@ func (h *Handle) ReadRoot() (uint64, error) {
 			return 0, err
 		}
 		buf := make([]byte, 24)
-		if err := h.c.ep.Read(off, buf); err != nil {
+		if err := h.c.epRead(off, buf); err != nil {
 			return 0, err
 		}
 		h.curSN = le64(buf[16:])

@@ -29,7 +29,7 @@ func (h *Handle) WriterLock() error {
 	lockOff := h.c.layout.LockOff(h.slot)
 	me := uint64(h.c.fe.id) + 1
 	for i := 0; ; i++ {
-		_, ok, err := h.c.ep.CompareAndSwap(lockOff, 0, me)
+		_, ok, err := h.c.epCAS(lockOff, 0, me)
 		if err != nil {
 			return err
 		}
@@ -42,7 +42,7 @@ func (h *Handle) WriterLock() error {
 		runtime.Gosched()
 	}
 	// Lock-ahead log: written before any memory logs are appended.
-	if err := h.c.ep.Store64(h.c.layout.LockLogOff(h.slot), me<<1|1); err != nil {
+	if err := h.c.epStore64(h.c.layout.LockLogOff(h.slot), me<<1|1); err != nil {
 		return err
 	}
 	// Fetch the LPN (§6.1) so flow control starts from fresh state.
@@ -65,10 +65,10 @@ func (h *Handle) WriterUnlock() error {
 		return err
 	}
 	me := uint64(h.c.fe.id) + 1
-	if err := h.c.ep.Store64(h.c.layout.LockLogOff(h.slot), me<<1); err != nil {
+	if err := h.c.epStore64(h.c.layout.LockLogOff(h.slot), me<<1); err != nil {
 		return err
 	}
-	if err := h.c.ep.Store64(h.c.layout.LockOff(h.slot), 0); err != nil {
+	if err := h.c.epStore64(h.c.layout.LockOff(h.slot), 0); err != nil {
 		return err
 	}
 	h.lockHeld = false
@@ -81,17 +81,17 @@ func (h *Handle) WriterUnlock() error {
 func (h *Handle) BreakLock(deadOwner uint16) error {
 	lockOff := h.c.layout.LockOff(h.slot)
 	dead := uint64(deadOwner) + 1
-	cur, err := h.c.ep.Load64(lockOff)
+	cur, err := h.c.epLoad64(lockOff)
 	if err != nil {
 		return err
 	}
 	if cur != dead {
 		return nil // not held by the dead node (already released)
 	}
-	if err := h.c.ep.Store64(h.c.layout.LockLogOff(h.slot), dead<<1); err != nil {
+	if err := h.c.epStore64(h.c.layout.LockLogOff(h.slot), dead<<1); err != nil {
 		return err
 	}
-	_, _, err = h.c.ep.CompareAndSwap(lockOff, dead, 0)
+	_, _, err = h.c.epCAS(lockOff, dead, 0)
 	return err
 }
 
@@ -104,7 +104,7 @@ func (h *Handle) ReaderLock() error {
 	}
 	snOff := h.c.layout.SNOff(h.slot)
 	for i := 0; ; i++ {
-		sn, err := h.c.ep.Load64(snOff)
+		sn, err := h.c.epLoad64(snOff)
 		if err != nil {
 			return err
 		}
@@ -127,7 +127,7 @@ func (h *Handle) ReaderValidate() (bool, error) {
 	if h.mv {
 		return true, nil
 	}
-	sn, err := h.c.ep.Load64(h.c.layout.SNOff(h.slot))
+	sn, err := h.c.epLoad64(h.c.layout.SNOff(h.slot))
 	if err != nil {
 		return false, err
 	}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"asymnvm/internal/backend"
+	"asymnvm/internal/rdma"
+)
+
+// RetryPolicy bounds the front-end's response to transient verb faults:
+// up to MaxAttempts tries per verb, with exponential backoff charged to
+// the node's virtual clock (a real client would spin-wait or re-arm the
+// queue pair; either way the time is the client's to pay).
+type RetryPolicy struct {
+	MaxAttempts int
+	BaseBackoff time.Duration // backoff before the 2nd attempt; doubles per retry
+	MaxBackoff  time.Duration
+}
+
+// DefaultRetryPolicy absorbs short fault bursts (partitions of a handful
+// of verbs) while keeping the worst-case added virtual latency under a
+// millisecond.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 10, BaseBackoff: 2 * time.Microsecond, MaxBackoff: 256 * time.Microsecond}
+}
+
+// SetRetryPolicy replaces the node's verb retry policy.
+func (fe *Frontend) SetRetryPolicy(p RetryPolicy) { fe.retry = p }
+
+// RetryPolicy returns the node's verb retry policy.
+func (fe *Frontend) RetryPolicy() RetryPolicy { return fe.retry }
+
+// errClass is the outcome of classifying a verb error.
+type errClass int
+
+const (
+	classPermanent errClass = iota // programming or device error: surface it
+	classTransient                 // fabric hiccup: the verb did not execute, retry in place
+	classFatal                     // peer gone: fail over, then retry
+)
+
+// classify sorts a verb error into the retry taxonomy. In the simulated
+// fabric a failed verb never executed remotely (a failed write may leave a
+// truncated prefix in the volatile window, which a successful retry simply
+// overwrites), so retrying any verb — including CAS and vector writes — is
+// idempotent.
+func classify(err error) errClass {
+	switch {
+	case err == nil:
+		return classPermanent
+	case errors.Is(err, rdma.ErrDisconnected):
+		return classFatal
+	case errors.Is(err, rdma.ErrInjected), errors.Is(err, errRPCNoResponse):
+		return classTransient
+	default:
+		return classPermanent
+	}
+}
+
+// SetFailover installs the connection's failover delegate: called when the
+// fabric reports the back-end gone, it must return the replacement node
+// (after promoting a mirror or restarting the back-end) or an error if no
+// replacement exists. The cluster layer installs one that consults lease
+// state, so a front-end only fails over once the keep-alive authority has
+// declared the back-end dead (§7.2, Case 3/4).
+func (c *Conn) SetFailover(f func() (*backend.Backend, error)) { c.failover = f }
+
+// Retarget re-points the connection at a replacement back-end: reconnects
+// the endpoint (keeping its fault hook — the injector follows the logical
+// connection), rebinds the kick doorbell, and refreshes the observed
+// epoch. The RPC sequence is kept: it is monotone per front-end slot and
+// the replacement holds a byte-identical response cell, so exactly-once
+// RPC semantics carry over.
+func (c *Conn) Retarget(bk *backend.Backend) error {
+	c.ep.Retarget(bk.Target())
+	c.kick = bk.Kick
+	c.backendID = bk.ID()
+	epoch, err := c.ep.Load64Quiet(backend.EpochOff)
+	if err != nil {
+		return err
+	}
+	c.epoch = epoch
+	c.fe.st.Failovers.Add(1)
+	return nil
+}
+
+// do runs one verb closure under the retry/failover policy. Transient
+// faults are retried with exponential backoff charged to the virtual
+// clock; fatal faults invoke the failover delegate and then retry against
+// the replacement. The original error surfaces once the attempt budget is
+// exhausted (errors.Is against the rdma sentinels keeps working).
+func (c *Conn) do(f func() error) error {
+	pol := c.fe.retry
+	if pol.MaxAttempts < 1 {
+		pol.MaxAttempts = 1
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = f()
+		if err == nil {
+			return nil
+		}
+		switch classify(err) {
+		case classPermanent:
+			return err
+		case classFatal:
+			if c.failover == nil {
+				return fmt.Errorf("%w (no failover delegate): %w", ErrBackendDown, err)
+			}
+			bk, foErr := c.failover()
+			if foErr != nil {
+				return fmt.Errorf("%w: %w (failover: %w)", ErrBackendDown, err, foErr)
+			}
+			if rtErr := c.Retarget(bk); rtErr != nil {
+				return fmt.Errorf("%w: retarget: %w", ErrBackendDown, rtErr)
+			}
+			// The replacement is live: restart the attempt budget for it.
+			attempt = 0
+			continue
+		case classTransient:
+			if attempt >= pol.MaxAttempts {
+				return fmt.Errorf("core: giving up after %d attempts: %w", attempt, err)
+			}
+			if pol.BaseBackoff > 0 {
+				backoff := pol.BaseBackoff << (attempt - 1)
+				if backoff > pol.MaxBackoff && pol.MaxBackoff > 0 {
+					backoff = pol.MaxBackoff
+				}
+				c.fe.clk.Advance(backoff)
+			}
+			c.fe.st.VerbRetries.Add(1)
+		}
+	}
+}
+
+// The ep* helpers route every data-path verb through the retry/failover
+// policy. Handles and lock code call these instead of touching c.ep
+// directly; recovery-internal probes that must not consume fault-schedule
+// randomness use the endpoint's Quiet variants.
+
+func (c *Conn) epRead(off uint64, buf []byte) error {
+	return c.do(func() error { return c.ep.Read(off, buf) })
+}
+
+func (c *Conn) epWrite(off uint64, data []byte) error {
+	return c.do(func() error { return c.ep.Write(off, data) })
+}
+
+func (c *Conn) epWriteV(ops []rdma.WriteOp) error {
+	return c.do(func() error { return c.ep.WriteV(ops) })
+}
+
+func (c *Conn) epCAS(off uint64, old, new uint64) (prev uint64, swapped bool, err error) {
+	err = c.do(func() error {
+		var ierr error
+		prev, swapped, ierr = c.ep.CompareAndSwap(off, old, new)
+		return ierr
+	})
+	return prev, swapped, err
+}
+
+func (c *Conn) epFetchAdd(off uint64, delta uint64) (prev uint64, err error) {
+	err = c.do(func() error {
+		var ierr error
+		prev, ierr = c.ep.FetchAdd(off, delta)
+		return ierr
+	})
+	return prev, err
+}
+
+func (c *Conn) epLoad64(off uint64) (v uint64, err error) {
+	err = c.do(func() error {
+		var ierr error
+		v, ierr = c.ep.Load64(off)
+		return ierr
+	})
+	return v, err
+}
+
+func (c *Conn) epStore64(off uint64, v uint64) error {
+	return c.do(func() error { return c.ep.Store64(off, v) })
+}

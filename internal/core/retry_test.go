@@ -1,0 +1,166 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"asymnvm/internal/backend"
+	"asymnvm/internal/rdma"
+)
+
+// TestTransientVerbRetried: a burst of injected faults shorter than the
+// attempt budget is absorbed transparently, counted, and charged to the
+// virtual clock as backoff.
+func TestTransientVerbRetried(t *testing.T) {
+	r := newRig(t, 8<<20)
+	fe := r.frontend(1, ModeR())
+	c := r.connect(fe)
+	fails := 3
+	c.Endpoint().SetFault(func(op rdma.Op, off uint64, n int) rdma.Fault {
+		if op == rdma.OpRead && fails > 0 {
+			fails--
+			return rdma.Fault{Err: rdma.ErrInjected}
+		}
+		return rdma.Fault{}
+	})
+	before := fe.Clock().Now()
+	buf := make([]byte, 8)
+	if err := c.epRead(0, buf); err != nil {
+		t.Fatalf("3 transient faults within a 10-attempt budget must be absorbed: %v", err)
+	}
+	if got := fe.Stats().VerbRetries.Load(); got != 3 {
+		t.Fatalf("VerbRetries = %d, want 3", got)
+	}
+	// Backoff 2µs + 4µs + 8µs; the zero profile charges nothing else.
+	if d := fe.Clock().Now() - before; d < 14*time.Microsecond {
+		t.Fatalf("backoff must be charged to the virtual clock, advanced only %v", d)
+	}
+}
+
+// TestRetryExhaustion: a fault outliving the budget surfaces the original
+// sentinel wrapped in a giving-up error.
+func TestRetryExhaustion(t *testing.T) {
+	r := newRig(t, 8<<20)
+	fe := r.frontend(1, ModeR())
+	fe.SetRetryPolicy(RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Microsecond, MaxBackoff: 2 * time.Microsecond})
+	c := r.connect(fe)
+	c.Endpoint().SetFault(func(op rdma.Op, off uint64, n int) rdma.Fault {
+		if op == rdma.OpRead {
+			return rdma.Fault{Err: rdma.ErrInjected}
+		}
+		return rdma.Fault{}
+	})
+	err := c.epRead(0, make([]byte, 8))
+	if !errors.Is(err, rdma.ErrInjected) {
+		t.Fatalf("exhaustion must surface the sentinel: %v", err)
+	}
+	if !strings.Contains(err.Error(), "giving up after 4 attempts") {
+		t.Fatalf("error must report the attempt budget: %v", err)
+	}
+	if got := fe.Stats().VerbRetries.Load(); got != 3 {
+		t.Fatalf("VerbRetries = %d, want 3 (4 attempts)", got)
+	}
+}
+
+// TestFatalFaultFailsOver: a disconnect invokes the failover delegate,
+// re-targets the endpoint, and the verb completes against the
+// replacement with a fresh attempt budget.
+func TestFatalFaultFailsOver(t *testing.T) {
+	r := newRig(t, 8<<20)
+	fe := r.frontend(1, ModeR())
+	c := r.connect(fe)
+	dead := true
+	c.Endpoint().SetFault(func(op rdma.Op, off uint64, n int) rdma.Fault {
+		if dead {
+			return rdma.Fault{Err: rdma.ErrDisconnected}
+		}
+		return rdma.Fault{}
+	})
+	calls := 0
+	c.SetFailover(func() (*backend.Backend, error) {
+		calls++
+		dead = false // the "replacement" is the same node, now reachable
+		return r.bk, nil
+	})
+	if err := c.epStore64(backend.HeaderSize, 7); err != nil {
+		t.Fatalf("verb must complete after failover: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("failover delegate called %d times, want 1", calls)
+	}
+	if got := fe.Stats().Failovers.Load(); got != 1 {
+		t.Fatalf("Failovers = %d, want 1", got)
+	}
+	if v, _ := c.Endpoint().Load64Quiet(backend.HeaderSize); v != 7 {
+		t.Fatalf("store after failover read back %d", v)
+	}
+}
+
+// TestFatalWithoutDelegate: with nobody to fail over to, the error class
+// surfaces as ErrBackendDown.
+func TestFatalWithoutDelegate(t *testing.T) {
+	r := newRig(t, 8<<20)
+	c := r.connect(r.frontend(1, ModeR()))
+	c.Endpoint().SetFault(func(rdma.Op, uint64, int) rdma.Fault {
+		return rdma.Fault{Err: rdma.ErrDisconnected}
+	})
+	err := c.epRead(0, make([]byte, 8))
+	if !errors.Is(err, ErrBackendDown) {
+		t.Fatalf("want ErrBackendDown, got %v", err)
+	}
+	if !errors.Is(err, rdma.ErrDisconnected) {
+		t.Fatalf("cause must stay unwrappable: %v", err)
+	}
+}
+
+// TestRPCRetriesWholeExchange: an RPC whose request write faults is
+// re-driven end to end with the same sequence number — the allocation
+// happens exactly once.
+func TestRPCRetriesWholeExchange(t *testing.T) {
+	r := newRig(t, 8<<20)
+	fe := r.frontend(1, ModeR())
+	c := r.connect(fe)
+	fails := 2
+	c.Endpoint().SetFault(func(op rdma.Op, off uint64, n int) rdma.Fault {
+		if op == rdma.OpWrite && fails > 0 {
+			fails--
+			return rdma.Fault{Err: rdma.ErrInjected}
+		}
+		return rdma.Fault{}
+	})
+	a1, err := c.Malloc(4096)
+	if err != nil {
+		t.Fatalf("faulted malloc: %v", err)
+	}
+	c.Endpoint().SetFault(nil)
+	a2, err := c.Malloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == a2 {
+		t.Fatal("retried RPC must not double-allocate")
+	}
+	if got := fe.Stats().VerbRetries.Load(); got < 2 {
+		t.Fatalf("VerbRetries = %d, want >= 2", got)
+	}
+}
+
+// TestClassify pins the error taxonomy.
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want errClass
+	}{
+		{rdma.ErrInjected, classTransient},
+		{errRPCNoResponse, classTransient},
+		{rdma.ErrDisconnected, classFatal},
+		{errors.New("bounds"), classPermanent},
+	}
+	for _, tc := range cases {
+		if got := classify(tc.err); got != tc.want {
+			t.Errorf("classify(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}

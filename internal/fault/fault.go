@@ -1,0 +1,354 @@
+// Package fault is the deterministic fault-injection plane for the
+// simulated AsymNVM cluster.
+//
+// A Plane is created from one seed and owns a set of named Injectors, one
+// per logical connection (front-end → back-end endpoint). Each injector
+// derives its own RNG from the plane seed and its name, so the fault
+// stream seen by one connection is a pure function of (seed, name) — it
+// does not depend on goroutine interleaving with other connections. Every
+// injected fault is recorded in an event log ordered by (source, per-source
+// sequence number); two runs with the same seed and the same workload
+// produce identical logs, which is the reproducibility contract the chaos
+// harness (cmd/asymnvm-chaos) checks.
+//
+// The plane covers the failure vocabulary of the paper's §7 plus the
+// fabric faults client-driven recovery must absorb:
+//
+//   - verb drop / mid-transfer truncation / delay (per-connection, random
+//     at configured rates) via rdma.Endpoint.SetFault;
+//   - network partition between one front-end/back-end pair (a window of
+//     consecutive verb failures);
+//   - endpoint disconnect (fatal — forces the front-end's failover path);
+//   - back-end crash/restart and mirror promotion (scheduled by the chaos
+//     harness through the cluster layer, recorded here);
+//   - mirror replication lag (raw writes and archived ops buffered for a
+//     number of replication kicks before reaching the sink).
+package fault
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"asymnvm/internal/backend"
+	"asymnvm/internal/rdma"
+)
+
+// Kind classifies one recorded fault event.
+type Kind int
+
+// Event kinds.
+const (
+	KindDrop Kind = iota
+	KindTruncate
+	KindDelay
+	KindPartition
+	KindDisconnect
+	KindSched // cluster-level scheduled action (crash, restart, promote)
+)
+
+// String names the kind for event logs.
+func (k Kind) String() string {
+	switch k {
+	case KindDrop:
+		return "drop"
+	case KindTruncate:
+		return "truncate"
+	case KindDelay:
+		return "delay"
+	case KindPartition:
+		return "partition"
+	case KindDisconnect:
+		return "disconnect"
+	case KindSched:
+		return "sched"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one recorded injection.
+type Event struct {
+	Source string // injector name, or "sched" for cluster-level actions
+	Seq    uint64 // per-source sequence number
+	Kind   Kind
+	Op     rdma.Op
+	Off    uint64
+	N      int
+	Detail string
+}
+
+// String renders the event as one reproducibility-log line.
+func (e Event) String() string {
+	if e.Kind == KindSched {
+		return fmt.Sprintf("%s #%d %s", e.Source, e.Seq, e.Detail)
+	}
+	s := fmt.Sprintf("%s #%d %s op=%v off=%d n=%d", e.Source, e.Seq, e.Kind, e.Op, e.Off, e.N)
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// VerbFaults configures the random per-verb fault mix of one injector.
+// Probabilities are cumulative-compared against a single RNG draw per
+// verb, so changing one rate does not shift which verbs the others hit.
+type VerbFaults struct {
+	DropProb     float64       // verb fails, nothing reached the target
+	TruncateProb float64       // write fails, a random prefix stays volatile
+	DelayProb    float64       // verb succeeds after extra latency
+	Delay        time.Duration // latency charged on a delay fault (default 2µs)
+}
+
+// Plane owns the injectors, mirror-lag sinks, and the shared event log.
+type Plane struct {
+	seed int64
+
+	mu        sync.Mutex
+	injectors map[string]*Injector
+	events    []Event
+	schedSeq  uint64
+	mirrorLag int
+	lagged    []*LagSink
+}
+
+// NewPlane creates a fault plane seeded with seed.
+func NewPlane(seed int64) *Plane {
+	return &Plane{seed: seed, injectors: make(map[string]*Injector)}
+}
+
+// Seed returns the plane's seed.
+func (p *Plane) Seed() int64 { return p.seed }
+
+// Injector returns the injector registered under name, creating it (with
+// an RNG derived from the plane seed and the name) on first use.
+func (p *Plane) Injector(name string) *Injector {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if in, ok := p.injectors[name]; ok {
+		return in
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	in := &Injector{
+		p:    p,
+		name: name,
+		rng:  rand.New(rand.NewSource(p.seed ^ int64(h.Sum64()))),
+	}
+	p.injectors[name] = in
+	return in
+}
+
+// Record logs a cluster-level scheduled action (crash, restart, promote,
+// partition window) under the synthetic "sched" source.
+func (p *Plane) Record(detail string) {
+	p.mu.Lock()
+	p.events = append(p.events, Event{Source: "sched", Seq: p.schedSeq, Kind: KindSched, Detail: detail})
+	p.schedSeq++
+	p.mu.Unlock()
+}
+
+func (p *Plane) record(e Event) {
+	p.mu.Lock()
+	p.events = append(p.events, e)
+	p.mu.Unlock()
+}
+
+// Events returns a copy of the event log, ordered by (source, seq). The
+// per-source order is the injection order; the cross-source order is a
+// deterministic convention, so the rendered log is reproducible even when
+// connections race each other in host time.
+func (p *Plane) Events() []Event {
+	p.mu.Lock()
+	out := make([]Event, len(p.events))
+	copy(out, p.events)
+	p.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Source != out[j].Source {
+			return out[i].Source < out[j].Source
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// EventLog renders Events as one line per event.
+func (p *Plane) EventLog() []string {
+	evs := p.Events()
+	out := make([]string, len(evs))
+	for i, e := range evs {
+		out[i] = e.String()
+	}
+	return out
+}
+
+// Digest is an FNV-1a hash over the rendered event log — a compact value
+// two runs can compare to prove they saw the same fault interleaving.
+func (p *Plane) Digest() uint64 {
+	h := fnv.New64a()
+	for _, line := range p.EventLog() {
+		h.Write([]byte(line))
+		h.Write([]byte{'\n'})
+	}
+	return h.Sum64()
+}
+
+// SetMirrorLag makes WrapMirror interpose a lag queue that withholds
+// replicated data for the given number of replication kicks. Zero (the
+// default) disables lag.
+func (p *Plane) SetMirrorLag(kicks int) {
+	p.mu.Lock()
+	p.mirrorLag = kicks
+	p.mu.Unlock()
+}
+
+// MirrorLag reports the configured lag in kicks.
+func (p *Plane) MirrorLag() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.mirrorLag
+}
+
+// WrapMirror wraps a mirror sink with a lag queue (when lag is configured)
+// and registers it so DrainMirrors can flush it. With zero lag the sink is
+// returned unchanged. Meant to be passed to backend.Backend.WrapMirrors.
+func (p *Plane) WrapMirror(s backend.MirrorSink) backend.MirrorSink {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.mirrorLag <= 0 {
+		return s
+	}
+	ls := NewLagSink(s, p.mirrorLag)
+	p.lagged = append(p.lagged, ls)
+	return ls
+}
+
+// DrainMirrors flushes every registered lag queue into its sink. The
+// cluster calls this before promoting a replica: promotion models the
+// mirror having acknowledged all safe transactions, so the queues must be
+// empty first.
+func (p *Plane) DrainMirrors() {
+	p.mu.Lock()
+	lagged := append([]*LagSink(nil), p.lagged...)
+	p.mu.Unlock()
+	for _, ls := range lagged {
+		ls.Drain()
+	}
+}
+
+// DropMirrors drains and then forgets the registered lag queues. Restart
+// paths call it before re-attaching mirrors with a fresh full sync, so
+// stale queued writes cannot later corrupt the resynced replica.
+func (p *Plane) DropMirrors() {
+	p.DrainMirrors()
+	p.mu.Lock()
+	p.lagged = nil
+	p.mu.Unlock()
+}
+
+// Injector produces the fault stream for one named connection.
+type Injector struct {
+	p    *Plane
+	name string
+
+	mu           sync.Mutex
+	rng          *rand.Rand
+	cfg          VerbFaults
+	seq          uint64
+	partition    int
+	disconnected bool
+}
+
+// Name returns the injector's registered name.
+func (in *Injector) Name() string { return in.name }
+
+// SetVerbFaults installs the random fault mix. The probabilities must sum
+// to at most 1.
+func (in *Injector) SetVerbFaults(cfg VerbFaults) {
+	in.mu.Lock()
+	in.cfg = cfg
+	in.mu.Unlock()
+}
+
+// Partition fails the next n verbs with a transient error, modelling a
+// network partition between this front-end/back-end pair that heals after
+// the window. Keep n below the front-end's retry budget if the partition
+// should be absorbed by retries rather than surface as an error.
+func (in *Injector) Partition(n int) {
+	in.mu.Lock()
+	in.partition = n
+	in.mu.Unlock()
+}
+
+// Disconnect makes every subsequent verb fail with rdma.ErrDisconnected
+// until Reconnect — the fatal fault that forces the front-end's failover
+// path.
+func (in *Injector) Disconnect() {
+	in.mu.Lock()
+	in.disconnected = true
+	in.mu.Unlock()
+}
+
+// Reconnect clears a Disconnect.
+func (in *Injector) Reconnect() {
+	in.mu.Lock()
+	in.disconnected = false
+	in.mu.Unlock()
+}
+
+// Disconnected reports whether the injector is in the disconnected state.
+func (in *Injector) Disconnected() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.disconnected
+}
+
+// recordLocked emits one event; in.mu must be held (it owns seq).
+func (in *Injector) recordLocked(k Kind, op rdma.Op, off uint64, n int, detail string) {
+	in.p.record(Event{Source: in.name, Seq: in.seq, Kind: k, Op: op, Off: off, N: n, Detail: detail})
+	in.seq++
+}
+
+// Hook returns the rdma.FaultHook implementing this injector's stream.
+func (in *Injector) Hook() rdma.FaultHook {
+	return func(op rdma.Op, off uint64, n int) rdma.Fault {
+		in.mu.Lock()
+		defer in.mu.Unlock()
+		if in.disconnected {
+			in.recordLocked(KindDisconnect, op, off, n, "")
+			return rdma.Fault{Err: rdma.ErrDisconnected}
+		}
+		if in.partition > 0 {
+			in.partition--
+			in.recordLocked(KindPartition, op, off, n, fmt.Sprintf("left=%d", in.partition))
+			return rdma.Fault{Err: rdma.ErrInjected}
+		}
+		c := in.cfg
+		if c.DropProb <= 0 && c.TruncateProb <= 0 && c.DelayProb <= 0 {
+			return rdma.Fault{}
+		}
+		r := in.rng.Float64()
+		switch {
+		case r < c.DropProb:
+			in.recordLocked(KindDrop, op, off, n, "")
+			return rdma.Fault{Err: rdma.ErrInjected}
+		case r < c.DropProb+c.TruncateProb:
+			trunc := 0
+			if op == rdma.OpWrite && n > 1 {
+				trunc = in.rng.Intn(n)
+			}
+			in.recordLocked(KindTruncate, op, off, n, fmt.Sprintf("trunc=%d", trunc))
+			return rdma.Fault{Err: rdma.ErrInjected, Truncate: trunc}
+		case r < c.DropProb+c.TruncateProb+c.DelayProb:
+			d := c.Delay
+			if d <= 0 {
+				d = 2 * time.Microsecond
+			}
+			in.recordLocked(KindDelay, op, off, n, d.String())
+			return rdma.Fault{Delay: d}
+		}
+		return rdma.Fault{}
+	}
+}

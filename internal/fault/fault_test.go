@@ -1,0 +1,244 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"asymnvm/internal/rdma"
+)
+
+// driveHook issues n write verbs against the injector's hook and returns
+// the per-call fault verdicts.
+func driveHook(in *Injector, n int) []rdma.Fault {
+	hook := in.Hook()
+	out := make([]rdma.Fault, n)
+	for i := 0; i < n; i++ {
+		out[i] = hook(rdma.OpWrite, uint64(i*64), 64)
+	}
+	return out
+}
+
+// TestInjectorDeterminism pins the plane's core contract: the fault
+// stream of an injector is a pure function of (seed, name, call
+// sequence).
+func TestInjectorDeterminism(t *testing.T) {
+	mk := func() *Plane {
+		p := NewPlane(42)
+		in := p.Injector("fe1->bk0")
+		in.SetVerbFaults(VerbFaults{DropProb: 0.2, TruncateProb: 0.1, DelayProb: 0.1})
+		driveHook(in, 500)
+		return p
+	}
+	a, b := mk(), mk()
+	al, bl := a.EventLog(), b.EventLog()
+	if len(al) == 0 {
+		t.Fatal("20%+ fault rates over 500 verbs must inject something")
+	}
+	if len(al) != len(bl) {
+		t.Fatalf("event counts differ: %d vs %d", len(al), len(bl))
+	}
+	for i := range al {
+		if al[i] != bl[i] {
+			t.Fatalf("event %d differs: %q vs %q", i, al[i], bl[i])
+		}
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatalf("digests differ: %016x vs %016x", a.Digest(), b.Digest())
+	}
+}
+
+// TestInjectorStreamsIndependent: the stream of one injector must not
+// shift when another injector on the same plane is exercised in between
+// (connections race each other in host time).
+func TestInjectorStreamsIndependent(t *testing.T) {
+	cfg := VerbFaults{DropProb: 0.3}
+	solo := NewPlane(7)
+	si := solo.Injector("fe1->bk0")
+	si.SetVerbFaults(cfg)
+	want := driveHook(si, 200)
+
+	mixed := NewPlane(7)
+	mi := mixed.Injector("fe1->bk0")
+	mi.SetVerbFaults(cfg)
+	other := mixed.Injector("fe2->bk0")
+	other.SetVerbFaults(cfg)
+	oh := other.Hook()
+	h := mi.Hook()
+	for i := 0; i < 200; i++ {
+		oh(rdma.OpRead, 0, 8) // interleaved traffic on another connection
+		got := h(rdma.OpWrite, uint64(i*64), 64)
+		if (got.Err == nil) != (want[i].Err == nil) || got.Truncate != want[i].Truncate {
+			t.Fatalf("verb %d verdict changed under interleaving: %+v vs %+v", i, got, want[i])
+		}
+	}
+}
+
+// TestSeedChangesStream guards against the seed being ignored.
+func TestSeedChangesStream(t *testing.T) {
+	logs := make([]uint64, 2)
+	for i, seed := range []int64{1, 2} {
+		p := NewPlane(seed)
+		in := p.Injector("fe1->bk0")
+		in.SetVerbFaults(VerbFaults{DropProb: 0.3})
+		driveHook(in, 300)
+		logs[i] = p.Digest()
+	}
+	if logs[0] == logs[1] {
+		t.Fatal("different seeds produced identical fault logs")
+	}
+}
+
+// TestPartitionWindow: a partition of n verbs fails exactly the next n
+// verbs and then heals.
+func TestPartitionWindow(t *testing.T) {
+	p := NewPlane(1)
+	in := p.Injector("fe1->bk0")
+	in.Partition(3)
+	hook := in.Hook()
+	for i := 0; i < 3; i++ {
+		f := hook(rdma.OpRead, 0, 8)
+		if !errors.Is(f.Err, rdma.ErrInjected) {
+			t.Fatalf("verb %d inside the partition window must fail, got %+v", i, f)
+		}
+	}
+	if f := hook(rdma.OpRead, 0, 8); f.Err != nil {
+		t.Fatalf("verb after the window must succeed, got %v", f.Err)
+	}
+	evs := p.Events()
+	if len(evs) != 3 {
+		t.Fatalf("want 3 partition events, got %d", len(evs))
+	}
+	for _, e := range evs {
+		if e.Kind != KindPartition {
+			t.Fatalf("want partition events, got %v", e.Kind)
+		}
+	}
+}
+
+// TestDisconnectReconnect: a disconnected injector fails every verb with
+// ErrDisconnected (the fatal class) until reconnected.
+func TestDisconnectReconnect(t *testing.T) {
+	p := NewPlane(1)
+	in := p.Injector("fe1->bk0")
+	hook := in.Hook()
+	in.Disconnect()
+	if !in.Disconnected() {
+		t.Fatal("Disconnected() must report true")
+	}
+	for i := 0; i < 2; i++ {
+		if f := hook(rdma.OpWrite, 0, 8); !errors.Is(f.Err, rdma.ErrDisconnected) {
+			t.Fatalf("disconnected verb %d: got %+v", i, f)
+		}
+	}
+	in.Reconnect()
+	if f := hook(rdma.OpWrite, 0, 8); f.Err != nil {
+		t.Fatalf("reconnected verb must pass, got %v", f.Err)
+	}
+}
+
+// fakeSink records mirror traffic for the lag tests.
+type fakeSink struct {
+	writes []uint64
+	ops    []uint16
+	kicks  int
+}
+
+func (f *fakeSink) WantsRaw() bool { return true }
+func (f *fakeSink) MirrorWrite(devOff uint64, data []byte) error {
+	f.writes = append(f.writes, devOff)
+	return nil
+}
+func (f *fakeSink) MirrorOp(slot uint16, rec []byte) error {
+	f.ops = append(f.ops, slot)
+	return nil
+}
+func (f *fakeSink) MirrorKick() { f.kicks++ }
+
+// TestLagSinkDelaysAndDrains: traffic queued behind a 2-kick lag reaches
+// the inner sink only after two kicks; Drain releases everything.
+func TestLagSinkDelaysAndDrains(t *testing.T) {
+	inner := &fakeSink{}
+	l := NewLagSink(inner, 2)
+	_ = l.MirrorWrite(100, []byte{1})
+	_ = l.MirrorOp(5, []byte{2})
+	if len(inner.writes) != 0 || len(inner.ops) != 0 {
+		t.Fatal("lagged traffic must not reach the sink immediately")
+	}
+	l.MirrorKick()
+	if len(inner.writes) != 0 {
+		t.Fatal("one kick is inside the 2-kick lag window")
+	}
+	l.MirrorKick()
+	if len(inner.writes) != 1 || inner.writes[0] != 100 || len(inner.ops) != 1 || inner.ops[0] != 5 {
+		t.Fatalf("two kicks must release the queue: %+v", inner)
+	}
+	_ = l.MirrorWrite(200, []byte{3})
+	if l.Queued() != 1 {
+		t.Fatalf("queued = %d, want 1", l.Queued())
+	}
+	l.Drain()
+	if l.Queued() != 0 || len(inner.writes) != 2 || inner.writes[1] != 200 {
+		t.Fatalf("drain must flush everything: %+v", inner)
+	}
+}
+
+// TestBuildScheduleDeterministic: the failure schedule is derived from
+// the plane seed, sorted by op index, lands after warmup, and carries the
+// requested action mix.
+func TestBuildScheduleDeterministic(t *testing.T) {
+	mk := func(seed int64) []Action {
+		return NewPlane(seed).BuildSchedule(1000, 2, 2, 4)
+	}
+	a, b := mk(9), mk(9)
+	if len(a) != 8 {
+		t.Fatalf("schedule has %d actions, want 8", len(a))
+	}
+	counts := map[string]int{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules differ at %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if i > 0 && a[i].AtOp < a[i-1].AtOp {
+			t.Fatal("schedule must be sorted by op index")
+		}
+		if a[i].AtOp < 100 || a[i].AtOp >= 1000 {
+			t.Fatalf("action %d at op %d, want within [100,1000)", i, a[i].AtOp)
+		}
+		counts[a[i].Kind]++
+	}
+	if counts["promote"] != 2 || counts["restart"] != 2 || counts["partition"] != 4 {
+		t.Fatalf("action mix wrong: %+v", counts)
+	}
+	if c := mk(10); len(c) == len(a) && c[0] == a[0] && c[1] == a[1] && c[2] == a[2] {
+		t.Fatal("different seeds should move the schedule")
+	}
+}
+
+// TestEventOrderIsHostScheduleFree: the rendered log orders events by
+// (source, seq), so the interleaving of two connections in host time
+// does not change it.
+func TestEventOrderIsHostScheduleFree(t *testing.T) {
+	mk := func(firstA bool) *Plane {
+		p := NewPlane(3)
+		a := p.Injector("a")
+		b := p.Injector("b")
+		a.Partition(2)
+		b.Partition(2)
+		ha, hb := a.Hook(), b.Hook()
+		if firstA {
+			ha(rdma.OpRead, 0, 8)
+			hb(rdma.OpRead, 0, 8)
+			ha(rdma.OpRead, 8, 8)
+			hb(rdma.OpRead, 8, 8)
+		} else {
+			hb(rdma.OpRead, 0, 8)
+			hb(rdma.OpRead, 8, 8)
+			ha(rdma.OpRead, 0, 8)
+			ha(rdma.OpRead, 8, 8)
+		}
+		return p
+	}
+	if mk(true).Digest() != mk(false).Digest() {
+		t.Fatal("cross-connection interleaving must not change the rendered log")
+	}
+}

@@ -1,0 +1,111 @@
+package fault
+
+import (
+	"sync"
+
+	"asymnvm/internal/backend"
+)
+
+// lagItem is one withheld replication message.
+type lagItem struct {
+	raw  bool
+	off  uint64
+	data []byte
+	slot uint16
+	rec  []byte
+	due  int // kick count at which the item may be released
+}
+
+// LagSink delays a mirror sink's traffic by a fixed number of replication
+// kicks, modelling a replica that falls behind the primary. Writes and
+// archived ops are queued in arrival order and released — still in order —
+// once enough kicks have passed; Drain releases everything at once (the
+// "mirror catches up before promotion" point).
+type LagSink struct {
+	mu    sync.Mutex
+	inner backend.MirrorSink
+	lag   int
+	kicks int
+	q     []lagItem
+}
+
+// NewLagSink wraps inner with a queue of lagKicks kicks.
+func NewLagSink(inner backend.MirrorSink, lagKicks int) *LagSink {
+	return &LagSink{inner: inner, lag: lagKicks}
+}
+
+// Inner returns the wrapped sink.
+func (l *LagSink) Inner() backend.MirrorSink { return l.inner }
+
+// Queued reports how many messages are currently withheld.
+func (l *LagSink) Queued() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.q)
+}
+
+// WantsRaw defers to the wrapped sink.
+func (l *LagSink) WantsRaw() bool { return l.inner.WantsRaw() }
+
+// MirrorWrite queues a raw device range.
+func (l *LagSink) MirrorWrite(devOff uint64, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.q = append(l.q, lagItem{raw: true, off: devOff, data: cp, due: l.kicks + l.lag})
+	return nil
+}
+
+// MirrorOp queues an archived op record.
+func (l *LagSink) MirrorOp(slot uint16, rec []byte) error {
+	cp := make([]byte, len(rec))
+	copy(cp, rec)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.q = append(l.q, lagItem{slot: slot, rec: cp, due: l.kicks + l.lag})
+	return nil
+}
+
+// MirrorKick counts one replication round and releases every message whose
+// lag has elapsed, then kicks the wrapped sink.
+func (l *LagSink) MirrorKick() {
+	l.mu.Lock()
+	l.kicks++
+	err := l.releaseLocked(l.kicks)
+	l.mu.Unlock()
+	_ = err
+	l.inner.MirrorKick()
+}
+
+// Drain releases every queued message regardless of lag and kicks the sink.
+func (l *LagSink) Drain() {
+	l.mu.Lock()
+	err := l.releaseLocked(int(^uint(0) >> 1))
+	l.mu.Unlock()
+	_ = err
+	l.inner.MirrorKick()
+}
+
+// releaseLocked forwards queued items due at or before kick, in order.
+func (l *LagSink) releaseLocked(kick int) error {
+	var firstErr error
+	n := 0
+	for _, it := range l.q {
+		if it.due > kick {
+			break
+		}
+		var err error
+		if it.raw {
+			err = l.inner.MirrorWrite(it.off, it.data)
+		} else {
+			err = l.inner.MirrorOp(it.slot, it.rec)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		n++
+	}
+	l.q = l.q[n:]
+	return firstErr
+}

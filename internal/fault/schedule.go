@@ -1,0 +1,62 @@
+package fault
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sort"
+)
+
+// Action is one cluster-level scheduled fault, fired by the chaos harness
+// when the workload reaches operation index AtOp.
+type Action struct {
+	AtOp int
+	Kind string // "promote", "restart", or "partition"
+	Arg  int    // partition: window length in verbs
+}
+
+// BuildSchedule derives a deterministic cluster-fault schedule from the
+// plane's seed: nPromote mirror promotions, nRestart power-fail back-end
+// restarts, and nPartition partition windows, placed at distinct operation
+// indices in [totalOps/10, totalOps) and returned sorted by AtOp. The
+// first tenth of the run is left fault-free so the workload's structures
+// exist before the first failover. Partition windows are 3–6 verbs, below
+// any sane retry budget, so they are absorbed by retries.
+func (p *Plane) BuildSchedule(totalOps, nPromote, nRestart, nPartition int) []Action {
+	h := fnv.New64a()
+	h.Write([]byte("sched"))
+	rng := rand.New(rand.NewSource(p.seed ^ int64(h.Sum64())))
+
+	lo := totalOps / 10
+	if lo < 1 {
+		lo = 1
+	}
+	span := totalOps - lo
+	if span < 1 {
+		span = 1
+	}
+	used := make(map[int]bool)
+	place := func() int {
+		// Bounded: with more actions than available indices (degenerate
+		// totalOps), fall back to sharing an index rather than spinning.
+		for tries := 0; tries < 4*span; tries++ {
+			at := lo + rng.Intn(span)
+			if !used[at] {
+				used[at] = true
+				return at
+			}
+		}
+		return lo + rng.Intn(span)
+	}
+	var out []Action
+	for i := 0; i < nPromote; i++ {
+		out = append(out, Action{AtOp: place(), Kind: "promote"})
+	}
+	for i := 0; i < nRestart; i++ {
+		out = append(out, Action{AtOp: place(), Kind: "restart"})
+	}
+	for i := 0; i < nPartition; i++ {
+		out = append(out, Action{AtOp: place(), Kind: "partition", Arg: 3 + rng.Intn(4)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AtOp < out[j].AtOp })
+	return out
+}

@@ -122,6 +122,40 @@ func (d *Device) PendingWrites() int {
 	return len(d.pend)
 }
 
+// VolatileBytes reports how many bytes of [off, off+n) are covered by the
+// volatile persistence window — visible to reads but still revertible by a
+// power failure. Overlapping pending writes are counted once. Tests use it
+// to distinguish a truncated (unacknowledged) RDMA write, which must stay
+// volatile, from an acknowledged one, which must not.
+func (d *Device) VolatileBytes(off uint64, n int) int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if n <= 0 {
+		return 0
+	}
+	covered := make([]bool, n)
+	total := 0
+	for _, p := range d.pend {
+		lo, hi := p.off, p.off+uint64(len(p.old))
+		if hi <= off || lo >= off+uint64(n) {
+			continue
+		}
+		if lo < off {
+			lo = off
+		}
+		if hi > off+uint64(n) {
+			hi = off + uint64(n)
+		}
+		for i := lo - off; i < hi-off; i++ {
+			if !covered[i] {
+				covered[i] = true
+				total++
+			}
+		}
+	}
+	return total
+}
+
 // Crashes reports how many power failures the device has absorbed.
 func (d *Device) Crashes() int {
 	d.mu.RLock()

@@ -16,14 +16,25 @@ package rdma
 
 import (
 	"errors"
+	"fmt"
+	"time"
 
 	"asymnvm/internal/clock"
 	"asymnvm/internal/nvm"
 	"asymnvm/internal/stats"
 )
 
-// ErrInjected is returned by verbs failed through a FaultHook.
+// ErrInjected is returned by verbs failed through a FaultHook. It models
+// a transient fabric fault (lost completion, connection reset mid-verb):
+// the verb did not take effect — except for a write's truncated prefix,
+// which may sit in the target's volatile window — and retrying it is safe.
 var ErrInjected = errors.New("rdma: injected fault")
+
+// ErrDisconnected is returned when the endpoint's peer is unreachable
+// (queue pair torn down, node dead or partitioned away for good). Unlike
+// ErrInjected it is fatal for this connection: the caller must fail over
+// to a replacement target (or give up), not retry in place.
+var ErrDisconnected = errors.New("rdma: endpoint disconnected")
 
 // Op identifies a verb type for fault-injection hooks.
 type Op int
@@ -38,11 +49,46 @@ const (
 	OpStore64
 )
 
-// FaultHook intercepts a verb before it executes. Returning false fails
-// the verb with ErrInjected after the wire has possibly been touched:
-// for OpWrite, truncate reports how many bytes still reached the target
-// (modelling a connection lost mid-transfer).
-type FaultHook func(op Op, off uint64, n int) (ok bool, truncate int)
+// String names the verb for fault-event logs and error context.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "Read"
+	case OpWrite:
+		return "Write"
+	case OpCAS:
+		return "CAS"
+	case OpFetchAdd:
+		return "FetchAdd"
+	case OpLoad64:
+		return "Load64"
+	case OpStore64:
+		return "Store64"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Fault is a hook's decision for one verb.
+type Fault struct {
+	// Err, when non-nil, fails the verb with this error (wrapped with
+	// op/offset context by the endpoint). Use ErrInjected for transient
+	// faults and ErrDisconnected for a dead peer.
+	Err error
+	// Truncate applies to failed OpWrite verbs only: the number of bytes
+	// that still reached the target before the connection died. The
+	// prefix lands in the device's volatile persistence window — visible
+	// to reads, revertible by a power failure — never in the durable
+	// image, since the verb was not acknowledged.
+	Truncate int
+	// Delay is extra latency charged to the initiator's virtual clock
+	// before the verb's outcome (success or failure), modelling fabric
+	// congestion.
+	Delay time.Duration
+}
+
+// FaultHook intercepts a verb before it executes and decides its fate.
+// A zero Fault lets the verb proceed normally.
+type FaultHook func(op Op, off uint64, n int) Fault
 
 // Target registers a back-end node's NVM device for remote access.
 type Target struct {
@@ -78,6 +124,14 @@ func Connect(t *Target, clk clock.Clock, st *stats.Stats, prof clock.Profile) *E
 // SetFault installs (or clears, with nil) a fault-injection hook.
 func (e *Endpoint) SetFault(h FaultHook) { e.fault = h }
 
+// Retarget re-points the endpoint at a different target, modelling the
+// queue-pair reconnect a front-end performs during failover to a promoted
+// replica or a restarted back-end. The installed fault hook is kept: the
+// hook schedules faults for this logical connection, whichever physical
+// node currently backs it. Like the verbs, Retarget must be called from
+// the endpoint's owning goroutine.
+func (e *Endpoint) Retarget(t *Target) { e.t = t }
+
 // Stats returns the endpoint's counter sink.
 func (e *Endpoint) Stats() *stats.Stats { return e.st }
 
@@ -87,15 +141,30 @@ func (e *Endpoint) Clock() clock.Clock { return e.clk }
 // Profile returns the latency model in use.
 func (e *Endpoint) Profile() clock.Profile { return e.prof }
 
+// faultCheck consults the hook for one verb. On failure it returns the
+// write-truncation length and the hook's error wrapped with op/offset
+// context (errors.Is against the sentinel still matches).
+func (e *Endpoint) faultCheck(op Op, off uint64, n int) (int, error) {
+	if e.fault == nil {
+		return 0, nil
+	}
+	f := e.fault(op, off, n)
+	if f.Delay > 0 {
+		e.clk.Advance(f.Delay)
+	}
+	if f.Err == nil {
+		return 0, nil
+	}
+	return f.Truncate, fmt.Errorf("%w: op=%v off=%d n=%d", f.Err, op, off, n)
+}
+
 // Read performs a one-sided RDMA read of len(buf) bytes at off.
 func (e *Endpoint) Read(off uint64, buf []byte) error {
 	e.st.RDMARead.Add(1)
 	e.st.BytesRead.Add(int64(len(buf)))
 	e.clk.Advance(e.prof.ReadCost(len(buf)))
-	if e.fault != nil {
-		if ok, _ := e.fault(OpRead, off, len(buf)); !ok {
-			return ErrInjected
-		}
+	if _, err := e.faultCheck(OpRead, off, len(buf)); err != nil {
+		return err
 	}
 	return e.t.dev.ReadAt(off, buf)
 }
@@ -103,19 +172,21 @@ func (e *Endpoint) Read(off uint64, buf []byte) error {
 // Write performs a one-sided RDMA write that is acknowledged only after
 // the data is in the target's persistence domain (the paper assumes
 // RDMA writes with persistence semantics at the back-end).
+//
+// When a fault hook kills the verb mid-transfer, the truncated prefix is
+// applied with nvm.Device.WriteAt: it becomes visible but stays in the
+// device's volatile persistence window (nvm.Device.VolatileBytes reports
+// it) and is lost on power failure — the unacknowledged write is never
+// durable, which is what the log-validation machinery relies on.
 func (e *Endpoint) Write(off uint64, data []byte) error {
 	e.st.RDMAWrite.Add(1)
 	e.st.BytesWrite.Add(int64(len(data)))
 	e.clk.Advance(e.prof.WriteCost(len(data)))
-	if e.fault != nil {
-		if ok, trunc := e.fault(OpWrite, off, len(data)); !ok {
-			// The connection died mid-transfer: a prefix may have hit
-			// the device volatile window without being persisted.
-			if trunc > 0 && trunc <= len(data) {
-				_ = e.t.dev.WriteAt(off, data[:trunc])
-			}
-			return ErrInjected
+	if trunc, err := e.faultCheck(OpWrite, off, len(data)); err != nil {
+		if trunc > 0 && trunc <= len(data) {
+			_ = e.t.dev.WriteAt(off, data[:trunc])
 		}
+		return err
 	}
 	return e.t.dev.WritePersist(off, data)
 }
@@ -155,13 +226,11 @@ func (e *Endpoint) WriteV(ops []WriteOp) error {
 	e.st.BytesWrite.Add(int64(total))
 	e.clk.Advance(e.prof.WriteCost(total))
 	for i, op := range ops {
-		if e.fault != nil {
-			if ok, trunc := e.fault(OpWrite, op.Off, len(op.Data)); !ok {
-				if trunc > 0 && trunc <= len(op.Data) {
-					_ = e.t.dev.WriteAt(op.Off, op.Data[:trunc])
-				}
-				return ErrInjected
+		if trunc, err := e.faultCheck(OpWrite, op.Off, len(op.Data)); err != nil {
+			if trunc > 0 && trunc <= len(op.Data) {
+				_ = e.t.dev.WriteAt(op.Off, op.Data[:trunc])
 			}
+			return err
 		}
 		var err error
 		if i == len(ops)-1 {
@@ -181,10 +250,8 @@ func (e *Endpoint) WriteV(ops []WriteOp) error {
 func (e *Endpoint) CompareAndSwap(off uint64, old, new uint64) (uint64, bool, error) {
 	e.st.RDMAAtomic.Add(1)
 	e.clk.Advance(e.prof.RDMAAtomic)
-	if e.fault != nil {
-		if ok, _ := e.fault(OpCAS, off, 8); !ok {
-			return 0, false, ErrInjected
-		}
+	if _, err := e.faultCheck(OpCAS, off, 8); err != nil {
+		return 0, false, err
 	}
 	return e.t.dev.CompareAndSwap64(off, old, new)
 }
@@ -193,10 +260,8 @@ func (e *Endpoint) CompareAndSwap(off uint64, old, new uint64) (uint64, bool, er
 func (e *Endpoint) FetchAdd(off uint64, delta uint64) (uint64, error) {
 	e.st.RDMAAtomic.Add(1)
 	e.clk.Advance(e.prof.RDMAAtomic)
-	if e.fault != nil {
-		if ok, _ := e.fault(OpFetchAdd, off, 8); !ok {
-			return 0, ErrInjected
-		}
+	if _, err := e.faultCheck(OpFetchAdd, off, 8); err != nil {
+		return 0, err
 	}
 	return e.t.dev.FetchAdd64(off, delta)
 }
@@ -206,10 +271,8 @@ func (e *Endpoint) FetchAdd(off uint64, delta uint64) (uint64, error) {
 func (e *Endpoint) Load64(off uint64) (uint64, error) {
 	e.st.RDMAAtomic.Add(1)
 	e.clk.Advance(e.prof.RDMAAtomic)
-	if e.fault != nil {
-		if ok, _ := e.fault(OpLoad64, off, 8); !ok {
-			return 0, ErrInjected
-		}
+	if _, err := e.faultCheck(OpLoad64, off, 8); err != nil {
+		return 0, err
 	}
 	return e.t.dev.Load64(off)
 }
@@ -218,10 +281,8 @@ func (e *Endpoint) Load64(off uint64) (uint64, error) {
 func (e *Endpoint) Store64(off uint64, v uint64) error {
 	e.st.RDMAAtomic.Add(1)
 	e.clk.Advance(e.prof.RDMAAtomic)
-	if e.fault != nil {
-		if ok, _ := e.fault(OpStore64, off, 8); !ok {
-			return ErrInjected
-		}
+	if _, err := e.faultCheck(OpStore64, off, 8); err != nil {
+		return err
 	}
 	return e.t.dev.Store64(off, v)
 }

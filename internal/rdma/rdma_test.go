@@ -2,6 +2,8 @@ package rdma
 
 import (
 	"bytes"
+	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -111,18 +113,24 @@ func TestAtomics(t *testing.T) {
 func TestFaultInjectionWrite(t *testing.T) {
 	ep, _ := newEP(256, clock.ZeroProfile())
 	_ = ep.Write(0, bytes.Repeat([]byte{0xAA}, 128)) // durable baseline
-	ep.SetFault(func(op Op, off uint64, n int) (bool, int) {
+	ep.SetFault(func(op Op, off uint64, n int) Fault {
 		if op == OpWrite {
-			return false, 64 // connection dies after 64 bytes
+			return Fault{Err: ErrInjected, Truncate: 64} // dies after 64 bytes
 		}
-		return true, 0
+		return Fault{}
 	})
 	err := ep.Write(0, bytes.Repeat([]byte{0xBB}, 128))
-	if err != ErrInjected {
+	if !errors.Is(err, ErrInjected) {
 		t.Fatalf("want ErrInjected, got %v", err)
 	}
+	if !strings.Contains(err.Error(), "op=Write") || !strings.Contains(err.Error(), "off=0") {
+		t.Fatalf("injected error must carry op/offset context, got %v", err)
+	}
 	ep.SetFault(nil)
-	// The truncated prefix is in the volatile window; a crash reverts it.
+	// The truncated prefix is visible but volatile; a crash reverts it.
+	if got := ep.t.dev.VolatileBytes(0, 128); got != 64 {
+		t.Fatalf("volatile window covers %d bytes of the write, want 64", got)
+	}
 	ep.t.dev.Crash(nil)
 	buf := make([]byte, 128)
 	_ = ep.Read(0, buf)
@@ -131,14 +139,79 @@ func TestFaultInjectionWrite(t *testing.T) {
 	}
 }
 
-func TestFaultInjectionRead(t *testing.T) {
-	ep, _ := newEP(64, clock.ZeroProfile())
-	ep.SetFault(func(Op, uint64, int) (bool, int) { return false, 0 })
-	if err := ep.Read(0, make([]byte, 8)); err != ErrInjected {
+// TestTruncatedWriteNotDurable pins the mid-transfer truncation contract:
+// the surviving prefix is readable before the crash (it reached NVM) but
+// is gone after a power-fail restart, because the verb was never
+// acknowledged from the persistence domain.
+func TestTruncatedWriteNotDurable(t *testing.T) {
+	ep, _ := newEP(256, clock.ZeroProfile())
+	ep.SetFault(func(op Op, off uint64, n int) Fault {
+		return Fault{Err: ErrInjected, Truncate: 32}
+	})
+	if err := ep.Write(0, bytes.Repeat([]byte{0xCC}, 64)); !errors.Is(err, ErrInjected) {
 		t.Fatalf("want ErrInjected, got %v", err)
 	}
-	if _, _, err := ep.CompareAndSwap(0, 0, 1); err != ErrInjected {
+	ep.SetFault(nil)
+	buf := make([]byte, 64)
+	_ = ep.Read(0, buf)
+	if !bytes.Equal(buf[:32], bytes.Repeat([]byte{0xCC}, 32)) {
+		t.Fatal("truncated prefix must be visible before the crash")
+	}
+	if ep.t.dev.VolatileBytes(0, 64) != 32 {
+		t.Fatal("truncated prefix must sit in the volatile window")
+	}
+	ep.t.dev.Crash(nil) // power-fail restart
+	_ = ep.Read(0, buf)
+	if !bytes.Equal(buf, make([]byte, 64)) {
+		t.Fatal("truncated write must not survive a crash-restart")
+	}
+	if ep.t.dev.VolatileBytes(0, 64) != 0 {
+		t.Fatal("crash must clear the volatile window")
+	}
+}
+
+func TestFaultInjectionRead(t *testing.T) {
+	ep, _ := newEP(64, clock.ZeroProfile())
+	ep.SetFault(func(Op, uint64, int) Fault { return Fault{Err: ErrInjected} })
+	if err := ep.Read(0, make([]byte, 8)); !errors.Is(err, ErrInjected) {
 		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if _, _, err := ep.CompareAndSwap(0, 0, 1); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+}
+
+func TestFaultDisconnectAndDelay(t *testing.T) {
+	ep, clk := newEP(64, clock.ZeroProfile())
+	ep.SetFault(func(Op, uint64, int) Fault { return Fault{Err: ErrDisconnected} })
+	if err := ep.Store64(0, 1); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("want ErrDisconnected, got %v", err)
+	}
+	ep.SetFault(func(Op, uint64, int) Fault { return Fault{Delay: 5 * time.Microsecond} })
+	before := clk.Now()
+	if err := ep.Store64(0, 1); err != nil {
+		t.Fatalf("delay fault must not fail the verb: %v", err)
+	}
+	if clk.Now()-before < 5*time.Microsecond {
+		t.Fatal("delay fault must charge the virtual clock")
+	}
+}
+
+func TestRetarget(t *testing.T) {
+	devA := nvm.NewDevice(64)
+	devB := nvm.NewDevice(64)
+	ep := Connect(NewTarget(devA), clock.NewVirtual(), nil, clock.ZeroProfile())
+	_ = ep.Write(0, []byte("AAAA"))
+	ep.Retarget(NewTarget(devB))
+	_ = ep.Write(0, []byte("BBBB"))
+	buf := make([]byte, 4)
+	_ = devB.ReadAt(0, buf)
+	if string(buf) != "BBBB" {
+		t.Fatal("post-retarget write must land on the new target")
+	}
+	_ = devA.ReadAt(0, buf)
+	if string(buf) != "AAAA" {
+		t.Fatal("retarget must not touch the old target")
 	}
 }
 

@@ -31,6 +31,8 @@ type Stats struct {
 	OpsAnnulled atomic.Int64 // stack/queue operations cancelled in the op log
 	Allocs      atomic.Int64
 	Frees       atomic.Int64
+	VerbRetries atomic.Int64 // verbs re-issued after a transient fault
+	Failovers   atomic.Int64 // endpoint re-targets to a replacement back-end
 
 	// BusyNS accumulates virtual nanoseconds during which the owning
 	// node's CPU was doing work (as opposed to waiting on the fabric).
@@ -53,6 +55,7 @@ type Snapshot struct {
 	OpLogs, MemLogs, TxCommits, TxReplayed    int64
 	OpsAnnulled                               int64
 	Allocs, Frees                             int64
+	VerbRetries, Failovers                    int64
 	BusyNS                                    int64
 }
 
@@ -76,6 +79,8 @@ func (s *Stats) Snapshot() Snapshot {
 		OpsAnnulled: s.OpsAnnulled.Load(),
 		Allocs:      s.Allocs.Load(),
 		Frees:       s.Frees.Load(),
+		VerbRetries: s.VerbRetries.Load(),
+		Failovers:   s.Failovers.Load(),
 		BusyNS:      s.BusyNS.Load(),
 	}
 }
@@ -100,6 +105,8 @@ func (a Snapshot) Sub(b Snapshot) Snapshot {
 		OpsAnnulled: a.OpsAnnulled - b.OpsAnnulled,
 		Allocs:      a.Allocs - b.Allocs,
 		Frees:       a.Frees - b.Frees,
+		VerbRetries: a.VerbRetries - b.VerbRetries,
+		Failovers:   a.Failovers - b.Failovers,
 		BusyNS:      a.BusyNS - b.BusyNS,
 	}
 }
@@ -121,11 +128,12 @@ func (a Snapshot) HitRatio() float64 {
 // String renders a compact human-readable summary.
 func (a Snapshot) String() string {
 	return fmt.Sprintf(
-		"rdma{r=%d w=%d atom=%d rpc=%d} bytes{r=%d w=%d} cache{hit=%d miss=%d} logs{op=%d mem=%d tx=%d replayed=%d} retry=%d",
+		"rdma{r=%d w=%d atom=%d rpc=%d} bytes{r=%d w=%d} cache{hit=%d miss=%d} logs{op=%d mem=%d tx=%d replayed=%d} retry=%d resil{retry=%d fo=%d}",
 		a.RDMARead, a.RDMAWrite, a.RDMAAtomic, a.RPCCalls,
 		a.BytesRead, a.BytesWrite,
 		a.CacheHit, a.CacheMiss,
 		a.OpLogs, a.MemLogs, a.TxCommits, a.TxReplayed,
 		a.ReadRetry,
+		a.VerbRetries, a.Failovers,
 	)
 }
