@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos check bench
+.PHONY: all build vet test race chaos check bench bench-smoke
 
 all: check
 
@@ -28,3 +28,8 @@ check: vet build race chaos
 
 bench:
 	$(GO) test -bench=. -benchmem ./internal/bench/
+
+# A fast CI-sized slice of the benchmark suite: the posted-verb pipeline
+# sweep at reduced population, regenerating BENCH_pipeline.json.
+bench-smoke: build
+	$(GO) run ./cmd/asymnvm-bench -exp pipeline -scale quick -seed 1000 -ops 800 -json BENCH_pipeline.smoke.json

@@ -5,12 +5,14 @@
 //
 //	asymnvm-bench -exp table3,fig6 -scale quick
 //	asymnvm-bench -exp all -scale full > results.txt
+//	asymnvm-bench -exp pipeline -json BENCH_pipeline.json
 //
 // Experiments: table2, table3, lockbench, cachebench, fig6, fig7, fig8,
-// fig9, fig10, fig11, fig12, fig13, cost, chaos, ablation, all.
+// fig9, fig10, fig11, fig12, fig13, cost, chaos, ablation, pipeline, all.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +27,7 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "quick or full")
 	opsFlag := flag.Int("ops", 0, "override measured operations per cell")
 	seedFlag := flag.Int("seed", 0, "override initial population per structure")
+	jsonFlag := flag.String("json", "", "also write every measured row to this file as JSON")
 	flag.Parse()
 
 	sc := bench.QuickScale()
@@ -62,6 +65,7 @@ func main() {
 		{"fig12", func() ([]bench.Row, error) { return bench.Fig12Zipf(sc) }},
 		{"fig13", func() ([]bench.Row, error) { return bench.Fig13Mixes(sc) }},
 		{"cost", func() ([]bench.Row, error) { return bench.CostModel(100, nil), nil }},
+		{"pipeline", func() ([]bench.Row, error) { return bench.PipelineSweep(sc, nil) }},
 		{"chaos", func() ([]bench.Row, error) { return bench.FaultDegradation(sc) }},
 		{"ablation", func() ([]bench.Row, error) {
 			rows, err := bench.AblationCachePolicy(sc)
@@ -77,6 +81,7 @@ func main() {
 	}
 
 	ranAny := false
+	var allRows []bench.Row
 	for _, d := range drivers {
 		if !all && !wanted[d.id] {
 			continue
@@ -88,11 +93,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "asymnvm-bench: %s failed: %v\n", d.id, err)
 			os.Exit(1)
 		}
+		allRows = append(allRows, rows...)
 		fmt.Print(bench.FormatRows(rows))
 		fmt.Printf("(%s finished in %v host time)\n\n", d.id, time.Since(start).Round(time.Millisecond))
 	}
 	if !ranAny {
 		fmt.Fprintf(os.Stderr, "asymnvm-bench: no experiment matched %q\n", *expFlag)
 		os.Exit(2)
+	}
+	if *jsonFlag != "" {
+		data, err := json.MarshalIndent(allRows, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asymnvm-bench: encoding %s: %v\n", *jsonFlag, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonFlag, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "asymnvm-bench: writing %s: %v\n", *jsonFlag, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -69,6 +69,10 @@ type Backend struct {
 	done     chan struct{}
 	stopOnce sync.Once
 
+	// mirPipe pipelines the virtual-clock cost of mirror forwarding
+	// (service goroutine only; see mirrorpipe.go).
+	mirPipe mirrorPipe
+
 	mu      sync.Mutex
 	dss     map[uint16]*dsReplay
 	rpcLast []uint64
@@ -230,10 +234,12 @@ func (b *Backend) run() {
 			// Final drain so Stop() leaves the device fully applied.
 			b.serveRPC()
 			b.replayAll()
+			b.drainMirrorPipe()
 			return
 		case <-b.kick:
 			b.serveRPC()
 			b.replayAll()
+			b.drainMirrorPipe()
 		}
 	}
 }

@@ -1,0 +1,76 @@
+package backend
+
+import "time"
+
+// mirrorPipe models the primary's replication channel as a posted-verb
+// pipeline instead of a stop-and-wait loop (§7.1: mirror pushes are off
+// the front-end critical path, so there is no reason the back-end should
+// stall a full round trip per forward either). Forwards still EXECUTE
+// immediately and in issue order — the sinks observe byte-identical
+// sequences, which the deterministic chaos replay relies on — only the
+// virtual-clock accounting changes: transfers serialize on the channel's
+// bandwidth cursor, the per-forward round trip overlaps, and a bounded
+// in-flight window provides back-pressure. The window drains at kick
+// boundaries (the back-end's commit points).
+//
+// All fields belong to the back-end service goroutine.
+type mirrorPipe struct {
+	busyUntil time.Duration   // when the last transfer leaves the wire
+	done      []time.Duration // completion times of in-flight forwards (FIFO)
+	syncCost  time.Duration   // what stop-and-wait would have charged
+	charged   time.Duration   // what the pipelined model actually charged
+}
+
+// mirrorWindow bounds in-flight mirror forwards before the back-end
+// stalls on the oldest completion.
+const mirrorWindow = 16
+
+// forwardCharge accounts one n-byte forward to one sink. The transfer
+// term queues behind earlier in-flight transfers (bandwidth is serial);
+// the RTT and remote-persist terms overlap with the back-end's own work.
+func (b *Backend) forwardCharge(n int) {
+	p := &b.mirPipe
+	now := b.clk.Now()
+	start := p.busyUntil
+	if start < now {
+		start = now
+	}
+	p.busyUntil = start + b.prof.NetTransfer(n) + b.prof.NVMTransfer(n)
+	p.done = append(p.done, p.busyUntil+b.prof.RDMARTT+b.prof.NVMWrite)
+	p.syncCost += b.prof.WriteCost(n)
+	b.st.PostedVerbs.Add(1)
+	b.st.QueueDepthSum.Add(int64(len(p.done)))
+	b.st.RDMAWrite.Add(1)
+	b.st.BytesWrite.Add(int64(n))
+	if len(p.done) >= mirrorWindow {
+		d := p.done[0]
+		p.done = p.done[1:]
+		if now := b.clk.Now(); d > now {
+			b.clk.Advance(d - now)
+			p.charged += d - now
+		}
+	}
+}
+
+// drainMirrorPipe waits out every in-flight forward — called at kick
+// boundaries and on shutdown, the replication channel's commit points —
+// and books the latency the pipeline hid as overlap savings.
+func (b *Backend) drainMirrorPipe() {
+	p := &b.mirPipe
+	if len(p.done) == 0 && p.syncCost == 0 {
+		return
+	}
+	if len(p.done) > 0 {
+		last := p.done[len(p.done)-1]
+		if now := b.clk.Now(); last > now {
+			b.clk.Advance(last - now)
+			p.charged += last - now
+		}
+		p.done = p.done[:0]
+		b.st.DoorbellGroups.Add(1)
+	}
+	if saved := p.syncCost - p.charged; saved > 0 {
+		b.st.OverlapSavedNS.Add(int64(saved))
+	}
+	p.syncCost, p.charged = 0, 0
+}

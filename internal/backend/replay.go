@@ -79,6 +79,9 @@ func (b *Backend) recover() error {
 		status.PendingOps = b.countPendingOps(ds)
 		b.recovered = append(b.recovered, status)
 	}
+	// Recovery replay may have forwarded to mirrors; settle the channel
+	// before the back-end starts serving.
+	b.drainMirrorPipe()
 	return nil
 }
 
@@ -427,9 +430,7 @@ func (b *Backend) forwardRaw(devOff uint64, data []byte) {
 		if !m.WantsRaw() {
 			continue
 		}
-		b.clk.Advance(b.prof.WriteCost(len(data)))
-		b.st.RDMAWrite.Add(1)
-		b.st.BytesWrite.Add(int64(len(data)))
+		b.forwardCharge(len(data))
 		if err := m.MirrorWrite(devOff, data); err != nil {
 			b.setErr(err)
 		}
@@ -450,9 +451,7 @@ func (b *Backend) forwardOp(slot uint16, rec []byte) {
 		if m.WantsRaw() {
 			continue
 		}
-		b.clk.Advance(b.prof.WriteCost(len(rec)))
-		b.st.RDMAWrite.Add(1)
-		b.st.BytesWrite.Add(int64(len(rec)))
+		b.forwardCharge(len(rec))
 		if err := m.MirrorOp(slot, append([]byte(nil), rec...)); err != nil {
 			b.setErr(err)
 		}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+
+	"asymnvm/internal/core"
+	"asymnvm/internal/ds"
+	"asymnvm/internal/workload"
+)
+
+// PipelineSweep measures the posted-verb pipeline: the three mode
+// ladders (R, RC, RCB) at send-queue depths 1/4/16/64 under a
+// multi-get-heavy hash-table workload (gets gathered into 32-key
+// GetMulti batches, 10% puts). Depth 1 is the stop-and-wait baseline —
+// every verb pays its full round trip; deeper queues let the front-end
+// ring one doorbell per WR group and overlap the fabric latency. Extra
+// carries the raw pipeline counters so the speedup can be attributed:
+// verbs (round trips actually paid), posted WRs, doorbell groups, the
+// average send-queue depth, and the virtual nanoseconds the overlap
+// model saved versus stop-and-wait.
+func PipelineSweep(sc Scale, depths []int) ([]Row, error) {
+	if len(depths) == 0 {
+		depths = []int{1, 4, 16, 64}
+	}
+	cacheB := cacheBytesFor("HashTable", sc.Seed, 10)
+	modes := []struct {
+		name string
+		mode core.Mode
+	}{
+		{"R", core.ModeR()},
+		{"RC", core.ModeRC(cacheB)},
+		{"RCB", core.ModeRCB(cacheB, 64)},
+	}
+	var rows []Row
+	for _, m := range modes {
+		for _, d := range depths {
+			row, err := measurePipelineCell(m.name, m.mode.WithPipeline(d), sc, d)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline %s depth=%d: %w", m.name, d, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// measurePipelineCell runs one (mode, depth) cell and returns its row.
+func measurePipelineCell(series string, mode core.Mode, sc Scale, depth int) (Row, error) {
+	cl, err := newAsymCluster(512 << 20)
+	if err != nil {
+		return Row{}, err
+	}
+	defer cl.Stop()
+	fe, conns, err := cl.NewFrontend(1, mode)
+	if err != nil {
+		return Row{}, err
+	}
+	ht, err := ds.CreateHashTable(conns[0], "pipesweep", ds.Options{
+		Create: benchCreateOpts(), Buckets: 1 << 10, ValueCap: 64,
+	})
+	if err != nil {
+		return Row{}, err
+	}
+	if err := seedKV(ht, sc); err != nil {
+		return Row{}, err
+	}
+
+	const mget = 32
+	gen := workload.New(workload.Config{Seed: 4242, Keys: uint64(sc.Keys), WritePct: 10, ValueLen: 64})
+	st := fe.Stats()
+	before := st.Snapshot()
+	start := fe.Clock().Now()
+	keys := make([]uint64, 0, mget)
+	done := 0
+	issue := func() error {
+		if len(keys) == 0 {
+			return nil
+		}
+		if _, _, err := ht.GetMulti(keys); err != nil {
+			return err
+		}
+		done += len(keys)
+		keys = keys[:0]
+		return nil
+	}
+	for done+len(keys) < sc.Ops {
+		op := gen.Next()
+		if op.Kind == workload.OpPut {
+			if err := ht.Put(op.Key, workload.Value(op.Key, 64)); err != nil {
+				return Row{}, err
+			}
+			done++
+			continue
+		}
+		keys = append(keys, op.Key)
+		if len(keys) == mget {
+			if err := issue(); err != nil {
+				return Row{}, err
+			}
+		}
+	}
+	if err := issue(); err != nil {
+		return Row{}, err
+	}
+	if err := ht.Flush(); err != nil {
+		return Row{}, err
+	}
+	elapsed := fe.Clock().Now() - start
+	d := st.Snapshot().Sub(before)
+	return Row{
+		Experiment: "pipeline", Series: series,
+		Label: fmt.Sprintf("depth=%d", depth), X: float64(depth),
+		KOPS: kopsOf(sc.Ops, elapsed),
+		Extra: map[string]float64{
+			"verbs":            float64(d.RDMAVerbs()),
+			"virtual_ns":       float64(elapsed.Nanoseconds()),
+			"posted":           float64(d.PostedVerbs),
+			"doorbells":        float64(d.DoorbellGroups),
+			"avg_depth":        d.AvgQueueDepth(),
+			"overlap_saved_ns": float64(d.OverlapSavedNS),
+		},
+	}, nil
+}

@@ -1,0 +1,42 @@
+package bench
+
+import "testing"
+
+// TestPipelineSweepSpeedup guards the headline acceptance number: with
+// the full RCB ladder, queue depth 16 must at least double the ops/s of
+// the stop-and-wait depth-1 baseline, and the pipeline counters must
+// show the batching actually engaged.
+func TestPipelineSweepSpeedup(t *testing.T) {
+	sc := Scale{Seed: 600, Ops: 900, Keys: 6000}
+	rows, err := PipelineSweep(sc, []int{1, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := map[string]Row{}
+	for _, r := range rows {
+		cell[r.Series+r.Label] = r
+	}
+	base, ok := cell["RCBdepth=1"]
+	if !ok {
+		t.Fatalf("missing RCB depth=1 row in %+v", rows)
+	}
+	deep, ok := cell["RCBdepth=16"]
+	if !ok {
+		t.Fatalf("missing RCB depth=16 row in %+v", rows)
+	}
+	if deep.KOPS < 2*base.KOPS {
+		t.Fatalf("RCB depth 16 = %.1f KOPS, depth 1 = %.1f KOPS: want >= 2x", deep.KOPS, base.KOPS)
+	}
+	if deep.Extra["doorbells"] == 0 || deep.Extra["posted"] == 0 {
+		t.Fatalf("depth 16 cell posted no WRs: %+v", deep.Extra)
+	}
+	if deep.Extra["verbs"] >= base.Extra["verbs"] {
+		t.Fatalf("depth 16 paid %v round trips, depth 1 paid %v: doorbell batching is not engaging",
+			deep.Extra["verbs"], base.Extra["verbs"])
+	}
+	// Depth 1 must behave exactly like the synchronous path: nothing
+	// posted, nothing overlapped.
+	if base.Extra["posted"] != 0 || base.Extra["overlap_saved_ns"] != 0 {
+		t.Fatalf("depth 1 cell used the pipeline: %+v", base.Extra)
+	}
+}

@@ -58,6 +58,7 @@ type Config struct {
 	TruncateProb float64 // per-verb mid-transfer truncation probability
 	DelayProb    float64 // per-verb delay probability
 	MirrorLag    int     // replication lag in kicks (0 = synchronous)
+	Pipeline     int     // writer send-queue depth (>1 enables posted verbs)
 
 	Rebuild bool // end with an archive-replay rebuild check
 	Verbose bool // include every injected fault event in the report
@@ -138,7 +139,14 @@ func Run(cfg Config) (*Report, error) {
 	plane.SetMirrorLag(cfg.MirrorLag)
 	clu.AttachFaultPlane(plane)
 
-	fe, conns, err := clu.NewFrontend(1, core.ModeR())
+	// The writer mode: plain R by default; with Pipeline > 1 a small batch
+	// is added so the posted-verb paths (async op-log flush, one-doorbell
+	// commit groups) actually engage under fault injection.
+	wMode := core.ModeR()
+	if cfg.Pipeline > 1 {
+		wMode = core.Mode{OpLog: true, Batch: 4, Pipeline: cfg.Pipeline}
+	}
+	fe, conns, err := clu.NewFrontend(1, wMode)
 	if err != nil {
 		return nil, err
 	}
@@ -151,7 +159,7 @@ func Run(cfg Config) (*Report, error) {
 		oracle: make(map[uint64][]byte),
 		rep:    &Report{},
 	}
-	s.line("chaos: seed=%d ops=%d accounts=%d keys=%d mirrors=%d lag=%d", cfg.Seed, cfg.Ops, cfg.Accounts, cfg.Keys, cfg.Mirrors, cfg.MirrorLag)
+	s.line("chaos: seed=%d ops=%d accounts=%d keys=%d mirrors=%d lag=%d pipe=%d", cfg.Seed, cfg.Ops, cfg.Accounts, cfg.Keys, cfg.Mirrors, cfg.MirrorLag, cfg.Pipeline)
 
 	// Build both structures before faults start: creation is plumbing, the
 	// soak exercises steady-state operation under failure.

@@ -61,6 +61,39 @@ func TestSoakDeterministic(t *testing.T) {
 	}
 }
 
+// TestSoakPipelinedDeterministic soaks with the posted-verb pipeline
+// enabled on the writer (async op-log flushes, one-doorbell commit
+// groups) under the full failure menu, and requires the same contract
+// as the synchronous soak: zero violations and byte-identical reports
+// per seed, with the pipeline demonstrably active.
+func TestSoakPipelinedDeterministic(t *testing.T) {
+	cfg := smallConfig(11)
+	cfg.Pipeline = 16
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Violations != 0 {
+		t.Fatalf("pipelined soak reported %d violations:\n%s", a.Violations, a.String())
+	}
+	if a.Stats.PostedVerbs == 0 || a.Stats.DoorbellGroups == 0 {
+		t.Fatalf("pipeline enabled but no WRs were posted: %+v", a.Stats)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("fault log digests differ: %016x vs %016x", a.Digest, b.Digest)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("pipelined reports differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a.String(), b.String())
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("final stats differ:\n%+v\n%+v", a.Stats, b.Stats)
+	}
+}
+
 // TestSoakSeedChangesSchedule guards against the schedule ignoring the
 // seed (two different seeds should almost surely produce different fault
 // streams).

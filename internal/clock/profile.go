@@ -35,6 +35,12 @@ type Profile struct {
 	// overhead, hashing, comparisons) charged once per data-structure
 	// operation.
 	CPUOp time.Duration
+	// WRIssue is the CPU cost of posting one work request to a send
+	// queue (building the WQE and writing it to the NIC). It is charged
+	// per posted verb; the round trip itself is charged per doorbell
+	// group, which is what makes deep pipelines cheaper than synchronous
+	// verbs.
+	WRIssue time.Duration
 }
 
 // DefaultProfile returns the latency model used by the benchmark harness.
@@ -50,6 +56,7 @@ func DefaultProfile() Profile {
 		NVMBytesPerSec: 2e9, // Optane DC write bandwidth class
 		CPUByte:        0,   // folded into bandwidth terms
 		CPUOp:          150 * time.Nanosecond,
+		WRIssue:        100 * time.Nanosecond,
 	}
 }
 

@@ -31,6 +31,19 @@ type Mode struct {
 	Batch int
 	// Policy selects the cache replacement policy (hybrid by default).
 	Policy Policy
+	// Pipeline is the posted-verb send-queue depth per connection.
+	// 0 or 1 keeps every verb synchronous (one RTT charged before the
+	// next verb may issue); >1 lets the hot paths post that many work
+	// requests asynchronously, paying one RTT per doorbell group.
+	Pipeline int
+}
+
+// WithPipeline returns a copy of the mode with the posted-verb queue
+// depth set, for composing on top of the ladder constructors:
+// core.ModeRCB(cache, 64).WithPipeline(16).
+func (m Mode) WithPipeline(depth int) Mode {
+	m.Pipeline = depth
+	return m
 }
 
 // ModeNaive is the unoptimized baseline.
@@ -155,6 +168,7 @@ type Conn struct {
 // non-NVM channel between the nodes.
 func (fe *Frontend) Connect(bk *backend.Backend) (*Conn, error) {
 	ep := rdma.Connect(bk.Target(), fe.clk, fe.st, fe.prof)
+	ep.SetPipeline(fe.mode.Pipeline)
 	hdr := make([]byte, backend.HeaderSize)
 	if err := ep.Read(0, hdr); err != nil {
 		return nil, err

@@ -55,6 +55,14 @@ type flushMark struct {
 	addrs  []uint64
 }
 
+// asyncOpFlush is one posted-but-unsettled op-log flush: the completion
+// token and the posted payload, retained for an idempotent synchronous
+// re-issue if the completion carries a fault.
+type asyncOpFlush struct {
+	tok rdma.Token
+	ops []rdma.WriteOp
+}
+
 // gcItem is a lazily reclaimed old-version allocation (§6.2).
 type gcItem struct {
 	addr   uint64
@@ -90,6 +98,7 @@ type Handle struct {
 	opBuf        []byte
 	opBufAbs     uint64
 	opBufCnt     int
+	asyncOps     []asyncOpFlush
 	overlay      map[uint64]*ovEntry
 	ovSeq        uint64
 	marks        []flushMark
@@ -211,6 +220,59 @@ func (h *Handle) Read(addr uint64, n int, cacheable bool) ([]byte, error) {
 	return buf, nil
 }
 
+// ReadMulti is the multi-get companion of Read: every address is looked
+// up at unit size n through overlay and cache first, and the misses are
+// fetched as independent one-sided reads posted to the connection's
+// pipeline — one doorbell group per queue-depth window instead of one
+// round trip per address. Results index-match addrs. This is what turns
+// a multi-node traversal (B+-tree leaf scan, hash-chain walk across
+// keys) from RTT-bound into bandwidth-bound.
+func (h *Handle) ReadMulti(addrs []uint64, n int, cacheable bool) ([][]byte, error) {
+	fe := h.c.fe
+	out := make([][]byte, len(addrs))
+	var missIdx []int
+	var ops []rdma.ReadOp
+	for i, addr := range addrs {
+		if h.writer && h.overlay != nil {
+			if e, ok := h.overlay[addr]; ok {
+				if len(e.data) != n {
+					return nil, fmt.Errorf("%w: addr %#x unit %d, read %d", ErrUnitMismatch, addr, len(e.data), n)
+				}
+				fe.clk.Advance(fe.prof.DRAMAccess)
+				out[i] = append([]byte(nil), e.data...)
+				continue
+			}
+		}
+		if fe.cache != nil {
+			if b, ok := fe.cache.Get(addr, h.readEpoch(), cacheable); ok && len(b) >= n {
+				fe.clk.Advance(fe.prof.DRAMAccess)
+				out[i] = append([]byte(nil), b[:n]...)
+				continue
+			}
+		}
+		off, err := h.devOff(addr)
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, n)
+		out[i] = buf
+		missIdx = append(missIdx, i)
+		ops = append(ops, rdma.ReadOp{Off: off, Buf: buf})
+	}
+	if len(ops) == 0 {
+		return out, nil
+	}
+	if err := h.c.epReadV(ops); err != nil {
+		return nil, err
+	}
+	if h.cacheOn(cacheable) {
+		for _, i := range missIdx {
+			fe.cache.Put(addrs[i], out[i], h.tag, h.readEpoch())
+		}
+	}
+	return out, nil
+}
+
 // CachePut force-inserts bytes into the DRAM cache under the handle's
 // current epoch (structures that decide cacheability only after reading a
 // node, like the skiplist's level bias).
@@ -318,7 +380,13 @@ func (h *Handle) OpLog(opType uint8, params []byte) (uint64, error) {
 	h.opTail += uint64(len(wire))
 	fe.st.OpLogs.Add(1)
 	if fe.mode.Batch <= 1 || !h.opGroupCommit {
-		if err := h.flushOps(); err != nil {
+		if h.c.pipelined() {
+			// Post the record and let its round trip fly while the
+			// operation keeps gathering; EndOp settles the completion.
+			if err := h.flushOpsAsync(); err != nil {
+				return 0, err
+			}
+		} else if err := h.flushOps(); err != nil {
 			return 0, err
 		}
 	}
@@ -333,6 +401,13 @@ func (h *Handle) EndOp() error {
 	if !h.writer || !h.c.fe.mode.OpLog {
 		return nil
 	}
+	// The op record's persist is the operation's durability point (§4.3):
+	// an async flush posted during the op must settle before the op is
+	// considered done — this is where the overlapped round trip is paid,
+	// minus whatever the gather phase already hid.
+	if err := h.settleAsyncOps(); err != nil {
+		return err
+	}
 	h.coveredOp = h.opTail
 	h.opsInTx++
 	if h.opsInTx >= h.c.fe.mode.Batch {
@@ -342,9 +417,19 @@ func (h *Handle) EndOp() error {
 }
 
 // Flush forces the op-log group commit and the pending rnvm_tx_write out.
+// With the pipeline enabled and both buffers non-empty, the op-log group
+// and the transaction record are posted as two work requests under a
+// single doorbell: one round trip covers the whole batch flush instead
+// of two (§4.3's batching taken to its fabric-level conclusion).
 func (h *Handle) Flush() error {
 	if !h.writer || !h.c.fe.mode.OpLog {
 		return nil
+	}
+	if err := h.settleAsyncOps(); err != nil {
+		return err
+	}
+	if h.c.pipelined() && h.opBufCnt > 0 && len(h.pending) > 0 {
+		return h.flushPipelined()
 	}
 	if err := h.flushOps(); err != nil {
 		return err
@@ -371,11 +456,61 @@ func (h *Handle) flushOps() error {
 	return nil
 }
 
+// flushOpsAsync posts the buffered op records as one work request and
+// rings the doorbell without waiting for the completion: the record's
+// round trip overlaps with the remainder of the operation (gather,
+// compute, memory-log appends) and is settled at EndOp, which remains
+// the §4.3 durability point. The buffer's ownership moves to the posted
+// WR until then.
+func (h *Handle) flushOpsAsync() error {
+	if h.opBufCnt == 0 {
+		return nil
+	}
+	if err := h.waitOpSpace(); err != nil {
+		return err
+	}
+	ops := h.areaWriteOps(h.opArea, h.opBufAbs, h.opBuf)
+	tok := h.c.ep.PostWriteV(ops)
+	h.c.ep.Doorbell()
+	h.asyncOps = append(h.asyncOps, asyncOpFlush{tok: tok, ops: ops})
+	h.opBuf = nil // backing array now belongs to the in-flight WR
+	h.opBufCnt = 0
+	h.c.kick()
+	return nil
+}
+
+// settleAsyncOps waits out every posted op-log flush. A completion that
+// carries a fault is re-driven synchronously through the retry/failover
+// policy — re-writing the same log bytes at the same offsets is
+// idempotent, exactly like the sync path's in-place retry.
+func (h *Handle) settleAsyncOps() error {
+	if len(h.asyncOps) == 0 {
+		return nil
+	}
+	pend := h.asyncOps
+	h.asyncOps = nil
+	for _, af := range pend {
+		if err := h.c.ep.Wait(af.tok); err != nil {
+			h.c.fe.st.VerbRetries.Add(1)
+			if err := h.c.epWriteV(af.ops); err != nil {
+				return err
+			}
+			h.c.kick()
+		}
+	}
+	return nil
+}
+
 // txWrite implements rnvm_tx_write: the buffered memory logs, a commit
 // flag and a checksum, appended to the memory-log area with one doorbell.
 func (h *Handle) txWrite() error {
 	if len(h.pending) == 0 {
 		return nil
+	}
+	// The commit record covers op-log offsets up to coveredOp; any async
+	// op flush must be durable before a record referencing it commits.
+	if err := h.settleAsyncOps(); err != nil {
+		return err
 	}
 	rec := logrec.TxRecord{
 		DSSlot:  h.slot,
@@ -391,7 +526,48 @@ func (h *Handle) txWrite() error {
 	if err := h.c.epWriteV(ops); err != nil {
 		return err
 	}
-	h.memTail += uint64(len(wire))
+	return h.finishTx(len(wire))
+}
+
+// flushPipelined is the pipelined batch flush: the op-log group commit
+// and the rnvm_tx_write record are posted as two WRs and issued with ONE
+// doorbell. The op group executes first (posted order), so the commit
+// record can never become durable over a hole in the op log; a fault in
+// either WR fails the call and the retry re-posts both, idempotently.
+func (h *Handle) flushPipelined() error {
+	if err := h.waitOpSpace(); err != nil {
+		return err
+	}
+	if len(h.pending) == 0 {
+		// waitOpSpace flushed the transaction to make room; only the op
+		// group is left.
+		return h.flushOps()
+	}
+	rec := logrec.TxRecord{
+		DSSlot:  h.slot,
+		Abs:     h.memTail,
+		CoverOp: h.coveredOp,
+		Entries: h.pending,
+	}
+	wire := rec.Encode()
+	if err := h.waitMemSpace(len(wire)); err != nil {
+		return err
+	}
+	opOps := h.areaWriteOps(h.opArea, h.opBufAbs, h.opBuf)
+	memOps := h.areaWriteOps(h.memArea, h.memTail, wire)
+	if err := h.c.epWriteGroups(opOps, memOps); err != nil {
+		return err
+	}
+	h.opBuf = h.opBuf[:0]
+	h.opBufCnt = 0
+	return h.finishTx(len(wire))
+}
+
+// finishTx is the common post-commit bookkeeping of txWrite and
+// flushPipelined: advance the tail, mark the overlay units, wake the
+// replayer, and run the amortized maintenance work.
+func (h *Handle) finishTx(wireLen int) error {
+	h.memTail += uint64(wireLen)
 	h.c.fe.st.TxCommits.Add(1)
 	h.marks = append(h.marks, flushMark{endAbs: h.memTail, addrs: h.pendingAddrs})
 	h.pending = nil
@@ -587,6 +763,11 @@ func (h *Handle) releaseDueGC() {
 // its operation against the recovered or promoted back-end. Acknowledged
 // operations are unaffected — they are already durable in NVM.
 func (h *Handle) Abort() {
+	// Posted op-log flushes are past their issue point; settle them so
+	// the completion queue drains (best effort — the back-end is being
+	// failed over anyway, and the records sit below the rewound tail or
+	// will be re-covered after recovery).
+	_ = h.settleAsyncOps()
 	for _, a := range h.pendingAddrs {
 		if oe, ok := h.overlay[a]; ok {
 			oe.refs--

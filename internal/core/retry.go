@@ -152,6 +152,80 @@ func (c *Conn) epWriteV(ops []rdma.WriteOp) error {
 	return c.do(func() error { return c.ep.WriteV(ops) })
 }
 
+// pipelined reports whether this connection may post verbs asynchronously.
+func (c *Conn) pipelined() bool { return c.fe.mode.Pipeline > 1 }
+
+// epReadV is a multi-get: every element is an independent one-sided read.
+// With the pipeline enabled all reads are posted to the send queue and
+// retired together — the queue-depth cap turns N reads into ceil(N/depth)
+// doorbell-group round trips instead of N. Without it the reads issue
+// synchronously. The whole group is the retry/failover unit; re-posting
+// reads is trivially idempotent.
+func (c *Conn) epReadV(ops []rdma.ReadOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	if !c.pipelined() {
+		for _, op := range ops {
+			if err := c.epRead(op.Off, op.Buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return c.do(func() error {
+		toks := make([]rdma.Token, len(ops))
+		for i, op := range ops {
+			toks[i] = c.ep.PostRead(op.Off, op.Buf)
+		}
+		c.ep.Doorbell()
+		var first error
+		for _, tok := range toks {
+			if err := c.ep.Wait(tok); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	})
+}
+
+// epWriteGroups issues several vector writes with one doorbell: each
+// group is posted as its own work request, the doorbell is rung once,
+// and all completions are waited out. This is how a pipelined
+// rnvm_tx_write overlaps the op-log flush with the commit record — one
+// round trip covers both. Falls back to sequential WriteV calls when the
+// pipeline is off. The call is the retry/failover unit: on a transient
+// fault every group is re-posted (idempotent, like WriteV).
+func (c *Conn) epWriteGroups(groups ...[]rdma.WriteOp) error {
+	if !c.pipelined() {
+		for _, g := range groups {
+			if err := c.epWriteV(g); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return c.do(func() error {
+		var toks []rdma.Token
+		for _, g := range groups {
+			if len(g) > 0 {
+				toks = append(toks, c.ep.PostWriteV(g))
+			}
+		}
+		if len(toks) == 0 {
+			return nil
+		}
+		c.ep.Doorbell()
+		var first error
+		for _, tok := range toks {
+			if err := c.ep.Wait(tok); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	})
+}
+
 func (c *Conn) epCAS(off uint64, old, new uint64) (prev uint64, swapped bool, err error) {
 	err = c.do(func() error {
 		var ierr error

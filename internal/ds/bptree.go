@@ -197,6 +197,10 @@ func (t *BPTree) readBlob(addr uint64, cacheable bool) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	return t.decodeBlob(buf)
+}
+
+func (t *BPTree) decodeBlob(buf []byte) ([]byte, error) {
 	vlen := binary.LittleEndian.Uint32(buf)
 	if int(vlen) > t.cap {
 		return nil, fmt.Errorf("ds: corrupt value blob (vlen=%d)", vlen)
@@ -450,16 +454,32 @@ func (t *BPTree) Scan(start uint64, limit int) ([]uint64, [][]byte, error) {
 			depth++
 		}
 		for leaf != nil && len(keys) < limit {
-			for i := 0; i < leaf.n && len(keys) < limit; i++ {
+			// Gather the leaf's qualifying blob pointers and post them as
+			// one multi-get: a range scan's value fetches are independent
+			// reads, so the whole leaf costs one doorbell-group round trip
+			// per queue-depth window instead of one RTT per value.
+			var leafKeys []uint64
+			var blobAddrs []uint64
+			for i := 0; i < leaf.n && len(keys)+len(leafKeys) < limit; i++ {
 				if leaf.keys[i] < start {
 					continue
 				}
-				v, err := t.readBlob(leaf.ptrs[i], false)
+				leafKeys = append(leafKeys, leaf.keys[i])
+				blobAddrs = append(blobAddrs, leaf.ptrs[i])
+			}
+			if len(blobAddrs) > 0 {
+				bufs, err := t.h.ReadMulti(blobAddrs, t.cap+4, false)
 				if err != nil {
 					return err
 				}
-				keys = append(keys, leaf.keys[i])
-				vals = append(vals, v)
+				for j, buf := range bufs {
+					v, err := t.decodeBlob(buf)
+					if err != nil {
+						return err
+					}
+					keys = append(keys, leafKeys[j])
+					vals = append(vals, v)
+				}
 			}
 			if leaf.next == 0 {
 				break

@@ -110,6 +110,17 @@ type Endpoint struct {
 	st    *stats.Stats
 	prof  clock.Profile
 	fault FaultHook
+
+	// Posted-verb pipeline state (see pipeline.go). The send queue holds
+	// WRs posted since the last doorbell; groups are rung doorbells whose
+	// completions are not yet retired; cq holds retired completions not
+	// yet consumed by Wait/Poll.
+	pipeDepth int
+	nextToken Token
+	sendQ     []*postedWR
+	groups    []*doorbellGroup
+	inflight  int
+	cq        []Completion
 }
 
 // Connect creates an endpoint charging latency to clk and counting verbs
@@ -129,8 +140,13 @@ func (e *Endpoint) SetFault(h FaultHook) { e.fault = h }
 // replica or a restarted back-end. The installed fault hook is kept: the
 // hook schedules faults for this logical connection, whichever physical
 // node currently backs it. Like the verbs, Retarget must be called from
-// the endpoint's owning goroutine.
-func (e *Endpoint) Retarget(t *Target) { e.t = t }
+// the endpoint's owning goroutine. In-flight posted WRs are flushed to
+// the completion queue with ErrDisconnected — their acks died with the
+// old queue pair.
+func (e *Endpoint) Retarget(t *Target) {
+	e.retargetFlush()
+	e.t = t
+}
 
 // Stats returns the endpoint's counter sink.
 func (e *Endpoint) Stats() *stats.Stats { return e.st }
@@ -160,6 +176,7 @@ func (e *Endpoint) faultCheck(op Op, off uint64, n int) (int, error) {
 
 // Read performs a one-sided RDMA read of len(buf) bytes at off.
 func (e *Endpoint) Read(off uint64, buf []byte) error {
+	e.fenceOrder()
 	e.st.RDMARead.Add(1)
 	e.st.BytesRead.Add(int64(len(buf)))
 	e.clk.Advance(e.prof.ReadCost(len(buf)))
@@ -179,6 +196,7 @@ func (e *Endpoint) Read(off uint64, buf []byte) error {
 // it) and is lost on power failure — the unacknowledged write is never
 // durable, which is what the log-validation machinery relies on.
 func (e *Endpoint) Write(off uint64, data []byte) error {
+	e.fenceOrder()
 	e.st.RDMAWrite.Add(1)
 	e.st.BytesWrite.Add(int64(len(data)))
 	e.clk.Advance(e.prof.WriteCost(len(data)))
@@ -218,6 +236,7 @@ func (e *Endpoint) WriteV(ops []WriteOp) error {
 	if len(ops) == 0 {
 		return nil
 	}
+	e.fenceOrder()
 	total := 0
 	for _, op := range ops {
 		total += len(op.Data)
@@ -248,6 +267,7 @@ func (e *Endpoint) WriteV(ops []WriteOp) error {
 // CompareAndSwap executes an RDMA atomic compare-and-swap on the 8 bytes
 // at off, returning the previous value and whether the swap happened.
 func (e *Endpoint) CompareAndSwap(off uint64, old, new uint64) (uint64, bool, error) {
+	e.fenceOrder()
 	e.st.RDMAAtomic.Add(1)
 	e.clk.Advance(e.prof.RDMAAtomic)
 	if _, err := e.faultCheck(OpCAS, off, 8); err != nil {
@@ -258,6 +278,7 @@ func (e *Endpoint) CompareAndSwap(off uint64, old, new uint64) (uint64, bool, er
 
 // FetchAdd executes an RDMA atomic fetch-and-add, returning the previous value.
 func (e *Endpoint) FetchAdd(off uint64, delta uint64) (uint64, error) {
+	e.fenceOrder()
 	e.st.RDMAAtomic.Add(1)
 	e.clk.Advance(e.prof.RDMAAtomic)
 	if _, err := e.faultCheck(OpFetchAdd, off, 8); err != nil {
@@ -269,6 +290,7 @@ func (e *Endpoint) FetchAdd(off uint64, delta uint64) (uint64, error) {
 // Load64 atomically reads an 8-byte word (implemented as a small one-sided
 // read on real NICs; charged as an atomic verb round trip).
 func (e *Endpoint) Load64(off uint64) (uint64, error) {
+	e.fenceOrder()
 	e.st.RDMAAtomic.Add(1)
 	e.clk.Advance(e.prof.RDMAAtomic)
 	if _, err := e.faultCheck(OpLoad64, off, 8); err != nil {
@@ -279,6 +301,7 @@ func (e *Endpoint) Load64(off uint64) (uint64, error) {
 
 // Store64 atomically writes an 8-byte word, durable on return.
 func (e *Endpoint) Store64(off uint64, v uint64) error {
+	e.fenceOrder()
 	e.st.RDMAAtomic.Add(1)
 	e.clk.Advance(e.prof.RDMAAtomic)
 	if _, err := e.faultCheck(OpStore64, off, 8); err != nil {

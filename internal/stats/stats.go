@@ -34,6 +34,12 @@ type Stats struct {
 	VerbRetries atomic.Int64 // verbs re-issued after a transient fault
 	Failovers   atomic.Int64 // endpoint re-targets to a replacement back-end
 
+	// Posted-verb pipeline counters (async issue / doorbell batching).
+	PostedVerbs    atomic.Int64 // work requests posted to a send queue
+	DoorbellGroups atomic.Int64 // doorbells rung (round trips actually paid)
+	QueueDepthSum  atomic.Int64 // sum over posts of in-flight WRs at post time
+	OverlapSavedNS atomic.Int64 // virtual ns of fabric latency hidden by overlap
+
 	// BusyNS accumulates virtual nanoseconds during which the owning
 	// node's CPU was doing work (as opposed to waiting on the fabric).
 	BusyNS atomic.Int64
@@ -56,64 +62,84 @@ type Snapshot struct {
 	OpsAnnulled                               int64
 	Allocs, Frees                             int64
 	VerbRetries, Failovers                    int64
+	PostedVerbs, DoorbellGroups               int64
+	QueueDepthSum, OverlapSavedNS             int64
 	BusyNS                                    int64
 }
 
 // Snapshot captures the current counter values.
 func (s *Stats) Snapshot() Snapshot {
 	return Snapshot{
-		RDMARead:    s.RDMARead.Load(),
-		RDMAWrite:   s.RDMAWrite.Load(),
-		RDMAAtomic:  s.RDMAAtomic.Load(),
-		RPCCalls:    s.RPCCalls.Load(),
-		BytesRead:   s.BytesRead.Load(),
-		BytesWrite:  s.BytesWrite.Load(),
-		CacheHit:    s.CacheHit.Load(),
-		CacheMiss:   s.CacheMiss.Load(),
-		CacheEvict:  s.CacheEvict.Load(),
-		ReadRetry:   s.ReadRetry.Load(),
-		OpLogs:      s.OpLogs.Load(),
-		MemLogs:     s.MemLogs.Load(),
-		TxCommits:   s.TxCommits.Load(),
-		TxReplayed:  s.TxReplayed.Load(),
-		OpsAnnulled: s.OpsAnnulled.Load(),
-		Allocs:      s.Allocs.Load(),
-		Frees:       s.Frees.Load(),
-		VerbRetries: s.VerbRetries.Load(),
-		Failovers:   s.Failovers.Load(),
-		BusyNS:      s.BusyNS.Load(),
+		RDMARead:       s.RDMARead.Load(),
+		RDMAWrite:      s.RDMAWrite.Load(),
+		RDMAAtomic:     s.RDMAAtomic.Load(),
+		RPCCalls:       s.RPCCalls.Load(),
+		BytesRead:      s.BytesRead.Load(),
+		BytesWrite:     s.BytesWrite.Load(),
+		CacheHit:       s.CacheHit.Load(),
+		CacheMiss:      s.CacheMiss.Load(),
+		CacheEvict:     s.CacheEvict.Load(),
+		ReadRetry:      s.ReadRetry.Load(),
+		OpLogs:         s.OpLogs.Load(),
+		MemLogs:        s.MemLogs.Load(),
+		TxCommits:      s.TxCommits.Load(),
+		TxReplayed:     s.TxReplayed.Load(),
+		OpsAnnulled:    s.OpsAnnulled.Load(),
+		Allocs:         s.Allocs.Load(),
+		Frees:          s.Frees.Load(),
+		VerbRetries:    s.VerbRetries.Load(),
+		Failovers:      s.Failovers.Load(),
+		PostedVerbs:    s.PostedVerbs.Load(),
+		DoorbellGroups: s.DoorbellGroups.Load(),
+		QueueDepthSum:  s.QueueDepthSum.Load(),
+		OverlapSavedNS: s.OverlapSavedNS.Load(),
+		BusyNS:         s.BusyNS.Load(),
 	}
 }
 
 // Sub returns the per-field difference a-b, for measuring an interval.
 func (a Snapshot) Sub(b Snapshot) Snapshot {
 	return Snapshot{
-		RDMARead:    a.RDMARead - b.RDMARead,
-		RDMAWrite:   a.RDMAWrite - b.RDMAWrite,
-		RDMAAtomic:  a.RDMAAtomic - b.RDMAAtomic,
-		RPCCalls:    a.RPCCalls - b.RPCCalls,
-		BytesRead:   a.BytesRead - b.BytesRead,
-		BytesWrite:  a.BytesWrite - b.BytesWrite,
-		CacheHit:    a.CacheHit - b.CacheHit,
-		CacheMiss:   a.CacheMiss - b.CacheMiss,
-		CacheEvict:  a.CacheEvict - b.CacheEvict,
-		ReadRetry:   a.ReadRetry - b.ReadRetry,
-		OpLogs:      a.OpLogs - b.OpLogs,
-		MemLogs:     a.MemLogs - b.MemLogs,
-		TxCommits:   a.TxCommits - b.TxCommits,
-		TxReplayed:  a.TxReplayed - b.TxReplayed,
-		OpsAnnulled: a.OpsAnnulled - b.OpsAnnulled,
-		Allocs:      a.Allocs - b.Allocs,
-		Frees:       a.Frees - b.Frees,
-		VerbRetries: a.VerbRetries - b.VerbRetries,
-		Failovers:   a.Failovers - b.Failovers,
-		BusyNS:      a.BusyNS - b.BusyNS,
+		RDMARead:       a.RDMARead - b.RDMARead,
+		RDMAWrite:      a.RDMAWrite - b.RDMAWrite,
+		RDMAAtomic:     a.RDMAAtomic - b.RDMAAtomic,
+		RPCCalls:       a.RPCCalls - b.RPCCalls,
+		BytesRead:      a.BytesRead - b.BytesRead,
+		BytesWrite:     a.BytesWrite - b.BytesWrite,
+		CacheHit:       a.CacheHit - b.CacheHit,
+		CacheMiss:      a.CacheMiss - b.CacheMiss,
+		CacheEvict:     a.CacheEvict - b.CacheEvict,
+		ReadRetry:      a.ReadRetry - b.ReadRetry,
+		OpLogs:         a.OpLogs - b.OpLogs,
+		MemLogs:        a.MemLogs - b.MemLogs,
+		TxCommits:      a.TxCommits - b.TxCommits,
+		TxReplayed:     a.TxReplayed - b.TxReplayed,
+		OpsAnnulled:    a.OpsAnnulled - b.OpsAnnulled,
+		Allocs:         a.Allocs - b.Allocs,
+		Frees:          a.Frees - b.Frees,
+		VerbRetries:    a.VerbRetries - b.VerbRetries,
+		Failovers:      a.Failovers - b.Failovers,
+		PostedVerbs:    a.PostedVerbs - b.PostedVerbs,
+		DoorbellGroups: a.DoorbellGroups - b.DoorbellGroups,
+		QueueDepthSum:  a.QueueDepthSum - b.QueueDepthSum,
+		OverlapSavedNS: a.OverlapSavedNS - b.OverlapSavedNS,
+		BusyNS:         a.BusyNS - b.BusyNS,
 	}
 }
 
 // RDMAVerbs is the total number of network round trips in the snapshot.
 func (a Snapshot) RDMAVerbs() int64 {
 	return a.RDMARead + a.RDMAWrite + a.RDMAAtomic
+}
+
+// AvgQueueDepth reports the mean number of in-flight work requests
+// observed at post time, or 0 when nothing was posted. A value near 1
+// means the pipeline degenerated to synchronous issue; deeper is better.
+func (a Snapshot) AvgQueueDepth() float64 {
+	if a.PostedVerbs == 0 {
+		return 0
+	}
+	return float64(a.QueueDepthSum) / float64(a.PostedVerbs)
 }
 
 // HitRatio reports the cache hit ratio, or 0 when no accesses happened.
@@ -128,12 +154,13 @@ func (a Snapshot) HitRatio() float64 {
 // String renders a compact human-readable summary.
 func (a Snapshot) String() string {
 	return fmt.Sprintf(
-		"rdma{r=%d w=%d atom=%d rpc=%d} bytes{r=%d w=%d} cache{hit=%d miss=%d} logs{op=%d mem=%d tx=%d replayed=%d} retry=%d resil{retry=%d fo=%d}",
+		"rdma{r=%d w=%d atom=%d rpc=%d} bytes{r=%d w=%d} cache{hit=%d miss=%d} logs{op=%d mem=%d tx=%d replayed=%d} retry=%d resil{retry=%d fo=%d} pipe{wr=%d db=%d qd=%.1f saved=%dns}",
 		a.RDMARead, a.RDMAWrite, a.RDMAAtomic, a.RPCCalls,
 		a.BytesRead, a.BytesWrite,
 		a.CacheHit, a.CacheMiss,
 		a.OpLogs, a.MemLogs, a.TxCommits, a.TxReplayed,
 		a.ReadRetry,
 		a.VerbRetries, a.Failovers,
+		a.PostedVerbs, a.DoorbellGroups, a.AvgQueueDepth(), a.OverlapSavedNS,
 	)
 }
