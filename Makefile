@@ -5,7 +5,11 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos check bench bench-smoke
+.PHONY: all build vet test race chaos chaos-race cover check bench bench-smoke
+
+# Minimum cross-package statement coverage (see `make cover`). Raise it
+# when coverage rises; never lower it to merge.
+COVER_FLOOR ?= 68.0
 
 all: check
 
@@ -23,6 +27,21 @@ race:
 
 chaos: build
 	$(GO) run ./cmd/asymnvm-chaos -seed 1 -ops 5000
+
+# A reduced-op chaos soak with the race detector on: every crash,
+# failover and partition path runs under -race.
+chaos-race: build
+	$(GO) run -race ./cmd/asymnvm-chaos -seed 1 -ops 2000
+
+# Cross-package statement coverage with a hard floor. -coverpkg=./... so
+# packages exercised only through other packages' tests (trace, stats,
+# obshttp) still count.
+cover:
+	$(GO) test -coverpkg=./... -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' || \
+		{ echo "coverage $$total% fell below the floor of $(COVER_FLOOR)%"; exit 1; }
 
 check: vet build race chaos
 

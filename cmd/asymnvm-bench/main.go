@@ -20,6 +20,8 @@ import (
 	"time"
 
 	"asymnvm/internal/bench"
+	"asymnvm/internal/obshttp"
+	"asymnvm/internal/trace"
 )
 
 func main() {
@@ -28,7 +30,20 @@ func main() {
 	opsFlag := flag.Int("ops", 0, "override measured operations per cell")
 	seedFlag := flag.Int("seed", 0, "override initial population per structure")
 	jsonFlag := flag.String("json", "", "also write every measured row to this file as JSON")
+	httpAddr := flag.String("http", "", "serve live /metrics, /debug/trace and /debug/flame on this address while experiments run")
 	flag.Parse()
+
+	if *httpAddr != "" {
+		tr := trace.New()
+		bench.SetTracer(tr)
+		srv := obshttp.New(tr)
+		if _, addr, err := srv.Start(*httpAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "asymnvm-bench: http: %v\n", err)
+			os.Exit(2)
+		} else {
+			fmt.Printf("serving /metrics, /debug/trace, /debug/flame on %s\n", addr)
+		}
+	}
 
 	sc := bench.QuickScale()
 	if *scaleFlag == "full" {

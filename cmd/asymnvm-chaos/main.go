@@ -20,6 +20,9 @@ import (
 	"os"
 
 	"asymnvm/internal/chaos"
+	"asymnvm/internal/core"
+	"asymnvm/internal/obshttp"
+	"asymnvm/internal/trace"
 )
 
 func main() {
@@ -38,9 +41,30 @@ func main() {
 	flag.IntVar(&cfg.MirrorLag, "lag", cfg.MirrorLag, "mirror replication lag in kicks")
 	flag.BoolVar(&cfg.Rebuild, "rebuild", cfg.Rebuild, "end with an archive-replay rebuild check")
 	flag.BoolVar(&cfg.Verbose, "v", cfg.Verbose, "print every injected fault event")
+	doTrace := flag.Bool("trace", false, "record a span trace of the soak")
+	traceOut := flag.String("trace-out", "", "write the chrome://tracing JSON to this file (implies -trace)")
+	httpAddr := flag.String("http", "", "serve /metrics, /debug/trace and /debug/flame on this address while the soak runs")
 	flag.Parse()
 	cfg.Accounts = *acct
 	cfg.Keys = *keys
+
+	if *traceOut != "" || *httpAddr != "" {
+		*doTrace = true
+	}
+	if *doTrace {
+		cfg.Tracer = trace.New()
+	}
+	var srv *obshttp.Server
+	if *httpAddr != "" {
+		srv = obshttp.New(cfg.Tracer)
+		cfg.OnFrontend = func(fe *core.Frontend) { srv.AddStats("fe001", fe.Stats()) }
+		_, addr, err := srv.Start(*httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asymnvm-chaos: http: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("serving /metrics, /debug/trace, /debug/flame on %s\n", addr)
+	}
 
 	rep, err := chaos.Run(cfg)
 	if err != nil {
@@ -48,6 +72,12 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Print(rep.String())
+	if *traceOut != "" {
+		if err := os.WriteFile(*traceOut, cfg.Tracer.ChromeJSON(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "asymnvm-chaos: writing %s: %v\n", *traceOut, err)
+			os.Exit(2)
+		}
+	}
 	if rep.Violations > 0 {
 		fmt.Fprintf(os.Stderr, "asymnvm-chaos: %d invariant violation(s)\n", rep.Violations)
 		os.Exit(1)

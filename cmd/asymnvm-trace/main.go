@@ -1,0 +1,76 @@
+// Command asymnvm-trace runs a traced SmallBank workload on the simulated
+// AsymNVM cluster and exports the span trace: a chrome://tracing JSON
+// file (load in chrome://tracing or https://ui.perfetto.dev), a text
+// flame summary, the per-phase latency histogram table, and the golden
+// digest over the deterministic front-end actors.
+//
+// Usage:
+//
+//	asymnvm-trace -ops 2000 -out trace.json
+//	asymnvm-trace -ops 500 -flame
+//	asymnvm-trace -digest            # print the front-end golden digest
+//	asymnvm-trace -http :8080        # serve /metrics and /debug/trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"asymnvm/internal/bench"
+	"asymnvm/internal/obshttp"
+	"asymnvm/internal/stats"
+)
+
+func main() {
+	ops := flag.Int("ops", 1000, "SmallBank transactions to run")
+	accounts := flag.Int("accounts", 100, "SmallBank accounts")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	pipeline := flag.Int("pipeline", 16, "posted-verb send-queue depth")
+	out := flag.String("out", "", "write chrome://tracing JSON to this file ('-' for stdout)")
+	flame := flag.Bool("flame", false, "print the text flame summary")
+	digest := flag.Bool("digest", false, "print the deterministic front-end trace digest")
+	httpAddr := flag.String("http", "", "serve /metrics, /debug/trace and /debug/flame on this address and block")
+	flag.Parse()
+
+	sc := bench.QuickScale()
+	sc.Ops = *ops
+	sc.Accounts = *accounts
+	res, err := bench.TraceSmallBank(sc, *seed, *pipeline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asymnvm-trace: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("traced %d SmallBank txs: %d virtual ns elapsed on fe001\n", res.Ops, res.Frontend.Clock().Now())
+	fmt.Println(res.Frontend.Stats().Snapshot().String())
+	if phases := res.Frontend.Stats().PhaseSnapshots(); len(phases) > 0 {
+		fmt.Print(stats.FormatPhases(phases))
+	}
+	if *digest {
+		fmt.Printf("frontend trace digest: %s\n", res.Tracer.DigestFor(bench.FrontendActors))
+	}
+	if *flame {
+		fmt.Print(res.Tracer.FlameSummary())
+	}
+	if *out != "" {
+		data := res.Tracer.ChromeJSON()
+		if *out == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "asymnvm-trace: writing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	if *httpAddr != "" {
+		srv := obshttp.New(res.Tracer)
+		srv.AddStats("fe001", res.Frontend.Stats())
+		_, addr, err := srv.Start(*httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asymnvm-trace: http: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serving /metrics, /debug/trace, /debug/flame on %s\n", addr)
+		select {}
+	}
+}

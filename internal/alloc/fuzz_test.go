@@ -1,0 +1,137 @@
+package alloc
+
+import (
+	"testing"
+)
+
+// FuzzBitmap interprets the fuzz input as a little program of alloc/free
+// operations against a small bitmap, shadowed by a naive model, and
+// checks after every step that:
+//
+//   - allocations never overlap live allocations and stay in range;
+//   - the dirty range returned by each mutation covers the touched bits;
+//   - the free counter matches the model exactly;
+//   - double frees and out-of-range frees are rejected;
+//   - the persisted image reloads (LoadBitmap) to the identical state —
+//     the crash-recovery contract.
+func FuzzBitmap(f *testing.F) {
+	f.Add([]byte{0x02, 0x04, 0x01, 0x06, 0x03})
+	f.Add([]byte{0x10, 0x10, 0x10, 0x10, 0x11, 0x11})
+	f.Add([]byte{0xFF, 0x00, 0xFE, 0x01, 0x80, 0x7F})
+	f.Add([]byte{})
+
+	const nBlocks, blockSize = 64, 256
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		bm := NewBitmap(nBlocks, blockSize)
+		model := map[int]bool{} // block -> allocated
+		type region struct{ block, n int }
+		var live []region
+
+		for pc := 0; pc < len(prog); pc++ {
+			b := prog[pc]
+			if b&1 == 0 || len(live) == 0 {
+				// Alloc 1..8 blocks.
+				n := int(b>>1)%8 + 1
+				block, dr, err := bm.Alloc(n)
+				if err != nil {
+					if bm.FreeBlocks() >= n && err == ErrNoSpace {
+						// Fragmentation can legitimately fail an alloc even
+						// with enough total free blocks; a contiguous run
+						// must genuinely be absent.
+						if run := longestFreeRun(model, nBlocks); run >= n {
+							t.Fatalf("Alloc(%d) failed with a free run of %d", n, run)
+						}
+					}
+					continue
+				}
+				if block < 0 || block+n > nBlocks {
+					t.Fatalf("Alloc(%d) returned out-of-range block %d", n, block)
+				}
+				for i := block; i < block+n; i++ {
+					if model[i] {
+						t.Fatalf("Alloc(%d) handed out live block %d", n, i)
+					}
+					model[i] = true
+				}
+				checkDirty(t, dr, block, block+n-1)
+				live = append(live, region{block, n})
+			} else {
+				// Free a live region, sometimes corrupted to test rejection.
+				idx := int(b>>1) % len(live)
+				r := live[idx]
+				if b&0x80 != 0 {
+					// An out-of-range or double-free attempt must error and
+					// leave the state untouched.
+					freeBefore := bm.FreeBlocks()
+					if _, err := bm.Free(nBlocks-1, 2); err == nil && !model[nBlocks-1] {
+						t.Fatal("out-of-range/double free accepted")
+					}
+					if got := bm.FreeBlocks(); got != freeBefore && got != freeBefore+2 {
+						t.Fatalf("failed free changed the free count: %d -> %d", freeBefore, got)
+					}
+					continue
+				}
+				dr, err := bm.Free(r.block, r.n)
+				if err != nil {
+					t.Fatalf("Free(%d,%d) of a live region: %v", r.block, r.n, err)
+				}
+				checkDirty(t, dr, r.block, r.block+r.n-1)
+				for i := r.block; i < r.block+r.n; i++ {
+					delete(model, i)
+				}
+				live = append(live[:idx], live[idx+1:]...)
+				// A second free of the same region is a double free.
+				if _, err := bm.Free(r.block, r.n); err == nil {
+					t.Fatalf("double free of [%d,%d) accepted", r.block, r.block+r.n)
+				}
+			}
+
+			if got, want := bm.FreeBlocks(), nBlocks-len(model); got != want {
+				t.Fatalf("free count %d, model says %d", got, want)
+			}
+			for i := 0; i < nBlocks; i++ {
+				if bm.IsAllocated(i) != model[i] {
+					t.Fatalf("block %d allocation state diverged from model", i)
+				}
+			}
+		}
+
+		// Crash-recovery contract: reload the persisted image.
+		re, err := LoadBitmap(bm.Bytes(), nBlocks, blockSize)
+		if err != nil {
+			t.Fatalf("LoadBitmap: %v", err)
+		}
+		if re.FreeBlocks() != bm.FreeBlocks() {
+			t.Fatalf("reloaded free count %d != live %d", re.FreeBlocks(), bm.FreeBlocks())
+		}
+		for i := 0; i < nBlocks; i++ {
+			if re.IsAllocated(i) != bm.IsAllocated(i) {
+				t.Fatalf("reloaded block %d state diverged", i)
+			}
+		}
+	})
+}
+
+// longestFreeRun scans the model for the longest contiguous free run.
+func longestFreeRun(model map[int]bool, nBlocks int) int {
+	best, run := 0, 0
+	for i := 0; i < nBlocks; i++ {
+		if model[i] {
+			run = 0
+			continue
+		}
+		run++
+		if run > best {
+			best = run
+		}
+	}
+	return best
+}
+
+// checkDirty asserts the dirty byte range covers blocks [lo,hi].
+func checkDirty(t *testing.T, dr DirtyRange, lo, hi int) {
+	t.Helper()
+	if dr.Off > lo/8 || dr.Off+dr.Len-1 < hi/8 {
+		t.Fatalf("dirty range bytes [%d,%d) does not cover blocks [%d,%d]", dr.Off, dr.Off+dr.Len, lo, hi)
+	}
+}

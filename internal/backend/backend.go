@@ -12,6 +12,7 @@ import (
 	"asymnvm/internal/nvm"
 	"asymnvm/internal/rdma"
 	"asymnvm/internal/stats"
+	"asymnvm/internal/trace"
 )
 
 // MirrorSink receives replicated state from a primary back-end (§7.1).
@@ -60,6 +61,7 @@ type Backend struct {
 	clk    clock.Clock
 	st     *stats.Stats
 	prof   clock.Profile
+	tr     *trace.ActorTracer // nil when tracing is disabled
 
 	allocMu sync.Mutex
 	balloc  *alloc.Bitmap
@@ -102,6 +104,7 @@ type Options struct {
 	Stats   *stats.Stats   // defaults to a private sink
 	Profile *clock.Profile // defaults to clock.DefaultProfile
 	Config  *Config        // format geometry, defaults to DefaultConfig
+	Tracer  *trace.Tracer  // span tracer registry; nil disables tracing
 }
 
 func (o *Options) fill() {
@@ -144,6 +147,9 @@ func New(dev *nvm.Device, opts Options) (*Backend, error) {
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 		dss:    make(map[uint16]*dsReplay),
+	}
+	if opts.Tracer != nil {
+		b.tr = opts.Tracer.Actor(fmt.Sprintf("bk%03d", opts.ID), b.clk, b.st)
 	}
 	if err := b.recover(); err != nil {
 		return nil, err

@@ -1,6 +1,10 @@
 package backend
 
-import "time"
+import (
+	"time"
+
+	"asymnvm/internal/trace"
+)
 
 // mirrorPipe models the primary's replication channel as a posted-verb
 // pipeline instead of a stop-and-wait loop (§7.1: mirror pushes are off
@@ -42,11 +46,13 @@ func (b *Backend) forwardCharge(n int) {
 	b.st.QueueDepthSum.Add(int64(len(p.done)))
 	b.st.RDMAWrite.Add(1)
 	b.st.BytesWrite.Add(int64(n))
+	b.tr.Event(trace.KindMirrorFwd, uint64(n))
 	if len(p.done) >= mirrorWindow {
 		d := p.done[0]
 		p.done = p.done[1:]
 		if now := b.clk.Now(); d > now {
 			b.clk.Advance(d - now)
+			b.tr.Charge(trace.KindMirrorFwd, d-now)
 			p.charged += d - now
 		}
 	}
@@ -64,6 +70,7 @@ func (b *Backend) drainMirrorPipe() {
 		last := p.done[len(p.done)-1]
 		if now := b.clk.Now(); last > now {
 			b.clk.Advance(last - now)
+			b.tr.Charge(trace.KindMirrorFwd, last-now)
 			p.charged += last - now
 		}
 		p.done = p.done[:0]
@@ -71,6 +78,7 @@ func (b *Backend) drainMirrorPipe() {
 	}
 	if saved := p.syncCost - p.charged; saved > 0 {
 		b.st.OverlapSavedNS.Add(int64(saved))
+		b.tr.Event(trace.KindOverlapSaved, uint64(saved))
 	}
 	p.syncCost, p.charged = 0, 0
 }

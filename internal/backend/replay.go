@@ -6,6 +6,7 @@ import (
 
 	"asymnvm/internal/alloc"
 	"asymnvm/internal/logrec"
+	"asymnvm/internal/trace"
 )
 
 // maxTxChunk bounds a single refill of the replay scan buffer. It must
@@ -255,6 +256,8 @@ func (b *Backend) replaySlot(ds *dsReplay) (SlotStatus, error) {
 // applyTx replicates the raw record to mirrors, then applies each memory
 // log entry to the data area and persists the new cursors.
 func (b *Backend) applyTx(ds *dsReplay, rec *logrec.TxRecord, newLPN uint64) error {
+	b.tr.BeginArg(trace.KindReplay, uint64(len(rec.Entries)))
+	defer b.tr.End()
 	// Replicate the log record before applying it (§7.1: logs reach the
 	// mirror before the transaction commits to the data area).
 	wire := rec.Encode()

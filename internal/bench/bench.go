@@ -16,6 +16,7 @@ import (
 	"asymnvm/internal/core"
 	"asymnvm/internal/ds"
 	"asymnvm/internal/symmetric"
+	"asymnvm/internal/trace"
 	"asymnvm/internal/txapp"
 	"asymnvm/internal/workload"
 )
@@ -87,10 +88,20 @@ func cacheBytesFor(name string, seed int, pct float64) int64 {
 	return b
 }
 
+// liveTracer, when set via SetTracer, traces every cluster the drivers
+// build — the bench binary's -http observability hook. Actor-name
+// collisions across cells resolve to numbered aliases in the tracer.
+var liveTracer *trace.Tracer
+
+// SetTracer installs a tracer picked up by all subsequently built
+// clusters. Call before running drivers; not safe concurrently with them.
+func SetTracer(tr *trace.Tracer) { liveTracer = tr }
+
 // newAsymCluster builds a one-back-end cluster with the remote profile.
 func newAsymCluster(deviceBytes int) (*cluster.Cluster, error) {
 	cfg := cluster.DefaultConfig()
 	cfg.DeviceBytes = deviceBytes
+	cfg.Tracer = liveTracer
 	return cluster.New(cfg)
 }
 

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"strings"
+
+	"asymnvm/internal/cluster"
+	"asymnvm/internal/core"
+	"asymnvm/internal/ds"
+	"asymnvm/internal/trace"
+	"asymnvm/internal/txapp"
+)
+
+// TraceResult bundles the artifacts of one traced benchmark run. The
+// cluster is already stopped when TraceSmallBank returns; the tracer and
+// front-end stats stay readable.
+type TraceResult struct {
+	Tracer   *trace.Tracer
+	Frontend *core.Frontend
+	Ops      int
+}
+
+// FrontendActors keeps only front-end trace actors ("feNNN"). Front-end
+// span streams are deterministic per seed; back-end replayer spans group
+// work by kick and so depend on goroutine scheduling. Golden-trace
+// digests restrict the export with this filter.
+func FrontendActors(name string) bool { return strings.HasPrefix(name, "fe") }
+
+// TraceSmallBank runs sc.Ops SmallBank transactions against a fresh
+// one-back-end cluster in RCB mode with a posted-verb pipeline, recording
+// a full span trace. The run is deterministic per (sc, seed, pipeline)
+// on the front-end actor: a single front-end, a write-only workload (no
+// deletes, so no host-clock-aged GC traffic), and one Drain at the end.
+func TraceSmallBank(sc Scale, seed uint64, pipeline int) (*TraceResult, error) {
+	tr := trace.New()
+	cfg := cluster.DefaultConfig()
+	cfg.Tracer = tr
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Stop()
+	mode := core.ModeRCB(cacheBytesFor("TX(SmallBank)", sc.Accounts, 10), 64).WithPipeline(pipeline)
+	fe, conns, err := cl.NewFrontend(1, mode)
+	if err != nil {
+		return nil, err
+	}
+	bank, err := txapp.NewSmallBank(conns[0], "smallbank-trace", uint64(sc.Accounts),
+		ds.Options{Create: benchCreateOpts(), Buckets: 1 << 12})
+	if err != nil {
+		return nil, err
+	}
+	r := seed | 1
+	for i := 0; i < sc.Ops; i++ {
+		r ^= r << 13
+		r ^= r >> 7
+		r ^= r << 17
+		if err := bank.DoTx(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := bank.Table().Drain(); err != nil {
+		return nil, err
+	}
+	return &TraceResult{Tracer: tr, Frontend: fe, Ops: sc.Ops}, nil
+}

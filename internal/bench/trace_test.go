@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"asymnvm/internal/trace"
+)
+
+// traceScale keeps the golden runs fast while still exercising cache
+// misses, batched commits and the posted-verb pipeline.
+func traceScale() Scale {
+	sc := QuickScale()
+	sc.Ops = 150
+	sc.Accounts = 40
+	return sc
+}
+
+// goldenSmallBankDigest pins the front-end trace of
+// TraceSmallBank(traceScale(), seed=7, pipeline=16). It must only change
+// when the virtual-time cost model, the workload, or the traced span set
+// deliberately changes — anything else is a determinism regression.
+const goldenSmallBankDigest = "5d3e487ebd520097f912b345c15cb9be5b216f7f7258082aafc3d575be086473"
+
+func traceRun(t *testing.T) *TraceResult {
+	t.Helper()
+	res, err := TraceSmallBank(traceScale(), 7, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// feActor returns the run's single front-end actor tracer.
+func feActor(t *testing.T, res *TraceResult) *trace.ActorTracer {
+	t.Helper()
+	for _, a := range res.Tracer.Actors() {
+		if FrontendActors(a.Name()) {
+			return a
+		}
+	}
+	t.Fatal("no front-end actor in trace")
+	return nil
+}
+
+// TestGoldenTraceDeterminism runs the same seeded workload twice and
+// requires byte-identical front-end trace exports.
+func TestGoldenTraceDeterminism(t *testing.T) {
+	a := traceRun(t)
+	b := traceRun(t)
+	ja := a.Tracer.ChromeJSONFor(FrontendActors)
+	jb := b.Tracer.ChromeJSONFor(FrontendActors)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("same seed produced different front-end traces (%d vs %d bytes)", len(ja), len(jb))
+	}
+}
+
+// TestGoldenTraceDigestPinned compares against the checked-in digest, so
+// a determinism break shows up even when both runs of one process drift
+// together (e.g. map-iteration order leaking into the span sequence).
+func TestGoldenTraceDigestPinned(t *testing.T) {
+	res := traceRun(t)
+	if got := res.Tracer.DigestFor(FrontendActors); got != goldenSmallBankDigest {
+		t.Fatalf("front-end trace digest drifted:\n got  %s\n want %s", got, goldenSmallBankDigest)
+	}
+}
+
+// TestTraceReconciliation checks the trace against the books: per-kind
+// self times must sum to the front-end's virtual elapsed time, the
+// per-phase histogram ledger must do the same, and the overlap the trace
+// says the pipeline hid must match the stats counter — all within 1%.
+func TestTraceReconciliation(t *testing.T) {
+	res := traceRun(t)
+	a := feActor(t, res)
+	elapsed := a.Elapsed()
+	if elapsed <= 0 {
+		t.Fatal("front-end actor recorded no elapsed time")
+	}
+	within1pct := func(what string, got, want int64) {
+		t.Helper()
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff*100 > want {
+			t.Errorf("%s: got %d, want %d (off by %d, >1%%)", what, got, want, diff)
+		}
+	}
+
+	var kindSum int64
+	for _, ns := range a.SelfNS() {
+		kindSum += ns
+	}
+	within1pct("sum of per-kind self times vs elapsed", kindSum, elapsed)
+
+	var phaseSum int64
+	for _, ps := range res.Frontend.Stats().PhaseSnapshots() {
+		phaseSum += ps.SelfNS
+	}
+	within1pct("sum of per-phase self times vs elapsed", phaseSum, elapsed)
+
+	st := res.Frontend.Stats().Snapshot()
+	if traced := a.OverlapNS(); traced != st.OverlapSavedNS {
+		t.Errorf("traced overlap %dns != stats OverlapSavedNS %dns", traced, st.OverlapSavedNS)
+	}
+}

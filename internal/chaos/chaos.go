@@ -32,6 +32,7 @@ import (
 	"asymnvm/internal/fault"
 	"asymnvm/internal/logrec"
 	"asymnvm/internal/stats"
+	"asymnvm/internal/trace"
 	"asymnvm/internal/txapp"
 )
 
@@ -62,6 +63,13 @@ type Config struct {
 
 	Rebuild bool // end with an archive-replay rebuild check
 	Verbose bool // include every injected fault event in the report
+
+	// Tracer, when non-nil, records per-operation spans for the soak's
+	// writer front-end and primary back-end (see cluster.Config.Tracer).
+	Tracer *trace.Tracer
+	// OnFrontend, when non-nil, observes the writer front-end right after
+	// it connects — live /metrics endpoints hook in here.
+	OnFrontend func(fe *core.Frontend)
 }
 
 // DefaultConfig returns the acceptance-run configuration.
@@ -129,6 +137,7 @@ func Run(cfg Config) (*Report, error) {
 	ccfg := cluster.DefaultConfig()
 	ccfg.MirrorsPerBack = cfg.Mirrors
 	ccfg.ArchivePerBack = true
+	ccfg.Tracer = cfg.Tracer
 	clu, err := cluster.New(ccfg)
 	if err != nil {
 		return nil, err
@@ -149,6 +158,9 @@ func Run(cfg Config) (*Report, error) {
 	fe, conns, err := clu.NewFrontend(1, wMode)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.OnFrontend != nil {
+		cfg.OnFrontend(fe)
 	}
 	s := &soak{
 		cfg:    cfg,

@@ -12,6 +12,7 @@ import (
 	"asymnvm/internal/mirror"
 	"asymnvm/internal/nvm"
 	"asymnvm/internal/stats"
+	"asymnvm/internal/trace"
 )
 
 // Config sizes a simulated deployment (the paper's testbed is 10 nodes:
@@ -23,6 +24,12 @@ type Config struct {
 	DeviceBytes    int  // NVM capacity per back-end (and replica)
 	Profile        clock.Profile
 	BackendConfig  *backend.Config
+	// Tracer, when non-nil, records per-operation spans for the cluster's
+	// primary back-ends and every front-end created through NewFrontend.
+	// Replica replayers, promoted mirrors and restarted back-ends are NOT
+	// traced: they impersonate the primary's node id, so their spans would
+	// collide with the primary actor's on a different clock.
+	Tracer *trace.Tracer
 }
 
 // DefaultConfig returns a one-back-end, two-mirror deployment with
@@ -66,7 +73,7 @@ func New(cfg Config) (*Cluster, error) {
 	cl := &Cluster{cfg: cfg, KA: NewKeepAlive()}
 	for i := 0; i < cfg.Backends; i++ {
 		dev := nvm.NewDevice(cfg.DeviceBytes)
-		opts := backend.Options{ID: uint16(i), Profile: &cfg.Profile, Config: cfg.BackendConfig}
+		opts := backend.Options{ID: uint16(i), Profile: &cfg.Profile, Config: cfg.BackendConfig, Tracer: cfg.Tracer}
 		bk, err := backend.New(dev, opts)
 		if err != nil {
 			return nil, err
@@ -145,7 +152,7 @@ func (c *Cluster) Stop() {
 // connected to every back-end. The returned connections are indexed by
 // back-end id.
 func (c *Cluster) NewFrontend(id uint16, mode core.Mode) (*core.Frontend, []*core.Conn, error) {
-	fe := core.NewFrontend(core.FrontendOptions{ID: id, Mode: mode, Profile: &c.cfg.Profile})
+	fe := core.NewFrontend(core.FrontendOptions{ID: id, Mode: mode, Profile: &c.cfg.Profile, Tracer: c.cfg.Tracer})
 	conns := make([]*core.Conn, 0, len(c.Backends))
 	for i, bk := range c.Backends {
 		conn, err := fe.Connect(bk)

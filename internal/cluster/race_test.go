@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"asymnvm/internal/core"
+	"asymnvm/internal/ds"
+	"asymnvm/internal/trace"
+)
+
+// TestConcurrentStatsAndTraceReads is the race audit for the metrics
+// plane: several writer front-ends drive structures (spans and phase
+// histograms recording on the hot path, the back-end replayer tracing
+// concurrently) while observer goroutines continuously take stats
+// snapshots, phase-histogram snapshots and full trace exports — exactly
+// what a live /metrics endpoint does mid-run. Run under -race, any
+// unsynchronized read in the observability plane trips here.
+func TestConcurrentStatsAndTraceReads(t *testing.T) {
+	tr := trace.New()
+	cfg := DefaultConfig()
+	cfg.Tracer = tr
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	const writers = 3
+	opts := ds.Options{
+		Buckets: 1 << 8,
+		Create:  core.CreateOptions{MemLogSize: 8 << 20, OpLogSize: 2 << 20},
+	}
+	fes := make([]*core.Frontend, writers)
+	tables := make([]*ds.HashTable, writers)
+	for w := 0; w < writers; w++ {
+		fe, conns, err := cl.NewFrontend(uint16(1+w), core.ModeRCB(1<<20, 8).WithPipeline(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ht, err := ds.CreateHashTable(conns[0], fmt.Sprintf("race%d", w), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fes[w] = fe
+		tables[w] = ht
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(ht *ds.HashTable) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				k := uint64(i%64 + 1)
+				if err := ht.Put(k, []byte{byte(i), byte(k)}); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				if _, _, err := ht.Get(k); err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+			}
+			if err := ht.Drain(); err != nil {
+				t.Errorf("drain: %v", err)
+			}
+		}(tables[w])
+	}
+
+	var obs sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		obs.Add(1)
+		go func() {
+			defer obs.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, fe := range fes {
+					snap := fe.Stats().Snapshot()
+					_ = snap.String()
+					_ = fe.Stats().PhaseSnapshots()
+				}
+				_ = tr.ChromeJSON()
+				_ = tr.FlameSummary()
+				for _, a := range tr.Actors() {
+					_ = a.Elapsed()
+					_ = a.SelfNS()
+					_ = a.OverlapNS()
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	obs.Wait()
+}

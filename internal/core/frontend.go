@@ -10,6 +10,7 @@ import (
 	"asymnvm/internal/clock"
 	"asymnvm/internal/rdma"
 	"asymnvm/internal/stats"
+	"asymnvm/internal/trace"
 )
 
 // ErrBackendDown is returned when the fabric reports the back-end gone.
@@ -72,6 +73,7 @@ type Frontend struct {
 	conns map[uint16]*Conn
 	rng   uint64 // xorshift state for skiplist levels etc.
 	retry RetryPolicy
+	tr    *trace.ActorTracer // nil when tracing is disabled
 }
 
 // FrontendOptions configures a front-end node.
@@ -81,7 +83,8 @@ type FrontendOptions struct {
 	Clock   clock.Clock
 	Stats   *stats.Stats
 	Profile *clock.Profile
-	Retry   *RetryPolicy // verb retry policy, DefaultRetryPolicy when nil
+	Retry   *RetryPolicy  // verb retry policy, DefaultRetryPolicy when nil
+	Tracer  *trace.Tracer // span tracer registry; nil disables tracing
 }
 
 // NewFrontend creates a front-end node.
@@ -109,6 +112,9 @@ func NewFrontend(opts FrontendOptions) *Frontend {
 	if opts.Retry != nil {
 		fe.retry = *opts.Retry
 	}
+	if opts.Tracer != nil {
+		fe.tr = opts.Tracer.Actor(fmt.Sprintf("fe%03d", opts.ID), fe.clk, fe.st)
+	}
 	if opts.Mode.CacheBytes > 0 {
 		fe.cache = NewCache(opts.Mode.CacheBytes, opts.Mode.Policy, opts.Stats)
 	}
@@ -134,9 +140,13 @@ func (fe *Frontend) Cache() *Cache { return fe.cache }
 // Profile returns the latency model.
 func (fe *Frontend) Profile() clock.Profile { return fe.prof }
 
+// Tracer returns the front-end actor's tracer, nil when tracing is off.
+func (fe *Frontend) Tracer() *trace.ActorTracer { return fe.tr }
+
 // ChargeOp charges the fixed per-operation CPU cost.
 func (fe *Frontend) ChargeOp() {
 	fe.clk.Advance(fe.prof.CPUOp)
+	fe.tr.Charge(trace.KindCPU, fe.prof.CPUOp)
 	fe.st.AddBusy(fe.prof.CPUOp)
 }
 
@@ -169,6 +179,7 @@ type Conn struct {
 func (fe *Frontend) Connect(bk *backend.Backend) (*Conn, error) {
 	ep := rdma.Connect(bk.Target(), fe.clk, fe.st, fe.prof)
 	ep.SetPipeline(fe.mode.Pipeline)
+	ep.SetTracer(fe.tr)
 	hdr := make([]byte, backend.HeaderSize)
 	if err := ep.Read(0, hdr); err != nil {
 		return nil, err
@@ -236,6 +247,8 @@ func (c *Conn) rpc(op, a1, a2 uint64) (backend.RPCResponse, error) {
 	c.rpcSeq++
 	req := backend.EncodeRPCRequest(backend.RPCRequest{Seq: c.rpcSeq, Op: op, A1: a1, A2: a2})
 	var resp backend.RPCResponse
+	c.fe.tr.BeginArg(trace.KindRPC, op)
+	defer c.fe.tr.End()
 	err := c.do(func() error {
 		if err := c.ep.Write(c.layout.RPCReqOff(c.fe.id), req); err != nil {
 			return err

@@ -9,6 +9,7 @@ import (
 	"asymnvm/internal/backend"
 	"asymnvm/internal/logrec"
 	"asymnvm/internal/rdma"
+	"asymnvm/internal/trace"
 )
 
 // Write-path tuning knobs.
@@ -191,12 +192,14 @@ func (h *Handle) Read(addr uint64, n int, cacheable bool) ([]byte, error) {
 				return nil, fmt.Errorf("%w: addr %#x unit %d, read %d", ErrUnitMismatch, addr, len(e.data), n)
 			}
 			fe.clk.Advance(fe.prof.DRAMAccess)
+			fe.tr.Charge(trace.KindCacheHit, fe.prof.DRAMAccess)
 			return append([]byte(nil), e.data...), nil
 		}
 	}
 	if fe.cache != nil {
 		if b, ok := fe.cache.Get(addr, h.readEpoch(), cacheable); ok {
 			fe.clk.Advance(fe.prof.DRAMAccess)
+			fe.tr.Charge(trace.KindCacheHit, fe.prof.DRAMAccess)
 			out := make([]byte, n)
 			if copy(out, b) != n {
 				// Cached under a different unit size; treat as a miss.
@@ -211,7 +214,10 @@ func (h *Handle) Read(addr uint64, n int, cacheable bool) ([]byte, error) {
 		return nil, err
 	}
 	buf := make([]byte, n)
-	if err := h.c.epRead(off, buf); err != nil {
+	fe.tr.BeginArg(trace.KindFetch, addr)
+	err = h.c.epRead(off, buf)
+	fe.tr.End()
+	if err != nil {
 		return nil, err
 	}
 	if h.cacheOn(cacheable) {
@@ -239,6 +245,7 @@ func (h *Handle) ReadMulti(addrs []uint64, n int, cacheable bool) ([][]byte, err
 					return nil, fmt.Errorf("%w: addr %#x unit %d, read %d", ErrUnitMismatch, addr, len(e.data), n)
 				}
 				fe.clk.Advance(fe.prof.DRAMAccess)
+				fe.tr.Charge(trace.KindCacheHit, fe.prof.DRAMAccess)
 				out[i] = append([]byte(nil), e.data...)
 				continue
 			}
@@ -246,6 +253,7 @@ func (h *Handle) ReadMulti(addrs []uint64, n int, cacheable bool) ([][]byte, err
 		if fe.cache != nil {
 			if b, ok := fe.cache.Get(addr, h.readEpoch(), cacheable); ok && len(b) >= n {
 				fe.clk.Advance(fe.prof.DRAMAccess)
+				fe.tr.Charge(trace.KindCacheHit, fe.prof.DRAMAccess)
 				out[i] = append([]byte(nil), b[:n]...)
 				continue
 			}
@@ -262,7 +270,10 @@ func (h *Handle) ReadMulti(addrs []uint64, n int, cacheable bool) ([][]byte, err
 	if len(ops) == 0 {
 		return out, nil
 	}
-	if err := h.c.epReadV(ops); err != nil {
+	fe.tr.BeginArg(trace.KindFetch, uint64(len(ops)))
+	err := h.c.epReadV(ops)
+	fe.tr.End()
+	if err != nil {
 		return nil, err
 	}
 	if h.cacheOn(cacheable) {
@@ -443,6 +454,9 @@ func (h *Handle) flushOps() error {
 	if h.opBufCnt == 0 {
 		return nil
 	}
+	tr := h.c.fe.tr
+	tr.BeginArg(trace.KindOpLogFlush, uint64(len(h.opBuf)))
+	defer tr.End()
 	if err := h.waitOpSpace(); err != nil {
 		return err
 	}
@@ -466,6 +480,9 @@ func (h *Handle) flushOpsAsync() error {
 	if h.opBufCnt == 0 {
 		return nil
 	}
+	tr := h.c.fe.tr
+	tr.BeginArg(trace.KindOpLogFlush, uint64(len(h.opBuf)))
+	defer tr.End()
 	if err := h.waitOpSpace(); err != nil {
 		return err
 	}
@@ -487,6 +504,9 @@ func (h *Handle) settleAsyncOps() error {
 	if len(h.asyncOps) == 0 {
 		return nil
 	}
+	tr := h.c.fe.tr
+	tr.BeginArg(trace.KindOpLogFlush, uint64(len(h.asyncOps)))
+	defer tr.End()
 	pend := h.asyncOps
 	h.asyncOps = nil
 	for _, af := range pend {
@@ -507,6 +527,9 @@ func (h *Handle) txWrite() error {
 	if len(h.pending) == 0 {
 		return nil
 	}
+	tr := h.c.fe.tr
+	tr.BeginArg(trace.KindCommit, uint64(len(h.pending)))
+	defer tr.End()
 	// The commit record covers op-log offsets up to coveredOp; any async
 	// op flush must be durable before a record referencing it commits.
 	if err := h.settleAsyncOps(); err != nil {
@@ -535,6 +558,9 @@ func (h *Handle) txWrite() error {
 // record can never become durable over a hole in the op log; a fault in
 // either WR fails the call and the retry re-posts both, idempotently.
 func (h *Handle) flushPipelined() error {
+	tr := h.c.fe.tr
+	tr.BeginArg(trace.KindCommit, uint64(len(h.pending)))
+	defer tr.End()
 	if err := h.waitOpSpace(); err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@ import (
 
 	"asymnvm/internal/backend"
 	"asymnvm/internal/rdma"
+	"asymnvm/internal/trace"
 )
 
 // RetryPolicy bounds the front-end's response to transient verb faults:
@@ -83,6 +84,7 @@ func (c *Conn) Retarget(bk *backend.Backend) error {
 	}
 	c.epoch = epoch
 	c.fe.st.Failovers.Add(1)
+	c.fe.tr.Event(trace.KindFailover, uint64(bk.ID()))
 	return nil
 }
 
@@ -129,6 +131,7 @@ func (c *Conn) do(f func() error) error {
 					backoff = pol.MaxBackoff
 				}
 				c.fe.clk.Advance(backoff)
+				c.fe.tr.Charge(trace.KindRetryBackoff, backoff)
 			}
 			c.fe.st.VerbRetries.Add(1)
 		}

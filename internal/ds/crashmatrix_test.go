@@ -1,0 +1,408 @@
+package ds
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"asymnvm/internal/backend"
+	"asymnvm/internal/core"
+	"asymnvm/internal/nvm"
+	"asymnvm/internal/rdma"
+	"asymnvm/internal/trace"
+)
+
+// The crash-point matrix: for every data structure, enumerate the
+// persistence steps (write-class verbs: RDMA writes, 8-byte stores,
+// atomics) of one probe operation, then crash the back-end at each step
+// in turn — power failure included, with the probe's k-th write verb torn
+// mid-transfer — recover, and assert the structure-specific invariants:
+//
+//   - everything drained before the probe survives byte-for-byte;
+//   - the probe operation is all-or-nothing (present with the exact
+//     value, or absent — never mangled);
+//   - ordering invariants hold (LIFO pops, FIFO dequeues, sorted scans).
+//
+// The verb enumeration leans on the fault hook seeing the identical
+// deterministic verb sequence (zero-cost profile, batch 1, no pipeline)
+// that a fresh identically-seeded instance produces.
+
+// crashCase describes one structure's row in the matrix.
+type crashCase struct {
+	name  string
+	build func(t *testing.T, c *core.Conn) func() error // create+seed+drain; returns the probe op
+	check func(t *testing.T, c *core.Conn)               // reopen as writer, drain, verify invariants
+}
+
+// writeClass reports whether a verb persists state on the back-end.
+func writeClass(op rdma.Op) bool {
+	switch op {
+	case rdma.OpWrite, rdma.OpStore64, rdma.OpCAS, rdma.OpFetchAdd:
+		return true
+	}
+	return false
+}
+
+func crashOpts() Options {
+	return Options{Create: testCreate, Buckets: 256}
+}
+
+// newCrashCell builds a fresh device+back-end+writer front-end. tr may
+// be nil (only the counting pass traces).
+func newCrashCell(t *testing.T, tr *trace.Tracer) (*nvm.Device, *backend.Backend, *core.Conn) {
+	t.Helper()
+	dev := nvm.NewDevice(64 << 20)
+	bk, err := backend.New(dev, backend.Options{ID: 0, Profile: &zprof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk.Start()
+	fe := core.NewFrontend(core.FrontendOptions{ID: 1, Mode: core.ModeR(), Profile: &zprof, Tracer: tr})
+	conn, err := fe.Connect(bk)
+	if err != nil {
+		bk.Stop()
+		t.Fatal(err)
+	}
+	return dev, bk, conn
+}
+
+// countProbeVerbs runs the probe on a throwaway traced instance and
+// counts its write-class verbs — the number of crash points to exercise.
+// The fault-hook count is cross-checked against the trace's span ledger:
+// both enumerate the same persistence steps.
+func countProbeVerbs(t *testing.T, tc crashCase) int {
+	t.Helper()
+	tr := trace.New()
+	_, bk, conn := newCrashCell(t, tr)
+	defer bk.Stop()
+	probe := tc.build(t, conn)
+	atr := conn.Frontend().Tracer()
+	preSpans := len(atr.Spans())
+	n := 0
+	conn.Endpoint().SetFault(func(op rdma.Op, off uint64, sz int) rdma.Fault {
+		if writeClass(op) {
+			n++
+		}
+		return rdma.Fault{}
+	})
+	if err := probe(); err != nil {
+		t.Fatalf("counting pass probe failed: %v", err)
+	}
+	conn.Endpoint().SetFault(nil)
+	var spanWrites int
+	for _, sp := range atr.Spans()[preSpans:] {
+		switch sp.Kind {
+		case trace.KindVerbWrite, trace.KindVerbAtomic:
+			spanWrites++
+		}
+	}
+	if spanWrites != n {
+		t.Fatalf("trace recorded %d write/atomic verb spans during the probe, fault hook saw %d write-class verbs", spanWrites, n)
+	}
+	return n
+}
+
+// runCrashPoint rebuilds the cell, kills the connection at the probe's
+// k-th write-class verb (torn mid-transfer for bulk writes), power-fails
+// the device, recovers, and verifies.
+func runCrashPoint(t *testing.T, tc crashCase, k int) {
+	t.Helper()
+	dev, bk, conn := newCrashCell(t, nil)
+	stopped := false
+	defer func() {
+		if !stopped {
+			bk.Stop()
+		}
+	}()
+	probe := tc.build(t, conn)
+	seen := 0
+	conn.Endpoint().SetFault(func(op rdma.Op, off uint64, sz int) rdma.Fault {
+		if !writeClass(op) {
+			return rdma.Fault{}
+		}
+		seen++
+		if seen != k {
+			return rdma.Fault{}
+		}
+		f := rdma.Fault{Err: rdma.ErrDisconnected}
+		if op == rdma.OpWrite {
+			f.Truncate = sz / 2 // the dying write reaches the device torn
+		}
+		return f
+	})
+	if err := probe(); err == nil {
+		t.Fatalf("crash point %d: probe succeeded despite fatal fault", k)
+	} else if !errors.Is(err, rdma.ErrDisconnected) {
+		t.Fatalf("crash point %d: probe failed with %v, want ErrDisconnected", k, err)
+	}
+
+	// The node dies with the connection: stop it and lose volatile bytes.
+	bk.Stop()
+	stopped = true
+	dev.Crash(nil)
+
+	bk2, err := backend.New(dev, backend.Options{ID: 0, Profile: &zprof})
+	if err != nil {
+		t.Fatalf("crash point %d: recovery: %v", k, err)
+	}
+	bk2.Start()
+	defer bk2.Stop()
+	fe2 := core.NewFrontend(core.FrontendOptions{ID: 2, Mode: core.ModeR(), Profile: &zprof})
+	conn2, err := fe2.Connect(bk2)
+	if err != nil {
+		t.Fatalf("crash point %d: reconnect: %v", k, err)
+	}
+	raw, err := conn2.Open(tc.name, true)
+	if err != nil {
+		t.Fatalf("crash point %d: raw open: %v", k, err)
+	}
+	if err := raw.BreakLock(1); err != nil {
+		t.Fatalf("crash point %d: break lock: %v", k, err)
+	}
+	tc.check(t, conn2)
+}
+
+func TestCrashPointMatrix(t *testing.T) {
+	cases := []crashCase{
+		stackCrashCase(),
+		queueCrashCase(),
+		kvCrashCase("HashTable"),
+		kvCrashCase("SkipList"),
+		kvCrashCase("BST"),
+		kvCrashCase("BPTree"),
+		kvCrashCase("MVBST"),
+		kvCrashCase("MVBPTree"),
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			n := countProbeVerbs(t, tc)
+			if n == 0 {
+				t.Fatal("probe issued no write-class verbs; nothing to crash")
+			}
+			for k := 1; k <= n; k++ {
+				runCrashPoint(t, tc, k)
+			}
+			t.Logf("%s: %d crash points survived", tc.name, n)
+		})
+	}
+}
+
+// ---- per-structure rows ----
+
+const crashSeedItems = 5
+
+func crashVal(i int) []byte { return []byte(fmt.Sprintf("seed-%03d", i)) }
+
+var probeVal = []byte("probe-value-xyz")
+
+func stackCrashCase() crashCase {
+	return crashCase{
+		name: "Stack",
+		build: func(t *testing.T, c *core.Conn) func() error {
+			s, err := CreateStack(c, "Stack", crashOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i <= crashSeedItems; i++ {
+				if err := s.Push(crashVal(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			return func() error { return s.Push(probeVal) }
+		},
+		check: func(t *testing.T, c *core.Conn) {
+			s, err := OpenStack(c, "Stack", crashOpts())
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			if err := s.Drain(); err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+			// LIFO: an optional probe value on top, then the seeds in
+			// strict reverse push order, then empty.
+			top, ok, err := s.Pop()
+			if err != nil || !ok {
+				t.Fatalf("pop top: ok=%v err=%v", ok, err)
+			}
+			expect := crashSeedItems
+			if bytes.Equal(top, probeVal) {
+				// probe survived whole — continue with the seeds
+			} else if bytes.Equal(top, crashVal(crashSeedItems)) {
+				expect = crashSeedItems - 1
+			} else {
+				t.Fatalf("top of stack is %q, want probe or seed-%03d", top, crashSeedItems)
+			}
+			for i := expect; i >= 1; i-- {
+				v, ok, err := s.Pop()
+				if err != nil || !ok || !bytes.Equal(v, crashVal(i)) {
+					t.Fatalf("LIFO broken at seed %d: ok=%v err=%v got=%q", i, ok, err, v)
+				}
+			}
+			if _, ok, _ := s.Pop(); ok {
+				t.Fatal("stack not empty after popping all expected items")
+			}
+		},
+	}
+}
+
+func queueCrashCase() crashCase {
+	return crashCase{
+		name: "Queue",
+		build: func(t *testing.T, c *core.Conn) func() error {
+			q, err := CreateQueue(c, "Queue", crashOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i <= crashSeedItems; i++ {
+				if err := q.Enqueue(crashVal(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := q.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			return func() error { return q.Enqueue(probeVal) }
+		},
+		check: func(t *testing.T, c *core.Conn) {
+			q, err := OpenQueue(c, "Queue", crashOpts())
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			if err := q.Drain(); err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+			// FIFO: the seeds in strict enqueue order, optionally followed
+			// by the probe value, then empty.
+			for i := 1; i <= crashSeedItems; i++ {
+				v, ok, err := q.Dequeue()
+				if err != nil || !ok || !bytes.Equal(v, crashVal(i)) {
+					t.Fatalf("FIFO broken at seed %d: ok=%v err=%v got=%q", i, ok, err, v)
+				}
+			}
+			if v, ok, err := q.Dequeue(); err != nil {
+				t.Fatalf("tail dequeue: %v", err)
+			} else if ok && !bytes.Equal(v, probeVal) {
+				t.Fatalf("tail item is %q, want the probe value or nothing", v)
+			}
+			if _, ok, _ := q.Dequeue(); ok {
+				t.Fatal("queue not empty after the probe slot")
+			}
+		},
+	}
+}
+
+// kvCrash is the common surface of the six index structures.
+type kvCrash interface {
+	Put(key uint64, val []byte) error
+	Get(key uint64) ([]byte, bool, error)
+	Drain() error
+}
+
+func makeKV(c *core.Conn, kind string) (kvCrash, error) {
+	switch kind {
+	case "HashTable":
+		return CreateHashTable(c, kind, crashOpts())
+	case "SkipList":
+		return CreateSkipList(c, kind, crashOpts())
+	case "BST":
+		return CreateBST(c, kind, crashOpts())
+	case "BPTree":
+		return CreateBPTree(c, kind, crashOpts())
+	case "MVBST":
+		return CreateMVBST(c, kind, crashOpts())
+	case "MVBPTree":
+		return CreateMVBPTree(c, kind, crashOpts())
+	}
+	return nil, fmt.Errorf("unknown kind %q", kind)
+}
+
+func reopenKVCrash(c *core.Conn, kind string) (kvCrash, error) {
+	switch kind {
+	case "HashTable":
+		return OpenHashTable(c, kind, true, crashOpts())
+	case "SkipList":
+		return OpenSkipList(c, kind, true, crashOpts())
+	case "BST":
+		return OpenBST(c, kind, true, crashOpts())
+	case "BPTree":
+		return OpenBPTree(c, kind, true, crashOpts())
+	case "MVBST":
+		return OpenMVBST(c, kind, true, crashOpts())
+	case "MVBPTree":
+		return OpenMVBPTree(c, kind, true, crashOpts())
+	}
+	return nil, fmt.Errorf("unknown kind %q", kind)
+}
+
+const kvProbeKey = 50
+
+func kvCrashCase(kind string) crashCase {
+	return crashCase{
+		name: kind,
+		build: func(t *testing.T, c *core.Conn) func() error {
+			kv, err := makeKV(c, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i <= crashSeedItems; i++ {
+				if err := kv.Put(uint64(i), crashVal(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := kv.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			return func() error { return kv.Put(kvProbeKey, probeVal) }
+		},
+		check: func(t *testing.T, c *core.Conn) {
+			kv, err := reopenKVCrash(c, kind)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			if err := kv.Drain(); err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+			for i := 1; i <= crashSeedItems; i++ {
+				got, ok, err := kv.Get(uint64(i))
+				if err != nil || !ok || !bytes.Equal(got, crashVal(i)) {
+					t.Fatalf("seed key %d lost or wrong: ok=%v err=%v got=%q", i, ok, err, got)
+				}
+			}
+			got, ok, err := kv.Get(kvProbeKey)
+			if err != nil {
+				t.Fatalf("probe key get: %v", err)
+			}
+			if ok && !bytes.Equal(got, probeVal) {
+				t.Fatalf("probe key mangled: got %q, want %q or absent", got, probeVal)
+			}
+			// Ordered structures must also scan sorted and complete.
+			if bt, isBPT := kv.(*BPTree); isBPT {
+				keys, _, err := bt.Scan(0, 64)
+				if err != nil {
+					t.Fatalf("scan: %v", err)
+				}
+				want := []uint64{1, 2, 3, 4, 5}
+				if ok {
+					want = append(want, kvProbeKey)
+				}
+				if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+					t.Fatalf("scan not sorted: %v", keys)
+				}
+				if len(keys) != len(want) {
+					t.Fatalf("scan keys %v, want %v", keys, want)
+				}
+				for i := range want {
+					if keys[i] != want[i] {
+						t.Fatalf("scan keys %v, want %v", keys, want)
+					}
+				}
+			}
+		},
+	}
+}

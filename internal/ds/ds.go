@@ -21,6 +21,7 @@ import (
 
 	"asymnvm/internal/core"
 	"asymnvm/internal/logrec"
+	"asymnvm/internal/trace"
 )
 
 // Operation-log opcodes shared by the structures. Parameters are
@@ -102,7 +103,9 @@ type writerSession struct {
 }
 
 func (w writerSession) begin() error {
-	w.h.Conn().Frontend().ChargeOp()
+	fe := w.h.Conn().Frontend()
+	fe.Tracer().Begin(trace.KindOp)
+	fe.ChargeOp()
 	if w.lockPerOp {
 		return w.h.WriterLock()
 	}
@@ -110,6 +113,7 @@ func (w writerSession) begin() error {
 }
 
 func (w writerSession) end() error {
+	defer w.h.Conn().Frontend().Tracer().End()
 	if err := w.h.EndOp(); err != nil {
 		return err
 	}

@@ -23,6 +23,7 @@ import (
 	"asymnvm/internal/logrec"
 	"asymnvm/internal/nvm"
 	"asymnvm/internal/stats"
+	"asymnvm/internal/trace"
 )
 
 // Replica is an NVM-equipped mirror node.
@@ -105,7 +106,8 @@ type Archive struct {
 	clk        clock.Clock
 	st         *stats.Stats
 	prof       clock.Profile
-	pendingOps int // appends since the last persist barrier
+	tr         *trace.ActorTracer // nil when tracing is disabled
+	pendingOps int                // appends since the last persist barrier
 }
 
 // NewArchive opens (or initializes) an archive mirror on dev and attaches
@@ -141,6 +143,13 @@ func NewArchive(dev *nvm.Device, primary *backend.Backend, clk clock.Clock, st *
 	return a, nil
 }
 
+// SetTracer installs (or clears) the archive actor's tracer.
+func (a *Archive) SetTracer(tr *trace.ActorTracer) {
+	a.mu.Lock()
+	a.tr = tr
+	a.mu.Unlock()
+}
+
 // WantsRaw reports that archives take the semantic stream only.
 func (a *Archive) WantsRaw() bool { return false }
 
@@ -171,6 +180,7 @@ func (a *Archive) MirrorOp(slot uint16, rec []byte) error {
 	// deferred to MirrorKick so a drain batch pays it once (the archive is
 	// append-only, so a trailing barrier covers the whole batch).
 	a.clk.Advance(a.prof.LocalNVMWrite(int(need)))
+	a.tr.Charge(trace.KindMirrorFwd, a.prof.LocalNVMWrite(int(need)))
 	a.st.AddBusy(a.prof.LocalNVMWrite(int(need)))
 	a.pendingOps++
 	return nil
@@ -183,6 +193,8 @@ func (a *Archive) MirrorKick() {
 	defer a.mu.Unlock()
 	if a.pendingOps > 0 {
 		a.clk.Advance(a.prof.PersistBarrier)
+		a.tr.Charge(trace.KindMirrorFwd, a.prof.PersistBarrier)
+		a.tr.Event(trace.KindOverlapSaved, uint64(int64(a.prof.PersistBarrier)*int64(a.pendingOps-1)))
 		a.st.OverlapSavedNS.Add(int64(a.prof.PersistBarrier) * int64(a.pendingOps-1))
 		a.pendingOps = 0
 	}

@@ -1,0 +1,116 @@
+// Package obshttp serves the observability plane over stdlib net/http:
+//
+//	GET /metrics     — plain-text stats counters plus per-phase latency
+//	                   histograms (p50/p95/p99) for every registered actor;
+//	GET /debug/trace — the chrome://tracing JSON export of the live trace
+//	                   (load in chrome://tracing or ui.perfetto.dev);
+//	GET /debug/flame — the text flame summary of the same trace.
+//
+// The bench, chaos and trace binaries mount it behind an optional -http
+// flag. Everything is read-only and safe to scrape mid-run: stats are
+// atomic counters and the tracer's span buffers are mutex-guarded.
+package obshttp
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+
+	"asymnvm/internal/stats"
+	"asymnvm/internal/trace"
+)
+
+// Server aggregates stats sources and an optional tracer.
+type Server struct {
+	mu      sync.Mutex
+	tr      *trace.Tracer
+	sources []source
+}
+
+type source struct {
+	name string
+	st   *stats.Stats
+}
+
+// New returns a server exporting tr (which may be nil).
+func New(tr *trace.Tracer) *Server { return &Server{tr: tr} }
+
+// AddStats registers a named stats block to appear on /metrics.
+func (s *Server) AddStats(name string, st *stats.Stats) {
+	if st == nil {
+		return
+	}
+	s.mu.Lock()
+	s.sources = append(s.sources, source{name: name, st: st})
+	s.mu.Unlock()
+}
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/debug/trace", s.debugTrace)
+	mux.HandleFunc("/debug/flame", s.debugFlame)
+	return mux
+}
+
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.mu.Lock()
+	srcs := append([]source(nil), s.sources...)
+	tr := s.tr
+	s.mu.Unlock()
+	if len(srcs) == 0 && tr != nil {
+		// No explicit sources: fall back to the tracer's actor registry,
+		// which already carries each actor's stats sink.
+		for _, a := range tr.Actors() {
+			if st := a.Stats(); st != nil {
+				srcs = append(srcs, source{name: a.Name(), st: st})
+			}
+		}
+	}
+	for _, src := range srcs {
+		fmt.Fprintf(w, "# source %s\n%s\n", src.name, src.st.Snapshot().String())
+		if phases := src.st.PhaseSnapshots(); len(phases) > 0 {
+			fmt.Fprint(w, stats.FormatPhases(phases))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func (s *Server) debugTrace(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	tr := s.tr
+	s.mu.Unlock()
+	if tr == nil {
+		http.Error(w, "tracing disabled (run with -trace)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(tr.ChromeJSON())
+}
+
+func (s *Server) debugFlame(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	tr := s.tr
+	s.mu.Unlock()
+	if tr == nil {
+		http.Error(w, "tracing disabled (run with -trace)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, tr.FlameSummary())
+}
+
+// Start listens on addr and serves in a background goroutine, returning
+// the bound address (useful with ":0") and the http.Server for shutdown.
+func (s *Server) Start(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	return hs, ln.Addr().String(), nil
+}

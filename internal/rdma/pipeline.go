@@ -32,6 +32,8 @@ package rdma
 import (
 	"fmt"
 	"time"
+
+	"asymnvm/internal/trace"
 )
 
 // Token identifies one posted work request. Tokens are endpoint-local
@@ -126,6 +128,7 @@ func (e *Endpoint) post(wr *postedWR) Token {
 	e.sendQ = append(e.sendQ, wr)
 	e.inflight++
 	e.clk.Advance(e.prof.WRIssue)
+	e.tr.Charge(trace.KindPost, e.prof.WRIssue)
 	e.st.PostedVerbs.Add(1)
 	e.st.QueueDepthSum.Add(int64(e.inflight))
 	return wr.token
@@ -202,6 +205,8 @@ func (e *Endpoint) Doorbell() {
 	e.groups = append(e.groups, &doorbellGroup{wrs: wrs, cost: cost, readyAt: readyAt})
 
 	// One doorbell group is one network round trip, whatever its size.
+	e.tr.Event(trace.KindDoorbell, uint64(total))
+	e.tr.CountVerb()
 	e.st.DoorbellGroups.Add(1)
 	if anyWrite {
 		e.st.RDMAWrite.Add(1)
@@ -274,8 +279,11 @@ func (e *Endpoint) retireOldest() {
 	wait := g.readyAt - now
 	if wait > 0 {
 		e.clk.Advance(wait)
+		e.tr.Charge(trace.KindRetireWait, wait)
+		e.tr.Event(trace.KindOverlapSaved, uint64(g.cost-wait))
 		e.st.OverlapSavedNS.Add(int64(g.cost - wait))
 	} else {
+		e.tr.Event(trace.KindOverlapSaved, uint64(g.cost))
 		e.st.OverlapSavedNS.Add(int64(g.cost))
 	}
 	for _, wr := range g.wrs {

@@ -22,6 +22,7 @@ import (
 	"asymnvm/internal/clock"
 	"asymnvm/internal/nvm"
 	"asymnvm/internal/stats"
+	"asymnvm/internal/trace"
 )
 
 // ErrInjected is returned by verbs failed through a FaultHook. It models
@@ -110,6 +111,7 @@ type Endpoint struct {
 	st    *stats.Stats
 	prof  clock.Profile
 	fault FaultHook
+	tr    *trace.ActorTracer // nil when tracing is disabled
 
 	// Posted-verb pipeline state (see pipeline.go). The send queue holds
 	// WRs posted since the last doorbell; groups are rung doorbells whose
@@ -134,6 +136,11 @@ func Connect(t *Target, clk clock.Clock, st *stats.Stats, prof clock.Profile) *E
 
 // SetFault installs (or clears, with nil) a fault-injection hook.
 func (e *Endpoint) SetFault(h FaultHook) { e.fault = h }
+
+// SetTracer installs (or clears, with nil) the owning actor's tracer.
+// Verbs then record spans for every round trip, post, doorbell and
+// retirement wait on the actor's virtual clock.
+func (e *Endpoint) SetTracer(tr *trace.ActorTracer) { e.tr = tr }
 
 // Retarget re-points the endpoint at a different target, modelling the
 // queue-pair reconnect a front-end performs during failover to a promoted
@@ -177,13 +184,17 @@ func (e *Endpoint) faultCheck(op Op, off uint64, n int) (int, error) {
 // Read performs a one-sided RDMA read of len(buf) bytes at off.
 func (e *Endpoint) Read(off uint64, buf []byte) error {
 	e.fenceOrder()
+	e.tr.BeginArg(trace.KindVerbRead, uint64(len(buf)))
+	e.tr.CountVerb()
 	e.st.RDMARead.Add(1)
 	e.st.BytesRead.Add(int64(len(buf)))
 	e.clk.Advance(e.prof.ReadCost(len(buf)))
-	if _, err := e.faultCheck(OpRead, off, len(buf)); err != nil {
-		return err
+	_, err := e.faultCheck(OpRead, off, len(buf))
+	if err == nil {
+		err = e.t.dev.ReadAt(off, buf)
 	}
-	return e.t.dev.ReadAt(off, buf)
+	e.tr.End()
+	return err
 }
 
 // Write performs a one-sided RDMA write that is acknowledged only after
@@ -197,16 +208,21 @@ func (e *Endpoint) Read(off uint64, buf []byte) error {
 // durable, which is what the log-validation machinery relies on.
 func (e *Endpoint) Write(off uint64, data []byte) error {
 	e.fenceOrder()
+	e.tr.BeginArg(trace.KindVerbWrite, uint64(len(data)))
+	e.tr.CountVerb()
 	e.st.RDMAWrite.Add(1)
 	e.st.BytesWrite.Add(int64(len(data)))
 	e.clk.Advance(e.prof.WriteCost(len(data)))
-	if trunc, err := e.faultCheck(OpWrite, off, len(data)); err != nil {
+	trunc, err := e.faultCheck(OpWrite, off, len(data))
+	if err != nil {
 		if trunc > 0 && trunc <= len(data) {
 			_ = e.t.dev.WriteAt(off, data[:trunc])
 		}
-		return err
+	} else {
+		err = e.t.dev.WritePersist(off, data)
 	}
-	return e.t.dev.WritePersist(off, data)
+	e.tr.End()
+	return err
 }
 
 // ReadQuiet reads without charging latency or counting a verb. It models
@@ -241,9 +257,19 @@ func (e *Endpoint) WriteV(ops []WriteOp) error {
 	for _, op := range ops {
 		total += len(op.Data)
 	}
+	e.tr.BeginArg(trace.KindVerbWrite, uint64(total))
+	e.tr.CountVerb()
 	e.st.RDMAWrite.Add(1)
 	e.st.BytesWrite.Add(int64(total))
 	e.clk.Advance(e.prof.WriteCost(total))
+	err := e.writeVSegs(ops)
+	e.tr.End()
+	return err
+}
+
+// writeVSegs applies the segments of a synchronous vector write in order,
+// consulting the fault hook per segment like Write does.
+func (e *Endpoint) writeVSegs(ops []WriteOp) error {
 	for i, op := range ops {
 		if trunc, err := e.faultCheck(OpWrite, op.Off, len(op.Data)); err != nil {
 			if trunc > 0 && trunc <= len(op.Data) {
@@ -268,44 +294,66 @@ func (e *Endpoint) WriteV(ops []WriteOp) error {
 // at off, returning the previous value and whether the swap happened.
 func (e *Endpoint) CompareAndSwap(off uint64, old, new uint64) (uint64, bool, error) {
 	e.fenceOrder()
+	e.tr.BeginArg(trace.KindVerbAtomic, off)
+	e.tr.CountVerb()
 	e.st.RDMAAtomic.Add(1)
 	e.clk.Advance(e.prof.RDMAAtomic)
-	if _, err := e.faultCheck(OpCAS, off, 8); err != nil {
-		return 0, false, err
+	var (
+		prev    uint64
+		swapped bool
+	)
+	_, err := e.faultCheck(OpCAS, off, 8)
+	if err == nil {
+		prev, swapped, err = e.t.dev.CompareAndSwap64(off, old, new)
 	}
-	return e.t.dev.CompareAndSwap64(off, old, new)
+	e.tr.End()
+	return prev, swapped, err
 }
 
 // FetchAdd executes an RDMA atomic fetch-and-add, returning the previous value.
 func (e *Endpoint) FetchAdd(off uint64, delta uint64) (uint64, error) {
 	e.fenceOrder()
+	e.tr.BeginArg(trace.KindVerbAtomic, off)
+	e.tr.CountVerb()
 	e.st.RDMAAtomic.Add(1)
 	e.clk.Advance(e.prof.RDMAAtomic)
-	if _, err := e.faultCheck(OpFetchAdd, off, 8); err != nil {
-		return 0, err
+	var prev uint64
+	_, err := e.faultCheck(OpFetchAdd, off, 8)
+	if err == nil {
+		prev, err = e.t.dev.FetchAdd64(off, delta)
 	}
-	return e.t.dev.FetchAdd64(off, delta)
+	e.tr.End()
+	return prev, err
 }
 
 // Load64 atomically reads an 8-byte word (implemented as a small one-sided
 // read on real NICs; charged as an atomic verb round trip).
 func (e *Endpoint) Load64(off uint64) (uint64, error) {
 	e.fenceOrder()
+	e.tr.BeginArg(trace.KindVerbAtomic, off)
+	e.tr.CountVerb()
 	e.st.RDMAAtomic.Add(1)
 	e.clk.Advance(e.prof.RDMAAtomic)
-	if _, err := e.faultCheck(OpLoad64, off, 8); err != nil {
-		return 0, err
+	var v uint64
+	_, err := e.faultCheck(OpLoad64, off, 8)
+	if err == nil {
+		v, err = e.t.dev.Load64(off)
 	}
-	return e.t.dev.Load64(off)
+	e.tr.End()
+	return v, err
 }
 
 // Store64 atomically writes an 8-byte word, durable on return.
 func (e *Endpoint) Store64(off uint64, v uint64) error {
 	e.fenceOrder()
+	e.tr.BeginArg(trace.KindVerbAtomic, off)
+	e.tr.CountVerb()
 	e.st.RDMAAtomic.Add(1)
 	e.clk.Advance(e.prof.RDMAAtomic)
-	if _, err := e.faultCheck(OpStore64, off, 8); err != nil {
-		return err
+	_, err := e.faultCheck(OpStore64, off, 8)
+	if err == nil {
+		err = e.t.dev.Store64(off, v)
 	}
-	return e.t.dev.Store64(off, v)
+	e.tr.End()
+	return err
 }

@@ -43,6 +43,10 @@ type Stats struct {
 	// BusyNS accumulates virtual nanoseconds during which the owning
 	// node's CPU was doing work (as opposed to waiting on the fabric).
 	BusyNS atomic.Int64
+
+	// Phase breaks latency down by operation phase (see hist.go). It is
+	// populated by the tracer; all fields are atomic.
+	Phase Phases
 }
 
 // AddBusy charges d of CPU-busy virtual time.

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ChromeJSON renders the trace in the chrome://tracing JSON array format
+// (load via chrome://tracing or https://ui.perfetto.dev). Durations and
+// timestamps are virtual-clock values; ts/dur are microseconds with
+// nanosecond precision rendered via integer math, so output is
+// byte-identical for identical span sets. Actors become threads, sorted
+// by name.
+func (t *Tracer) ChromeJSON() []byte { return t.ChromeJSONFor(nil) }
+
+// ChromeJSONFor renders only the actors whose names pass keep (nil keeps
+// all). Deterministic golden digests use it to restrict the export to
+// the deterministic actors — the front-ends — excluding back-end
+// replayer spans, whose grouping depends on goroutine scheduling.
+func (t *Tracer) ChromeJSONFor(keep func(name string) bool) []byte {
+	var b strings.Builder
+	b.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+	first := true
+	emit := func(s string) {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+		b.WriteString(s)
+	}
+	tid := -1
+	for _, a := range t.Actors() {
+		if keep != nil && !keep(a.Name()) {
+			continue
+		}
+		tid++
+		emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%q}}`, tid, a.Name()))
+		for _, sp := range a.Spans() {
+			switch sp.Kind {
+			case KindDoorbell, KindOverlapSaved, KindFailover:
+				emit(fmt.Sprintf(`{"name":%q,"ph":"i","s":"t","ts":%s,"pid":1,"tid":%d,"args":{"arg":%d}}`,
+					sp.Kind.String(), usec(sp.Start), tid, sp.Arg))
+			default:
+				emit(fmt.Sprintf(`{"name":%q,"ph":"X","ts":%s,"dur":%s,"pid":1,"tid":%d,"args":{"arg":%d,"parent":%d}}`,
+					sp.Kind.String(), usec(sp.Start), usec(sp.Dur), tid, sp.Arg, sp.Parent))
+			}
+		}
+	}
+	b.WriteString("\n]}\n")
+	return []byte(b.String())
+}
+
+// usec formats ns as microseconds with exactly three decimals, using
+// integer math only (no float formatting) for deterministic output.
+func usec(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	return neg + strconv.FormatInt(ns/1000, 10) + "." + fmt.Sprintf("%03d", ns%1000)
+}
+
+// Digest is a hex SHA-256 over the exported chrome JSON: a compact
+// fingerprint for golden-trace regression tests.
+func (t *Tracer) Digest() string { return t.DigestFor(nil) }
+
+// DigestFor digests only the actors whose names pass keep (nil keeps all).
+func (t *Tracer) DigestFor(keep func(name string) bool) string {
+	sum := sha256.Sum256(t.ChromeJSONFor(keep))
+	return hex.EncodeToString(sum[:])
+}
+
+// pathStat aggregates spans sharing the same ancestry path of kinds.
+type pathStat struct {
+	path  string
+	depth int
+	count int64
+	total int64
+	self  int64
+}
+
+// FlameSummary renders a text flame graph: spans aggregated by their
+// kind-path (op > oplog.flush > verb.write), per actor, with counts,
+// total and self virtual time. Deterministic: actors sorted by name,
+// paths in first-appearance order of the underlying spans.
+func (t *Tracer) FlameSummary() string {
+	var b strings.Builder
+	for _, a := range t.Actors() {
+		spans := a.Spans()
+		if len(spans) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "=== %s (elapsed %dns, overlap saved %dns) ===\n", a.Name(), a.Elapsed(), a.OverlapNS())
+
+		// Resolve each span's kind-path via parent links.
+		paths := make([]string, len(spans))
+		depths := make([]int, len(spans))
+		childNS := make([]int64, len(spans))
+		for i, sp := range spans {
+			if sp.Parent >= 0 {
+				paths[i] = paths[sp.Parent] + " > " + sp.Kind.String()
+				depths[i] = depths[sp.Parent] + 1
+				childNS[sp.Parent] += sp.Dur
+			} else {
+				paths[i] = sp.Kind.String()
+			}
+		}
+		agg := map[string]*pathStat{}
+		var order []string
+		for i, sp := range spans {
+			ps := agg[paths[i]]
+			if ps == nil {
+				ps = &pathStat{path: paths[i], depth: depths[i]}
+				agg[paths[i]] = ps
+				order = append(order, paths[i])
+			}
+			ps.count++
+			ps.total += sp.Dur
+			self := sp.Dur - childNS[i]
+			if self > 0 {
+				ps.self += self
+			}
+		}
+		sort.Strings(order)
+		fmt.Fprintf(&b, "%-52s %10s %14s %14s\n", "path", "count", "total", "self")
+		for _, p := range order {
+			ps := agg[p]
+			indent := strings.Repeat("  ", ps.depth)
+			fmt.Fprintf(&b, "%-52s %10d %14d %14d\n", indent+lastKind(ps.path), ps.count, ps.total, ps.self)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func lastKind(path string) string {
+	if i := strings.LastIndex(path, " > "); i >= 0 {
+		return path[i+3:]
+	}
+	return path
+}
