@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos chaos-race cover check bench bench-smoke
+.PHONY: all build vet test race chaos chaos-race cover check bench bench-smoke bench-compare
 
 # Minimum cross-package statement coverage (see `make cover`). Raise it
 # when coverage rises; never lower it to merge.
@@ -49,6 +49,18 @@ bench:
 	$(GO) test -bench=. -benchmem ./internal/bench/
 
 # A fast CI-sized slice of the benchmark suite: the posted-verb pipeline
-# sweep at reduced population, regenerating BENCH_pipeline.json.
+# sweep at reduced population, plus the cross-shard scale-out sweep
+# regenerated at the checked-in BENCH_scaleout.json's exact scale and
+# compared against it — the virtual clock makes the numbers host
+# independent, so any drift beyond the threshold is a real change.
 bench-smoke: build
 	$(GO) run ./cmd/asymnvm-bench -exp pipeline -scale quick -seed 1000 -ops 800 -json BENCH_pipeline.smoke.json
+	$(GO) run ./cmd/asymnvm-bench -exp scaleout -scale quick -seed 800 -ops 600 -json BENCH_scaleout.smoke.json
+	$(GO) run ./cmd/asymnvm-benchcmp -base BENCH_scaleout.json -head BENCH_scaleout.smoke.json
+
+# Diff two BENCH_*.json dumps; fails on a >10% KOPS regression.
+# Usage: make bench-compare BASE=old.json HEAD=new.json
+BASE ?= BENCH_scaleout.json
+HEAD ?= BENCH_scaleout.smoke.json
+bench-compare: build
+	$(GO) run ./cmd/asymnvm-benchcmp -base $(BASE) -head $(HEAD)

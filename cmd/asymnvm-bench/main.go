@@ -8,7 +8,8 @@
 //	asymnvm-bench -exp pipeline -json BENCH_pipeline.json
 //
 // Experiments: table2, table3, lockbench, cachebench, fig6, fig7, fig8,
-// fig9, fig10, fig11, fig12, fig13, cost, chaos, ablation, pipeline, all.
+// fig9, fig10, fig11, fig12, fig13, cost, chaos, ablation, pipeline,
+// scaleout, all.
 package main
 
 import (
@@ -81,6 +82,7 @@ func main() {
 		{"fig13", func() ([]bench.Row, error) { return bench.Fig13Mixes(sc) }},
 		{"cost", func() ([]bench.Row, error) { return bench.CostModel(100, nil), nil }},
 		{"pipeline", func() ([]bench.Row, error) { return bench.PipelineSweep(sc, nil) }},
+		{"scaleout", func() ([]bench.Row, error) { return bench.ScaleoutSweep(sc) }},
 		{"chaos", func() ([]bench.Row, error) { return bench.FaultDegradation(sc) }},
 		{"ablation", func() ([]bench.Row, error) {
 			rows, err := bench.AblationCachePolicy(sc)

@@ -1,0 +1,97 @@
+// Command asymnvm-benchcmp diffs two BENCH_*.json row dumps produced by
+// asymnvm-bench -json and fails when throughput regresses. Rows are
+// matched by (Experiment, Series, Label, X); the tool exits non-zero if
+// any matched row's KOPS fell by more than the allowed percentage, or if
+// the head file lost rows the base file had. Because the benchmarks run
+// on the virtual clock, two runs of the same code produce identical
+// numbers — any delta is a real model or code change, not host noise.
+//
+// Usage:
+//
+//	asymnvm-benchcmp -base BENCH_scaleout.json -head BENCH_scaleout.smoke.json
+//	asymnvm-benchcmp -base old.json -head new.json -max-regress 5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"asymnvm/internal/bench"
+)
+
+func rowKey(r bench.Row) string {
+	return fmt.Sprintf("%s|%s|%s|%g", r.Experiment, r.Series, r.Label, r.X)
+}
+
+func load(path string) (map[string]bench.Row, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []bench.Row
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]bench.Row, len(rows))
+	for _, r := range rows {
+		m[rowKey(r)] = r
+	}
+	return m, nil
+}
+
+func main() {
+	basePath := flag.String("base", "", "baseline BENCH_*.json")
+	headPath := flag.String("head", "", "candidate BENCH_*.json to compare against the baseline")
+	maxRegress := flag.Float64("max-regress", 10, "maximum tolerated KOPS drop in percent")
+	flag.Parse()
+	if *basePath == "" || *headPath == "" {
+		fmt.Fprintln(os.Stderr, "asymnvm-benchcmp: -base and -head are both required")
+		os.Exit(2)
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asymnvm-benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	head, err := load(*headPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asymnvm-benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	failures := 0
+	compared := 0
+	for _, k := range keys {
+		b := base[k]
+		h, ok := head[k]
+		if !ok {
+			fmt.Printf("MISSING %-40s base=%.1f KOPS, row absent from %s\n", k, b.KOPS, *headPath)
+			failures++
+			continue
+		}
+		if b.KOPS <= 0 {
+			continue // non-throughput row (cost model, CPU util)
+		}
+		compared++
+		delta := (h.KOPS - b.KOPS) / b.KOPS * 100
+		status := "ok"
+		if delta < -*maxRegress {
+			status = "REGRESS"
+			failures++
+		}
+		fmt.Printf("%-7s %-40s base=%.1f head=%.1f (%+.1f%%)\n", status, k, b.KOPS, h.KOPS, delta)
+	}
+	fmt.Printf("%d rows compared, %d failures (threshold %.0f%%)\n", compared, failures, *maxRegress)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

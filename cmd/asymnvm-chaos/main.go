@@ -39,6 +39,8 @@ func main() {
 	flag.Float64Var(&cfg.TruncateProb, "trunc", cfg.TruncateProb, "per-verb truncation probability")
 	flag.Float64Var(&cfg.DelayProb, "delay", cfg.DelayProb, "per-verb delay probability")
 	flag.IntVar(&cfg.MirrorLag, "lag", cfg.MirrorLag, "mirror replication lag in kicks")
+	flag.IntVar(&cfg.Pipeline, "pipeline", cfg.Pipeline, "writer send-queue depth (>1 enables posted verbs)")
+	flag.BoolVar(&cfg.AutoTune, "autotune", cfg.AutoTune, "enable the adaptive batch/depth controller on the writer")
 	flag.BoolVar(&cfg.Rebuild, "rebuild", cfg.Rebuild, "end with an archive-replay rebuild check")
 	flag.BoolVar(&cfg.Verbose, "v", cfg.Verbose, "print every injected fault event")
 	doTrace := flag.Bool("trace", false, "record a span trace of the soak")

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"testing"
+
+	"asymnvm/internal/core"
+)
+
+// TestScaleoutSpeedup guards the tentpole's headline number: with the
+// full RCB ladder, 8 partitions across 8 back-ends must reach at least
+// 3x the throughput of the single-partition, single-back-end cell on the
+// same workload, and the fan-out counters must show the cross-connection
+// overlap actually engaged.
+func TestScaleoutSpeedup(t *testing.T) {
+	sc := Scale{Seed: 800, Ops: 600, Keys: 6000}
+	mode := core.ModeRCB(cacheBytesFor("HashTable", sc.Seed, 10), 64).WithPipeline(16)
+	base, err := measureScaleoutCell("RCB", mode, sc, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := measureScaleoutCell("RCB", mode, sc, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.KOPS < 3*base.KOPS {
+		t.Fatalf("8x8 = %.1f KOPS, 1x1 = %.1f KOPS: want >= 3x", wide.KOPS, base.KOPS)
+	}
+	if wide.Extra["fanout_windows"] == 0 || wide.Extra["fanout_saved_ns"] == 0 {
+		t.Fatalf("8x8 cell never overlapped across connections: %+v", wide.Extra)
+	}
+	// One back-end means nothing to overlap across: the single-partition
+	// cell must not book fan-out savings.
+	if base.Extra["fanout_saved_ns"] != 0 {
+		t.Fatalf("1x1 cell booked cross-connection savings: %+v", base.Extra)
+	}
+}
+
+// TestScaleoutBackendScaling checks the monotone middle of the curve:
+// with partitions fixed at 8, spreading them over more back-ends must
+// not lose throughput (the paper's Fig. 13 shape).
+func TestScaleoutBackendScaling(t *testing.T) {
+	sc := Scale{Seed: 600, Ops: 500, Keys: 6000}
+	mode := core.ModeRCB(cacheBytesFor("HashTable", sc.Seed, 10), 64).WithPipeline(16)
+	prev := 0.0
+	for _, backs := range []int{1, 4} {
+		row, err := measureScaleoutCell("RCB", mode, sc, 8, backs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.KOPS < prev {
+			t.Fatalf("throughput fell from %.1f to %.1f KOPS going to %d back-ends", prev, row.KOPS, backs)
+		}
+		prev = row.KOPS
+	}
+}
+
+// TestAutoTuneNearBestStatic pins the controller's convergence claim:
+// on the PR 2 pipeline-sweep workload and seed, Mode.AutoTune must end
+// within 10% of the best static (B, depth) cell, despite starting from
+// the stop-and-wait (1,1) corner.
+func TestAutoTuneNearBestStatic(t *testing.T) {
+	sc := Scale{Seed: 600, Ops: 3000, Keys: 6000}
+	cacheB := cacheBytesFor("HashTable", sc.Seed, 10)
+	best := 0.0
+	for _, d := range []int{1, 4, 16} {
+		row, err := measurePipelineCell("RCB", core.ModeRCB(cacheB, 64).WithPipeline(d), sc, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.KOPS > best {
+			best = row.KOPS
+		}
+	}
+	auto, err := measurePipelineCell("RCB-auto", core.ModeRCB(cacheB, 64).WithPipeline(16).WithAutoTune(), sc, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.KOPS < 0.9*best {
+		t.Fatalf("autotune = %.1f KOPS, best static = %.1f KOPS: want within 10%%", auto.KOPS, best)
+	}
+}

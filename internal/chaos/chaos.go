@@ -60,6 +60,7 @@ type Config struct {
 	DelayProb    float64 // per-verb delay probability
 	MirrorLag    int     // replication lag in kicks (0 = synchronous)
 	Pipeline     int     // writer send-queue depth (>1 enables posted verbs)
+	AutoTune     bool    // enable the adaptive batch/depth controller on the writer
 
 	Rebuild bool // end with an archive-replay rebuild check
 	Verbose bool // include every injected fault event in the report
@@ -155,6 +156,19 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Pipeline > 1 {
 		wMode = core.Mode{OpLog: true, Batch: 4, Pipeline: cfg.Pipeline}
 	}
+	if cfg.AutoTune {
+		// The controller needs real ceilings to move inside; raise the
+		// static limits so it has a trajectory, then let it drive. Its
+		// inputs all come off the virtual clock, so the soak stays
+		// byte-identical per seed with the controller on.
+		if wMode.Batch < 8 {
+			wMode.Batch = 8
+		}
+		if wMode.Pipeline < 8 {
+			wMode.Pipeline = 8
+		}
+		wMode = wMode.WithAutoTune()
+	}
 	fe, conns, err := clu.NewFrontend(1, wMode)
 	if err != nil {
 		return nil, err
@@ -171,7 +185,11 @@ func Run(cfg Config) (*Report, error) {
 		oracle: make(map[uint64][]byte),
 		rep:    &Report{},
 	}
-	s.line("chaos: seed=%d ops=%d accounts=%d keys=%d mirrors=%d lag=%d pipe=%d", cfg.Seed, cfg.Ops, cfg.Accounts, cfg.Keys, cfg.Mirrors, cfg.MirrorLag, cfg.Pipeline)
+	tune := ""
+	if cfg.AutoTune {
+		tune = " autotune=on"
+	}
+	s.line("chaos: seed=%d ops=%d accounts=%d keys=%d mirrors=%d lag=%d pipe=%d%s", cfg.Seed, cfg.Ops, cfg.Accounts, cfg.Keys, cfg.Mirrors, cfg.MirrorLag, cfg.Pipeline, tune)
 
 	// Build both structures before faults start: creation is plumbing, the
 	// soak exercises steady-state operation under failure.

@@ -132,3 +132,37 @@ func TestConservingSelector(t *testing.T) {
 		}
 	}
 }
+
+// TestSoakAutoTuneDeterministic runs the full failure menu with the
+// adaptive batch/depth controller driving the writer. The controller's
+// inputs are all virtual-clock derived, so the reproducibility contract
+// must survive it: zero violations, byte-identical reports per seed, and
+// the controller demonstrably stepping.
+func TestSoakAutoTuneDeterministic(t *testing.T) {
+	cfg := smallConfig(13)
+	cfg.Pipeline = 16
+	cfg.AutoTune = true
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Violations != 0 {
+		t.Fatalf("autotuned soak reported %d violations:\n%s", a.Violations, a.String())
+	}
+	if a.Stats.AutoTuneSteps == 0 {
+		t.Fatalf("controller never stepped: %+v", a.Stats)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("fault log digests differ: %016x vs %016x", a.Digest, b.Digest)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("autotuned reports differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a.String(), b.String())
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("final stats differ:\n%+v\n%+v", a.Stats, b.Stats)
+	}
+}

@@ -53,11 +53,14 @@ type Cache struct {
 	used     int64
 	policy   Policy
 	entries  map[uint64]*cacheEntry
-	lru      *list.List // front = most recent
+	byTag    map[uint32]map[uint64]*cacheEntry // per-structure index for InvalidateTag
+	lru      *list.List                        // front = most recent
 	sample   []*cacheEntry
 	tick     uint64
 	rng      *rand.Rand
 	st       *stats.Stats
+
+	tagScanned int // entries visited by the last InvalidateTag (test hook)
 }
 
 // NewCache builds a cache holding at most capacity bytes of node data.
@@ -69,6 +72,7 @@ func NewCache(capacity int64, policy Policy, st *stats.Stats) *Cache {
 		capacity: capacity,
 		policy:   policy,
 		entries:  make(map[uint64]*cacheEntry),
+		byTag:    make(map[uint32]map[uint64]*cacheEntry),
 		lru:      list.New(),
 		rng:      rand.New(rand.NewSource(0x5eed)),
 		st:       st,
@@ -122,7 +126,11 @@ func (c *Cache) Put(addr uint64, data []byte, tag uint32, epoch uint64) {
 	if e, ok := c.entries[addr]; ok {
 		c.used += int64(len(data)) - int64(len(e.data))
 		e.data = append(e.data[:0], data...)
-		e.tag = tag
+		if e.tag != tag {
+			c.untag(e)
+			e.tag = tag
+			c.retag(e)
+		}
 		e.epoch = epoch
 		c.touch(e)
 	} else {
@@ -131,6 +139,7 @@ func (c *Cache) Put(addr uint64, data []byte, tag uint32, epoch uint64) {
 		e.slot = len(c.sample)
 		c.sample = append(c.sample, e)
 		c.entries[addr] = e
+		c.retag(e)
 		c.used += int64(len(data))
 		c.touch(e)
 	}
@@ -163,12 +172,15 @@ func (c *Cache) Invalidate(addr uint64) {
 	}
 }
 
-// InvalidateTag drops every entry owned by one structure.
+// InvalidateTag drops every entry owned by one structure. The per-tag
+// index makes this O(entries of that tag) instead of a full-cache scan —
+// dropping one structure must not stall a front-end caching millions of
+// nodes from its neighbours.
 func (c *Cache) InvalidateTag(tag uint32) {
-	for _, e := range c.entries {
-		if e.tag == tag {
-			c.remove(e)
-		}
+	set := c.byTag[tag]
+	c.tagScanned = len(set)
+	for _, e := range set {
+		c.remove(e)
 	}
 }
 
@@ -176,6 +188,7 @@ func (c *Cache) InvalidateTag(tag uint32) {
 // in-flight transaction, §4.3).
 func (c *Cache) Clear() {
 	c.entries = make(map[uint64]*cacheEntry)
+	c.byTag = make(map[uint32]map[uint64]*cacheEntry)
 	c.lru.Init()
 	c.sample = c.sample[:0]
 	c.used = 0
@@ -187,8 +200,26 @@ func (c *Cache) touch(e *cacheEntry) {
 	c.lru.MoveToFront(e.elem)
 }
 
+func (c *Cache) retag(e *cacheEntry) {
+	set := c.byTag[e.tag]
+	if set == nil {
+		set = make(map[uint64]*cacheEntry)
+		c.byTag[e.tag] = set
+	}
+	set[e.addr] = e
+}
+
+func (c *Cache) untag(e *cacheEntry) {
+	set := c.byTag[e.tag]
+	delete(set, e.addr)
+	if len(set) == 0 {
+		delete(c.byTag, e.tag)
+	}
+}
+
 func (c *Cache) remove(e *cacheEntry) {
 	delete(c.entries, e.addr)
+	c.untag(e)
 	c.lru.Remove(e.elem)
 	last := len(c.sample) - 1
 	c.sample[e.slot] = c.sample[last]

@@ -158,3 +158,78 @@ func TestCacheReplacePolicyRandomStillBounded(t *testing.T) {
 		t.Fatalf("RR cache overfull: %d entries", c.Len())
 	}
 }
+
+// TestCacheInvalidateTagIndexed pins the per-tag index: invalidating one
+// structure's entries must visit only that tag's set, not the whole map.
+func TestCacheInvalidateTagIndexed(t *testing.T) {
+	c, _ := newCache(64*20000, PolicyLRU)
+	const bulk, tagged = 10000, 10
+	for i := uint64(0); i < bulk; i++ {
+		c.Put(i, make([]byte, 64), 1, EpochAlways)
+	}
+	for i := uint64(bulk); i < bulk+tagged; i++ {
+		c.Put(i, make([]byte, 64), 2, EpochAlways)
+	}
+	c.InvalidateTag(2)
+	if c.tagScanned != tagged {
+		t.Fatalf("InvalidateTag(2) scanned %d entries, want exactly %d (per-tag index)", c.tagScanned, tagged)
+	}
+	if c.Len() != bulk {
+		t.Fatalf("cache holds %d entries after invalidation, want %d", c.Len(), bulk)
+	}
+	for i := uint64(bulk); i < bulk+tagged; i++ {
+		if c.Contains(i) {
+			t.Fatalf("entry %d survived InvalidateTag", i)
+		}
+	}
+	// An absent tag scans nothing.
+	c.InvalidateTag(9)
+	if c.tagScanned != 0 {
+		t.Fatalf("InvalidateTag(9) scanned %d entries, want 0", c.tagScanned)
+	}
+}
+
+// TestCacheTagIndexConsistency exercises the index across replacement
+// (tag changes on Put), eviction, Clear and re-fill.
+func TestCacheTagIndexConsistency(t *testing.T) {
+	c, _ := newCache(64*8, PolicyLRU)
+	for i := uint64(0); i < 8; i++ {
+		c.Put(i, make([]byte, 64), 1, EpochAlways)
+	}
+	// Re-tag half of them in place.
+	for i := uint64(0); i < 4; i++ {
+		c.Put(i, make([]byte, 64), 2, EpochAlways)
+	}
+	c.InvalidateTag(1)
+	if c.tagScanned != 4 || c.Len() != 4 {
+		t.Fatalf("after re-tag: scanned %d (want 4), len %d (want 4)", c.tagScanned, c.Len())
+	}
+	// Evictions must drop entries out of the index too.
+	for i := uint64(100); i < 116; i++ {
+		c.Put(i, make([]byte, 64), 3, EpochAlways)
+	}
+	c.InvalidateTag(2)
+	if c.tagScanned != 0 {
+		t.Fatalf("tag-2 entries evicted but index still held %d", c.tagScanned)
+	}
+	c.Clear()
+	c.Put(7, make([]byte, 64), 3, EpochAlways)
+	c.InvalidateTag(3)
+	if c.tagScanned != 1 || c.Len() != 0 {
+		t.Fatalf("after Clear+refill: scanned %d (want 1), len %d (want 0)", c.tagScanned, c.Len())
+	}
+}
+
+// BenchmarkCacheInvalidateTag measures per-structure invalidation with a
+// large foreign population — the case the per-tag index exists for.
+func BenchmarkCacheInvalidateTag(b *testing.B) {
+	c, _ := newCache(64*200001, PolicyLRU)
+	for i := uint64(0); i < 200000; i++ {
+		c.Put(i, make([]byte, 64), 1, EpochAlways)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Put(1<<40, make([]byte, 64), 2, EpochAlways)
+		c.InvalidateTag(2)
+	}
+}

@@ -37,6 +37,13 @@ type Mode struct {
 	// next verb may issue); >1 lets the hot paths post that many work
 	// requests asynchronously, paying one RTT per doorbell group.
 	Pipeline int
+	// AutoTune enables the adaptive controller (autotune.go): the
+	// effective batch size and pipeline depth start at 1 and are tuned
+	// online — slow-start then AIMD on the p95 of the commit-phase
+	// latency — bounded above by the static Batch and Pipeline values,
+	// which become ceilings instead of fixed settings. Deterministic on
+	// the virtual clock. Requires OpLog.
+	AutoTune bool
 }
 
 // WithPipeline returns a copy of the mode with the posted-verb queue
@@ -44,6 +51,13 @@ type Mode struct {
 // core.ModeRCB(cache, 64).WithPipeline(16).
 func (m Mode) WithPipeline(depth int) Mode {
 	m.Pipeline = depth
+	return m
+}
+
+// WithAutoTune returns a copy of the mode with the adaptive batch/depth
+// controller enabled; Batch and Pipeline become its upper bounds.
+func (m Mode) WithAutoTune() Mode {
+	m.AutoTune = true
 	return m
 }
 
@@ -74,6 +88,7 @@ type Frontend struct {
 	rng   uint64 // xorshift state for skiplist levels etc.
 	retry RetryPolicy
 	tr    *trace.ActorTracer // nil when tracing is disabled
+	tuner *autoTuner         // nil unless Mode.AutoTune
 }
 
 // FrontendOptions configures a front-end node.
@@ -117,6 +132,11 @@ func NewFrontend(opts FrontendOptions) *Frontend {
 	}
 	if opts.Mode.CacheBytes > 0 {
 		fe.cache = NewCache(opts.Mode.CacheBytes, opts.Mode.Policy, opts.Stats)
+	}
+	if opts.Mode.AutoTune && opts.Mode.OpLog {
+		fe.tuner = newAutoTuner(opts.Mode)
+		fe.st.AutoTuneBatch.Store(int64(fe.tuner.batch))
+		fe.st.AutoTuneDepth.Store(int64(fe.tuner.depth))
 	}
 	return fe
 }
@@ -178,7 +198,7 @@ type Conn struct {
 // non-NVM channel between the nodes.
 func (fe *Frontend) Connect(bk *backend.Backend) (*Conn, error) {
 	ep := rdma.Connect(bk.Target(), fe.clk, fe.st, fe.prof)
-	ep.SetPipeline(fe.mode.Pipeline)
+	ep.SetPipeline(fe.effDepth())
 	ep.SetTracer(fe.tr)
 	hdr := make([]byte, backend.HeaderSize)
 	if err := ep.Read(0, hdr); err != nil {

@@ -115,6 +115,10 @@ type Handle struct {
 	// bounded durability window for group commit.
 	opGroupCommit bool
 
+	// commitT0 is the virtual time the in-progress commit flush started
+	// at, the controller's latency sample boundary (autotune.go).
+	commitT0 time.Duration
+
 	// Reader-side state.
 	curSN uint64
 }
@@ -421,7 +425,7 @@ func (h *Handle) EndOp() error {
 	}
 	h.coveredOp = h.opTail
 	h.opsInTx++
-	if h.opsInTx >= h.c.fe.mode.Batch {
+	if h.opsInTx >= h.c.fe.effBatch() {
 		return h.Flush()
 	}
 	return nil
@@ -527,6 +531,7 @@ func (h *Handle) txWrite() error {
 	if len(h.pending) == 0 {
 		return nil
 	}
+	h.commitT0 = h.c.fe.clk.Now()
 	tr := h.c.fe.tr
 	tr.BeginArg(trace.KindCommit, uint64(len(h.pending)))
 	defer tr.End()
@@ -558,6 +563,7 @@ func (h *Handle) txWrite() error {
 // record can never become durable over a hole in the op log; a fault in
 // either WR fails the call and the retry re-posts both, idempotently.
 func (h *Handle) flushPipelined() error {
+	h.commitT0 = h.c.fe.clk.Now()
 	tr := h.c.fe.tr
 	tr.BeginArg(trace.KindCommit, uint64(len(h.pending)))
 	defer tr.End()
@@ -595,6 +601,7 @@ func (h *Handle) flushPipelined() error {
 func (h *Handle) finishTx(wireLen int) error {
 	h.memTail += uint64(wireLen)
 	h.c.fe.st.TxCommits.Add(1)
+	h.c.fe.tuneCommit(h.c.fe.clk.Now() - h.commitT0)
 	h.marks = append(h.marks, flushMark{endAbs: h.memTail, addrs: h.pendingAddrs})
 	h.pending = nil
 	h.pendingAddrs = nil

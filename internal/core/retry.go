@@ -155,8 +155,9 @@ func (c *Conn) epWriteV(ops []rdma.WriteOp) error {
 	return c.do(func() error { return c.ep.WriteV(ops) })
 }
 
-// pipelined reports whether this connection may post verbs asynchronously.
-func (c *Conn) pipelined() bool { return c.fe.mode.Pipeline > 1 }
+// pipelined reports whether this connection may post verbs asynchronously
+// at the depth currently in force (autotune may have lowered it to 1).
+func (c *Conn) pipelined() bool { return c.fe.effDepth() > 1 }
 
 // epReadV is a multi-get: every element is an independent one-sided read.
 // With the pipeline enabled all reads are posted to the send queue and

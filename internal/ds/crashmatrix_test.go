@@ -174,6 +174,7 @@ func TestCrashPointMatrix(t *testing.T) {
 		kvCrashCase("BPTree"),
 		kvCrashCase("MVBST"),
 		kvCrashCase("MVBPTree"),
+		partitionedCrashCase(),
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -338,6 +339,113 @@ func reopenKVCrash(c *core.Conn, kind string) (kvCrash, error) {
 		return OpenMVBPTree(c, kind, true, crashOpts())
 	}
 	return nil, fmt.Errorf("unknown kind %q", kind)
+}
+
+// partCrashProbeKeys returns one key per partition (in partition order,
+// avoiding the seed keys) so a PutMulti probe touches every partition.
+func partCrashProbeKeys(parts int) []uint64 {
+	keys := make([]uint64, parts)
+	for want := 0; want < parts; want++ {
+		for k := uint64(100); ; k++ {
+			if partIndex(k, parts) == want {
+				keys[want] = k
+				break
+			}
+		}
+	}
+	return keys
+}
+
+// partitionedCrashCase crashes a cross-partition PutMulti at every
+// write-class verb. Under ModeR (batch 1) each routed Put commits before
+// the next partition's starts, so the surviving probe keys must be a
+// prefix of the PutMulti order; the mapping meta entry must stay
+// readable, and every surviving key must live in its owning partition.
+func partitionedCrashCase() crashCase {
+	const parts = 3
+	return crashCase{
+		name: "Part",
+		build: func(t *testing.T, c *core.Conn) func() error {
+			p, err := CreatePartitioned([]*core.Conn{c}, KindHashTable, "Part", parts, crashOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i <= crashSeedItems; i++ {
+				if err := p.Put(uint64(i), crashVal(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := p.DrainAll(); err != nil {
+				t.Fatal(err)
+			}
+			probeKeys := partCrashProbeKeys(parts)
+			probeVals := make([][]byte, parts)
+			for i := range probeVals {
+				probeVals[i] = probeVal
+			}
+			return func() error { return p.PutMulti(probeKeys, probeVals) }
+		},
+		check: func(t *testing.T, c *core.Conn) {
+			// The dead writer held each partition's lock; the meta entry
+			// never takes one (BreakLock on it was a no-op).
+			for i := 0; i < parts; i++ {
+				raw, err := c.Open(fmt.Sprintf("Part#%d", i), true)
+				if err != nil {
+					t.Fatalf("raw partition open %d: %v", i, err)
+				}
+				if err := raw.BreakLock(1); err != nil {
+					t.Fatalf("break partition %d lock: %v", i, err)
+				}
+			}
+			p, err := OpenPartitioned([]*core.Conn{c}, "Part", true, crashOpts())
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			if got := len(p.Parts()); got != parts {
+				t.Fatalf("mapping meta reports %d partitions, want %d", got, parts)
+			}
+			if err := p.DrainAll(); err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+			for i := 1; i <= crashSeedItems; i++ {
+				got, ok, err := p.Get(uint64(i))
+				if err != nil || !ok || !bytes.Equal(got, crashVal(i)) {
+					t.Fatalf("seed key %d lost or wrong: ok=%v err=%v got=%q", i, ok, err, got)
+				}
+			}
+			probeKeys := partCrashProbeKeys(parts)
+			vals, found, err := p.GetMulti(probeKeys)
+			if err != nil {
+				t.Fatalf("probe multi-get: %v", err)
+			}
+			inPrefix := true
+			for i, k := range probeKeys {
+				if found[i] && !bytes.Equal(vals[i], probeVal) {
+					t.Fatalf("probe key %d mangled: got %q", k, vals[i])
+				}
+				if found[i] && !inPrefix {
+					t.Fatalf("probe survivors not a prefix: key %d present after a gap", k)
+				}
+				if !found[i] {
+					inPrefix = false
+				}
+			}
+			// Routing-table consistency: each surviving probe key must be
+			// in exactly the partition the hash names.
+			for i, k := range probeKeys {
+				if !found[i] {
+					continue
+				}
+				ht, err := OpenHashTable(c, fmt.Sprintf("Part#%d", partIndex(k, parts)), false, crashOpts())
+				if err != nil {
+					t.Fatalf("owner partition open: %v", err)
+				}
+				if _, ok, err := ht.Get(k); err != nil || !ok {
+					t.Fatalf("probe key %d missing from its owning partition: ok=%v err=%v", k, ok, err)
+				}
+			}
+		},
+	}
 }
 
 const kvProbeKey = 50

@@ -52,6 +52,232 @@ func (p *Partitioned) Flush() error {
 // individually for the multi-back-end scaling figure).
 func (p *Partitioned) Parts() []KV { return p.parts }
 
+// GetMulti looks up a batch of keys across partitions. Keys are bucketed
+// by owning partition; partitions with a native batched lookup advance
+// their multi-get walkers in lockstep inside one fan-out window — each
+// round posts one doorbell group per involved back-end before settling
+// any of them, so the window costs max-over-backends instead of
+// sum-over-backends. A partition whose seqlock validation fails afterward
+// is re-run through its own retrying GetMulti; kinds without a walker
+// fall back to per-key routing. Results index-match keys.
+func (p *Partitioned) GetMulti(keys []uint64) ([][]byte, []bool, error) {
+	n := len(p.parts)
+	vals := make([][]byte, len(keys))
+	found := make([]bool, len(keys))
+	if len(keys) == 0 {
+		return vals, found, nil
+	}
+	groups := make([][]uint64, n)
+	orig := make([][]int, n)
+	for i, k := range keys {
+		pi := partIndex(k, n)
+		groups[pi] = append(groups[pi], k)
+		orig[pi] = append(orig[pi], i)
+	}
+	type shard struct {
+		pi     int
+		mkv    multiKV
+		h      *core.Handle
+		w      getWalker
+		vals   [][]byte
+		found  []bool
+		pend   *core.PendingReads
+		active bool
+		locked bool // seqlock held: must validate after the walk
+	}
+	var shards []*shard
+	var fallback []int
+	for pi := 0; pi < n; pi++ {
+		if len(groups[pi]) == 0 {
+			continue
+		}
+		mkv, ok := p.parts[pi].(multiKV)
+		if !ok {
+			fallback = append(fallback, pi)
+			continue
+		}
+		shards = append(shards, &shard{
+			pi: pi, mkv: mkv, h: mkv.Handle(),
+			vals:  make([][]byte, len(groups[pi])),
+			found: make([]bool, len(groups[pi])),
+		})
+	}
+	if len(shards) > 0 {
+		fe := shards[0].h.Conn().Frontend()
+		fe.ChargeOp()
+		conns := make([]*core.Conn, 0, len(shards))
+		for _, s := range shards {
+			conns = append(conns, s.h.Conn())
+		}
+		fan := fe.BeginFanout(conns...)
+		runErr := func() error {
+			for _, s := range shards {
+				if !s.h.IsWriter() {
+					if err := s.h.ReaderLock(); err != nil {
+						return err
+					}
+					s.locked = s.mkv.readValidate()
+				}
+				s.w = s.mkv.newGetWalker(groups[s.pi], s.vals, s.found)
+				s.active = true
+			}
+			for {
+				live := false
+				// Post one fetch round per active shard…
+				for _, s := range shards {
+					if !s.active {
+						continue
+					}
+					req, ok := s.w.next()
+					if !ok {
+						s.active = false
+						continue
+					}
+					pend, err := s.h.PostReadMulti(req.addrs, req.unit, req.cacheable)
+					if err != nil {
+						return err
+					}
+					s.pend = pend
+					live = true
+				}
+				if !live {
+					return nil
+				}
+				// …then settle and absorb them, so the groups on the
+				// different links fly concurrently.
+				for _, s := range shards {
+					if s.pend == nil {
+						continue
+					}
+					bufs, err := s.pend.Settle()
+					s.pend = nil
+					if err != nil {
+						return err
+					}
+					if err := s.w.absorb(bufs); err != nil {
+						return err
+					}
+				}
+			}
+		}()
+		fan.End()
+		if runErr != nil {
+			return nil, nil, runErr
+		}
+		for _, s := range shards {
+			okv := true
+			if s.locked {
+				var err error
+				okv, err = s.h.ReaderValidate()
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			if !okv {
+				// Torn by a concurrent commit: re-run this partition
+				// through its own retrying multi-get.
+				pv, pf, err := s.mkv.GetMulti(groups[s.pi])
+				if err != nil {
+					return nil, nil, err
+				}
+				s.vals, s.found = pv, pf
+			}
+			for j, oi := range orig[s.pi] {
+				vals[oi], found[oi] = s.vals[j], s.found[j]
+			}
+		}
+	}
+	for _, pi := range fallback {
+		for j, k := range groups[pi] {
+			v, ok, err := p.parts[pi].Get(k)
+			if err != nil {
+				return nil, nil, err
+			}
+			vals[orig[pi][j]], found[orig[pi][j]] = v, ok
+		}
+	}
+	return vals, found, nil
+}
+
+// PutMulti routes each pair to its owning partition. Writes ride the
+// normal per-partition batching machinery; call FlushAll at a batch
+// boundary to commit every partition in one fan-out window.
+func (p *Partitioned) PutMulti(keys []uint64, vals [][]byte) error {
+	if len(keys) != len(vals) {
+		return fmt.Errorf("ds: put multi length mismatch (%d keys, %d values)", len(keys), len(vals))
+	}
+	for i, k := range keys {
+		if err := p.parts[partIndex(k, len(p.parts))].Put(k, vals[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlushAll commits every partition's batch buffers inside one fan-out
+// window: each partition's op-log group and tx record are posted on its
+// back-end before any of them is settled, so a P-partition commit over K
+// back-ends costs max-over-backends instead of P serial flushes.
+func (p *Partitioned) FlushAll() error {
+	var hs []*core.Handle
+	var conns []*core.Conn
+	var plain []KV
+	for _, part := range p.parts {
+		if hp, ok := part.(handled); ok {
+			h := hp.Handle()
+			hs = append(hs, h)
+			conns = append(conns, h.Conn())
+		} else {
+			plain = append(plain, part)
+		}
+	}
+	if len(hs) > 0 {
+		fe := hs[0].Conn().Frontend()
+		fan := fe.BeginFanout(conns...)
+		pfs := make([]*core.PendingFlush, 0, len(hs))
+		var firstErr error
+		for _, h := range hs {
+			pf, err := h.FlushAsync()
+			if err != nil {
+				firstErr = err
+				break
+			}
+			pfs = append(pfs, pf)
+		}
+		for _, pf := range pfs {
+			if err := pf.Settle(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		fan.End()
+		if firstErr != nil {
+			return firstErr
+		}
+	}
+	for _, part := range plain {
+		if err := part.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DrainAll flushes every partition (overlapped) and waits until each
+// back-end's replayer has applied the logs.
+func (p *Partitioned) DrainAll() error {
+	if err := p.FlushAll(); err != nil {
+		return err
+	}
+	for _, part := range p.parts {
+		if hp, ok := part.(handled); ok {
+			if err := hp.Handle().Drain(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // KVKind selects the structure type backing each partition.
 type KVKind int
 

@@ -1,0 +1,383 @@
+package ds
+
+import (
+	"encoding/binary"
+
+	"asymnvm/internal/core"
+)
+
+// Multi-get walkers: each structure expresses its batched lookup as a
+// sequence of fetch rounds — "read these addresses at this unit size" —
+// so the same descent logic can run either against a single back-end
+// (runWalker, via Handle.ReadMulti) or interleaved with other partitions'
+// walkers inside a cross-backend fan-out window (Partitioned.GetMulti,
+// via Handle.PostReadMulti). The rounds replicate the exact read sequence
+// of the structure's own batched or sequential lookup, so caching and
+// virtual-clock charges stay identical between the two drivers.
+
+// fetchReq is one fetch round: all addrs are read at the same unit size
+// and cacheability.
+type fetchReq struct {
+	addrs     []uint64
+	unit      int
+	cacheable bool
+}
+
+// getWalker advances a batched lookup one fetch round at a time. next
+// returns the round to fetch (ok=false when the walk is complete); absorb
+// consumes the fetched buffers, index-matched to the round's addrs.
+type getWalker interface {
+	next() (fetchReq, bool)
+	absorb(bufs [][]byte) error
+}
+
+// runWalker drives a walker to completion against its own back-end.
+func runWalker(h *core.Handle, w getWalker) error {
+	for {
+		req, ok := w.next()
+		if !ok {
+			return nil
+		}
+		bufs, err := h.ReadMulti(req.addrs, req.unit, req.cacheable)
+		if err != nil {
+			return err
+		}
+		if err := w.absorb(bufs); err != nil {
+			return err
+		}
+	}
+}
+
+// handled is implemented by every concrete KV kind: access to the
+// framework handle.
+type handled interface {
+	Handle() *core.Handle
+}
+
+// multiKV is a KV kind with a native batched lookup that Partitioned can
+// interleave across back-ends.
+type multiKV interface {
+	KV
+	handled
+	GetMulti(keys []uint64) ([][]byte, []bool, error)
+	newGetWalker(keys []uint64, vals [][]byte, found []bool) getWalker
+	// readValidate reports whether reader-side walks must be bracketed by
+	// the retry seqlock (false for lock-free readers, §8.4's skip list).
+	readValidate() bool
+}
+
+// --- hash table ---------------------------------------------------------
+
+// htWalker replays HashTable.GetMulti's fetch sequence: one round of
+// bucket heads, then level-synchronous chain rounds.
+type htWalker struct {
+	t     *HashTable
+	keys  []uint64
+	vals  [][]byte
+	found []bool
+	idx   []int    // active chains: position in keys
+	addrs []uint64 // active chains: current node address
+	phase int      // 0 = heads round pending, 1 = chain rounds
+}
+
+func (t *HashTable) newGetWalker(keys []uint64, vals [][]byte, found []bool) getWalker {
+	return &htWalker{t: t, keys: keys, vals: vals, found: found}
+}
+
+func (t *HashTable) readValidate() bool { return true }
+
+func (w *htWalker) next() (fetchReq, bool) {
+	if w.phase == 0 {
+		bucketAddrs := make([]uint64, len(w.keys))
+		for i, k := range w.keys {
+			bucketAddrs[i] = w.t.bucketAddr(k)
+		}
+		return fetchReq{addrs: bucketAddrs, unit: 8, cacheable: true}, true
+	}
+	if len(w.idx) == 0 {
+		return fetchReq{}, false
+	}
+	return fetchReq{addrs: w.addrs, unit: w.t.nodeSize(), cacheable: true}, true
+}
+
+func (w *htWalker) absorb(bufs [][]byte) error {
+	if w.phase == 0 {
+		w.phase = 1
+		for i, hb := range bufs {
+			if n := binary.LittleEndian.Uint64(hb); n != 0 {
+				w.idx = append(w.idx, i)
+				w.addrs = append(w.addrs, n)
+			}
+		}
+		return nil
+	}
+	var nextIdx []int
+	var nextAddrs []uint64
+	for j, buf := range bufs {
+		next, k, v, err := w.t.decodeNode(buf)
+		if err != nil {
+			return err
+		}
+		if k == w.keys[w.idx[j]] {
+			w.vals[w.idx[j]], w.found[w.idx[j]] = v, true
+			continue
+		}
+		if next != 0 {
+			nextIdx = append(nextIdx, w.idx[j])
+			nextAddrs = append(nextAddrs, next)
+		}
+	}
+	w.idx, w.addrs = nextIdx, nextAddrs
+	return nil
+}
+
+// --- skip list ----------------------------------------------------------
+
+// slCursor is one key's descent position.
+type slCursor struct {
+	cur   uint64 // current node address
+	level int    // current descent level
+	done  bool
+}
+
+// slWalker runs the skip-list descent of findPreds for a whole batch,
+// sharing one image map: a round fetches every node any cursor needs and
+// is missing, deduplicated in first-need order, then all cursors advance
+// as far as the images allow.
+type slWalker struct {
+	s       *SkipList
+	keys    []uint64
+	vals    [][]byte
+	found   []bool
+	images  map[uint64]*slNode
+	curs    []slCursor
+	need    []uint64
+	needSet map[uint64]bool
+}
+
+func (s *SkipList) newGetWalker(keys []uint64, vals [][]byte, found []bool) getWalker {
+	w := &slWalker{
+		s: s, keys: keys, vals: vals, found: found,
+		images:  make(map[uint64]*slNode),
+		curs:    make([]slCursor, len(keys)),
+		needSet: make(map[uint64]bool),
+	}
+	for i := range w.curs {
+		w.curs[i] = slCursor{cur: s.head, level: SkipListMaxLevel - 1}
+	}
+	w.require(s.head)
+	return w
+}
+
+func (s *SkipList) readValidate() bool { return false }
+
+func (w *slWalker) require(addr uint64) {
+	if !w.needSet[addr] {
+		w.needSet[addr] = true
+		w.need = append(w.need, addr)
+	}
+}
+
+func (w *slWalker) next() (fetchReq, bool) {
+	if len(w.need) == 0 {
+		return fetchReq{}, false
+	}
+	return fetchReq{addrs: w.need, unit: w.s.nodeSize(), cacheable: false}, true
+}
+
+func (w *slWalker) absorb(bufs [][]byte) error {
+	for j, buf := range bufs {
+		addr := w.need[j]
+		n, err := w.s.decodeNode(buf)
+		if err != nil {
+			return err
+		}
+		w.images[addr] = n
+		if n.level >= slCacheLevel || addr == w.s.head {
+			w.s.h.CachePut(addr, buf)
+		}
+	}
+	w.need = w.need[:0]
+	w.needSet = make(map[uint64]bool)
+	for i := range w.curs {
+		w.advance(i)
+	}
+	return nil
+}
+
+// advance pushes cursor i down the list until it completes or needs a
+// node image the walker has not fetched yet.
+func (w *slWalker) advance(i int) {
+	c := &w.curs[i]
+	if c.done {
+		return
+	}
+	key := w.keys[i]
+	curN := w.images[c.cur]
+	if curN == nil {
+		w.require(c.cur)
+		return
+	}
+	for c.level >= 0 {
+		nxt := curN.next[c.level]
+		if nxt == 0 {
+			c.level--
+			continue
+		}
+		nxtN, ok := w.images[nxt]
+		if !ok {
+			w.require(nxt)
+			return
+		}
+		if nxtN.key < key {
+			c.cur, curN = nxt, nxtN
+			continue
+		}
+		if nxtN.key == key {
+			w.vals[i], w.found[i] = nxtN.val, true
+			c.done = true
+			return
+		}
+		c.level--
+	}
+	c.done = true
+}
+
+// GetMulti looks a batch of keys up with posted-verb parallelism: every
+// round fetches all nodes the batched descent needs next in one doorbell
+// group. Lock-free like Get — readers freshen their cache epoch and never
+// validate. Results index-match keys.
+func (s *SkipList) GetMulti(keys []uint64) ([][]byte, []bool, error) {
+	s.h.Conn().Frontend().ChargeOp()
+	if !s.writer {
+		if err := s.h.ReaderLock(); err != nil {
+			return nil, nil, err
+		}
+	}
+	vals := make([][]byte, len(keys))
+	found := make([]bool, len(keys))
+	if err := runWalker(s.h, s.newGetWalker(keys, vals, found)); err != nil {
+		return nil, nil, err
+	}
+	return vals, found, nil
+}
+
+// --- binary search tree -------------------------------------------------
+
+// bstCursor is one key's descent position.
+type bstCursor struct {
+	cur  uint64
+	done bool
+}
+
+// bstWalker descends the tree level-synchronously: all active cursors sit
+// at the same depth each round, so the round shares the adaptive level
+// policy's caching decision for that depth. The first round fetches the
+// root pointer.
+type bstWalker struct {
+	t     *BST
+	keys  []uint64
+	vals  [][]byte
+	found []bool
+	curs  []bstCursor
+	addrs []uint64 // deduplicated addresses of the pending round
+	depth int      // -1 = root pointer round pending
+}
+
+func (t *BST) newGetWalker(keys []uint64, vals [][]byte, found []bool) getWalker {
+	return &bstWalker{t: t, keys: keys, vals: vals, found: found,
+		curs: make([]bstCursor, len(keys)), depth: -1}
+}
+
+func (t *BST) readValidate() bool { return true }
+
+func (w *bstWalker) next() (fetchReq, bool) {
+	if w.depth < 0 {
+		return fetchReq{addrs: []uint64{w.t.h.RootAddr()}, unit: 8, cacheable: true}, true
+	}
+	seen := make(map[uint64]bool)
+	w.addrs = w.addrs[:0]
+	for i := range w.curs {
+		c := &w.curs[i]
+		if c.done || seen[c.cur] {
+			continue
+		}
+		seen[c.cur] = true
+		w.addrs = append(w.addrs, c.cur)
+	}
+	if len(w.addrs) == 0 {
+		return fetchReq{}, false
+	}
+	return fetchReq{addrs: w.addrs, unit: w.t.nodeSize(), cacheable: w.t.pol.cacheable(w.depth)}, true
+}
+
+func (w *bstWalker) absorb(bufs [][]byte) error {
+	if w.depth < 0 {
+		w.depth = 0
+		root := binary.LittleEndian.Uint64(bufs[0])
+		for i := range w.curs {
+			if root == 0 {
+				w.curs[i].done = true
+			} else {
+				w.curs[i].cur = root
+			}
+		}
+		return nil
+	}
+	nodes := make(map[uint64]bstNode, len(bufs))
+	for j, buf := range bufs {
+		n, err := w.t.decodeNode(buf)
+		if err != nil {
+			return err
+		}
+		nodes[w.addrs[j]] = n
+	}
+	for i := range w.curs {
+		c := &w.curs[i]
+		if c.done {
+			continue
+		}
+		n := nodes[c.cur]
+		key := w.keys[i]
+		switch {
+		case key == n.key:
+			w.vals[i], w.found[i] = n.val, true
+			c.done = true
+		case key < n.key:
+			if n.left == 0 {
+				c.done = true
+			} else {
+				c.cur = n.left
+			}
+		default:
+			if n.right == 0 {
+				c.done = true
+			} else {
+				c.cur = n.right
+			}
+		}
+	}
+	w.depth++
+	return nil
+}
+
+// GetMulti looks a batch of keys up under the retry seqlock with
+// posted-verb parallelism: the batch descends level-synchronously, one
+// doorbell group of independent node reads per tree level. Results
+// index-match keys.
+func (t *BST) GetMulti(keys []uint64) ([][]byte, []bool, error) {
+	t.h.Conn().Frontend().ChargeOp()
+	vals := make([][]byte, len(keys))
+	found := make([]bool, len(keys))
+	err := readRetry(t.h, func() error {
+		for i := range vals {
+			vals[i], found[i] = nil, false
+		}
+		return runWalker(t.h, t.newGetWalker(keys, vals, found))
+	})
+	t.pol.observe(t.h.Conn().Frontend().Stats())
+	if err != nil {
+		return nil, nil, err
+	}
+	return vals, found, nil
+}

@@ -1,0 +1,49 @@
+package obshttp
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"asymnvm/internal/stats"
+)
+
+// TestMetricsExportsFanoutAndTuneCounters pins the /metrics wire format
+// for the fan-out and autotune telemetry: a scraper watching a scale-out
+// run must see the window/savings counters and the controller's current
+// B/depth gauges.
+func TestMetricsExportsFanoutAndTuneCounters(t *testing.T) {
+	st := &stats.Stats{}
+	st.FanoutWindows.Store(3)
+	st.FanoutSavedNS.Store(12345)
+	st.AutoTuneSteps.Store(2)
+	st.AutoTuneBatch.Store(16)
+	st.AutoTuneDepth.Store(8)
+
+	srv := New(nil)
+	srv.AddStats("fe001", st)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# source fe001",
+		"fan{win=3 saved=12345ns}",
+		"tune{steps=2 B=16 depth=8}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+}

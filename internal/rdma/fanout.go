@@ -1,0 +1,78 @@
+// Cross-connection fan-out windows.
+//
+// The posted-verb pipeline (pipeline.go) overlaps doorbell groups on ONE
+// endpoint. A front-end talking to several back-ends holds one endpoint
+// per connection, each an independent queue pair on an independent link:
+// groups rung on different endpoints overlap for free under the virtual
+// clock, because each Wait charges only the remaining gap to its group's
+// ready time. A FanoutWindow makes that overlap observable: it brackets a
+// scatter/gather episode in which the initiator rings doorbells on K
+// connections before waiting on any of them, so the window's elapsed
+// virtual time approaches max-over-backends while the sum of the retired
+// group costs is the serial, link-by-link alternative.
+//
+// The window changes no costs and no ordering rules — per-endpoint WAW
+// ordering, in-order completion queues, and completion-time fault
+// surfacing are exactly the pipeline's. It only accounts: on End, the
+// difference between the serial sum and the elapsed window time is
+// credited to Stats.FanoutSavedNS and the window is counted in
+// Stats.FanoutWindows.
+package rdma
+
+import (
+	"time"
+
+	"asymnvm/internal/clock"
+	"asymnvm/internal/stats"
+)
+
+// FanoutWindow accumulates, over a bracketed scatter/gather episode, the
+// serial cost of every doorbell group retired on the enrolled endpoints.
+// All enrolled endpoints must charge the same virtual clock (one
+// initiating actor); a nil window is valid and inert.
+type FanoutWindow struct {
+	clk    clock.Clock
+	st     *stats.Stats
+	start  time.Duration
+	serial time.Duration
+	eps    []*Endpoint
+}
+
+// BeginFanout opens a fan-out window over eps. Endpoints already enrolled
+// in another open window are skipped (windows do not nest per endpoint).
+// Returns nil when eps is empty; End on a nil window is a no-op.
+func BeginFanout(st *stats.Stats, eps ...*Endpoint) *FanoutWindow {
+	if len(eps) == 0 {
+		return nil
+	}
+	w := &FanoutWindow{clk: eps[0].clk, st: st, start: eps[0].clk.Now()}
+	for _, e := range eps {
+		if e == nil || e.win != nil {
+			continue
+		}
+		e.win = w
+		w.eps = append(w.eps, e)
+	}
+	return w
+}
+
+// End closes the window: endpoints are released, the window is counted,
+// and any positive difference between the serial per-link cost and the
+// elapsed window time is credited as fan-out savings. Doorbell groups
+// still in flight at End keep their normal pipeline accounting but are
+// no longer attributed to the window.
+func (w *FanoutWindow) End() {
+	if w == nil || w.st == nil {
+		return
+	}
+	for _, e := range w.eps {
+		e.win = nil
+	}
+	w.eps = nil
+	elapsed := w.clk.Now() - w.start
+	if saved := w.serial - elapsed; saved > 0 {
+		w.st.FanoutSavedNS.Add(int64(saved))
+	}
+	w.st.FanoutWindows.Add(1)
+	w.st = nil
+}

@@ -1,0 +1,128 @@
+package rdma
+
+import (
+	"testing"
+	"time"
+
+	"asymnvm/internal/clock"
+	"asymnvm/internal/nvm"
+	"asymnvm/internal/stats"
+)
+
+// newFanoutEPs builds K endpoints to K independent targets, all charging
+// the same virtual clock (one initiating actor) and the same Stats.
+func newFanoutEPs(k, size int, prof clock.Profile) ([]*Endpoint, *clock.Virtual, *stats.Stats) {
+	clk := clock.NewVirtual()
+	st := &stats.Stats{}
+	eps := make([]*Endpoint, k)
+	for i := range eps {
+		eps[i] = Connect(NewTarget(nvm.NewDevice(size)), clk, st, prof)
+		eps[i].SetPipeline(8)
+	}
+	return eps, clk, st
+}
+
+// TestFanoutWindowChargesMaxNotSum pins the fan-out cost model: a K-backend
+// scatter — one doorbell group per connection, all rung before any wait —
+// costs roughly ONE round trip plus the serialized per-link bandwidth term
+// (max-over-backends), not K round trips (sum-over-backends).
+func TestFanoutWindowChargesMaxNotSum(t *testing.T) {
+	const k = 4
+	const payload = 4096
+	prof := clock.DefaultProfile()
+
+	// Serial baseline: the cost of one group, paid K times back to back.
+	oneGroup := prof.WriteCost(payload)
+	serial := time.Duration(k) * oneGroup
+
+	eps, clk, st := newFanoutEPs(k, 1<<20, prof)
+	win := BeginFanout(st, eps...)
+	start := clk.Now()
+
+	toks := make([]Token, k)
+	data := make([]byte, payload)
+	for i, ep := range eps {
+		toks[i] = ep.PostWrite(0, data)
+		ep.Doorbell()
+	}
+	for i, ep := range eps {
+		if err := ep.Wait(toks[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	win.End()
+	elapsed := clk.Now() - start
+
+	// Elapsed is one group cost plus the K post-issue charges: the waits on
+	// connections 2..K find their groups already ready.
+	issue := time.Duration(k) * prof.WRIssue
+	want := oneGroup + issue
+	if elapsed != want {
+		t.Fatalf("K=%d fan-out window elapsed %v, want max-over-backends %v (one group %v + issue %v)", k, elapsed, want, oneGroup, issue)
+	}
+	if elapsed >= serial/2 {
+		t.Fatalf("fan-out elapsed %v not clearly below serial sum %v", elapsed, serial)
+	}
+
+	if got := st.FanoutWindows.Load(); got != 1 {
+		t.Fatalf("FanoutWindows = %d, want 1", got)
+	}
+	saved := time.Duration(st.FanoutSavedNS.Load())
+	if want := serial - elapsed; saved != want {
+		t.Fatalf("FanoutSavedNS = %v, want serial-elapsed = %v", saved, want)
+	}
+}
+
+// TestFanoutWindowFaultSurfacing checks that completion-time fault
+// surfacing keeps working per connection inside a window: a fault on one
+// link fails exactly that link's WR, the others complete, and the window
+// still closes with sane accounting.
+func TestFanoutWindowFaultSurfacing(t *testing.T) {
+	prof := clock.DefaultProfile()
+	eps, _, st := newFanoutEPs(3, 1<<20, prof)
+	eps[1].SetFault(func(op Op, off uint64, n int) Fault {
+		return Fault{Err: ErrInjected}
+	})
+
+	win := BeginFanout(st, eps...)
+	toks := make([]Token, len(eps))
+	for i, ep := range eps {
+		toks[i] = ep.PostWrite(0, []byte("payload"))
+		ep.Doorbell()
+	}
+	for i, ep := range eps {
+		err := ep.Wait(toks[i])
+		if i == 1 && err == nil {
+			t.Fatal("faulted connection's WR completed without error")
+		}
+		if i != 1 && err != nil {
+			t.Fatalf("healthy connection %d failed: %v", i, err)
+		}
+	}
+	win.End()
+	if got := st.FanoutWindows.Load(); got != 1 {
+		t.Fatalf("FanoutWindows = %d, want 1", got)
+	}
+}
+
+// TestFanoutWindowNilAndEmpty pins the inert cases: a nil window may be
+// ended, and double-End does not double-count.
+func TestFanoutWindowNilAndEmpty(t *testing.T) {
+	var w *FanoutWindow
+	w.End() // must not panic
+
+	if BeginFanout(&stats.Stats{}) != nil {
+		t.Fatal("BeginFanout with no endpoints should return nil")
+	}
+
+	eps, _, st := newFanoutEPs(1, 4096, clock.ZeroProfile())
+	win := BeginFanout(st, eps...)
+	win.End()
+	win.End()
+	if got := st.FanoutWindows.Load(); got != 1 {
+		t.Fatalf("double End counted %d windows, want 1", got)
+	}
+	if eps[0].win != nil {
+		t.Fatal("endpoint still enrolled after End")
+	}
+}

@@ -275,6 +275,9 @@ func (e *Endpoint) retireOldest() {
 	}
 	g := e.groups[0]
 	e.groups = e.groups[1:]
+	if e.win != nil {
+		e.win.serial += g.cost
+	}
 	now := e.clk.Now()
 	wait := g.readyAt - now
 	if wait > 0 {

@@ -123,6 +123,12 @@ type Endpoint struct {
 	groups    []*doorbellGroup
 	inflight  int
 	cq        []Completion
+
+	// win, when non-nil, is the open cross-connection fan-out window this
+	// endpoint is enrolled in (see fanout.go): retired group costs are
+	// accumulated there so the window can report how much serial per-link
+	// time the cross-backend overlap hid.
+	win *FanoutWindow
 }
 
 // Connect creates an endpoint charging latency to clk and counting verbs

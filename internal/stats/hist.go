@@ -91,6 +91,16 @@ func (h *Hist) Snapshot() HistSnapshot {
 	return s
 }
 
+// Sub returns the per-bucket difference a-b, for measuring an interval
+// between two snapshots of the same histogram.
+func (s HistSnapshot) Sub(b HistSnapshot) HistSnapshot {
+	d := HistSnapshot{Count: s.Count - b.Count, Sum: s.Sum - b.Sum}
+	for i := range s.Buckets {
+		d.Buckets[i] = s.Buckets[i] - b.Buckets[i]
+	}
+	return d
+}
+
 // Quantile returns an upper bound for the q-quantile (0 < q <= 1) of the
 // recorded samples: the upper edge of the bucket in which the quantile
 // falls. Returns 0 when the histogram is empty.

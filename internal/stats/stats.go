@@ -40,6 +40,20 @@ type Stats struct {
 	QueueDepthSum  atomic.Int64 // sum over posts of in-flight WRs at post time
 	OverlapSavedNS atomic.Int64 // virtual ns of fabric latency hidden by overlap
 
+	// Cross-shard fan-out counters: windows in which one actor kept
+	// doorbell groups in flight on several back-end connections at once,
+	// and the virtual time saved versus issuing the same groups serially
+	// link by link (sum-over-backends minus max-over-backends).
+	FanoutWindows atomic.Int64 // fan-out windows closed
+	FanoutSavedNS atomic.Int64 // virtual ns saved by cross-connection overlap
+
+	// Adaptive batch/depth controller (Mode.AutoTune) telemetry.
+	// AutoTuneBatch/AutoTuneDepth are gauges holding the controller's
+	// current effective memory-log batch size and pipeline depth.
+	AutoTuneSteps atomic.Int64 // controller adjustments applied
+	AutoTuneBatch atomic.Int64 // current effective batch size B (gauge)
+	AutoTuneDepth atomic.Int64 // current effective pipeline depth (gauge)
+
 	// BusyNS accumulates virtual nanoseconds during which the owning
 	// node's CPU was doing work (as opposed to waiting on the fabric).
 	BusyNS atomic.Int64
@@ -68,6 +82,9 @@ type Snapshot struct {
 	VerbRetries, Failovers                    int64
 	PostedVerbs, DoorbellGroups               int64
 	QueueDepthSum, OverlapSavedNS             int64
+	FanoutWindows, FanoutSavedNS              int64
+	AutoTuneSteps                             int64
+	AutoTuneBatch, AutoTuneDepth              int64
 	BusyNS                                    int64
 }
 
@@ -97,6 +114,11 @@ func (s *Stats) Snapshot() Snapshot {
 		DoorbellGroups: s.DoorbellGroups.Load(),
 		QueueDepthSum:  s.QueueDepthSum.Load(),
 		OverlapSavedNS: s.OverlapSavedNS.Load(),
+		FanoutWindows:  s.FanoutWindows.Load(),
+		FanoutSavedNS:  s.FanoutSavedNS.Load(),
+		AutoTuneSteps:  s.AutoTuneSteps.Load(),
+		AutoTuneBatch:  s.AutoTuneBatch.Load(),
+		AutoTuneDepth:  s.AutoTuneDepth.Load(),
 		BusyNS:         s.BusyNS.Load(),
 	}
 }
@@ -127,6 +149,11 @@ func (a Snapshot) Sub(b Snapshot) Snapshot {
 		DoorbellGroups: a.DoorbellGroups - b.DoorbellGroups,
 		QueueDepthSum:  a.QueueDepthSum - b.QueueDepthSum,
 		OverlapSavedNS: a.OverlapSavedNS - b.OverlapSavedNS,
+		FanoutWindows:  a.FanoutWindows - b.FanoutWindows,
+		FanoutSavedNS:  a.FanoutSavedNS - b.FanoutSavedNS,
+		AutoTuneSteps:  a.AutoTuneSteps - b.AutoTuneSteps,
+		AutoTuneBatch:  a.AutoTuneBatch - b.AutoTuneBatch,
+		AutoTuneDepth:  a.AutoTuneDepth - b.AutoTuneDepth,
 		BusyNS:         a.BusyNS - b.BusyNS,
 	}
 }
@@ -158,7 +185,7 @@ func (a Snapshot) HitRatio() float64 {
 // String renders a compact human-readable summary.
 func (a Snapshot) String() string {
 	return fmt.Sprintf(
-		"rdma{r=%d w=%d atom=%d rpc=%d} bytes{r=%d w=%d} cache{hit=%d miss=%d} logs{op=%d mem=%d tx=%d replayed=%d} retry=%d resil{retry=%d fo=%d} pipe{wr=%d db=%d qd=%.1f saved=%dns}",
+		"rdma{r=%d w=%d atom=%d rpc=%d} bytes{r=%d w=%d} cache{hit=%d miss=%d} logs{op=%d mem=%d tx=%d replayed=%d} retry=%d resil{retry=%d fo=%d} pipe{wr=%d db=%d qd=%.1f saved=%dns} fan{win=%d saved=%dns} tune{steps=%d B=%d depth=%d}",
 		a.RDMARead, a.RDMAWrite, a.RDMAAtomic, a.RPCCalls,
 		a.BytesRead, a.BytesWrite,
 		a.CacheHit, a.CacheMiss,
@@ -166,5 +193,7 @@ func (a Snapshot) String() string {
 		a.ReadRetry,
 		a.VerbRetries, a.Failovers,
 		a.PostedVerbs, a.DoorbellGroups, a.AvgQueueDepth(), a.OverlapSavedNS,
+		a.FanoutWindows, a.FanoutSavedNS,
+		a.AutoTuneSteps, a.AutoTuneBatch, a.AutoTuneDepth,
 	)
 }

@@ -1,0 +1,185 @@
+package txapp
+
+import (
+	"testing"
+
+	"asymnvm/internal/backend"
+	"asymnvm/internal/core"
+	"asymnvm/internal/nvm"
+)
+
+// newMultiConns builds k back-ends and one front-end connected to all.
+func newMultiConns(t *testing.T, k int, mode core.Mode) []*core.Conn {
+	t.Helper()
+	fe := core.NewFrontend(core.FrontendOptions{ID: 1, Mode: mode, Profile: &zprof})
+	var conns []*core.Conn
+	for i := 0; i < k; i++ {
+		dev := nvm.NewDevice(128 << 20)
+		bk, err := backend.New(dev, backend.Options{ID: uint16(i), Profile: &zprof})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bk.Start()
+		t.Cleanup(bk.Stop)
+		c, err := fe.Connect(bk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+	}
+	return conns
+}
+
+// TestPartitionedSmallBankConservation runs the money-conserving subset
+// of the mix over a 4-partition, 2-back-end bank and checks the total.
+func TestPartitionedSmallBankConservation(t *testing.T) {
+	conns := newMultiConns(t, 2, core.ModeRC(8<<20).WithPipeline(8))
+	bank, err := NewPartitionedSmallBank(conns, "pbank", 100, 4, tOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := bank.TotalMoney()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := uint64(99)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for i := 0; i < 500; i++ {
+		r := next()
+		if i%2 == 0 {
+			r = r/100*100 + 90 // SendPayment band
+		} else {
+			r = r/100*100 + 50 // Amalgamate band
+		}
+		if err := bank.DoTx(r); err != nil {
+			t.Fatalf("tx %d: %v", i, err)
+		}
+	}
+	if err := bank.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := bank.TotalMoney()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Fatalf("money not conserved: %d → %d", before, after)
+	}
+	// Cross-partition transactions must have exercised the fan-out path.
+	st := conns[0].Frontend().Stats()
+	if st.FanoutWindows.Load() == 0 {
+		t.Fatal("partitioned bank never opened a fan-out window")
+	}
+}
+
+// TestPartitionedSmallBankMatchesSingle runs the full mix on both
+// harnesses with the same random stream and checks they agree on the
+// final total — the partitioned data path is a pure reorganization.
+func TestPartitionedSmallBankMatchesSingle(t *testing.T) {
+	const accounts, txs = 80, 1500
+	c := newConn(t, 1, core.ModeRCB(8<<20, 32))
+	single, err := NewSmallBank(c, "sref", accounts, tOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := newMultiConns(t, 3, core.ModeRCB(8<<20, 32).WithPipeline(8))
+	part, err := NewPartitionedSmallBank(conns, "pref", accounts, 6, tOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(do func(uint64) error) {
+		rng := uint64(7)
+		for i := 0; i < txs; i++ {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			if err := do(rng); err != nil {
+				t.Fatalf("tx %d: %v", i, err)
+			}
+		}
+	}
+	run(single.DoTx)
+	run(part.DoTx)
+	if err := single.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := part.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := single.TotalMoney()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := part.TotalMoney()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != pt {
+		t.Fatalf("single total %d != partitioned total %d", st, pt)
+	}
+	if single.Counts() != part.Counts() {
+		t.Fatalf("mix diverged: %v vs %v", single.Counts(), part.Counts())
+	}
+}
+
+// TestPartitionedSmallBankSurvivesReopen checks durability through the
+// overlapped FlushAll: a fresh front-end sees the committed balances.
+func TestPartitionedSmallBankSurvivesReopen(t *testing.T) {
+	fe := core.NewFrontend(core.FrontendOptions{ID: 1, Mode: core.ModeR().WithPipeline(8), Profile: &zprof})
+	var bks []*backend.Backend
+	var conns []*core.Conn
+	for i := 0; i < 2; i++ {
+		dev := nvm.NewDevice(128 << 20)
+		bk, err := backend.New(dev, backend.Options{ID: uint16(i), Profile: &zprof})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bk.Start()
+		t.Cleanup(bk.Stop)
+		bks = append(bks, bk)
+		c, err := fe.Connect(bk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+	}
+	bank, err := NewPartitionedSmallBank(conns, "pbank3", 20, 4, tOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bank.DoTx(90 | 3<<8 | 7<<32 | 50<<16); err != nil { // SendPayment
+		t.Fatal(err)
+	}
+	before, err := bank.TotalMoney()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bank.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	fe2 := core.NewFrontend(core.FrontendOptions{ID: 2, Mode: core.ModeR(), Profile: &zprof})
+	var conns2 []*core.Conn
+	for _, bk := range bks {
+		c2, err := fe2.Connect(bk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns2 = append(conns2, c2)
+	}
+	bank2, err := OpenPartitionedSmallBank(conns2, "pbank3", 20, false, tOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := bank2.TotalMoney()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Fatalf("balance changed across reopen: %d → %d", before, after)
+	}
+}
