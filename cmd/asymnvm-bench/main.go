@@ -9,7 +9,7 @@
 //
 // Experiments: table2, table3, lockbench, cachebench, fig6, fig7, fig8,
 // fig9, fig10, fig11, fig12, fig13, cost, chaos, ablation, pipeline,
-// scaleout, all.
+// scaleout, recovery, all.
 package main
 
 import (
@@ -83,6 +83,7 @@ func main() {
 		{"cost", func() ([]bench.Row, error) { return bench.CostModel(100, nil), nil }},
 		{"pipeline", func() ([]bench.Row, error) { return bench.PipelineSweep(sc, nil) }},
 		{"scaleout", func() ([]bench.Row, error) { return bench.ScaleoutSweep(sc) }},
+		{"recovery", func() ([]bench.Row, error) { return bench.RecoverySweep(sc) }},
 		{"chaos", func() ([]bench.Row, error) { return bench.FaultDegradation(sc) }},
 		{"ablation", func() ([]bench.Row, error) {
 			rows, err := bench.AblationCachePolicy(sc)

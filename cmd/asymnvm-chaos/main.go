@@ -41,6 +41,7 @@ func main() {
 	flag.IntVar(&cfg.MirrorLag, "lag", cfg.MirrorLag, "mirror replication lag in kicks")
 	flag.IntVar(&cfg.Pipeline, "pipeline", cfg.Pipeline, "writer send-queue depth (>1 enables posted verbs)")
 	flag.BoolVar(&cfg.AutoTune, "autotune", cfg.AutoTune, "enable the adaptive batch/depth controller on the writer")
+	flag.BoolVar(&cfg.Compact, "compact", cfg.Compact, "run every back-end incarnation with log compaction on")
 	flag.BoolVar(&cfg.Rebuild, "rebuild", cfg.Rebuild, "end with an archive-replay rebuild check")
 	flag.BoolVar(&cfg.Verbose, "v", cfg.Verbose, "print every injected fault event")
 	doTrace := flag.Bool("trace", false, "record a span trace of the soak")

@@ -1,0 +1,92 @@
+package alloc
+
+// Reclaimer tracks byte ranges of a log that the compaction plane has
+// declared dead (applied into the persistent area and checkpointed) and
+// hands them back as page-granular spans. The back-end scrubs the returned
+// spans and advances the log's truncation point, which is what actually
+// returns the pages to the writer's free window — the log areas are
+// circular, so "freeing" a page means letting the appender wrap over it.
+//
+// Ranges may arrive in any order and may be adjacent across calls; the
+// ledger coalesces them so page spans straddling two Add calls are still
+// reclaimed. Sub-page residue stays in the ledger until neighbouring bytes
+// complete the page.
+type Reclaimer struct {
+	pageSize uint64
+	spans    []Span // sorted by Off, disjoint, coalesced
+}
+
+// Span is one contiguous byte range.
+type Span struct {
+	Off uint64
+	Len uint64
+}
+
+// NewReclaimer creates a ledger returning spans aligned to pageSize, which
+// must be a power of two.
+func NewReclaimer(pageSize uint64) *Reclaimer {
+	if pageSize == 0 || pageSize&(pageSize-1) != 0 {
+		panic("alloc: reclaimer page size must be a power of two")
+	}
+	return &Reclaimer{pageSize: pageSize}
+}
+
+// Add records [off, off+n) as dead, coalescing with existing entries.
+func (r *Reclaimer) Add(off, n uint64) {
+	if n == 0 {
+		return
+	}
+	end := off + n
+	// Find the insertion window: every span overlapping or touching
+	// [off, end) is merged into one.
+	i := 0
+	for i < len(r.spans) && r.spans[i].Off+r.spans[i].Len < off {
+		i++
+	}
+	j := i
+	for j < len(r.spans) && r.spans[j].Off <= end {
+		if r.spans[j].Off < off {
+			off = r.spans[j].Off
+		}
+		if e := r.spans[j].Off + r.spans[j].Len; e > end {
+			end = e
+		}
+		j++
+	}
+	merged := Span{Off: off, Len: end - off}
+	r.spans = append(r.spans[:i], append([]Span{merged}, r.spans[j:]...)...)
+}
+
+// PendingBytes reports how many dead bytes sit in the ledger.
+func (r *Reclaimer) PendingBytes() uint64 {
+	var total uint64
+	for _, s := range r.spans {
+		total += s.Len
+	}
+	return total
+}
+
+// TakePages removes and returns every maximal page-aligned sub-span of the
+// ledger. Residue smaller than a page (or unaligned edges) remains pending.
+func (r *Reclaimer) TakePages() []Span {
+	var out []Span
+	var rest []Span
+	mask := r.pageSize - 1
+	for _, s := range r.spans {
+		lo := (s.Off + mask) &^ mask
+		hi := (s.Off + s.Len) &^ mask
+		if hi <= lo {
+			rest = append(rest, s)
+			continue
+		}
+		out = append(out, Span{Off: lo, Len: hi - lo})
+		if lo > s.Off {
+			rest = append(rest, Span{Off: s.Off, Len: lo - s.Off})
+		}
+		if end := s.Off + s.Len; end > hi {
+			rest = append(rest, Span{Off: hi, Len: end - hi})
+		}
+	}
+	r.spans = rest
+	return out
+}

@@ -1,0 +1,99 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestReclaimerCoalescesAcrossAdds(t *testing.T) {
+	r := NewReclaimer(4096)
+	// Two sub-page adds that only form a full page together.
+	r.Add(0, 2048)
+	if got := r.TakePages(); len(got) != 0 {
+		t.Fatalf("half a page reclaimed pages: %+v", got)
+	}
+	r.Add(2048, 2048)
+	got := r.TakePages()
+	if len(got) != 1 || got[0] != (Span{Off: 0, Len: 4096}) {
+		t.Fatalf("coalesced page not reclaimed: %+v", got)
+	}
+	if r.PendingBytes() != 0 {
+		t.Fatalf("ledger not drained: %d pending", r.PendingBytes())
+	}
+}
+
+func TestReclaimerLeavesUnalignedResidue(t *testing.T) {
+	r := NewReclaimer(4096)
+	r.Add(100, 3*4096) // covers pages 1 and 2 fully, fringes of 0 and 3
+	got := r.TakePages()
+	if len(got) != 1 || got[0] != (Span{Off: 4096, Len: 2 * 4096}) {
+		t.Fatalf("aligned interior not reclaimed: %+v", got)
+	}
+	// Residue: [100,4096) and [3*4096, 100+3*4096).
+	if want := uint64(4096 - 100 + 100); r.PendingBytes() != want {
+		t.Fatalf("residue %d bytes, want %d", r.PendingBytes(), want)
+	}
+	// Completing the fringes releases both edge pages.
+	r.Add(0, 100)
+	r.Add(100+3*4096, 4096-100)
+	got = r.TakePages()
+	var total uint64
+	for _, s := range got {
+		total += s.Len
+	}
+	if total != 2*4096 || r.PendingBytes() != 0 {
+		t.Fatalf("edge pages not released: %+v, %d pending", got, r.PendingBytes())
+	}
+}
+
+// TestReclaimerModelCheck drives random adds against a bitmap model: a
+// byte is "pending" from the Add that declares it dead until the TakePages
+// that returns it; returned spans must be page aligned and must only cover
+// pending bytes, and the ledger's PendingBytes must always match the model.
+func TestReclaimerModelCheck(t *testing.T) {
+	const page = 256
+	const space = 64 * page
+	rng := rand.New(rand.NewSource(42))
+	r := NewReclaimer(page)
+	pending := make([]bool, space)
+	count := func() uint64 {
+		var n uint64
+		for _, p := range pending {
+			if p {
+				n++
+			}
+		}
+		return n
+	}
+	drain := func() {
+		for _, s := range r.TakePages() {
+			if s.Off%page != 0 || s.Len%page != 0 {
+				t.Fatalf("unaligned span %+v", s)
+			}
+			for b := s.Off; b < s.Off+s.Len; b++ {
+				if !pending[b] {
+					t.Fatalf("byte %d returned but not pending", b)
+				}
+				pending[b] = false
+			}
+		}
+	}
+	for i := 0; i < 200; i++ {
+		off := uint64(rng.Intn(space - 1))
+		n := uint64(1 + rng.Intn(space-int(off)))
+		r.Add(off, n)
+		for b := off; b < off+n; b++ {
+			pending[b] = true
+		}
+		if rng.Intn(3) == 0 {
+			drain()
+		}
+		if got, want := r.PendingBytes(), count(); got != want {
+			t.Fatalf("step %d: ledger says %d pending, model says %d", i, got, want)
+		}
+	}
+	drain()
+	if got, want := r.PendingBytes(), count(); got != want {
+		t.Fatalf("final: ledger says %d pending, model says %d", got, want)
+	}
+}

@@ -70,6 +70,20 @@ type Backend struct {
 	stop     chan struct{}
 	done     chan struct{}
 	stopOnce sync.Once
+	halt     chan struct{}
+	haltOnce sync.Once
+
+	// Compaction plane (see compact.go). epoch is this incarnation's
+	// header epoch; inRecovery marks recover()'s replay so its
+	// transactions count toward RecoveryReplayOps; ckptOff latches after a
+	// CheckpointHook simulated a mid-checkpoint crash.
+	compact    *CompactConfig
+	ckptHook   func(CkptEvent) CkptAction
+	epoch      uint64
+	inRecovery bool
+	ckptOff    bool
+	// replayFromZero: test-only full-history recovery (Options doc).
+	replayFromZero bool
 
 	// mirPipe pipelines the virtual-clock cost of mirror forwarding
 	// (service goroutine only; see mirrorpipe.go).
@@ -95,6 +109,14 @@ type dsReplay struct {
 	opn     atomic.Uint64 // op-log offset covered by applied transactions
 	opSeen  uint64        // op-log scan cursor (backend goroutine only)
 	snOff   uint64
+
+	memTrunc atomic.Uint64 // memory-log truncation point (reclaimed below)
+	opTrunc  atomic.Uint64 // op-log truncation point
+	// Compaction bookkeeping (service goroutine only).
+	ckptSeq      uint64 // next checkpoint sequence number
+	appliedSince uint64 // memory-log bytes applied since the last checkpoint
+	memRec       *alloc.Reclaimer
+	opRec        *alloc.Reclaimer
 }
 
 // Options configures a back-end node.
@@ -105,6 +127,18 @@ type Options struct {
 	Profile *clock.Profile // defaults to clock.DefaultProfile
 	Config  *Config        // format geometry, defaults to DefaultConfig
 	Tracer  *trace.Tracer  // span tracer registry; nil disables tracing
+	// Compact enables the checkpoint/compaction plane (lazy application
+	// with periodic checkpoints and log truncation). nil keeps the
+	// classic eager per-transaction persist.
+	Compact *CompactConfig
+	// CheckpointHook, when set, is consulted before each checkpoint step;
+	// crash tests return CkptCrash to tear the step (see compact.go).
+	CheckpointHook func(CkptEvent) CkptAction
+	// replayFromZero makes recovery ignore checkpoints and durable
+	// cursors and replay every structure's full log from offset zero.
+	// Test-only (see export_test.go): the replay-equivalence property
+	// compares this recovery against the checkpoint+suffix one.
+	replayFromZero bool
 }
 
 func (o *Options) fill() {
@@ -146,8 +180,15 @@ func New(dev *nvm.Device, opts Options) (*Backend, error) {
 		kick:   make(chan struct{}, 1),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
+		halt:   make(chan struct{}),
 		dss:    make(map[uint16]*dsReplay),
 	}
+	if opts.Compact != nil {
+		cc := *opts.Compact
+		b.compact = &cc
+		b.ckptHook = opts.CheckpointHook
+	}
+	b.replayFromZero = opts.replayFromZero
 	if opts.Tracer != nil {
 		b.tr = opts.Tracer.Actor(fmt.Sprintf("bk%03d", opts.ID), b.clk, b.st)
 	}
@@ -210,6 +251,16 @@ func (b *Backend) Stop() {
 	<-b.done
 }
 
+// Halt terminates the service loop WITHOUT the final drain or checkpoint:
+// unapplied log records stay unapplied and the device's volatile window
+// stays open. It models losing the node mid-flight — power-fail paths
+// call Halt and then Device().Crash, where Stop would tidy up first and
+// hide the crash. Idempotent, and safe to interleave with Stop.
+func (b *Backend) Halt() {
+	b.haltOnce.Do(func() { close(b.halt) })
+	<-b.done
+}
+
 // WrapMirrors replaces every attached mirror sink with wrap(sink). The
 // fault plane uses it to interpose lag queues between the primary's
 // replication path and its replicas. Call before Start (or while the
@@ -236,10 +287,14 @@ func (b *Backend) run() {
 	defer close(b.done)
 	for {
 		select {
+		case <-b.halt:
+			return
 		case <-b.stop:
-			// Final drain so Stop() leaves the device fully applied.
+			// Final drain so Stop() leaves the device fully applied —
+			// and, with compaction on, checkpointed and truncated.
 			b.serveRPC()
 			b.replayAll()
+			b.checkpointAll()
 			b.drainMirrorPipe()
 			return
 		case <-b.kick:

@@ -1,0 +1,263 @@
+package backend
+
+import (
+	"encoding/binary"
+
+	"asymnvm/internal/alloc"
+	"asymnvm/internal/logrec"
+	"asymnvm/internal/trace"
+)
+
+// The checkpoint/compaction plane (PAPER.md §6: the memory log is
+// temporary). With Options.Compact set, the back-end switches from the
+// eager per-transaction persist to lazy application: replayed entries and
+// cursor updates stay in the device's volatile window until a checkpoint
+// drains them, writes a torn-write-safe checkpoint record, scrubs the dead
+// log pages and advances the durable truncation points that front-end
+// writers gate on. Backend.recover() then replays only checkpoint+suffix,
+// which is what keeps restart time flat as the workload ages.
+
+// CompactConfig enables and tunes the compaction plane.
+type CompactConfig struct {
+	// Interval is the number of applied memory-log bytes between periodic
+	// checkpoints. Pressure checkpoints (either log ¾ full) and the final
+	// drain checkpoint on Stop run regardless, so Interval == 0 means
+	// "checkpoint only under pressure".
+	Interval uint64
+	// KeepPages skips the dead-page scrub, leaving reclaimed log bytes
+	// readable. Tests use it to compare checkpoint+suffix recovery against
+	// a full-log replay, which needs the full history intact.
+	KeepPages bool
+}
+
+// CkptPhase identifies a step of the checkpoint procedure, for the
+// crash-injection hook.
+type CkptPhase uint8
+
+const (
+	// CkptPhaseWrite fires just before the checkpoint record is written.
+	CkptPhaseWrite CkptPhase = iota
+	// CkptPhaseReclaim fires just before dead log pages are scrubbed.
+	CkptPhaseReclaim
+)
+
+// CkptEvent describes the checkpoint step about to execute.
+type CkptEvent struct {
+	Slot  uint16
+	Seq   uint64
+	Phase CkptPhase
+}
+
+// CkptAction is a CheckpointHook's verdict.
+type CkptAction uint8
+
+const (
+	// CkptProceed lets the step run normally.
+	CkptProceed CkptAction = iota
+	// CkptCrash simulates a power failure inside the step: the step's
+	// write is torn (a durable prefix only) and the plane stops issuing
+	// checkpoints, leaving the device for the caller to Crash and recover.
+	CkptCrash
+)
+
+// ckptTornLen is how many bytes of the checkpoint record a CkptCrash at
+// CkptPhaseWrite leaves behind: enough to carry the magic (so recovery
+// attempts a decode) but cut mid-payload, guaranteeing a CRC failure.
+const ckptTornLen = 20
+
+// lazy reports whether the compaction plane (lazy application) is active.
+func (b *Backend) lazy() bool { return b.compact != nil }
+
+// ckptSlotOff returns the aux-relative offset of the slot for sequence
+// seq. Alternating slots make a torn checkpoint write recoverable: at
+// worst the newest checkpoint is lost, never the previous one.
+func ckptSlotOff(seq uint64) uint64 {
+	if seq%2 == 0 {
+		return auxCkptA
+	}
+	return auxCkptB
+}
+
+// writeLE64 is a volatile (pend-ordered) 8-byte little-endian write. Lazy
+// cursor updates use it so a power failure reverts cursors together with —
+// never ahead of — the applied entries they cover.
+func (b *Backend) writeLE64(off, v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	return b.dev.WriteAt(off, buf[:])
+}
+
+// maybeCheckpoint runs a checkpoint when the periodic interval elapsed or
+// either log is under space pressure (¾ full). Called from the service
+// loop after each structure's replay.
+func (b *Backend) maybeCheckpoint(ds *dsReplay) {
+	if !b.lazy() || b.ckptOff {
+		return
+	}
+	need := b.compact.Interval > 0 && ds.appliedSince >= b.compact.Interval
+	if lpn := ds.lpn.Load(); lpn-ds.memTrunc.Load() >= ds.memArea.Size-ds.memArea.Size/4 {
+		need = true
+	}
+	if opn := ds.opn.Load(); opn-ds.opTrunc.Load() >= ds.opArea.Size-ds.opArea.Size/4 {
+		need = true
+	}
+	if !need {
+		return
+	}
+	if err := b.checkpoint(ds); err != nil {
+		b.setErr(err)
+	}
+}
+
+// checkpointAll force-checkpoints every structure. The service loop runs
+// it on Stop's final drain; recover() runs it so that the next restart is
+// bounded even if the node crashes again immediately.
+func (b *Backend) checkpointAll() {
+	if !b.lazy() || b.ckptOff {
+		return
+	}
+	b.mu.Lock()
+	dss := make([]*dsReplay, 0, len(b.dss))
+	for _, ds := range b.dss {
+		dss = append(dss, ds)
+	}
+	b.mu.Unlock()
+	for _, ds := range dss {
+		if err := b.checkpoint(ds); err != nil {
+			b.setErr(err)
+		}
+	}
+}
+
+// checkpoint applies one structure's compaction step:
+//
+//  1. PersistAll — the lazily applied prefix and its cursors become
+//     durable,
+//  2. write the checkpoint record into the alternate slot,
+//  3. scrub the dead log pages (safe before step 4: the writer cannot
+//     wrap into them until the truncation point advances),
+//  4. advance the durable truncation points the writers gate on.
+//
+// A crash between any two steps is recoverable: the record is written
+// only after the state it covers is durable, and scrubbed bytes all lie
+// below the recorded watermarks.
+func (b *Backend) checkpoint(ds *dsReplay) error {
+	lpn := ds.lpn.Load()
+	opn := ds.opn.Load()
+	memTrunc := ds.memTrunc.Load()
+	opTrunc := ds.opTrunc.Load()
+	// Never truncate op records the archive scan has not forwarded yet —
+	// even with no mirror attached right now: after a restart the cluster
+	// re-homes the archive only once recovery has finished, so records
+	// scrubbed here would be lost to it (§7.2 Case 4 needs the full op
+	// stream).
+	opTo := opn
+	if ds.opSeen < opTo {
+		opTo = ds.opSeen
+	}
+	if opTo < opTrunc {
+		opTo = opTrunc
+	}
+	if lpn == memTrunc && opTo == opTrunc {
+		return nil // nothing applied since the last checkpoint
+	}
+
+	b.tr.BeginArg(trace.KindCheckpoint, uint64(ds.slot))
+	defer b.tr.End()
+
+	seq := ds.ckptSeq
+	rec := &logrec.CkptRecord{
+		DSSlot: ds.slot, Seq: seq, Epoch: b.epoch, LPN: lpn, OPN: opTo,
+		AreaDigest: logrec.AreaDigest(ds.memArea.Base, ds.memArea.Size,
+			ds.opArea.Base, ds.opArea.Size),
+	}
+	if b.ckptHook != nil &&
+		b.ckptHook(CkptEvent{Slot: ds.slot, Seq: seq, Phase: CkptPhaseWrite}) == CkptCrash {
+		b.ckptOff = true
+		return b.dev.WritePersist(ds.auxOff+ckptSlotOff(seq), rec.Encode()[:ckptTornLen])
+	}
+
+	// 1. Everything the record will cover must be durable first.
+	b.dev.PersistAll()
+	b.chargeBusy(b.prof.PersistBarrier)
+
+	// 2. The record itself, in the alternate slot.
+	enc := rec.Encode()
+	if err := b.dev.WritePersist(ds.auxOff+ckptSlotOff(seq), enc); err != nil {
+		return err
+	}
+	b.chargeBusy(b.prof.LocalNVMWrite(len(enc)) + b.prof.PersistBarrier)
+
+	// 3. Return the dead pages. The ledgers coalesce sub-page residue
+	// across checkpoints; scrubbing models the allocator getting whole
+	// pages back (for a circular log that means the appender may wrap
+	// over them once the truncation point moves).
+	//
+	// Scrub safety: a circular area's physical page aliases logical
+	// offsets one full area size apart, and the writer may already hold
+	// bytes up to (pre-checkpoint trunc)+size — so zeroing any logical
+	// byte BELOW the pre-checkpoint truncation point can destroy a live
+	// record one lap ahead. Only the range that went dead in THIS
+	// checkpoint is alias-free; ledger residue taken along with it is
+	// clipped away (reclaimed, just not zeroed).
+	ds.memRec.Add(memTrunc, lpn-memTrunc)
+	ds.opRec.Add(opTrunc, opTo-opTrunc)
+	if b.ckptHook != nil &&
+		b.ckptHook(CkptEvent{Slot: ds.slot, Seq: seq, Phase: CkptPhaseReclaim}) == CkptCrash {
+		b.ckptOff = true
+		if spans := ds.memRec.TakePages(); len(spans) > 0 {
+			b.scrub(ds.memArea, clipSpan(spans[0], memTrunc)) // crash mid-scrub: one span only
+		}
+		return nil
+	}
+	if !b.compact.KeepPages {
+		for _, s := range ds.memRec.TakePages() {
+			b.scrub(ds.memArea, clipSpan(s, memTrunc))
+		}
+		for _, s := range ds.opRec.TakePages() {
+			b.scrub(ds.opArea, clipSpan(s, opTrunc))
+		}
+	}
+
+	// 4. Advance the truncation points; front-end writers gate their
+	// append-space checks on these words.
+	if err := b.dev.Store64(ds.auxOff+auxMemTrunc, lpn); err != nil {
+		return err
+	}
+	if err := b.dev.Store64(ds.auxOff+auxOpTrunc, opTo); err != nil {
+		return err
+	}
+	ds.memTrunc.Store(lpn)
+	ds.opTrunc.Store(opTo)
+	ds.ckptSeq = seq + 1
+	ds.appliedSince = 0
+	b.st.Checkpoints.Add(1)
+	b.st.TruncatedBytes.Add(int64(lpn-memTrunc) + int64(opTo-opTrunc))
+	return nil
+}
+
+// clipSpan trims the part of s below floor (the pre-checkpoint truncation
+// point). Reclaimer residue carried over from earlier checkpoints sits
+// below it, and its physical pages may already hold live wrapped records —
+// those bytes are reclaimed but must never be zeroed.
+func clipSpan(s alloc.Span, floor uint64) alloc.Span {
+	if s.Off >= floor {
+		return s
+	}
+	if s.Off+s.Len <= floor {
+		return alloc.Span{}
+	}
+	return alloc.Span{Off: floor, Len: s.Off + s.Len - floor}
+}
+
+// scrub zero-fills one reclaimed span of a circular log area.
+func (b *Backend) scrub(area logrec.Area, s alloc.Span) {
+	zero := make([]byte, s.Len)
+	for _, r := range area.Split(s.Off, int(s.Len)) {
+		if err := b.dev.WritePersist(r.DevOff, zero[:r.Len]); err != nil {
+			b.setErr(err)
+			return
+		}
+	}
+	b.chargeBusy(b.prof.LocalNVMWrite(int(s.Len)))
+}

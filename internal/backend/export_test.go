@@ -1,0 +1,14 @@
+package backend
+
+import "asymnvm/internal/nvm"
+
+// NewReplayFromZero opens a back-end whose recovery ignores checkpoints
+// and durable cursors and replays every structure's full log from offset
+// zero. Only meaningful on images produced with CompactConfig.KeepPages
+// (a scrubbed prefix would decode as garbage). The replay-equivalence
+// property test compares this recovery's final image against the normal
+// checkpoint+suffix one.
+func NewReplayFromZero(dev *nvm.Device, opts Options) (*Backend, error) {
+	opts.replayFromZero = true
+	return New(dev, opts)
+}

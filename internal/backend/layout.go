@@ -65,7 +65,7 @@ const (
 // Aux metadata block layout (per data structure, allocated in the data
 // area). Holds the structure's private log areas and replay cursors.
 const (
-	AuxSize       = 256
+	AuxSize       = 512
 	auxMemLogBase = 0
 	auxMemLogSize = 8
 	auxOpLogBase  = 16
@@ -74,9 +74,17 @@ const (
 	auxOPN        = 40 // op-log absolute offset covered by applied txs
 	auxMemTail    = 48 // writer's append hint (advisory; recovery rescans)
 	auxOpTail     = 56 // writer's append hint (advisory; recovery rescans)
+	auxMemTrunc   = 64 // memory-log truncation point: bytes below are reclaimed
+	auxOpTrunc    = 72 // op-log truncation point
+	// Two alternating checkpoint slots (logrec.CkptSlotSize each). The
+	// compaction plane writes seq%2, so a torn checkpoint write can only
+	// damage the newer slot; recovery takes the valid record with the
+	// highest sequence number.
+	auxCkptA = 96
+	auxCkptB = 160
 	// AuxUser is the first byte available for data-structure-specific
 	// metadata (queue head/tail slots, partition maps, B+Tree height…).
-	AuxUser = 64
+	AuxUser = 256
 )
 
 // Exported aux-block field offsets for the front-end library.
@@ -89,6 +97,8 @@ const (
 	AuxOPNOff        = auxOPN
 	AuxMemTailOff    = auxMemTail
 	AuxOpTailOff     = auxOpTail
+	AuxMemTruncOff   = auxMemTrunc
+	AuxOpTruncOff    = auxOpTrunc
 )
 
 // RPC ring geometry: each front-end connection owns one slot; a slot is a

@@ -45,16 +45,22 @@ func (b *Backend) recover() error {
 		}
 	}
 
-	// Bump the epoch so front-ends can detect a restart.
+	// Bump the epoch so front-ends can detect a restart. Mirrors observe
+	// the same word through raw replication, so a promoted replica and a
+	// rebuilt archive agree with the primary's incarnation count.
 	epoch, err := b.dev.Load64(hdrEpoch)
 	if err != nil {
 		return err
 	}
-	if err := b.dev.Store64(hdrEpoch, epoch+1); err != nil {
+	b.epoch = epoch + 1
+	if err := b.dev.Store64(hdrEpoch, b.epoch); err != nil {
 		return err
 	}
 
-	// Discover structures and replay their logs.
+	// Discover structures and replay their logs — from the newest valid
+	// checkpoint onward, not from the beginning of history.
+	b.inRecovery = true
+	defer func() { b.inRecovery = false }()
 	if err := b.refreshSlots(); err != nil {
 		return err
 	}
@@ -80,6 +86,10 @@ func (b *Backend) recover() error {
 		status.PendingOps = b.countPendingOps(ds)
 		b.recovered = append(b.recovered, status)
 	}
+	b.inRecovery = false
+	// Checkpoint what recovery just replayed, so an immediate second
+	// crash replays nothing twice and the suffix stays short.
+	b.checkpointAll()
 	// Recovery replay may have forwarded to mirrors; settle the channel
 	// before the back-end starts serving.
 	b.drainMirrorPipe()
@@ -131,10 +141,34 @@ func (b *Backend) refreshSlots() error {
 		ds.opArea = logrec.Area{Base: le64at(aux, auxOpLogBase), Size: le64at(aux, auxOpLogSize)}
 		ds.lpn.Store(le64at(aux, auxLPN))
 		ds.opn.Store(le64at(aux, auxOPN))
-		ds.opSeen = ds.opn.Load()
+		ds.memTrunc.Store(le64at(aux, auxMemTrunc))
+		ds.opTrunc.Store(le64at(aux, auxOpTrunc))
 		if ds.memArea.Size == 0 || ds.opArea.Size == 0 {
 			continue // creation still in progress; retry on next kick
 		}
+		ds.memRec = alloc.NewReclaimer(b.layout.BlockSize)
+		ds.opRec = alloc.NewReclaimer(b.layout.BlockSize)
+		if b.replayFromZero {
+			// Test-only: pretend no progress was ever recorded and replay
+			// the full history (valid only while the log was never
+			// scrubbed, i.e. CompactConfig.KeepPages).
+			ds.lpn.Store(0)
+			ds.opn.Store(0)
+			ds.memTrunc.Store(0)
+			ds.opTrunc.Store(0)
+		} else if rec, ok := b.bestCkpt(ds, aux); ok {
+			// Adopt the newest valid checkpoint: replay resumes at its
+			// watermarks, skipping the already-applied (and possibly
+			// scrubbed) prefix.
+			if rec.LPN > ds.lpn.Load() {
+				ds.lpn.Store(rec.LPN)
+			}
+			if rec.OPN > ds.opn.Load() {
+				ds.opn.Store(rec.OPN)
+			}
+			ds.ckptSeq = rec.Seq + 1
+		}
+		ds.opSeen = ds.opn.Load()
 		// Replicate the naming entry and aux block so mirrors know the
 		// structure exists.
 		entryBuf := make([]byte, NameEntrySize)
@@ -170,6 +204,7 @@ func (b *Backend) replayAll() {
 		if _, err := b.replaySlot(ds); err != nil {
 			b.setErr(err)
 		}
+		b.maybeCheckpoint(ds)
 		kickMirrors = true
 	}
 	if kickMirrors {
@@ -241,6 +276,7 @@ func (b *Backend) replaySlot(ds *dsReplay) (SlotStatus, error) {
 			lpn += uint64(used)
 			ds.lpn.Store(lpn)
 			ds.opn.Store(rec.CoverOp)
+			ds.appliedSince += uint64(used)
 			pos += used
 			progressed = true
 			if len(buf)-pos < 32 {
@@ -296,31 +332,91 @@ func (b *Backend) applyTx(ds *dsReplay, rec *logrec.TxRecord, newLPN uint64) err
 		}
 		b.chargeBusy(b.prof.LocalNVMWrite(int(e.Len)))
 	}
-	b.dev.PersistAll()
-	b.chargeBusy(b.prof.PersistBarrier)
+	if !b.lazy() {
+		b.dev.PersistAll()
+		b.chargeBusy(b.prof.PersistBarrier)
+	}
 	// Write_End: SN even again; readers revalidate against it.
 	if err := b.dev.Store64(ds.snOff, sn+2); err != nil {
 		return err
 	}
-	// Persist the cursors (the LPN/OPN of §5.1).
-	if err := b.dev.Store64(ds.auxOff+auxLPN, newLPN); err != nil {
-		return err
+	if !b.lazy() {
+		// Persist the cursors (the LPN/OPN of §5.1).
+		if err := b.dev.Store64(ds.auxOff+auxLPN, newLPN); err != nil {
+			return err
+		}
+		if err := b.dev.Store64(ds.auxOff+auxOPN, rec.CoverOp); err != nil {
+			return err
+		}
+		// Eager mode never leaves an unapplied durable suffix, so the
+		// truncation points ride the cursors: writers gate on them with
+		// exactly the values they used to read from the LPN/OPN.
+		if err := b.dev.Store64(ds.auxOff+auxMemTrunc, newLPN); err != nil {
+			return err
+		}
+		if err := b.dev.Store64(ds.auxOff+auxOpTrunc, rec.CoverOp); err != nil {
+			return err
+		}
+		ds.memTrunc.Store(newLPN)
+		ds.opTrunc.Store(rec.CoverOp)
+	} else {
+		// Lazy mode: cursors advance with volatile writes placed in the
+		// persistence window AFTER the entry writes above. A power
+		// failure reverts a suffix of that window newest-first, so a
+		// surviving LPN implies the entries below it survived — the next
+		// checkpoint's PersistAll makes both durable together.
+		if err := b.writeLE64(ds.auxOff+auxLPN, newLPN); err != nil {
+			return err
+		}
+		if err := b.writeLE64(ds.auxOff+auxOPN, rec.CoverOp); err != nil {
+			return err
+		}
 	}
-	if err := b.dev.Store64(ds.auxOff+auxOPN, rec.CoverOp); err != nil {
-		return err
+	if b.inRecovery {
+		b.st.RecoveryReplayOps.Add(1)
 	}
 	b.st.TxReplayed.Add(1)
 	return nil
 }
 
+// bestCkpt decodes a structure's two checkpoint slots from its aux image
+// and returns the newest record that passes every validity check: codec
+// magic+CRC, slot ownership, area-geometry digest, and an epoch no newer
+// than the current incarnation (a torn slot simply loses this round and
+// the other slot wins).
+func (b *Backend) bestCkpt(ds *dsReplay, aux []byte) (logrec.CkptRecord, bool) {
+	want := logrec.AreaDigest(ds.memArea.Base, ds.memArea.Size,
+		ds.opArea.Base, ds.opArea.Size)
+	var best logrec.CkptRecord
+	found := false
+	for _, off := range [2]int{auxCkptA, auxCkptB} {
+		rec, err := logrec.DecodeCkpt(aux[off : off+logrec.CkptSlotSize])
+		if err != nil {
+			continue
+		}
+		if rec.DSSlot != ds.slot || rec.AreaDigest != want || rec.Epoch > b.epoch {
+			continue
+		}
+		if !found || rec.Seq > best.Seq {
+			best, found = rec, true
+		}
+	}
+	return best, found
+}
+
 // archiveOps scans the op log for records the mirrors have not seen and
 // forwards them — raw for replica mirrors (same offsets), semantic for
-// archive mirrors.
+// archive mirrors. Under compaction the scan runs even with no mirror
+// attached: the cursor it advances (opSeen) is also the op-log
+// truncation ceiling, so a mirror-less compacting back-end would
+// otherwise never reclaim op-log space. Eager mode truncates on the
+// cursors directly, so without a mirror it skips the scan (and its
+// per-transaction decode work) entirely.
 func (b *Backend) archiveOps(ds *dsReplay) {
 	b.mu.Lock()
-	nMirrors := len(b.mirrors)
+	forward := len(b.mirrors) > 0
 	b.mu.Unlock()
-	if nMirrors == 0 {
+	if !forward && !b.lazy() {
 		return
 	}
 	chunk := 4 << 10
@@ -345,13 +441,15 @@ func (b *Backend) archiveOps(ds *dsReplay) {
 				}
 				return
 			}
-			wire := buf[pos : pos+used]
-			for _, r := range ds.opArea.Split(rec.Abs, used) {
-				// Forward at physical offsets for replica mirrors.
-				b.forwardRawOnly(r.DevOff, wire[:r.Len])
-				wire = wire[r.Len:]
+			if forward {
+				wire := buf[pos : pos+used]
+				for _, r := range ds.opArea.Split(rec.Abs, used) {
+					// Forward at physical offsets for replica mirrors.
+					b.forwardRawOnly(r.DevOff, wire[:r.Len])
+					wire = wire[r.Len:]
+				}
+				b.forwardOp(ds.slot, buf[pos:pos+used])
 			}
-			b.forwardOp(ds.slot, buf[pos:pos+used])
 			ds.opSeen += uint64(used)
 			pos += used
 			progressed = true

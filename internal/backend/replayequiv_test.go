@@ -1,0 +1,261 @@
+package backend_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"asymnvm/internal/backend"
+	"asymnvm/internal/clock"
+	"asymnvm/internal/core"
+	"asymnvm/internal/ds"
+	"asymnvm/internal/nvm"
+	"asymnvm/internal/stats"
+)
+
+// The replay-equivalence property: recovering from the newest checkpoint
+// plus the log suffix must reconstruct the same device image as replaying
+// the full log from offset zero. One seeded run builds all eight
+// structures with compaction on (KeepPages, so the full history stays
+// decodable), power-fails the node mid-flight, and then recovers the same
+// image twice — once normally, once through the test-only replay-from-
+// zero override — and compares the results byte for byte.
+//
+// The only bytes allowed to differ are per-structure checkpoint
+// bookkeeping (the aux block: cursors, truncation points, the two
+// checkpoint slots) and the seqlock SN words (the two paths apply a
+// different number of transactions); both are masked before comparing.
+
+var eqProf = clock.ZeroProfile()
+
+func eqOpts() ds.Options {
+	return ds.Options{
+		Buckets: 256,
+		Create:  core.CreateOptions{MemLogSize: 1 << 20, OpLogSize: 512 << 10},
+	}
+}
+
+func eqCompact() *backend.CompactConfig {
+	// A small interval so several checkpoints land inside the workload;
+	// KeepPages keeps the truncated prefix readable for the from-zero run.
+	return &backend.CompactConfig{Interval: 2 << 10, KeepPages: true}
+}
+
+// eqWorkload is one structure's row: create it and run a seeded op mix,
+// leaving the handle drained.
+type eqWorkload struct {
+	name string
+	run  func(t *testing.T, c *core.Conn, rng *rand.Rand)
+}
+
+type eqKV interface {
+	Put(key uint64, val []byte) error
+	Drain() error
+}
+
+func eqKVRow(name string, create func(c *core.Conn, name string) (eqKV, error)) eqWorkload {
+	return eqWorkload{name: name, run: func(t *testing.T, c *core.Conn, rng *rand.Rand) {
+		t.Helper()
+		kv, err := create(c, name)
+		if err != nil {
+			t.Fatalf("%s: create: %v", name, err)
+		}
+		for i := 0; i < 120; i++ {
+			key := rng.Uint64()%64 + 1
+			val := make([]byte, 16+rng.Intn(48))
+			rng.Read(val)
+			if err := kv.Put(key, val); err != nil {
+				t.Fatalf("%s: put %d: %v", name, i, err)
+			}
+		}
+		if err := kv.Drain(); err != nil {
+			t.Fatalf("%s: drain: %v", name, err)
+		}
+	}}
+}
+
+func eqWorkloads() []eqWorkload {
+	return []eqWorkload{
+		{name: "Stack", run: func(t *testing.T, c *core.Conn, rng *rand.Rand) {
+			s, err := ds.CreateStack(c, "Stack", eqOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 100; i++ {
+				if rng.Intn(4) == 0 {
+					if _, _, err := s.Pop(); err != nil {
+						t.Fatalf("pop %d: %v", i, err)
+					}
+					continue
+				}
+				val := make([]byte, 16+rng.Intn(48))
+				rng.Read(val)
+				if err := s.Push(val); err != nil {
+					t.Fatalf("push %d: %v", i, err)
+				}
+			}
+			if err := s.Drain(); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{name: "Queue", run: func(t *testing.T, c *core.Conn, rng *rand.Rand) {
+			q, err := ds.CreateQueue(c, "Queue", eqOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 100; i++ {
+				if rng.Intn(4) == 0 {
+					if _, _, err := q.Dequeue(); err != nil {
+						t.Fatalf("dequeue %d: %v", i, err)
+					}
+					continue
+				}
+				val := make([]byte, 16+rng.Intn(48))
+				rng.Read(val)
+				if err := q.Enqueue(val); err != nil {
+					t.Fatalf("enqueue %d: %v", i, err)
+				}
+			}
+			if err := q.Drain(); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		eqKVRow("HashTable", func(c *core.Conn, n string) (eqKV, error) { return ds.CreateHashTable(c, n, eqOpts()) }),
+		eqKVRow("SkipList", func(c *core.Conn, n string) (eqKV, error) { return ds.CreateSkipList(c, n, eqOpts()) }),
+		eqKVRow("BST", func(c *core.Conn, n string) (eqKV, error) { return ds.CreateBST(c, n, eqOpts()) }),
+		eqKVRow("BPTree", func(c *core.Conn, n string) (eqKV, error) { return ds.CreateBPTree(c, n, eqOpts()) }),
+		eqKVRow("MVBST", func(c *core.Conn, n string) (eqKV, error) { return ds.CreateMVBST(c, n, eqOpts()) }),
+		eqKVRow("MVBPTree", func(c *core.Conn, n string) (eqKV, error) { return ds.CreateMVBPTree(c, n, eqOpts()) }),
+	}
+}
+
+// snapshotDev reads the full device image.
+func snapshotDev(t *testing.T, dev *nvm.Device) []byte {
+	t.Helper()
+	img := make([]byte, dev.Size())
+	if err := dev.ReadAt(0, img); err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// recoverImage restores img onto a fresh device, runs recovery (normal or
+// replay-from-zero), and returns the post-recovery image — with the
+// checkpoint bookkeeping masked out — plus the replay-op count.
+func recoverImage(t *testing.T, img []byte, fromZero bool) ([]byte, int64) {
+	t.Helper()
+	dev := nvm.NewDevice(len(img))
+	if err := dev.WritePersist(0, img); err != nil {
+		t.Fatal(err)
+	}
+	st := &stats.Stats{}
+	opts := backend.Options{ID: 0, Profile: &eqProf, Stats: st, Compact: eqCompact()}
+	var bk *backend.Backend
+	var err error
+	if fromZero {
+		bk, err = backend.NewReplayFromZero(dev, opts)
+	} else {
+		bk, err = backend.New(dev, opts)
+	}
+	if err != nil {
+		t.Fatalf("recovery (fromZero=%v): %v", fromZero, err)
+	}
+	out := snapshotDev(t, dev)
+	layout := bk.Layout()
+	for slot := uint16(0); uint64(slot) < layout.NameEntries; slot++ {
+		buf := out[layout.NameEntryOff(slot) : layout.NameEntryOff(slot)+backend.NameEntrySize]
+		entry, err := backend.DecodeNameEntry(buf)
+		if err != nil || !entry.Used || entry.Aux == 0 {
+			continue
+		}
+		for i := uint64(0); i < 8; i++ {
+			out[layout.SNOff(slot)+i] = 0
+		}
+		aux := backend.AddrOff(entry.Aux)
+		for i := uint64(0); i < backend.AuxSize; i++ {
+			out[aux+i] = 0
+		}
+	}
+	return out, st.RecoveryReplayOps.Load()
+}
+
+func TestReplayEquivalenceAllStructures(t *testing.T) {
+	dev := nvm.NewDevice(64 << 20)
+	st := &stats.Stats{}
+	bk, err := backend.New(dev, backend.Options{ID: 0, Profile: &eqProf, Stats: st, Compact: eqCompact()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk.Start()
+	fe := core.NewFrontend(core.FrontendOptions{ID: 1, Mode: core.ModeR(), Profile: &eqProf})
+	conn, err := fe.Connect(bk)
+	if err != nil {
+		bk.Stop()
+		t.Fatal(err)
+	}
+	for i, w := range eqWorkloads() {
+		w.run(t, conn, rand.New(rand.NewSource(0x715EED+int64(i))))
+	}
+	// A committed-but-undrained tail: these records are durable in the
+	// log (ModeR commits each op) but — staying below the checkpoint
+	// interval — they are never covered by a checkpoint, so the normal
+	// recovery must replay them as its suffix.
+	tailRng := rand.New(rand.NewSource(0x7A11))
+	tail, err := ds.CreateHashTable(conn, "Tail", eqOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		val := make([]byte, 16+tailRng.Intn(48))
+		tailRng.Read(val)
+		if err := tail.Put(tailRng.Uint64()%64+1, val); err != nil {
+			t.Fatalf("tail put %d: %v", i, err)
+		}
+	}
+
+	// Power failure mid-flight: no final drain or checkpoint, and the
+	// volatile window (lazily applied suffix, volatile cursors) is lost.
+	bk.Halt()
+	dev.Crash(nil)
+	if st.Checkpoints.Load() == 0 {
+		t.Fatal("workload completed without a single checkpoint; the property would be vacuous")
+	}
+	img := snapshotDev(t, dev)
+
+	imgA, rroA := recoverImage(t, img, false)
+	imgB, rroB := recoverImage(t, img, true)
+
+	if len(imgA) != len(imgB) {
+		t.Fatalf("image sizes differ: %d vs %d", len(imgA), len(imgB))
+	}
+	for off := range imgA {
+		if imgA[off] != imgB[off] {
+			lo := off - 16
+			if lo < 0 {
+				lo = 0
+			}
+			hi := off + 16
+			if hi > len(imgA) {
+				hi = len(imgA)
+			}
+			t.Fatalf("recovered images diverge at offset %d:\n ckpt+suffix %x\n full replay %x",
+				off, imgA[lo:hi], imgB[lo:hi])
+		}
+	}
+
+	// Bounded-time recovery: the checkpointed path must replay only the
+	// post-checkpoint suffix, a fraction of the full history.
+	if rroB == 0 {
+		t.Fatal("full replay applied no transactions")
+	}
+	if rroA*3 > rroB {
+		t.Errorf("checkpointed recovery replayed %d transactions, full replay %d — suffix not bounded", rroA, rroB)
+	}
+	t.Logf("replay ops: ckpt+suffix=%d full=%d (%.1fx)", rroA, rroB, float64(rroB)/float64(max64(rroA, 1)))
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+
+	"asymnvm/internal/backend"
+	"asymnvm/internal/clock"
+	"asymnvm/internal/core"
+	"asymnvm/internal/ds"
+	"asymnvm/internal/nvm"
+	"asymnvm/internal/stats"
+	"asymnvm/internal/workload"
+)
+
+// RecoverySweep measures restart cost versus workload age, the claim the
+// compaction plane exists for (§6, §7.2): a back-end that checkpoints
+// replays only checkpoint + suffix after a power failure, so its recovery
+// work stays flat as the log grows, while a back-end that merely applies
+// lazily without ever checkpointing must replay the full history.
+//
+// Two series over workloads of 1x/2x/4x/8x sc.Ops hash-table puts:
+//
+//   - "compact": CompactConfig{Interval: 32 KiB} — periodic checkpoints
+//     truncate the logs, recovery replays the post-checkpoint suffix,
+//     bounded by the interval whatever the workload length.
+//   - "full": the same lazy plane with checkpoints effectively disabled
+//     (interval beyond any workload, logs sized so pressure never fires) —
+//     the §7.2 baseline of replaying the whole memory log from offset
+//     zero. Eager mode is no baseline here: it persists cursors on every
+//     transaction, i.e. it pays continuous-checkpoint write cost upfront.
+//
+// KOPS is the workload length divided by recovery virtual time — "how
+// fast the history comes back" — so the compacted line rising linearly
+// while the full line stays flat is the same fact as recovery time being
+// flat versus linear. Extra carries the raw replay-op count and recovery
+// virtual nanoseconds the pinned tests check.
+func RecoverySweep(sc Scale) ([]Row, error) {
+	series := []struct {
+		name string
+		cfg  *backend.CompactConfig
+	}{
+		{"compact", &backend.CompactConfig{Interval: 32 << 10}},
+		{"full", &backend.CompactConfig{Interval: recoveryNeverInterval}},
+	}
+	var rows []Row
+	for _, s := range series {
+		for _, mult := range []int{1, 2, 4, 8} {
+			row, err := measureRecoveryCell(s.name, s.cfg, mult*sc.Ops)
+			if err != nil {
+				return nil, fmt.Errorf("recovery %s ops=%d: %w", s.name, mult*sc.Ops, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// recoveryNeverInterval pushes periodic checkpoints beyond any workload;
+// together with recoveryCreateOpts (logs whose ¾-full pressure trigger is
+// out of reach) it makes the "full" series genuinely checkpoint-free.
+const recoveryNeverInterval = 1 << 62
+
+// recoveryCreateOpts sizes the logs so the whole 8x history of a full-
+// scale sweep fits below the ¾ pressure trigger: the "full" series must
+// never be forced into a checkpoint, or it stops being a baseline.
+func recoveryCreateOpts() core.CreateOptions {
+	return core.CreateOptions{MemLogSize: 96 << 20, OpLogSize: 32 << 20}
+}
+
+// measureRecoveryCell ages one hash table by ops seeded puts, power-fails
+// the back-end (Halt: no drain, no final checkpoint, volatile window
+// lost), and measures the restart: replayed transactions and recovery
+// virtual time, both read off the recovering incarnation.
+func measureRecoveryCell(seriesName string, cfg *backend.CompactConfig, ops int) (Row, error) {
+	prof := clock.DefaultProfile()
+	dev := nvm.NewDevice(256 << 20)
+	st := &stats.Stats{}
+	bk, err := backend.New(dev, backend.Options{ID: 0, Profile: &prof, Stats: st, Compact: cfg})
+	if err != nil {
+		return Row{}, err
+	}
+	bk.Start()
+	fe := core.NewFrontend(core.FrontendOptions{ID: 1, Mode: core.ModeR(), Profile: &prof})
+	conn, err := fe.Connect(bk)
+	if err != nil {
+		bk.Stop()
+		return Row{}, err
+	}
+	ht, err := ds.CreateHashTable(conn, "recovery", ds.Options{
+		Buckets: 1 << 10, Create: recoveryCreateOpts(),
+	})
+	if err != nil {
+		bk.Stop()
+		return Row{}, err
+	}
+	// A cycling key domain: the data area stays bounded while the log
+	// grows linearly with ops — exactly the regime where truncation pays.
+	for i := 0; i < ops; i++ {
+		k := uint64(i%1024) + 1
+		if err := ht.Put(k, workload.Value(k, 64)); err != nil {
+			bk.Stop()
+			return Row{}, err
+		}
+	}
+	// Drain so the replayer has consumed the whole log (lazily); the
+	// compacting series has then also checkpointed up to within one
+	// interval of the tail.
+	if err := ht.Drain(); err != nil {
+		bk.Stop()
+		return Row{}, err
+	}
+	ckpts := st.Checkpoints.Load()
+	truncated := st.TruncatedBytes.Load()
+
+	// Power failure: volatile cursors and lazily applied entries are
+	// gone; only durable log records and checkpoint slots survive.
+	bk.Halt()
+	dev.Crash(nil)
+
+	st2 := &stats.Stats{}
+	bk2, err := backend.New(dev, backend.Options{ID: 0, Profile: &prof, Stats: st2, Compact: cfg})
+	if err != nil {
+		return Row{}, fmt.Errorf("restart: %w", err)
+	}
+	// Recovery runs inside New on a fresh virtual clock, so Now() is the
+	// recovery cost itself.
+	elapsed := bk2.Clock().Now()
+	rro := st2.RecoveryReplayOps.Load()
+	return Row{
+		Experiment: "recovery", Series: seriesName,
+		Label: fmt.Sprintf("ops=%d", ops), X: float64(ops),
+		KOPS: kopsOf(ops, elapsed),
+		Extra: map[string]float64{
+			"replay_ops":          float64(rro),
+			"recovery_virtual_ns": float64(elapsed.Nanoseconds()),
+			"checkpoints":         float64(ckpts),
+			"truncated_bytes":     float64(truncated),
+		},
+	}, nil
+}

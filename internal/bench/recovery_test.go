@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"testing"
+
+	"asymnvm/internal/backend"
+)
+
+// loadCheckedInRows reads a BENCH_*.json dump from the repo root.
+func loadCheckedInRows(t *testing.T, name string) []Row {
+	t.Helper()
+	data, err := os.ReadFile("../../" + name)
+	if err != nil {
+		t.Fatalf("reading checked-in %s: %v (regenerate with "+
+			"`go run ./cmd/asymnvm-bench -exp recovery -scale quick -ops 400 -json %s`)", name, err, name)
+	}
+	var rows []Row
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return rows
+}
+
+// TestRecoveryCheckedInCurve pins the tentpole's headline numbers against
+// the checked-in BENCH_recovery.json (regenerated verbatim by `make
+// bench-smoke` — the virtual clock makes the rows reproducible):
+//
+//   - the compacted series' recovery replay work must be bounded and flat
+//     as the workload ages 1x..8x,
+//   - the uncompacted baseline must grow with the workload,
+//   - at the longest sweep point the baseline must replay at least 5x
+//     more transactions than the compacted series ever does.
+func TestRecoveryCheckedInCurve(t *testing.T) {
+	rows := loadCheckedInRows(t, "BENCH_recovery.json")
+	bySeries := map[string][]Row{}
+	for _, r := range rows {
+		if r.Experiment == "recovery" {
+			bySeries[r.Series] = append(bySeries[r.Series], r)
+		}
+	}
+	for _, s := range []string{"compact", "full"} {
+		if len(bySeries[s]) != 4 {
+			t.Fatalf("series %q: %d rows, want 4 sweep points", s, len(bySeries[s]))
+		}
+		sort.Slice(bySeries[s], func(i, j int) bool { return bySeries[s][i].X < bySeries[s][j].X })
+	}
+	compact, full := bySeries["compact"], bySeries["full"]
+
+	maxCompactRRO := 0.0
+	for _, r := range compact {
+		if r.Extra["replay_ops"] > maxCompactRRO {
+			maxCompactRRO = r.Extra["replay_ops"]
+		}
+	}
+	// Bounded: the suffix a checkpointing back-end replays is set by the
+	// checkpoint interval (32 KiB of log), never by the workload length.
+	if maxCompactRRO > 512 {
+		t.Errorf("compacted recovery replayed up to %.0f transactions; not bounded by the interval", maxCompactRRO)
+	}
+	// Flat: aging the workload 8x must not grow the compacted replay work.
+	if first, last := compact[0].Extra["replay_ops"], compact[3].Extra["replay_ops"]; last > first+64 {
+		t.Errorf("compacted replay ops grew with workload length: %.0f at 1x, %.0f at 8x", first, last)
+	}
+	// The baseline replays the history: linear in the workload.
+	if f0, f3 := full[0].Extra["replay_ops"], full[3].Extra["replay_ops"]; f3 < 7*f0 {
+		t.Errorf("full-replay baseline not linear: %.0f at 1x vs %.0f at 8x", f0, f3)
+	}
+	longest := full[3].Extra["replay_ops"]
+	floor := maxCompactRRO
+	if floor < 1 {
+		floor = 1
+	}
+	if longest < 5*floor {
+		t.Errorf("at the longest point the baseline replayed %.0f transactions vs a compacted worst case of %.0f; want >= 5x", longest, floor)
+	}
+	if longest < 5 {
+		t.Errorf("baseline longest point replayed only %.0f transactions; the sweep did not run", longest)
+	}
+}
+
+// TestRecoveryReplayBoundedLive re-derives the 5x claim on a fresh pair
+// of cells, so the property is checked against the code and not only the
+// checked-in numbers.
+func TestRecoveryReplayBoundedLive(t *testing.T) {
+	const ops = 1200
+	compact, err := measureRecoveryCell("compact", &backend.CompactConfig{Interval: 32 << 10}, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := measureRecoveryCell("full", &backend.CompactConfig{Interval: recoveryNeverInterval}, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cRRO, fRRO := compact.Extra["replay_ops"], full.Extra["replay_ops"]
+	if cRRO > 512 {
+		t.Errorf("compacted recovery replayed %.0f transactions of a %d-op history; suffix not bounded", cRRO, ops)
+	}
+	floor := cRRO
+	if floor < 1 {
+		floor = 1
+	}
+	if fRRO < 5*floor {
+		t.Errorf("full replay %.0f vs compacted %.0f replay ops; want >= 5x", fRRO, floor)
+	}
+	if fRRO < ops {
+		t.Errorf("full-replay baseline replayed %.0f transactions, want the whole %d-op history", fRRO, ops)
+	}
+	if compact.Extra["checkpoints"] == 0 || compact.Extra["truncated_bytes"] == 0 {
+		t.Errorf("compacted cell never checkpointed/truncated: %+v", compact.Extra)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"sort"
 	"strings"
 
+	"asymnvm/internal/backend"
 	"asymnvm/internal/cluster"
 	"asymnvm/internal/core"
 	"asymnvm/internal/ds"
@@ -61,6 +62,7 @@ type Config struct {
 	MirrorLag    int     // replication lag in kicks (0 = synchronous)
 	Pipeline     int     // writer send-queue depth (>1 enables posted verbs)
 	AutoTune     bool    // enable the adaptive batch/depth controller on the writer
+	Compact      bool    // run every back-end incarnation with log compaction on
 
 	Rebuild bool // end with an archive-replay rebuild check
 	Verbose bool // include every injected fault event in the report
@@ -139,6 +141,13 @@ func Run(cfg Config) (*Report, error) {
 	ccfg.MirrorsPerBack = cfg.Mirrors
 	ccfg.ArchivePerBack = true
 	ccfg.Tracer = cfg.Tracer
+	if cfg.Compact {
+		// A small interval so checkpoints and log truncation actually fire
+		// mid-soak, interleaved with crashes and promotions. Determinism is
+		// unaffected: the post-recovery state is a function of the durable
+		// log bytes, wherever the checkpoint cursor happens to sit.
+		ccfg.Compact = &backend.CompactConfig{Interval: 32 << 10}
+	}
 	clu, err := cluster.New(ccfg)
 	if err != nil {
 		return nil, err
@@ -188,6 +197,9 @@ func Run(cfg Config) (*Report, error) {
 	tune := ""
 	if cfg.AutoTune {
 		tune = " autotune=on"
+	}
+	if cfg.Compact {
+		tune += " compact=on"
 	}
 	s.line("chaos: seed=%d ops=%d accounts=%d keys=%d mirrors=%d lag=%d pipe=%d%s", cfg.Seed, cfg.Ops, cfg.Accounts, cfg.Keys, cfg.Mirrors, cfg.MirrorLag, cfg.Pipeline, tune)
 

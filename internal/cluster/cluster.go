@@ -24,6 +24,12 @@ type Config struct {
 	DeviceBytes    int  // NVM capacity per back-end (and replica)
 	Profile        clock.Profile
 	BackendConfig  *backend.Config
+	// Compact, when non-nil, switches every back-end incarnation in the
+	// cluster — primaries, replica replayers, restarted and promoted
+	// nodes — to lazy replay with periodic checkpoints (§6 log GC). Each
+	// node checkpoints its own device independently; only the epoch is a
+	// shared notion (carried in the log records the mirrors replay).
+	Compact *backend.CompactConfig
 	// Tracer, when non-nil, records per-operation spans for the cluster's
 	// primary back-ends and every front-end created through NewFrontend.
 	// Replica replayers, promoted mirrors and restarted back-ends are NOT
@@ -73,7 +79,7 @@ func New(cfg Config) (*Cluster, error) {
 	cl := &Cluster{cfg: cfg, KA: NewKeepAlive()}
 	for i := 0; i < cfg.Backends; i++ {
 		dev := nvm.NewDevice(cfg.DeviceBytes)
-		opts := backend.Options{ID: uint16(i), Profile: &cfg.Profile, Config: cfg.BackendConfig, Tracer: cfg.Tracer}
+		opts := backend.Options{ID: uint16(i), Profile: &cfg.Profile, Config: cfg.BackendConfig, Tracer: cfg.Tracer, Compact: cfg.Compact}
 		bk, err := backend.New(dev, opts)
 		if err != nil {
 			return nil, err
@@ -81,7 +87,7 @@ func New(cfg Config) (*Cluster, error) {
 		var reps []*mirror.Replica
 		for m := 0; m < cfg.MirrorsPerBack; m++ {
 			mdev := nvm.NewDevice(cfg.DeviceBytes)
-			rep, err := mirror.NewReplica(mdev, bk, backend.Options{Profile: &cfg.Profile})
+			rep, err := mirror.NewReplica(mdev, bk, backend.Options{Profile: &cfg.Profile, Compact: cfg.Compact})
 			if err != nil {
 				return nil, err
 			}
@@ -238,9 +244,13 @@ func (c *Cluster) archiveFor(backendID int) *mirror.Archive {
 func (c *Cluster) CrashBackend(backendID int, powerFail bool) {
 	c.foMu.Lock()
 	defer c.foMu.Unlock()
-	c.Backends[backendID].Stop()
 	if powerFail {
+		// Power failure: Halt skips the graceful drain/checkpoint so the
+		// device crash below sees a realistic mid-flight image.
+		c.Backends[backendID].Halt()
 		c.devs[backendID].Crash(nil)
+	} else {
+		c.Backends[backendID].Stop()
 	}
 	c.KA.Expire(fmt.Sprintf("backend%d", backendID))
 	if c.plane != nil {
@@ -261,7 +271,11 @@ func (c *Cluster) RestartBackend(backendID int, powerFail bool) (*backend.Backen
 	c.foMu.Lock()
 	defer c.foMu.Unlock()
 	old := c.Backends[backendID]
-	old.Stop()
+	if powerFail {
+		old.Halt()
+	} else {
+		old.Stop()
+	}
 	if c.plane != nil {
 		// Flush and discard lag queues: the replicas get a fresh full
 		// sync below, so stale queued writes must not resurface later.
@@ -271,7 +285,7 @@ func (c *Cluster) RestartBackend(backendID int, powerFail bool) (*backend.Backen
 		c.devs[backendID].Crash(nil)
 	}
 	bk, err := backend.New(c.devs[backendID], backend.Options{
-		ID: uint16(backendID), Profile: &c.cfg.Profile,
+		ID: uint16(backendID), Profile: &c.cfg.Profile, Compact: c.cfg.Compact,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -282,7 +296,7 @@ func (c *Cluster) RestartBackend(backendID int, powerFail bool) (*backend.Backen
 	// the stop drain.
 	for m := range c.Mirrors[backendID] {
 		mdev := c.Mirrors[backendID][m].Device()
-		rep, err := mirror.NewReplica(mdev, bk, backend.Options{Profile: &c.cfg.Profile})
+		rep, err := mirror.NewReplica(mdev, bk, backend.Options{Profile: &c.cfg.Profile, Compact: c.cfg.Compact})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -327,14 +341,14 @@ func (c *Cluster) promoteLocked(backendID, mirrorIdx int) (*backend.Backend, err
 		c.plane.DropMirrors()
 	}
 	rep := c.Mirrors[backendID][mirrorIdx]
-	bk, err := rep.Promote(backend.Options{Profile: &c.cfg.Profile})
+	bk, err := rep.Promote(backend.Options{Profile: &c.cfg.Profile, Compact: c.cfg.Compact})
 	if err != nil {
 		return nil, err
 	}
 	c.Mirrors[backendID] = append(c.Mirrors[backendID][:mirrorIdx], c.Mirrors[backendID][mirrorIdx+1:]...)
 	for m := range c.Mirrors[backendID] {
 		mdev := c.Mirrors[backendID][m].Device()
-		nrep, err := mirror.NewReplica(mdev, bk, backend.Options{Profile: &c.cfg.Profile})
+		nrep, err := mirror.NewReplica(mdev, bk, backend.Options{Profile: &c.cfg.Profile, Compact: c.cfg.Compact})
 		if err != nil {
 			return nil, err
 		}
@@ -372,7 +386,7 @@ func (c *Cluster) RebuildFromArchive(backendID int, arch *mirror.Archive, reexec
 		c.plane.DropMirrors() // flush any lagged tail into the archive
 	}
 	dev := nvm.NewDevice(c.cfg.DeviceBytes)
-	bk, err := backend.New(dev, backend.Options{ID: uint16(backendID), Profile: &c.cfg.Profile})
+	bk, err := backend.New(dev, backend.Options{ID: uint16(backendID), Profile: &c.cfg.Profile, Compact: c.cfg.Compact})
 	if err != nil {
 		c.foMu.Unlock()
 		return nil, err

@@ -193,6 +193,11 @@ func (c *Conn) Open(name string, writer bool) (*Handle, error) {
 		memArea: logrec.Area{Base: binary.LittleEndian.Uint64(aux[backend.AuxMemLogBaseOff:]), Size: binary.LittleEndian.Uint64(aux[backend.AuxMemLogSizeOff:])},
 		opArea:  logrec.Area{Base: binary.LittleEndian.Uint64(aux[backend.AuxOpLogBaseOff:]), Size: binary.LittleEndian.Uint64(aux[backend.AuxOpLogSizeOff:])},
 		writer:  writer,
+		// Seed the append-space gates from the image just read; the
+		// truncation points only grow, so a stale value is merely
+		// conservative and the wait loops refresh it on demand.
+		memTruncKnown: binary.LittleEndian.Uint64(aux[backend.AuxMemTruncOff:]),
+		opTruncKnown:  binary.LittleEndian.Uint64(aux[backend.AuxOpTruncOff:]),
 	}
 	if writer {
 		h.overlay = make(map[uint64]*ovEntry)

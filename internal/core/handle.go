@@ -92,6 +92,13 @@ type Handle struct {
 	opTail       uint64
 	lpnKnown     uint64
 	opnKnown     uint64
+	// Log append-space gates. With the compaction plane, reclaimed space
+	// is bounded by the truncation points, not the replay cursors: the
+	// back-end may have applied a record (LPN past it) without having
+	// made the application durable yet, so the bytes are not reusable.
+	// Without compaction the back-end advances both in lockstep.
+	memTruncKnown uint64
+	opTruncKnown  uint64
 	pending      []logrec.MemEntry
 	pendingAddrs []uint64
 	coveredOp    uint64
@@ -657,25 +664,25 @@ func (h *Handle) auxFieldQuiet(fieldOff uint64) (uint64, error) {
 // log design.
 func (h *Handle) waitMemSpace(n int) error {
 	for i := 0; ; i++ {
-		if h.memTail-h.lpnKnown+uint64(n) <= h.memArea.Size {
+		if h.memTail-h.memTruncKnown+uint64(n) <= h.memArea.Size {
 			return nil
 		}
-		var lpn uint64
+		var trunc uint64
 		var err error
 		if i == 0 {
-			lpn, err = h.auxField(backend.AuxLPNOff)
+			trunc, err = h.auxField(backend.AuxMemTruncOff)
 		} else {
-			lpn, err = h.auxFieldQuiet(backend.AuxLPNOff)
+			trunc, err = h.auxFieldQuiet(backend.AuxMemTruncOff)
 		}
 		if err != nil {
 			return err
 		}
-		h.lpnKnown = lpn
-		if h.memTail-h.lpnKnown+uint64(n) <= h.memArea.Size {
+		h.memTruncKnown = trunc
+		if h.memTail-h.memTruncKnown+uint64(n) <= h.memArea.Size {
 			return nil
 		}
 		if i > pollLimit {
-			return fmt.Errorf("core: memory log area stuck full (tail=%d lpn=%d need=%d)", h.memTail, h.lpnKnown, n)
+			return fmt.Errorf("core: memory log area stuck full (tail=%d trunc=%d need=%d)", h.memTail, h.memTruncKnown, n)
 		}
 		h.c.kick()
 		runtime.Gosched()
@@ -688,21 +695,21 @@ func (h *Handle) waitMemSpace(n int) error {
 func (h *Handle) waitOpSpace() error {
 	n := uint64(len(h.opBuf))
 	for i := 0; ; i++ {
-		if h.opTail-h.opnKnown <= h.opArea.Size-min64(n, h.opArea.Size) {
+		if h.opTail-h.opTruncKnown <= h.opArea.Size-min64(n, h.opArea.Size) {
 			return nil
 		}
-		var opn uint64
+		var trunc uint64
 		var err error
 		if i == 0 {
-			opn, err = h.auxField(backend.AuxOPNOff)
+			trunc, err = h.auxField(backend.AuxOpTruncOff)
 		} else {
-			opn, err = h.auxFieldQuiet(backend.AuxOPNOff)
+			trunc, err = h.auxFieldQuiet(backend.AuxOpTruncOff)
 		}
 		if err != nil {
 			return err
 		}
-		h.opnKnown = opn
-		if h.opTail-h.opnKnown <= h.opArea.Size-min64(n, h.opArea.Size) {
+		h.opTruncKnown = trunc
+		if h.opTail-h.opTruncKnown <= h.opArea.Size-min64(n, h.opArea.Size) {
 			return nil
 		}
 		if !h.inFlush && len(h.pending) > 0 {
@@ -715,7 +722,7 @@ func (h *Handle) waitOpSpace() error {
 			continue
 		}
 		if i > pollLimit {
-			return fmt.Errorf("core: op log area stuck full (tail=%d opn=%d)", h.opTail, h.opnKnown)
+			return fmt.Errorf("core: op log area stuck full (tail=%d trunc=%d)", h.opTail, h.opTruncKnown)
 		}
 		h.c.kick()
 		runtime.Gosched()

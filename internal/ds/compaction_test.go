@@ -1,0 +1,120 @@
+package ds
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"asymnvm/internal/backend"
+	"asymnvm/internal/core"
+	"asymnvm/internal/nvm"
+	"asymnvm/internal/stats"
+)
+
+// TestCompactionLogWrapWriterProgress drives a workload several times the
+// size of the memory and op logs through a compacting back-end: the
+// writer's append-space gate must block on the truncation points, the
+// back-end's checkpoints must advance them (reclaiming and scrubbing the
+// dead prefix), and the writer must wrap the circular areas without ever
+// overwriting live records. A final power-fail recovery then replays only
+// checkpoint + suffix over the wrapped, partially scrubbed log.
+func TestCompactionLogWrapWriterProgress(t *testing.T) {
+	dev := nvm.NewDevice(64 << 20)
+	st := &stats.Stats{}
+	bk, err := backend.New(dev, backend.Options{ID: 0, Profile: &zprof, Stats: st,
+		Compact: &backend.CompactConfig{Interval: 4 << 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk.Start()
+	stopped := false
+	defer func() {
+		if !stopped {
+			bk.Stop()
+		}
+	}()
+	fe := core.NewFrontend(core.FrontendOptions{ID: 1, Mode: core.ModeR(), Profile: &zprof})
+	conn, err := fe.Connect(bk)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Logs far smaller than the workload: ~1500 ops of ~100 B against a
+	// 32 KiB memory log force a dozen wraps.
+	opts := Options{Buckets: 64, Create: core.CreateOptions{MemLogSize: 32 << 10, OpLogSize: 16 << 10}}
+	ht, err := CreateHashTable(conn, "wrap", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	oracle := make(map[uint64][]byte)
+	const ops = 1500
+	for i := 0; i < ops; i++ {
+		k := uint64(rng.Intn(32)) + 1
+		v := make([]byte, 16+rng.Intn(48))
+		rng.Read(v)
+		if err := ht.Put(k, v); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		oracle[k] = v
+	}
+	if err := ht.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if n := st.Checkpoints.Load(); n == 0 {
+		t.Fatal("workload several log sizes long produced no checkpoints")
+	}
+	if tb := st.TruncatedBytes.Load(); tb < 32<<10 {
+		t.Fatalf("truncated only %d bytes; the memory log alone must have been reclaimed at least once", tb)
+	}
+	for k, want := range oracle {
+		got, ok, err := ht.Get(k)
+		if err != nil || !ok || !bytes.Equal(got, want) {
+			t.Fatalf("key %d after wraps: ok=%v err=%v got %d bytes", k, ok, err, len(got))
+		}
+	}
+
+	// Power-fail: recovery over the wrapped log must resume from the
+	// newest checkpoint and replay a suffix bounded by the checkpoint
+	// interval — not the full workload history (which no longer exists:
+	// the dead prefix was scrubbed).
+	bk.Halt()
+	stopped = true
+	dev.Crash(nil)
+	st2 := &stats.Stats{}
+	bk2, err := backend.New(dev, backend.Options{ID: 0, Profile: &zprof, Stats: st2,
+		Compact: &backend.CompactConfig{Interval: 4 << 10}})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	bk2.Start()
+	defer bk2.Stop()
+	fe2 := core.NewFrontend(core.FrontendOptions{ID: 2, Mode: core.ModeR(), Profile: &zprof})
+	conn2, err := fe2.Connect(bk2)
+	if err != nil {
+		t.Fatalf("reconnect: %v", err)
+	}
+	raw, err := conn2.Open("wrap", true)
+	if err != nil {
+		t.Fatalf("raw open: %v", err)
+	}
+	if err := raw.BreakLock(1); err != nil {
+		t.Fatalf("break lock: %v", err)
+	}
+	ht2, err := OpenHashTable(conn2, "wrap", true, opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if err := ht2.Drain(); err != nil {
+		t.Fatalf("drain after recovery: %v", err)
+	}
+	for k, want := range oracle {
+		got, ok, err := ht2.Get(k)
+		if err != nil || !ok || !bytes.Equal(got, want) {
+			t.Fatalf("key %d after recovery: ok=%v err=%v got %d bytes", k, ok, err, len(got))
+		}
+	}
+	if rro := st2.RecoveryReplayOps.Load(); rro > ops/2 {
+		t.Errorf("recovery replayed %d transactions of a %d-op history; suffix not bounded by the checkpoint interval", rro, ops)
+	}
+}

@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"asymnvm/internal/backend"
 	"asymnvm/internal/core"
@@ -187,6 +190,159 @@ func TestCrashPointMatrix(t *testing.T) {
 				runCrashPoint(t, tc, k)
 			}
 			t.Logf("%s: %d crash points survived", tc.name, n)
+		})
+	}
+}
+
+// ---- truncation-phase rows (compaction plane) ----
+//
+// With compaction on, the back-end's crash surface gains phases of its
+// own: lazily applied entries that were never checkpointed, a torn
+// checkpoint record in either of the two slots, and a crash between
+// reclaiming dead log pages and advancing the truncation points. Each
+// phase is exercised against the same per-structure invariants as the
+// verb matrix: seeds survive byte-for-byte, the probe operation stays
+// all-or-nothing, ordering invariants hold.
+
+// newCompactCell builds a device+back-end+writer cell with compaction on.
+func newCompactCell(t *testing.T, interval uint64, hook func(backend.CkptEvent) backend.CkptAction) (*nvm.Device, *backend.Backend, *core.Conn) {
+	t.Helper()
+	dev := nvm.NewDevice(64 << 20)
+	bk, err := backend.New(dev, backend.Options{ID: 0, Profile: &zprof,
+		Compact: &backend.CompactConfig{Interval: interval}, CheckpointHook: hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk.Start()
+	fe := core.NewFrontend(core.FrontendOptions{ID: 1, Mode: core.ModeR(), Profile: &zprof})
+	conn, err := fe.Connect(bk)
+	if err != nil {
+		bk.Stop()
+		t.Fatal(err)
+	}
+	return dev, bk, conn
+}
+
+// recoverCompactCell power-fails dev (reverting the volatile window in
+// rng order), recovers a fresh compacting back-end on it, and runs the
+// row's invariant check through a new writer front-end.
+func recoverCompactCell(t *testing.T, dev *nvm.Device, bk *backend.Backend, tc crashCase, rng *rand.Rand) {
+	t.Helper()
+	bk.Halt()
+	dev.Crash(rng)
+	bk2, err := backend.New(dev, backend.Options{ID: 0, Profile: &zprof,
+		Compact: &backend.CompactConfig{Interval: 4 << 10}})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	bk2.Start()
+	defer bk2.Stop()
+	fe2 := core.NewFrontend(core.FrontendOptions{ID: 2, Mode: core.ModeR(), Profile: &zprof})
+	conn2, err := fe2.Connect(bk2)
+	if err != nil {
+		t.Fatalf("reconnect: %v", err)
+	}
+	raw, err := conn2.Open(tc.name, true)
+	if err != nil {
+		t.Fatalf("raw open: %v", err)
+	}
+	if err := raw.BreakLock(1); err != nil {
+		t.Fatalf("break lock: %v", err)
+	}
+	tc.check(t, conn2)
+}
+
+// TestTruncationCrashMidApply power-fails every structure while its probe
+// sits lazily applied but never checkpointed: the whole volatile window
+// (applied entries, volatile cursors) reverts in random order, and
+// recovery must rebuild the state from the untouched log alone.
+func TestTruncationCrashMidApply(t *testing.T) {
+	cases := []crashCase{
+		stackCrashCase(),
+		queueCrashCase(),
+		kvCrashCase("HashTable"),
+		kvCrashCase("SkipList"),
+		kvCrashCase("BST"),
+		kvCrashCase("BPTree"),
+		kvCrashCase("MVBST"),
+		kvCrashCase("MVBPTree"),
+		partitionedCrashCase(),
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			// An unreachable interval: nothing ever checkpoints, so every
+			// application stays in the device's volatile window.
+			dev, bk, conn := newCompactCell(t, 1<<30, nil)
+			probe := tc.build(t, conn)
+			if err := probe(); err != nil {
+				t.Fatalf("probe: %v", err)
+			}
+			recoverCompactCell(t, dev, bk, tc, rand.New(rand.NewSource(42)))
+		})
+	}
+}
+
+// TestTruncationCrashCheckpointPhases tears the checkpoint procedure
+// itself: mid-record-write into each of the two slots (the torn record
+// must be rejected and the older slot win), and mid-reclaim (pages
+// scrubbed under a record whose truncation points never advanced). Rows
+// are limited to structures whose probe can repeat idempotently — the
+// repeats force fresh replay progress until a checkpoint of the wanted
+// slot parity fires.
+func TestTruncationCrashCheckpointPhases(t *testing.T) {
+	phases := []struct {
+		name   string
+		phase  backend.CkptPhase
+		parity uint64
+	}{
+		{"write-slotA", backend.CkptPhaseWrite, 0},
+		{"write-slotB", backend.CkptPhaseWrite, 1},
+		{"reclaim", backend.CkptPhaseReclaim, 0},
+	}
+	cases := []crashCase{
+		kvCrashCase("HashTable"),
+		kvCrashCase("SkipList"),
+		kvCrashCase("BST"),
+		kvCrashCase("BPTree"),
+		kvCrashCase("MVBST"),
+		kvCrashCase("MVBPTree"),
+		partitionedCrashCase(),
+	}
+	for _, ph := range phases {
+		ph := ph
+		t.Run(ph.name, func(t *testing.T) {
+			for _, tc := range cases {
+				tc := tc
+				t.Run(tc.name, func(t *testing.T) {
+					var armed, fired atomic.Bool
+					hook := func(ev backend.CkptEvent) backend.CkptAction {
+						if !armed.Load() || fired.Load() {
+							return backend.CkptProceed
+						}
+						if ev.Phase != ph.phase || ev.Seq%2 != ph.parity {
+							return backend.CkptProceed
+						}
+						fired.Store(true)
+						return backend.CkptCrash
+					}
+					// Interval 1: any applied progress triggers a
+					// checkpoint attempt on the next kick.
+					dev, bk, conn := newCompactCell(t, 1, hook)
+					probe := tc.build(t, conn)
+					armed.Store(true)
+					for i := 0; i < 200 && !fired.Load(); i++ {
+						if err := probe(); err != nil {
+							t.Fatalf("probe repeat %d: %v", i, err)
+						}
+						time.Sleep(2 * time.Millisecond)
+					}
+					if !fired.Load() {
+						t.Fatalf("no %s checkpoint with seq parity %d fired within the probe budget", ph.name, ph.parity)
+					}
+					recoverCompactCell(t, dev, bk, tc, rand.New(rand.NewSource(43)))
+				})
+			}
 		})
 	}
 }

@@ -1,0 +1,98 @@
+package logrec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Checkpoint records pin the compaction plane's durable watermark: after
+// the back-end applies the memory-log prefix of a structure into its
+// persistent area, it writes one of these into the structure's aux block.
+// Recovery then replays only the log suffix past the recorded LPN instead
+// of the full history (PAPER.md §6: the memory log is temporary and is
+// garbage-collected once applied).
+//
+// The record is torn-write safe by construction of the *caller*: the
+// back-end alternates between two fixed slots (Seq%2) and recovery takes
+// the valid record with the highest Seq, so a power failure mid-write can
+// at worst lose the newest checkpoint, never the previous one.
+
+// CkptMagic is the first byte of an encoded checkpoint record.
+const CkptMagic byte = 0x3C
+
+// CkptSlotSize is the fixed on-NVM footprint of one checkpoint slot. The
+// wire encoding is shorter; the slot is padded so the two slots sit at
+// stable offsets inside the aux block.
+const CkptSlotSize = 64
+
+// ckptWireLen is the encoded length: magic(1) + slot(2) + seq(8) +
+// epoch(8) + lpn(8) + opn(8) + areaDigest(4) + crc(4).
+const ckptWireLen = 1 + 2 + 8 + 8 + 8 + 8 + 4 + 4
+
+// CkptRecord is one checkpoint: everything recovery needs to trust a
+// truncated memory log.
+type CkptRecord struct {
+	DSSlot     uint16 // owning structure's naming slot (guards misdirected writes)
+	Seq        uint64 // checkpoint sequence; recovery picks the valid max
+	Epoch      uint64 // back-end incarnation that wrote the record
+	LPN        uint64 // applied memory-log watermark (absolute offset)
+	OPN        uint64 // applied operation-log watermark (absolute offset)
+	AreaDigest uint32 // digest of the area geometry the watermarks refer to
+}
+
+// AreaDigest summarises a structure's log-area geometry. A checkpoint is
+// only valid for the areas it was taken against; if a slot were recycled
+// with different areas, a stale record's digest would not match.
+func AreaDigest(memBase, memSize, opBase, opSize uint64) uint32 {
+	var g [32]byte
+	binary.LittleEndian.PutUint64(g[0:], memBase)
+	binary.LittleEndian.PutUint64(g[8:], memSize)
+	binary.LittleEndian.PutUint64(g[16:], opBase)
+	binary.LittleEndian.PutUint64(g[24:], opSize)
+	return crc32.Checksum(g[:], castagnoli)
+}
+
+// Encode renders the record into a CkptSlotSize buffer (zero padded past
+// the wire length) ready to be written to a checkpoint slot.
+func (c *CkptRecord) Encode() []byte {
+	buf := make([]byte, CkptSlotSize)
+	buf[0] = CkptMagic
+	binary.LittleEndian.PutUint16(buf[1:], c.DSSlot)
+	binary.LittleEndian.PutUint64(buf[3:], c.Seq)
+	binary.LittleEndian.PutUint64(buf[11:], c.Epoch)
+	binary.LittleEndian.PutUint64(buf[19:], c.LPN)
+	binary.LittleEndian.PutUint64(buf[27:], c.OPN)
+	binary.LittleEndian.PutUint32(buf[35:], c.AreaDigest)
+	binary.LittleEndian.PutUint32(buf[39:],
+		crc32.Checksum(buf[:ckptWireLen-4], castagnoli))
+	return buf
+}
+
+// DecodeCkpt parses a checkpoint slot. It validates the magic and CRC;
+// slot ownership, geometry digest and epoch plausibility are the caller's
+// to check against its own state. A zeroed (never written) slot fails
+// with ErrBadMagic; a torn write fails with ErrShort or ErrBadCRC.
+func DecodeCkpt(src []byte) (CkptRecord, error) {
+	var c CkptRecord
+	if len(src) < 1 {
+		return c, fmt.Errorf("%w: empty checkpoint slot", ErrShort)
+	}
+	if src[0] != CkptMagic {
+		return c, fmt.Errorf("%w: checkpoint magic %#x", ErrBadMagic, src[0])
+	}
+	if len(src) < ckptWireLen {
+		return c, fmt.Errorf("%w: checkpoint slot %d < %d", ErrShort, len(src), ckptWireLen)
+	}
+	want := binary.LittleEndian.Uint32(src[39:])
+	if crc32.Checksum(src[:ckptWireLen-4], castagnoli) != want {
+		return c, fmt.Errorf("%w: checkpoint record", ErrBadCRC)
+	}
+	c.DSSlot = binary.LittleEndian.Uint16(src[1:])
+	c.Seq = binary.LittleEndian.Uint64(src[3:])
+	c.Epoch = binary.LittleEndian.Uint64(src[11:])
+	c.LPN = binary.LittleEndian.Uint64(src[19:])
+	c.OPN = binary.LittleEndian.Uint64(src[27:])
+	c.AreaDigest = binary.LittleEndian.Uint32(src[35:])
+	return c, nil
+}

@@ -1,0 +1,87 @@
+package logrec
+
+import (
+	"errors"
+	"testing"
+)
+
+func seedCkpt() *CkptRecord {
+	return &CkptRecord{
+		DSSlot:     5,
+		Seq:        17,
+		Epoch:      3,
+		LPN:        1 << 20,
+		OPN:        1 << 18,
+		AreaDigest: AreaDigest(4096, 8<<20, 4096+8<<20, 2<<20),
+	}
+}
+
+func TestCkptRoundTrip(t *testing.T) {
+	rec := seedCkpt()
+	enc := rec.Encode()
+	if len(enc) != CkptSlotSize {
+		t.Fatalf("encoded length %d, want slot size %d", len(enc), CkptSlotSize)
+	}
+	got, err := DecodeCkpt(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != *rec {
+		t.Fatalf("round trip changed the record: %+v vs %+v", *rec, got)
+	}
+}
+
+// TestCkptRejectsDamage covers the failure classes recovery must survive:
+// a never-written (zeroed) slot, a torn slot holding only a prefix of the
+// record, a flipped magic byte, and a bit flip inside the payload.
+func TestCkptRejectsDamage(t *testing.T) {
+	enc := seedCkpt().Encode()
+
+	if _, err := DecodeCkpt(make([]byte, CkptSlotSize)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("zeroed slot: got %v, want ErrBadMagic", err)
+	}
+	if _, err := DecodeCkpt(nil); !errors.Is(err, ErrShort) {
+		t.Fatalf("empty slot: got %v, want ErrShort", err)
+	}
+	if _, err := DecodeCkpt(enc[:ckptWireLen/2]); !errors.Is(err, ErrShort) {
+		t.Fatalf("torn slot: got %v, want ErrShort", err)
+	}
+
+	// A torn write that still fills the slot (zero tail) must fail the CRC.
+	torn := make([]byte, CkptSlotSize)
+	copy(torn, enc[:24])
+	if _, err := DecodeCkpt(torn); !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("zero-padded torn slot: got %v, want ErrBadCRC", err)
+	}
+
+	bad := append([]byte(nil), enc...)
+	bad[0] ^= 0xFF
+	if _, err := DecodeCkpt(bad); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("flipped magic: got %v, want ErrBadMagic", err)
+	}
+
+	flip := append([]byte(nil), enc...)
+	flip[20] ^= 0x04 // inside the LPN field
+	if _, err := DecodeCkpt(flip); !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("payload bit flip: got %v, want ErrBadCRC", err)
+	}
+}
+
+// TestAreaDigestDistinguishesGeometry pins that a checkpoint taken against
+// one log-area layout cannot be mistaken for another: recovery compares
+// the recorded digest against the aux block's geometry.
+func TestAreaDigestDistinguishesGeometry(t *testing.T) {
+	a := AreaDigest(4096, 8<<20, 4096+8<<20, 2<<20)
+	for _, d := range []uint32{
+		AreaDigest(8192, 8<<20, 4096+8<<20, 2<<20),
+		AreaDigest(4096, 4<<20, 4096+8<<20, 2<<20),
+		AreaDigest(4096, 8<<20, 4096+8<<20, 1<<20),
+	} {
+		if d == a {
+			t.Fatal("distinct geometries produced the same digest")
+		}
+	}
+	if AreaDigest(4096, 8<<20, 4096+8<<20, 2<<20) != a {
+		t.Fatal("digest is not deterministic")
+	}
+}

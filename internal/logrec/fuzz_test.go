@@ -75,6 +75,42 @@ func FuzzDecodeTx(f *testing.F) {
 	})
 }
 
+// FuzzDecodeCkpt hammers the checkpoint decoder. Seeds cover a valid
+// round trip, a truncated slot, a flipped magic byte, and a stale-epoch
+// record (the decoder must parse it — epoch plausibility is the back-end's
+// check, not the codec's). Anything accepted must round-trip unchanged and
+// re-validate.
+func FuzzDecodeCkpt(f *testing.F) {
+	valid := seedCkpt().Encode()
+	f.Add(valid)
+	f.Add(valid[:ckptWireLen-5]) // torn: record cut mid-payload
+	bad := append([]byte(nil), valid...)
+	bad[0] ^= 0xFF
+	f.Add(bad) // flipped magic
+	stale := seedCkpt()
+	stale.Epoch = ^uint64(0) // epoch from the far future: codec-valid, caller-stale
+	f.Add(stale.Encode())
+	f.Add(make([]byte, CkptSlotSize)) // zeroed (never-written) slot
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := DecodeCkpt(data)
+		if err != nil {
+			return
+		}
+		re := rec.Encode()
+		if len(re) != CkptSlotSize {
+			t.Fatalf("re-encode length %d, want %d", len(re), CkptSlotSize)
+		}
+		rec2, err := DecodeCkpt(re)
+		if err != nil {
+			t.Fatalf("re-encoded accepted record does not decode: %v", err)
+		}
+		if rec2 != rec {
+			t.Fatalf("round trip changed the record: %+v vs %+v", rec, rec2)
+		}
+	})
+}
+
 // FuzzDecodeOp does the same for operation records.
 func FuzzDecodeOp(f *testing.F) {
 	f.Add(seedOp(448).Encode(), uint64(448))

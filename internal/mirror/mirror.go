@@ -216,6 +216,12 @@ func (a *Archive) Ops() ([]ArchivedOp, error) {
 	off := uint64(archiveHdr)
 	end := archiveHdr + tail
 	hdr := make([]byte, frameOverhead)
+	// A primary that power-failed mid-run resumes its archive scan at the
+	// recovered watermark, which may re-forward records the pre-crash scan
+	// already sent. Per-slot op-log offsets only grow, so a frame whose
+	// Abs falls below the slot's high-water mark is such a replayed
+	// duplicate; drop it instead of re-executing the operation.
+	next := make(map[uint16]uint64)
 	for off < end {
 		if err := a.dev.ReadAt(off, hdr); err != nil {
 			return nil, err
@@ -228,11 +234,14 @@ func (a *Archive) Ops() ([]ArchivedOp, error) {
 		}
 		// Frames hold verbatim op records; their embedded Abs offsets
 		// refer to the primary's op-log area, which the decoder checks.
-		rec, _, err := decodeArchivedOp(body)
+		rec, used, err := decodeArchivedOp(body)
 		if err != nil {
 			return nil, fmt.Errorf("mirror: corrupt archive frame at %d: %w", off, err)
 		}
-		out = append(out, ArchivedOp{Slot: slot, Rec: rec})
+		if rec.Abs >= next[slot] {
+			out = append(out, ArchivedOp{Slot: slot, Rec: rec})
+			next[slot] = rec.Abs + uint64(used)
+		}
 		off += frameOverhead + uint64(n)
 	}
 	return out, nil

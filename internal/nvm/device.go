@@ -94,16 +94,19 @@ func (d *Device) writeLocked(off uint64, data []byte) error {
 	return nil
 }
 
-// WritePersist stores data and immediately makes the whole device durable.
-// It models a one-sided RDMA write whose acknowledgement implies the data
-// reached the persistence domain, and local writes followed by a flush.
+// WritePersist stores data and makes exactly that range durable. It models
+// a one-sided RDMA write whose acknowledgement implies the data reached the
+// persistence domain, and local writes followed by a ranged flush. Unrelated
+// writes elsewhere in the volatile window stay revertible — durability is a
+// property of the acknowledged range, not of the whole device.
 func (d *Device) WritePersist(off uint64, data []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if err := d.writeLocked(off, data); err != nil {
+	if err := d.check(off, len(data)); err != nil {
 		return err
 	}
-	d.pend = d.pend[:0]
+	copy(d.data[off:], data)
+	d.sealRange(off, len(data))
 	return nil
 }
 

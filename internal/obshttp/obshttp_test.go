@@ -47,3 +47,37 @@ func TestMetricsExportsFanoutAndTuneCounters(t *testing.T) {
 		}
 	}
 }
+
+// TestMetricsExportsCheckpointCounters pins the /metrics wire format for
+// the compaction plane: checkpoints taken, log bytes reclaimed by
+// truncation, and operations replayed during the last recovery.
+func TestMetricsExportsCheckpointCounters(t *testing.T) {
+	st := &stats.Stats{}
+	st.Checkpoints.Store(7)
+	st.TruncatedBytes.Store(65536)
+	st.RecoveryReplayOps.Store(42)
+
+	srv := New(nil)
+	srv.AddStats("bk000", st)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# source bk000",
+		"ckpt{n=7 trunc=65536B rro=42}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -244,7 +244,7 @@ func (e *Endpoint) execWR(wr *postedWR, extraDelay *time.Duration) {
 		wr.err = e.t.dev.ReadAt(wr.off, wr.buf)
 		return
 	}
-	for i, seg := range wr.segs {
+	for _, seg := range wr.segs {
 		trunc, err := consult(OpWrite, seg.Off, len(seg.Data))
 		if err != nil {
 			if trunc > 0 && trunc <= len(seg.Data) {
@@ -253,12 +253,10 @@ func (e *Endpoint) execWR(wr *postedWR, extraDelay *time.Duration) {
 			wr.err = err
 			return
 		}
-		if i == len(wr.segs)-1 {
-			err = e.t.dev.WritePersist(seg.Off, seg.Data)
-		} else {
-			err = e.t.dev.WriteAt(seg.Off, seg.Data)
-		}
-		if err != nil {
+		// Seal each segment: ranged WritePersist durability means the
+		// last segment's ack no longer covers the earlier ones. A
+		// fault-truncated prefix above stays volatile on purpose.
+		if err := e.t.dev.WritePersist(seg.Off, seg.Data); err != nil {
 			wr.err = err
 			return
 		}

@@ -274,22 +274,20 @@ func (e *Endpoint) WriteV(ops []WriteOp) error {
 }
 
 // writeVSegs applies the segments of a synchronous vector write in order,
-// consulting the fault hook per segment like Write does.
+// consulting the fault hook per segment like Write does. Every segment is
+// sealed individually: WritePersist durability is ranged, so the final
+// segment's acknowledgement no longer implies anything about the earlier
+// ones. Fault-truncated prefixes stay volatile (WriteAt) — an
+// unacknowledged write may still be lost to a power failure.
 func (e *Endpoint) writeVSegs(ops []WriteOp) error {
-	for i, op := range ops {
+	for _, op := range ops {
 		if trunc, err := e.faultCheck(OpWrite, op.Off, len(op.Data)); err != nil {
 			if trunc > 0 && trunc <= len(op.Data) {
 				_ = e.t.dev.WriteAt(op.Off, op.Data[:trunc])
 			}
 			return err
 		}
-		var err error
-		if i == len(ops)-1 {
-			err = e.t.dev.WritePersist(op.Off, op.Data)
-		} else {
-			err = e.t.dev.WriteAt(op.Off, op.Data)
-		}
-		if err != nil {
+		if err := e.t.dev.WritePersist(op.Off, op.Data); err != nil {
 			return err
 		}
 	}

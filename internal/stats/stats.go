@@ -54,6 +54,15 @@ type Stats struct {
 	AutoTuneBatch atomic.Int64 // current effective batch size B (gauge)
 	AutoTuneDepth atomic.Int64 // current effective pipeline depth (gauge)
 
+	// Compaction/recovery plane counters. Checkpoints counts checkpoint
+	// records written by the back-end; TruncatedBytes counts log bytes
+	// reclaimed (memory + op log truncation advances); RecoveryReplayOps
+	// counts transactions replayed during Backend.recover() — the quantity
+	// compaction exists to bound.
+	Checkpoints       atomic.Int64
+	TruncatedBytes    atomic.Int64
+	RecoveryReplayOps atomic.Int64
+
 	// BusyNS accumulates virtual nanoseconds during which the owning
 	// node's CPU was doing work (as opposed to waiting on the fabric).
 	BusyNS atomic.Int64
@@ -85,6 +94,8 @@ type Snapshot struct {
 	FanoutWindows, FanoutSavedNS              int64
 	AutoTuneSteps                             int64
 	AutoTuneBatch, AutoTuneDepth              int64
+	Checkpoints, TruncatedBytes               int64
+	RecoveryReplayOps                         int64
 	BusyNS                                    int64
 }
 
@@ -119,7 +130,10 @@ func (s *Stats) Snapshot() Snapshot {
 		AutoTuneSteps:  s.AutoTuneSteps.Load(),
 		AutoTuneBatch:  s.AutoTuneBatch.Load(),
 		AutoTuneDepth:  s.AutoTuneDepth.Load(),
-		BusyNS:         s.BusyNS.Load(),
+		Checkpoints:    s.Checkpoints.Load(),
+		TruncatedBytes: s.TruncatedBytes.Load(),
+		RecoveryReplayOps: s.RecoveryReplayOps.Load(),
+		BusyNS:            s.BusyNS.Load(),
 	}
 }
 
@@ -154,7 +168,10 @@ func (a Snapshot) Sub(b Snapshot) Snapshot {
 		AutoTuneSteps:  a.AutoTuneSteps - b.AutoTuneSteps,
 		AutoTuneBatch:  a.AutoTuneBatch - b.AutoTuneBatch,
 		AutoTuneDepth:  a.AutoTuneDepth - b.AutoTuneDepth,
-		BusyNS:         a.BusyNS - b.BusyNS,
+		Checkpoints:    a.Checkpoints - b.Checkpoints,
+		TruncatedBytes: a.TruncatedBytes - b.TruncatedBytes,
+		RecoveryReplayOps: a.RecoveryReplayOps - b.RecoveryReplayOps,
+		BusyNS:            a.BusyNS - b.BusyNS,
 	}
 }
 
@@ -185,7 +202,7 @@ func (a Snapshot) HitRatio() float64 {
 // String renders a compact human-readable summary.
 func (a Snapshot) String() string {
 	return fmt.Sprintf(
-		"rdma{r=%d w=%d atom=%d rpc=%d} bytes{r=%d w=%d} cache{hit=%d miss=%d} logs{op=%d mem=%d tx=%d replayed=%d} retry=%d resil{retry=%d fo=%d} pipe{wr=%d db=%d qd=%.1f saved=%dns} fan{win=%d saved=%dns} tune{steps=%d B=%d depth=%d}",
+		"rdma{r=%d w=%d atom=%d rpc=%d} bytes{r=%d w=%d} cache{hit=%d miss=%d} logs{op=%d mem=%d tx=%d replayed=%d} retry=%d resil{retry=%d fo=%d} pipe{wr=%d db=%d qd=%.1f saved=%dns} fan{win=%d saved=%dns} tune{steps=%d B=%d depth=%d} ckpt{n=%d trunc=%dB rro=%d}",
 		a.RDMARead, a.RDMAWrite, a.RDMAAtomic, a.RPCCalls,
 		a.BytesRead, a.BytesWrite,
 		a.CacheHit, a.CacheMiss,
@@ -195,5 +212,6 @@ func (a Snapshot) String() string {
 		a.PostedVerbs, a.DoorbellGroups, a.AvgQueueDepth(), a.OverlapSavedNS,
 		a.FanoutWindows, a.FanoutSavedNS,
 		a.AutoTuneSteps, a.AutoTuneBatch, a.AutoTuneDepth,
+		a.Checkpoints, a.TruncatedBytes, a.RecoveryReplayOps,
 	)
 }

@@ -49,6 +49,7 @@ const (
 	KindReplay                   // back-end: applying one committed tx
 	KindMirrorFwd                // back-end: forwarding bytes to mirrors
 	KindCPU                      // fixed per-op CPU charge
+	KindCheckpoint               // back-end: compaction checkpoint (apply+truncate)
 	NumKinds                     // sentinel
 )
 
@@ -57,6 +58,7 @@ var kindNames = [NumKinds]string{
 	"verb.read", "verb.write", "verb.atomic",
 	"post", "doorbell", "retire.wait", "overlap.saved",
 	"rpc", "retry.backoff", "failover", "replay", "mirror.fwd", "cpu",
+	"checkpoint",
 }
 
 // String names the kind as it appears in exported traces.
@@ -90,6 +92,7 @@ var kindPhase = [NumKinds]stats.Phase{
 	KindReplay:       stats.PhaseReplay,
 	KindMirrorFwd:    stats.PhaseMirror,
 	KindCPU:          stats.PhaseCPU,
+	KindCheckpoint:   stats.PhaseReplay,
 }
 
 // attributable reports span kinds that round trips are attributed to:
