@@ -16,8 +16,16 @@ all: check
 build:
 	$(GO) build ./...
 
+# go vet always; staticcheck when installed (CI installs it — see
+# .github/workflows/ci.yml — so the gate is enforced there even when a
+# local checkout lacks the binary).
 vet:
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -29,16 +37,16 @@ chaos: build
 	$(GO) run ./cmd/asymnvm-chaos -seed 1 -ops 5000
 
 # A reduced-op chaos soak with the race detector on: every crash,
-# failover and partition path runs under -race. The -compact soak runs
-# twice and diffs its reports: with compaction on, the post-recovery
-# state is a function of the durable log bytes alone, so the two runs
-# must be byte-identical whatever the checkpoint timing.
+# failover and partition path runs under -race. -determinism runs each
+# soak twice inside the binary and fails on the first divergent report
+# line: with compaction on the post-recovery state must be a function of
+# the durable log bytes alone, and with -serve the whole workload rides
+# the TCP service (admission, run queue, executor) and must still be
+# byte-identical per seed.
 chaos-race: build
 	$(GO) run -race ./cmd/asymnvm-chaos -seed 1 -ops 2000
-	$(GO) run -race ./cmd/asymnvm-chaos -seed 1 -ops 2000 -compact > chaos-compact-a.txt
-	$(GO) run -race ./cmd/asymnvm-chaos -seed 1 -ops 2000 -compact > chaos-compact-b.txt
-	cmp chaos-compact-a.txt chaos-compact-b.txt
-	rm -f chaos-compact-a.txt chaos-compact-b.txt
+	$(GO) run -race ./cmd/asymnvm-chaos -seed 1 -ops 2000 -compact -determinism
+	$(GO) run -race ./cmd/asymnvm-chaos -seed 3 -ops 1000 -serve -determinism
 
 # Cross-package statement coverage with a hard floor. -coverpkg=./... so
 # packages exercised only through other packages' tests (trace, stats,
@@ -66,6 +74,8 @@ bench-smoke: build
 	$(GO) run ./cmd/asymnvm-benchcmp -base BENCH_scaleout.json -head BENCH_scaleout.smoke.json
 	$(GO) run ./cmd/asymnvm-bench -exp recovery -scale quick -ops 400 -json BENCH_recovery.smoke.json
 	$(GO) run ./cmd/asymnvm-benchcmp -base BENCH_recovery.json -head BENCH_recovery.smoke.json
+	$(GO) run ./cmd/asymnvm-bench -exp overload -scale quick -ops 600 -json BENCH_overload.smoke.json
+	$(GO) run ./cmd/asymnvm-benchcmp -base BENCH_overload.json -head BENCH_overload.smoke.json
 
 # Diff two BENCH_*.json dumps; fails on a >10% KOPS regression.
 # Usage: make bench-compare BASE=old.json HEAD=new.json

@@ -9,7 +9,7 @@
 //
 // Experiments: table2, table3, lockbench, cachebench, fig6, fig7, fig8,
 // fig9, fig10, fig11, fig12, fig13, cost, chaos, ablation, pipeline,
-// scaleout, recovery, all.
+// scaleout, recovery, overload, all.
 package main
 
 import (
@@ -84,6 +84,7 @@ func main() {
 		{"pipeline", func() ([]bench.Row, error) { return bench.PipelineSweep(sc, nil) }},
 		{"scaleout", func() ([]bench.Row, error) { return bench.ScaleoutSweep(sc) }},
 		{"recovery", func() ([]bench.Row, error) { return bench.RecoverySweep(sc) }},
+		{"overload", func() ([]bench.Row, error) { return bench.OverloadSweep(sc) }},
 		{"chaos", func() ([]bench.Row, error) { return bench.FaultDegradation(sc) }},
 		{"ablation", func() ([]bench.Row, error) {
 			rows, err := bench.AblationCachePolicy(sc)

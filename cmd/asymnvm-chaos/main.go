@@ -8,10 +8,20 @@
 // same flags print byte-identical reports, including the fault event
 // log. Exit status is non-zero when any invariant was violated.
 //
+// With -serve every workload operation is routed through the networked
+// front-end service (internal/serve) instead of direct calls, so the
+// admission/queue/executor path is soaked under fault injection.
+//
+// With -determinism the soak runs twice with identical configuration
+// and the two reports are compared line by line: the first divergent
+// line is printed with its line number and the exit status is non-zero.
+// This is the reproducibility contract as a command.
+//
 // Usage:
 //
 //	asymnvm-chaos -seed 1 -ops 5000
 //	asymnvm-chaos -seed 7 -ops 2000 -drop 0.02 -v
+//	asymnvm-chaos -seed 3 -ops 2000 -serve -determinism
 package main
 
 import (
@@ -43,7 +53,9 @@ func main() {
 	flag.BoolVar(&cfg.AutoTune, "autotune", cfg.AutoTune, "enable the adaptive batch/depth controller on the writer")
 	flag.BoolVar(&cfg.Compact, "compact", cfg.Compact, "run every back-end incarnation with log compaction on")
 	flag.BoolVar(&cfg.Rebuild, "rebuild", cfg.Rebuild, "end with an archive-replay rebuild check")
+	flag.BoolVar(&cfg.Serve, "serve", cfg.Serve, "route the workload through the TCP front-end service")
 	flag.BoolVar(&cfg.Verbose, "v", cfg.Verbose, "print every injected fault event")
+	determinism := flag.Bool("determinism", false, "run twice and fail on the first divergent report line")
 	doTrace := flag.Bool("trace", false, "record a span trace of the soak")
 	traceOut := flag.String("trace-out", "", "write the chrome://tracing JSON to this file (implies -trace)")
 	httpAddr := flag.String("http", "", "serve /metrics, /debug/trace and /debug/flame on this address while the soak runs")
@@ -75,6 +87,22 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Print(rep.String())
+	if *determinism {
+		rep2, err := chaos.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asymnvm-chaos: determinism rerun: %v\n", err)
+			os.Exit(2)
+		}
+		if line, n, diverged := firstDivergence(rep.Lines, rep2.Lines); diverged {
+			fmt.Fprintf(os.Stderr, "asymnvm-chaos: determinism FAILED at report line %d:\n%s\n", n, line)
+			os.Exit(1)
+		}
+		if rep.Digest != rep2.Digest {
+			fmt.Fprintf(os.Stderr, "asymnvm-chaos: determinism FAILED: fault digests %016x vs %016x\n", rep.Digest, rep2.Digest)
+			os.Exit(1)
+		}
+		fmt.Printf("determinism: %d report lines identical across two runs\n", len(rep.Lines))
+	}
 	if *traceOut != "" {
 		if err := os.WriteFile(*traceOut, cfg.Tracer.ChromeJSON(), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "asymnvm-chaos: writing %s: %v\n", *traceOut, err)
@@ -85,4 +113,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "asymnvm-chaos: %d invariant violation(s)\n", rep.Violations)
 		os.Exit(1)
 	}
+}
+
+// firstDivergence compares two reports and returns a rendering of the
+// first line (1-based) where they differ.
+func firstDivergence(a, b []string) (string, int, bool) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return fmt.Sprintf("run 1: %s\nrun 2: %s", a[i], b[i]), i + 1, true
+		}
+	}
+	if len(a) != len(b) {
+		long, tag := a, "run 1"
+		if len(b) > len(a) {
+			long, tag = b, "run 2"
+		}
+		return fmt.Sprintf("%s has %d extra line(s), first: %s", tag, len(long)-n, long[n]), n + 1, true
+	}
+	return "", 0, false
 }

@@ -1,0 +1,253 @@
+// Command asymnvm-serve runs the networked front-end service: a TCP
+// server exposing get/put/getmulti/putmulti/tx over a simulated AsymNVM
+// cluster, with per-tenant admission control, deadline propagation into
+// the core retry loop, and bounded-queue load shedding.
+//
+// With -loadgen it instead drives the same admission/queue/deadline
+// plane through the deterministic open-loop simulator and prints the
+// goodput summary — the overload experiment at the command line.
+//
+// Usage:
+//
+//	asymnvm-serve -listen 127.0.0.1:4700 -http 127.0.0.1:8080
+//	asymnvm-serve -loadgen -scenario flash -factor 2 -duration 500ms
+//	asymnvm-serve -loadgen -scenario diurnal -rate 150000 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"asymnvm/internal/cluster"
+	"asymnvm/internal/core"
+	"asymnvm/internal/ds"
+	"asymnvm/internal/obshttp"
+	"asymnvm/internal/serve"
+	"asymnvm/internal/txapp"
+	"asymnvm/internal/workload"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:4700", "TCP service address")
+	httpAddr := flag.String("http", "", "serve /metrics and /healthz on this address")
+	loadgen := flag.Bool("loadgen", false, "run the open-loop overload simulator instead of serving")
+	scenario := flag.String("scenario", "const", "loadgen offered-load shape: const, diurnal, flash, slowclient")
+	seed := flag.Int64("seed", 4242, "loadgen arrival/workload seed")
+	rate := flag.Float64("rate", 0, "loadgen base offered rate in ops/s (0 = calibrate capacity and apply -factor)")
+	factor := flag.Float64("factor", 1.5, "offered load as a multiple of calibrated capacity when -rate is 0")
+	duration := flag.Duration("duration", 500*time.Millisecond, "loadgen virtual horizon")
+	budget := flag.Duration("budget", 2*time.Millisecond, "per-request deadline budget (0 disables deadlines)")
+	keys := flag.Uint64("keys", 16000, "hash-table key space")
+	accounts := flag.Uint64("accounts", 400, "smallbank accounts")
+	writePct := flag.Int("writepct", 30, "percent of requests that are puts")
+	txPct := flag.Int("txpct", 10, "percent of requests that are smallbank transactions")
+	theta := flag.Float64("theta", 0.9, "base Zipf key skew (0 = uniform)")
+	slowFrac := flag.Float64("slowfrac", 0, "loadgen fraction of responses shed to slow clients")
+	workers := flag.Int("workers", 1, "loadgen simulated service parallelism")
+	queueCap := flag.Int("queuecap", 256, "run-queue capacity")
+	tenants := flag.Int("tenants", 4, "tenant count (round-robin)")
+	capacity := flag.Int("capacity", 0, "fixed concurrency capacity (0 = follow the autotune depth gauge)")
+	flag.Parse()
+
+	if err := run(runConfig{
+		listen: *listen, httpAddr: *httpAddr,
+		loadgen: *loadgen, scenario: *scenario,
+		seed: *seed, rate: *rate, factor: *factor,
+		duration: *duration, budget: *budget,
+		keys: *keys, accounts: *accounts,
+		writePct: *writePct, txPct: *txPct, theta: *theta,
+		slowFrac: *slowFrac, workers: *workers,
+		queueCap: *queueCap, tenants: *tenants, capacity: *capacity,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "asymnvm-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type runConfig struct {
+	listen, httpAddr  string
+	loadgen           bool
+	scenario          string
+	seed              int64
+	rate, factor      float64
+	duration, budget  time.Duration
+	keys, accounts    uint64
+	writePct, txPct   int
+	theta, slowFrac   float64
+	workers, queueCap int
+	tenants, capacity int
+}
+
+// cell is one serving deployment: cluster, writer front-end, structures.
+type cell struct {
+	clu  *cluster.Cluster
+	fe   *core.Frontend
+	kv   *ds.HashTable
+	bank *txapp.SmallBank
+}
+
+func newCell(rc runConfig) (*cell, error) {
+	ccfg := cluster.DefaultConfig()
+	clu, err := cluster.New(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	fe, conns, err := clu.NewFrontend(1, core.Mode{OpLog: true, Batch: 4, Pipeline: 8})
+	if err != nil {
+		clu.Stop()
+		return nil, err
+	}
+	opts := ds.Options{Buckets: 1 << 12, Create: core.CreateOptions{MemLogSize: 32 << 20, OpLogSize: 8 << 20}}
+	kv, err := ds.CreateHashTable(conns[0], "serve-kv", opts)
+	if err != nil {
+		clu.Stop()
+		return nil, err
+	}
+	bank, err := txapp.NewSmallBank(conns[0], "serve-bank", rc.accounts, opts)
+	if err != nil {
+		clu.Stop()
+		return nil, err
+	}
+	return &cell{clu: clu, fe: fe, kv: kv, bank: bank}, nil
+}
+
+func (c *cell) loadgenConfig(rc runConfig) serve.LoadgenConfig {
+	cfg := serve.LoadgenConfig{
+		Seed:     rc.seed,
+		Duration: rc.duration,
+		Keys:     rc.keys,
+		WritePct: rc.writePct,
+		TxPct:    rc.txPct,
+		Theta:    rc.theta,
+		ValueLen: 64,
+		SlowFrac: rc.slowFrac,
+		Budget:   rc.budget,
+		Workers:  rc.workers,
+		QueueCap: rc.queueCap,
+		LIFOFrac: 0.5,
+		Tenants:  rc.tenants,
+		Admission: serve.AdmissionConfig{
+			BreakerTrip:     256,
+			BreakerCooldown: time.Millisecond,
+			RetryAfterMin:   100 * time.Microsecond,
+		},
+	}
+	if rc.capacity > 0 {
+		fixed := rc.capacity
+		cfg.Admission.CapacityFn = func() int { return fixed }
+	} else {
+		cfg.Admission.CapacityFn = serve.CapacityFromAutoTune(c.fe, 8)
+	}
+	return cfg
+}
+
+func run(rc runConfig) error {
+	c, err := newCell(rc)
+	if err != nil {
+		return err
+	}
+	defer c.clu.Stop()
+
+	if rc.httpAddr != "" {
+		srv := obshttp.New(nil)
+		srv.AddStats("fe001", c.fe.Stats())
+		for _, bk := range c.clu.Backends {
+			srv.AddStats(fmt.Sprintf("bk%03d", bk.ID()), bk.Stats())
+		}
+		clu := c.clu
+		srv.SetHealth("backends", func() (bool, string) {
+			ok := true
+			var lag uint64
+			for _, h := range clu.Health() {
+				if !h.OK() {
+					ok = false
+				}
+				lag += h.ReplayLag
+			}
+			return ok, fmt.Sprintf("lag=%dB", lag)
+		})
+		_, addr, err := srv.Start(rc.httpAddr)
+		if err != nil {
+			return fmt.Errorf("http: %w", err)
+		}
+		fmt.Printf("serving /metrics and /healthz on %s\n", addr)
+	}
+
+	if rc.loadgen {
+		return runLoadgen(c, rc)
+	}
+	return runServe(c, rc)
+}
+
+func runLoadgen(c *cell, rc runConfig) error {
+	cfg := c.loadgenConfig(rc)
+	base := rc.rate
+	if base <= 0 {
+		// No explicit rate: calibrate a twin cell (calibration ops would
+		// pollute the measured cell's cache and logs) and offer
+		// capacity × factor.
+		cal, err := newCell(rc)
+		if err != nil {
+			return err
+		}
+		meanSvc, err := serve.Calibrate(cal.fe, cal.kv, cal.bank, cfg, 2000)
+		cal.clu.Stop()
+		if err != nil {
+			return fmt.Errorf("calibration: %w", err)
+		}
+		base = float64(cfg.Workers) / meanSvc.Seconds() * rc.factor
+		fmt.Printf("calibrated capacity %.1f kops, offering %.1f kops (%.2gx)\n",
+			float64(cfg.Workers)/meanSvc.Seconds()/1e3, base/1e3, rc.factor)
+	}
+	switch rc.scenario {
+	case "const":
+		cfg.Sched = workload.ConstRate(base)
+	case "diurnal":
+		cfg.Sched = workload.Diurnal{Base: base, Amp: base / 2, Period: rc.duration / 2}
+	case "flash":
+		cfg.Sched = workload.Flash{Base: base / 2, Peak: base * 2, Start: rc.duration / 4, Dur: rc.duration / 4}
+		cfg.HotTheta = 1.2
+		cfg.HotStart = rc.duration / 4
+		cfg.HotDur = rc.duration / 4
+	case "slowclient":
+		cfg.Sched = workload.ConstRate(base)
+		if cfg.SlowFrac == 0 {
+			cfg.SlowFrac = 0.05
+		}
+	default:
+		return fmt.Errorf("unknown scenario %q (want const, diurnal, flash, slowclient)", rc.scenario)
+	}
+	res, err := serve.Loadgen(c.fe, c.kv, c.bank, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.String())
+	return nil
+}
+
+func runServe(c *cell, rc runConfig) error {
+	opts := serve.DefaultOptions()
+	opts.QueueCap = rc.queueCap
+	opts.Admission.BreakerTrip = 256
+	opts.Admission.BreakerCooldown = time.Millisecond
+	opts.Admission.RetryAfterMin = 100 * time.Microsecond
+	if rc.capacity > 0 {
+		fixed := rc.capacity
+		opts.Admission.CapacityFn = func() int { return fixed }
+	}
+	s := serve.New(serve.Backends{FE: c.fe, KV: c.kv, Bank: c.bank}, opts)
+	if err := s.Start(rc.listen); err != nil {
+		return err
+	}
+	fmt.Printf("serving asymnvm protocol on %s (ctrl-c to stop)\n", s.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	s.Close()
+	return nil
+}

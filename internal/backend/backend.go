@@ -235,6 +235,44 @@ func (b *Backend) ReplicationError() error {
 	return b.repErr
 }
 
+// Alive reports whether the service goroutine is still running. It goes
+// false once Stop, Halt, or a fatal replay error has retired the loop —
+// the liveness leg of a serving cell's readiness check.
+func (b *Backend) Alive() bool {
+	select {
+	case <-b.done:
+		return false
+	default:
+		return true
+	}
+}
+
+// ReplayLag sums, across attached structures, the memory-log bytes the
+// front-ends have published (the aux tail hint) that this node's
+// replayer has not yet applied. Zero means the materialized state is
+// caught up with everything durably written. The tail hint goes through
+// the device's locked accessor and the cursor is atomic, so this is
+// safe to call from any goroutine while replay runs.
+func (b *Backend) ReplayLag() uint64 {
+	b.mu.Lock()
+	dss := make([]*dsReplay, 0, len(b.dss))
+	for _, d := range b.dss {
+		dss = append(dss, d)
+	}
+	b.mu.Unlock()
+	var lag uint64
+	for _, d := range dss {
+		tail, err := b.dev.Load64(d.auxOff + AuxMemTailOff)
+		if err != nil {
+			continue
+		}
+		if applied := d.lpn.Load(); tail > applied {
+			lag += tail - applied
+		}
+	}
+	return lag
+}
+
 // Start launches the back-end service goroutine: it sleeps until kicked,
 // then serves RPC cells and replays new log records. The kick stands in
 // for the DMA-completion interrupt of a real NIC; no payload crosses it —

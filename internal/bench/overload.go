@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"asymnvm/internal/cluster"
+	"asymnvm/internal/core"
+	"asymnvm/internal/ds"
+	"asymnvm/internal/serve"
+	"asymnvm/internal/txapp"
+	"asymnvm/internal/workload"
+)
+
+// OverloadFactors are the offered-load multiples of the sweep: at and
+// past saturation.
+var OverloadFactors = []float64{1.0, 1.5, 2.0}
+
+// overloadBudget is the per-request deadline handed to every request in
+// the sweep; accepted-request latency is bounded by it by construction,
+// so the pinned "p99 stays bounded" check has an absolute yardstick.
+const overloadBudget = 2 * time.Millisecond
+
+// overloadRig builds one serving cell: cluster, writer front-end,
+// hash table and smallbank.
+type overloadRig struct {
+	clu  *cluster.Cluster
+	fe   *core.Frontend
+	kv   *ds.HashTable
+	bank *txapp.SmallBank
+}
+
+func newOverloadRig(sc Scale) (*overloadRig, error) {
+	cl, err := newAsymCluster(256 << 20)
+	if err != nil {
+		return nil, err
+	}
+	fe, conns, err := cl.NewFrontend(1, core.Mode{OpLog: true, Batch: 4, Pipeline: 8})
+	if err != nil {
+		cl.Stop()
+		return nil, err
+	}
+	opts := ds.Options{Buckets: 1 << 12, Create: benchCreateOpts()}
+	kv, err := ds.CreateHashTable(conns[0], "overload-kv", opts)
+	if err != nil {
+		cl.Stop()
+		return nil, err
+	}
+	accounts := uint64(sc.Accounts)
+	if accounts == 0 {
+		accounts = 400
+	}
+	bank, err := txapp.NewSmallBank(conns[0], "overload-bank", accounts, opts)
+	if err != nil {
+		cl.Stop()
+		return nil, err
+	}
+	return &overloadRig{clu: cl, fe: fe, kv: kv, bank: bank}, nil
+}
+
+// overloadCfg is the sweep's loadgen configuration sans schedule.
+func overloadCfg(sc Scale) serve.LoadgenConfig {
+	return serve.LoadgenConfig{
+		Seed:     4242,
+		Keys:     uint64(sc.Keys),
+		WritePct: 30,
+		TxPct:    10,
+		Theta:    0.9,
+		ValueLen: 64,
+		Budget:   overloadBudget,
+		Workers:  1,
+		QueueCap: 256,
+		LIFOFrac: 0.5,
+		Admission: serve.AdmissionConfig{
+			CapacityFn:      func() int { return 64 },
+			BreakerTrip:     256,
+			BreakerCooldown: time.Millisecond,
+			RetryAfterMin:   100 * time.Microsecond,
+		},
+		Tenants: 4,
+	}
+}
+
+// overloadDuration sizes the virtual horizon from the scale's op count
+// so -ops overrides shrink regeneration too.
+func overloadDuration(sc Scale) time.Duration {
+	d := time.Duration(sc.Ops) * 100 * time.Microsecond
+	if d < 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+// OverloadSweep is the open-loop overload experiment: calibrate the
+// serving cell's capacity (closed-loop mean service time), then drive
+// the admission/queue/deadline plane through the discrete-event
+// simulator at 1×, 1.5× and 2× of that capacity. Graceful degradation
+// means goodput holds (≥ 70% of the 1× point at 2×) while excess
+// arrivals are shed with explicit rejections, and every accepted
+// request that completes does so inside its deadline budget — the
+// curve flattens, it does not collapse. One fresh cell per factor keeps
+// the points independent and the whole sweep deterministic in virtual
+// time.
+func OverloadSweep(sc Scale) ([]Row, error) {
+	cal, err := newOverloadRig(sc)
+	if err != nil {
+		return nil, err
+	}
+	calOps := sc.Ops
+	if calOps > 4000 {
+		calOps = 4000
+	}
+	meanSvc, err := serve.Calibrate(cal.fe, cal.kv, cal.bank, overloadCfg(sc), calOps)
+	cal.clu.Stop()
+	if err != nil {
+		return nil, fmt.Errorf("bench: overload calibration: %w", err)
+	}
+	if meanSvc <= 0 {
+		return nil, fmt.Errorf("bench: overload calibration measured no service time")
+	}
+	cfg0 := overloadCfg(sc)
+	capacity := float64(cfg0.Workers) / meanSvc.Seconds() // ops per virtual second
+
+	rows := []Row{{
+		Experiment: "overload",
+		Series:     "capacity",
+		Label:      "calibrated",
+		X:          0,
+		KOPS:       capacity / 1e3,
+		Extra:      map[string]float64{"mean_svc_ns": float64(meanSvc)},
+	}}
+	for _, factor := range OverloadFactors {
+		rig, err := newOverloadRig(sc)
+		if err != nil {
+			return nil, err
+		}
+		cfg := overloadCfg(sc)
+		cfg.Duration = overloadDuration(sc)
+		cfg.Sched = workload.ConstRate(capacity * factor)
+		res, err := serve.Loadgen(rig.fe, rig.kv, rig.bank, cfg)
+		rig.clu.Stop()
+		if err != nil {
+			return nil, fmt.Errorf("bench: overload %gx: %w", factor, err)
+		}
+		rows = append(rows, Row{
+			Experiment: "overload",
+			Series:     "openloop",
+			Label:      fmt.Sprintf("%gx", factor),
+			X:          factor,
+			KOPS:       res.GoodputKOPS,
+			Extra: map[string]float64{
+				"offered":      float64(res.Offered),
+				"accepted":     float64(res.Accepted),
+				"rejected":     float64(res.Rejected),
+				"breaker":      float64(res.Breaker),
+				"expired":      float64(res.Expired),
+				"deadline":     float64(res.DeadlineMiss),
+				"good":         float64(res.Good),
+				"p50_us":       float64(res.P50) / 1e3,
+				"p99_us":       float64(res.P99) / 1e3,
+				"budget_us":    float64(overloadBudget) / 1e3,
+				"offered_kops": float64(res.Offered) / cfg.Duration.Seconds() / 1e3,
+			},
+		})
+	}
+	return rows, nil
+}

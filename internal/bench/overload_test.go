@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"sort"
+	"testing"
+)
+
+// overloadBySeries indexes an overload row set.
+func overloadBySeries(rows []Row) (capacity []Row, openloop []Row) {
+	for _, r := range rows {
+		if r.Experiment != "overload" {
+			continue
+		}
+		switch r.Series {
+		case "capacity":
+			capacity = append(capacity, r)
+		case "openloop":
+			openloop = append(openloop, r)
+		}
+	}
+	sort.Slice(openloop, func(i, j int) bool { return openloop[i].X < openloop[j].X })
+	return capacity, openloop
+}
+
+// checkOverloadCurve asserts graceful degradation on one row set: at 2×
+// open-loop offered load the plane must shed (explicit rejections), keep
+// goodput at ≥ 70% of the 1× point, and keep accepted-request p99 inside
+// the deadline budget — flattening, not collapsing.
+func checkOverloadCurve(t *testing.T, rows []Row) {
+	t.Helper()
+	capacity, openloop := overloadBySeries(rows)
+	if len(capacity) != 1 || capacity[0].KOPS <= 0 {
+		t.Fatalf("missing calibration row: %+v", capacity)
+	}
+	if len(openloop) != len(OverloadFactors) {
+		t.Fatalf("openloop series has %d rows, want %d", len(openloop), len(OverloadFactors))
+	}
+	base, over := openloop[0], openloop[len(openloop)-1]
+	if base.X != 1.0 || over.X != 2.0 {
+		t.Fatalf("sweep factors off: first %g last %g", base.X, over.X)
+	}
+	if base.KOPS <= 0 {
+		t.Fatalf("no goodput at 1x: %+v", base)
+	}
+	// Overload is real: arrivals outpace capacity and some are shed.
+	if over.Extra["offered"] <= base.Extra["offered"]*1.5 {
+		t.Errorf("2x point offered %0.f vs %0.f at 1x; open loop not open", over.Extra["offered"], base.Extra["offered"])
+	}
+	if over.Extra["rejected"]+over.Extra["breaker"] == 0 {
+		t.Errorf("2x overload shed nothing: %+v", over.Extra)
+	}
+	// Graceful degradation: goodput holds at >= 70% of the 1x point.
+	if over.KOPS < 0.7*base.KOPS {
+		t.Errorf("goodput collapsed under 2x: %.1f KOPS vs %.1f at 1x", over.KOPS, base.KOPS)
+	}
+	// Accepted-request p99 stays bounded by the deadline budget.
+	for _, r := range openloop {
+		if r.Extra["p99_us"] > r.Extra["budget_us"] {
+			t.Errorf("%s: accepted p99 %.0fus exceeds budget %.0fus", r.Label, r.Extra["p99_us"], r.Extra["budget_us"])
+		}
+		if r.Extra["good"] == 0 {
+			t.Errorf("%s: no request completed in budget", r.Label)
+		}
+	}
+}
+
+// TestOverloadCheckedInCurve pins the tentpole's headline numbers
+// against the checked-in BENCH_overload.json (regenerated verbatim by
+// `make bench-smoke` — virtual time makes the rows reproducible).
+func TestOverloadCheckedInCurve(t *testing.T) {
+	rows := loadCheckedInRows(t, "BENCH_overload.json")
+	checkOverloadCurve(t, rows)
+}
+
+// TestOverloadSweepLive re-derives the graceful-degradation property on
+// fresh cells, so it is checked against the code and not only the
+// checked-in numbers.
+func TestOverloadSweepLive(t *testing.T) {
+	sc := QuickScale()
+	sc.Ops = 600
+	sc.Accounts = 128
+	rows, err := OverloadSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOverloadCurve(t, rows)
+}

@@ -32,6 +32,7 @@ import (
 	"asymnvm/internal/ds"
 	"asymnvm/internal/fault"
 	"asymnvm/internal/logrec"
+	"asymnvm/internal/serve"
 	"asymnvm/internal/stats"
 	"asymnvm/internal/trace"
 	"asymnvm/internal/txapp"
@@ -66,6 +67,16 @@ type Config struct {
 
 	Rebuild bool // end with an archive-replay rebuild check
 	Verbose bool // include every injected fault event in the report
+
+	// Serve routes every workload operation through the networked
+	// front-end service (internal/serve): a TCP server owns the writer
+	// front-end and the soak drives it with a synchronous client, so the
+	// admission/queue/executor path is exercised under fault injection.
+	// The client is serial, all latency is charged to the virtual clock,
+	// and verification pauses the server (Close gives the soak goroutine
+	// a happens-before edge with the executor), so reports stay
+	// byte-identical per seed.
+	Serve bool
 
 	// Tracer, when non-nil, records per-operation spans for the soak's
 	// writer front-end and primary back-end (see cluster.Config.Tracer).
@@ -118,6 +129,55 @@ type soak struct {
 	kv     *ds.HashTable
 	oracle map[uint64][]byte
 	rep    *Report
+
+	// Serve-mode plumbing: while srv is non-nil its executor goroutine
+	// owns fe/bank/kv and every operation goes through cli.
+	srv *serve.Server
+	cli *serve.Client
+}
+
+// serveStart hands the structures to a fresh TCP server and connects
+// the soak's client.
+func (s *soak) serveStart() error {
+	srv := serve.New(serve.Backends{FE: s.fe, KV: s.kv, Bank: s.bank}, serve.DefaultOptions())
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return err
+	}
+	cli, err := serve.Dial(srv.Addr().String(), 1)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	s.srv, s.cli = srv, cli
+	return nil
+}
+
+// serveStop settles the server and takes the structures back. Close
+// joins the executor goroutine, so direct access afterwards is ordered
+// after everything it did.
+func (s *soak) serveStop() error {
+	if s.srv == nil {
+		return nil
+	}
+	resp, err := s.cli.Drain()
+	if err == nil && resp.Status != serve.StatusOK {
+		err = fmt.Errorf("chaos: serve drain status %d", resp.Status)
+	}
+	s.cli.Close()
+	s.srv.Close()
+	s.srv, s.cli = nil, nil
+	return err
+}
+
+// serveErr converts a non-OK response into an operation error.
+func serveErr(op string, resp serve.Response, err error) error {
+	if err != nil {
+		return fmt.Errorf("chaos: serve %s: %w", op, err)
+	}
+	if resp.Status != serve.StatusOK {
+		return fmt.Errorf("chaos: serve %s: status %d %s", op, resp.Status, resp.Val)
+	}
+	return nil
 }
 
 func dsOpts() ds.Options {
@@ -201,6 +261,9 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Compact {
 		tune += " compact=on"
 	}
+	if cfg.Serve {
+		tune += " serve=on"
+	}
 	s.line("chaos: seed=%d ops=%d accounts=%d keys=%d mirrors=%d lag=%d pipe=%d%s", cfg.Seed, cfg.Ops, cfg.Accounts, cfg.Keys, cfg.Mirrors, cfg.MirrorLag, cfg.Pipeline, tune)
 
 	// Build both structures before faults start: creation is plumbing, the
@@ -225,10 +288,24 @@ func Run(cfg Config) (*Report, error) {
 		DelayProb:    cfg.DelayProb,
 	})
 
+	if cfg.Serve {
+		if err := s.serveStart(); err != nil {
+			return nil, err
+		}
+	}
 	if err := s.soakLoop(sched); err != nil {
+		s.serveStop()
 		return nil, err
 	}
 	s.verify("final")
+	if err := s.serveStop(); err != nil {
+		return nil, err
+	}
+	if cfg.Serve {
+		snap := fe.Stats().Snapshot()
+		s.line("serve: accepted=%d rejected=%d breaker=%d expired=%d",
+			snap.ServeAccepted, snap.ServeRejected, snap.ServeBreaker, snap.ServeExpired)
+	}
 
 	if cfg.Rebuild {
 		if err := s.rebuildCheck(); err != nil {
@@ -268,6 +345,10 @@ func (s *soak) violation(format string, args ...interface{}) {
 // the replayer, and clears the read overlays so the next operation's verb
 // sequence is independent of replayer scheduling.
 func (s *soak) drain() error {
+	if s.srv != nil {
+		resp, err := s.cli.Drain()
+		return serveErr("drain", resp, err)
+	}
 	if err := s.bank.Table().Drain(); err != nil {
 		return err
 	}
@@ -334,27 +415,51 @@ func (s *soak) soakLoop(sched []fault.Action) error {
 	return nil
 }
 
-// workOp performs one workload operation and settles the pipeline.
+// workOp performs one workload operation and settles the pipeline. The
+// rng draw sequence is identical whether ops go direct or through the
+// serve client, so the fault schedule lines up the same way per seed.
 func (s *soak) workOp(rng *rand.Rand) error {
 	p := rng.Float64()
 	switch {
 	case p < 0.5:
-		if err := s.bank.DoTx(conservingR(rng)); err != nil {
+		r := conservingR(rng)
+		if s.srv != nil {
+			resp, err := s.cli.Tx(r, 0)
+			if err := serveErr("tx", resp, err); err != nil {
+				return err
+			}
+		} else if err := s.bank.DoTx(r); err != nil {
 			return err
 		}
 	case p < 0.8:
 		k := uint64(rng.Int63n(int64(s.cfg.Keys))) + 1
 		val := make([]byte, 8+rng.Intn(40))
 		rng.Read(val)
-		if err := s.kv.Put(k, val); err != nil {
+		if s.srv != nil {
+			resp, err := s.cli.Put(k, val, 0)
+			if err := serveErr("put", resp, err); err != nil {
+				return err
+			}
+		} else if err := s.kv.Put(k, val); err != nil {
 			return err
 		}
 		s.oracle[k] = val
 	default:
 		k := uint64(rng.Int63n(int64(s.cfg.Keys))) + 1
-		got, ok, err := s.kv.Get(k)
-		if err != nil {
-			return err
+		var got []byte
+		var ok bool
+		if s.srv != nil {
+			resp, err := s.cli.Get(k, 0)
+			if err := serveErr("get", resp, err); err != nil {
+				return err
+			}
+			got, ok = resp.Val, resp.Found
+		} else {
+			var err error
+			got, ok, err = s.kv.Get(k)
+			if err != nil {
+				return err
+			}
 		}
 		want, exists := s.oracle[k]
 		if exists != ok || (exists && !bytes.Equal(got, want)) {
@@ -366,7 +471,21 @@ func (s *soak) workOp(rng *rand.Rand) error {
 
 // verify checks the two invariants through a fresh reader front-end: the
 // committed state survives on whatever node currently serves the role.
+// In serve mode the server is paused around the check: Close joins the
+// executor goroutine, making direct structure access well-ordered, and
+// a fresh server takes over afterwards.
 func (s *soak) verify(tag string) {
+	if s.srv != nil {
+		if err := s.serveStop(); err != nil {
+			s.violation("verify[%s]: serve drain: %v", tag, err)
+			return
+		}
+		defer func() {
+			if err := s.serveStart(); err != nil {
+				s.violation("verify[%s]: serve restart: %v", tag, err)
+			}
+		}()
+	}
 	if err := s.drain(); err != nil {
 		s.violation("verify[%s]: drain: %v", tag, err)
 		return

@@ -166,3 +166,40 @@ func TestSoakAutoTuneDeterministic(t *testing.T) {
 		t.Fatalf("final stats differ:\n%+v\n%+v", a.Stats, b.Stats)
 	}
 }
+
+// TestSoakServeDeterministic soaks with every workload operation routed
+// through the networked front-end service (TCP server + synchronous
+// client) under the full failure menu. The contract is the same as the
+// direct soak: zero violations and byte-identical reports per seed —
+// the serving plane adds sockets and goroutines but no nondeterminism,
+// because all latency is still charged to the virtual clock.
+func TestSoakServeDeterministic(t *testing.T) {
+	cfg := smallConfig(17)
+	cfg.Serve = true
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Violations != 0 {
+		t.Fatalf("serve soak reported %d violations:\n%s", a.Violations, a.String())
+	}
+	if a.Stats.ServeAccepted == 0 {
+		t.Fatalf("serve mode on but the server admitted nothing: %+v", a.Stats)
+	}
+	if !strings.Contains(a.String(), "serve=on") {
+		t.Fatalf("report does not mark serve mode:\n%s", a.String())
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("fault log digests differ: %016x vs %016x", a.Digest, b.Digest)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("serve reports differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a.String(), b.String())
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("final stats differ:\n%+v\n%+v", a.Stats, b.Stats)
+	}
+}

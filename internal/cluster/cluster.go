@@ -142,6 +142,42 @@ func (c *Cluster) Plane() *fault.Plane {
 	return c.plane
 }
 
+// BackendHealth is one back-end slot's readiness: its keepalive lease,
+// its service-loop liveness, and how many durable memory-log bytes its
+// replayer still has to apply.
+type BackendHealth struct {
+	Slot       int
+	LeaseAlive bool
+	LoopAlive  bool
+	ReplayLag  uint64
+}
+
+// OK reports whether the slot can serve: lease held and loop running.
+// Replay lag is advisory — it bounds how stale reader-side materialized
+// state may be, not whether the log path works.
+func (h BackendHealth) OK() bool { return h.LeaseAlive && h.LoopAlive }
+
+// Health reports per-slot readiness across the deployment's back-ends.
+// Promotion swaps the slot's *backend.Backend in place, so this always
+// describes the current incarnation.
+func (c *Cluster) Health() []BackendHealth {
+	c.foMu.Lock()
+	backs := append([]*backend.Backend(nil), c.Backends...)
+	c.foMu.Unlock()
+	out := make([]BackendHealth, len(backs))
+	for i, bk := range backs {
+		out[i] = BackendHealth{
+			Slot:       i,
+			LeaseAlive: c.KA.Alive(fmt.Sprintf("backend%d", i)),
+			LoopAlive:  bk != nil && bk.Alive(),
+		}
+		if out[i].LoopAlive {
+			out[i].ReplayLag = bk.ReplayLag()
+		}
+	}
+	return out
+}
+
 // Stop drains and stops every node.
 func (c *Cluster) Stop() {
 	for _, bk := range c.Backends {

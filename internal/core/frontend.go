@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"time"
 
 	"asymnvm/internal/alloc"
 	"asymnvm/internal/backend"
@@ -87,6 +88,9 @@ type Frontend struct {
 	conns map[uint16]*Conn
 	rng   uint64 // xorshift state for skiplist levels etc.
 	retry RetryPolicy
+	// deadlineAt is the armed virtual-time deadline (0 = none); owned by
+	// the node's operating goroutine like the rest of the writer state.
+	deadlineAt time.Duration
 	tr    *trace.ActorTracer // nil when tracing is disabled
 	tuner *autoTuner         // nil unless Mode.AutoTune
 }

@@ -33,6 +33,39 @@ func (fe *Frontend) SetRetryPolicy(p RetryPolicy) { fe.retry = p }
 // RetryPolicy returns the node's verb retry policy.
 func (fe *Frontend) RetryPolicy() RetryPolicy { return fe.retry }
 
+// ErrDeadlineExceeded is returned when an armed deadline expires before a
+// verb completes. It classifies as permanent: the request is doomed, so
+// retrying (and consuming doorbell slots and backoff time) stops here.
+var ErrDeadlineExceeded = errors.New("core: operation deadline exceeded")
+
+// SetDeadline arms an absolute virtual-time deadline on the node. Every
+// verb issued through the retry loop checks it before each attempt, and
+// backoff is clamped to the remaining budget, so a doomed request fails
+// with ErrDeadlineExceeded instead of burning its full attempt budget.
+// Zero disarms (the zero virtual instant is never a useful deadline).
+// Deadlines are owned by the node's operating goroutine, like every other
+// piece of writer state.
+func (fe *Frontend) SetDeadline(at time.Duration) { fe.deadlineAt = at }
+
+// SetBudget arms a deadline of budget from the node's current virtual
+// time — the deadline-propagation entry point for a serving layer that
+// hands each request a latency budget.
+func (fe *Frontend) SetBudget(budget time.Duration) {
+	fe.deadlineAt = fe.clk.Now() + budget
+}
+
+// ClearDeadline disarms the deadline.
+func (fe *Frontend) ClearDeadline() { fe.deadlineAt = 0 }
+
+// DeadlineLeft reports the remaining budget. ok is false when no deadline
+// is armed; a non-positive remainder means the deadline has passed.
+func (fe *Frontend) DeadlineLeft() (time.Duration, bool) {
+	if fe.deadlineAt == 0 {
+		return 0, false
+	}
+	return fe.deadlineAt - fe.clk.Now(), true
+}
+
 // errClass is the outcome of classifying a verb error.
 type errClass int
 
@@ -88,11 +121,52 @@ func (c *Conn) Retarget(bk *backend.Backend) error {
 	return nil
 }
 
+// backoffDelay is the exponential backoff charged to the virtual clock
+// before attempt+1: BaseBackoff doubled per completed attempt, capped at
+// MaxBackoff. The shift is overflow-safe — any attempt deep enough to
+// overflow is already past every sane ceiling.
+func backoffDelay(pol RetryPolicy, attempt int) time.Duration {
+	if pol.BaseBackoff <= 0 || attempt < 1 {
+		return 0
+	}
+	shift := uint(attempt - 1)
+	backoff := pol.BaseBackoff
+	if shift >= 32 || pol.BaseBackoff<<shift <= 0 {
+		backoff = pol.MaxBackoff
+		if backoff <= 0 {
+			backoff = pol.BaseBackoff
+		}
+		return backoff
+	}
+	backoff = pol.BaseBackoff << shift
+	if pol.MaxBackoff > 0 && backoff > pol.MaxBackoff {
+		backoff = pol.MaxBackoff
+	}
+	return backoff
+}
+
+// clampToDeadline bounds a backoff to the remaining deadline budget.
+// hasDeadline=false passes the backoff through; a non-positive remainder
+// clamps to zero (the deadline check at the top of the next attempt
+// surfaces ErrDeadlineExceeded).
+func clampToDeadline(backoff, remaining time.Duration, hasDeadline bool) time.Duration {
+	if !hasDeadline || backoff <= remaining {
+		return backoff
+	}
+	if remaining < 0 {
+		return 0
+	}
+	return remaining
+}
+
 // do runs one verb closure under the retry/failover policy. Transient
 // faults are retried with exponential backoff charged to the virtual
 // clock; fatal faults invoke the failover delegate and then retry against
 // the replacement. The original error surfaces once the attempt budget is
-// exhausted (errors.Is against the rdma sentinels keeps working).
+// exhausted (errors.Is against the rdma sentinels keeps working). An
+// armed deadline (SetDeadline/SetBudget) is checked before every attempt
+// and becomes the backoff ceiling: a request whose budget ran out fails
+// with ErrDeadlineExceeded instead of occupying the fabric further.
 func (c *Conn) do(f func() error) error {
 	pol := c.fe.retry
 	if pol.MaxAttempts < 1 {
@@ -100,6 +174,13 @@ func (c *Conn) do(f func() error) error {
 	}
 	var err error
 	for attempt := 1; ; attempt++ {
+		if left, armed := c.fe.DeadlineLeft(); armed && left <= 0 {
+			c.fe.st.DeadlineMiss.Add(1)
+			if err != nil {
+				return fmt.Errorf("%w (after %d attempts): %w", ErrDeadlineExceeded, attempt-1, err)
+			}
+			return ErrDeadlineExceeded
+		}
 		err = f()
 		if err == nil {
 			return nil
@@ -125,11 +206,9 @@ func (c *Conn) do(f func() error) error {
 			if attempt >= pol.MaxAttempts {
 				return fmt.Errorf("core: giving up after %d attempts: %w", attempt, err)
 			}
-			if pol.BaseBackoff > 0 {
-				backoff := pol.BaseBackoff << (attempt - 1)
-				if backoff > pol.MaxBackoff && pol.MaxBackoff > 0 {
-					backoff = pol.MaxBackoff
-				}
+			if backoff := backoffDelay(pol, attempt); backoff > 0 {
+				left, armed := c.fe.DeadlineLeft()
+				backoff = clampToDeadline(backoff, left, armed)
 				c.fe.clk.Advance(backoff)
 				c.fe.tr.Charge(trace.KindRetryBackoff, backoff)
 			}

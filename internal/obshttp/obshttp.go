@@ -5,10 +5,15 @@
 //	GET /debug/trace — the chrome://tracing JSON export of the live trace
 //	                   (load in chrome://tracing or ui.perfetto.dev);
 //	GET /debug/flame — the text flame summary of the same trace.
+//	GET /healthz     — readiness: 200 when every registered health check
+//	                   passes (back-end service loops alive, replay lag
+//	                   bounded), 503 otherwise, one line per check.
 //
-// The bench, chaos and trace binaries mount it behind an optional -http
+// The bench, chaos and serve binaries mount it behind an optional -http
 // flag. Everything is read-only and safe to scrape mid-run: stats are
-// atomic counters and the tracer's span buffers are mutex-guarded.
+// atomic counters, the tracer's span buffers are mutex-guarded, and
+// source registration replaces by name so structures may be opened and
+// closed while scrapes are in flight.
 package obshttp
 
 import (
@@ -21,11 +26,12 @@ import (
 	"asymnvm/internal/trace"
 )
 
-// Server aggregates stats sources and an optional tracer.
+// Server aggregates stats sources, health checks and an optional tracer.
 type Server struct {
 	mu      sync.Mutex
 	tr      *trace.Tracer
 	sources []source
+	checks  []check
 }
 
 type source struct {
@@ -33,17 +39,64 @@ type source struct {
 	st   *stats.Stats
 }
 
+// HealthFunc is one readiness probe: ok plus a short human detail.
+type HealthFunc func() (ok bool, detail string)
+
+type check struct {
+	name string
+	fn   HealthFunc
+}
+
 // New returns a server exporting tr (which may be nil).
 func New(tr *trace.Tracer) *Server { return &Server{tr: tr} }
 
-// AddStats registers a named stats block to appear on /metrics.
+// AddStats registers a named stats block to appear on /metrics. A second
+// registration under the same name replaces the first, so a structure
+// re-opened mid-run (close/open cycles under concurrent scrapes) never
+// leaves a stale duplicate behind.
 func (s *Server) AddStats(name string, st *stats.Stats) {
 	if st == nil {
 		return
 	}
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.sources {
+		if s.sources[i].name == name {
+			s.sources[i].st = st
+			return
+		}
+	}
 	s.sources = append(s.sources, source{name: name, st: st})
-	s.mu.Unlock()
+}
+
+// RemoveStats drops a named stats block; scrapes in flight keep their
+// own copy of the source list, so removal never races a running scrape.
+func (s *Server) RemoveStats(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.sources {
+		if s.sources[i].name == name {
+			s.sources = append(s.sources[:i], s.sources[i+1:]...)
+			return
+		}
+	}
+}
+
+// SetHealth registers (or replaces, by name) one readiness probe served
+// on /healthz.
+func (s *Server) SetHealth(name string, fn HealthFunc) {
+	if fn == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.checks {
+		if s.checks[i].name == name {
+			s.checks[i].fn = fn
+			return
+		}
+	}
+	s.checks = append(s.checks, check{name: name, fn: fn})
 }
 
 // Handler returns the route mux.
@@ -52,7 +105,47 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.metrics)
 	mux.HandleFunc("/debug/trace", s.debugTrace)
 	mux.HandleFunc("/debug/flame", s.debugFlame)
+	mux.HandleFunc("/healthz", s.healthz)
 	return mux
+}
+
+// healthz runs every registered probe outside the registry lock (probes
+// may read back-end state) and reports 200 only when all pass. With no
+// probes registered the endpoint reports ready — liveness of the HTTP
+// plane itself.
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	checks := append([]check(nil), s.checks...)
+	s.mu.Unlock()
+	type result struct {
+		name, detail string
+		ok           bool
+	}
+	results := make([]result, 0, len(checks))
+	allOK := true
+	for _, c := range checks {
+		ok, detail := c.fn()
+		if !ok {
+			allOK = false
+		}
+		results = append(results, result{name: c.name, detail: detail, ok: ok})
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !allOK {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	if allOK {
+		fmt.Fprintln(w, "ok")
+	} else {
+		fmt.Fprintln(w, "unavailable")
+	}
+	for _, r := range results {
+		mark := "ok"
+		if !r.ok {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(w, "%s %s: %s\n", mark, r.name, r.detail)
+	}
 }
 
 func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {

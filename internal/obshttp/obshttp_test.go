@@ -1,10 +1,12 @@
 package obshttp
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"asymnvm/internal/stats"
@@ -80,4 +82,114 @@ func TestMetricsExportsCheckpointCounters(t *testing.T) {
 			t.Fatalf("/metrics missing %q:\n%s", want, out)
 		}
 	}
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestHealthzReadiness pins /healthz semantics: 200 with no probes or
+// all probes passing, 503 with per-check detail lines once any probe
+// fails, and SetHealth replacing by name so recovery flips it back.
+func TestHealthzReadiness(t *testing.T) {
+	srv := New(nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if code, body := get(t, ts.URL+"/healthz"); code != http.StatusOK || !strings.HasPrefix(body, "ok") {
+		t.Fatalf("empty healthz = %d %q, want 200 ok", code, body)
+	}
+
+	srv.SetHealth("backend0", func() (bool, string) { return true, "lag=0B" })
+	srv.SetHealth("replayer", func() (bool, string) { return false, "lag=4096B" })
+	code, body := get(t, ts.URL+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("failing probe healthz = %d, want 503", code)
+	}
+	for _, want := range []string{"unavailable", "ok backend0: lag=0B", "FAIL replayer: lag=4096B"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("healthz body missing %q:\n%s", want, body)
+		}
+	}
+
+	// Replacement by name: the replayer catches up.
+	srv.SetHealth("replayer", func() (bool, string) { return true, "lag=0B" })
+	if code, body := get(t, ts.URL+"/healthz"); code != http.StatusOK || strings.Contains(body, "FAIL") {
+		t.Fatalf("recovered healthz = %d %q, want 200 with no FAIL", code, body)
+	}
+}
+
+// TestAddStatsReplacesAndRemoves pins registration semantics for
+// open/close cycles: same-name AddStats swaps the source in place (no
+// duplicate sections) and RemoveStats drops it.
+func TestAddStatsReplacesAndRemoves(t *testing.T) {
+	srv := New(nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	a, b := &stats.Stats{}, &stats.Stats{}
+	a.RDMARead.Store(1)
+	b.RDMARead.Store(2)
+	srv.AddStats("kv", a)
+	srv.AddStats("kv", b)
+	_, body := get(t, ts.URL+"/metrics")
+	if n := strings.Count(body, "# source kv"); n != 1 {
+		t.Fatalf("same-name AddStats left %d sections, want 1:\n%s", n, body)
+	}
+	if !strings.Contains(body, "rdma{r=2") {
+		t.Fatalf("replacement did not take; body:\n%s", body)
+	}
+
+	srv.RemoveStats("kv")
+	if _, body := get(t, ts.URL+"/metrics"); strings.Contains(body, "# source kv") {
+		t.Fatalf("RemoveStats left source behind:\n%s", body)
+	}
+}
+
+// TestMetricsRaceWithRegistration scrapes /metrics and /healthz
+// concurrently with add/remove churn — the open/close path of a served
+// structure. Run under -race this pins that registration is race-clean.
+func TestMetricsRaceWithRegistration(t *testing.T) {
+	srv := New(nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.SetHealth("static", func() (bool, string) { return true, "ok" })
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				name := fmt.Sprintf("src%d", g)
+				st := &stats.Stats{}
+				st.RDMARead.Store(int64(i))
+				srv.AddStats(name, st)
+				if i%2 == 0 {
+					srv.RemoveStats(name)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				get(t, ts.URL+"/metrics")
+				get(t, ts.URL+"/healthz")
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// TenantQuota is one tenant's token-bucket allowance.
+type TenantQuota struct {
+	Rate  float64 // sustained requests per (virtual) second
+	Burst float64 // bucket depth
+}
+
+// AdmissionConfig sizes the admission plane.
+type AdmissionConfig struct {
+	// DefaultQuota applies to tenants without an explicit entry in Quotas.
+	// A zero Rate disables per-tenant rate limiting.
+	DefaultQuota TenantQuota
+	Quotas       map[uint16]TenantQuota
+
+	// CapacityFn reports the global concurrency capacity: the maximum
+	// number of admitted-but-not-completed requests. The server wires it
+	// to the autotune controller's current pipeline depth so admission
+	// tracks what the fabric can actually absorb. Nil or non-positive
+	// results fall back to DefaultCapacity.
+	CapacityFn func() int
+
+	// BreakerTrip opens a tenant's breaker after this many consecutive
+	// rejections; 0 disables the breaker.
+	BreakerTrip int
+	// BreakerCooldown is how long a tripped breaker stays open.
+	BreakerCooldown time.Duration
+
+	// RetryAfterMin floors the retry-after hint on overload rejections.
+	RetryAfterMin time.Duration
+}
+
+// DefaultCapacity is the concurrency bound used when no CapacityFn is
+// installed (or it reports nonsense).
+const DefaultCapacity = 64
+
+// Decision is the outcome of admitting one request.
+type Decision struct {
+	Admit        bool
+	Status       uint8 // StatusOverload or StatusBreaker when !Admit
+	RetryAfterNS uint64
+}
+
+type tenantState struct {
+	tokens   float64
+	lastNS   int64
+	quota    TenantQuota
+	consec   int           // consecutive rejections
+	openTill time.Duration // breaker open until this instant (0 = closed)
+}
+
+// Admission is the front door: per-tenant token buckets, a global
+// concurrency limiter, and per-tenant breakers. All time is explicit —
+// callers pass the current instant — so the same logic runs under the
+// real TCP server (writer virtual clock) and the open-loop simulator.
+// Safe for concurrent use.
+type Admission struct {
+	mu       sync.Mutex
+	cfg      AdmissionConfig
+	tenants  map[uint16]*tenantState
+	inflight int
+}
+
+// NewAdmission builds the admission plane.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	return &Admission{cfg: cfg, tenants: make(map[uint16]*tenantState)}
+}
+
+func (a *Admission) tenant(id uint16) *tenantState {
+	ts := a.tenants[id]
+	if ts == nil {
+		q, ok := a.cfg.Quotas[id]
+		if !ok {
+			q = a.cfg.DefaultQuota
+		}
+		ts = &tenantState{tokens: q.Burst, quota: q}
+		a.tenants[id] = ts
+	}
+	return ts
+}
+
+func (a *Admission) capacity() int {
+	if a.cfg.CapacityFn != nil {
+		if c := a.cfg.CapacityFn(); c > 0 {
+			return c
+		}
+	}
+	return DefaultCapacity
+}
+
+// Capacity reports the current global concurrency bound.
+func (a *Admission) Capacity() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.capacity()
+}
+
+// Inflight reports the admitted-but-not-completed count.
+func (a *Admission) Inflight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}
+
+func (a *Admission) retryAfter(d time.Duration) uint64 {
+	if d < a.cfg.RetryAfterMin {
+		d = a.cfg.RetryAfterMin
+	}
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	return uint64(d)
+}
+
+// Admit decides one request's fate at instant now. An admitted request
+// holds one slot of the global concurrency capacity until Done is
+// called. Rejections feed the tenant's breaker: enough in a row and the
+// tenant is shed outright for the cooldown, keeping a quota-blowing
+// tenant from hammering the shared front door.
+func (a *Admission) Admit(tenantID uint16, now time.Duration) Decision {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ts := a.tenant(tenantID)
+
+	if ts.openTill > 0 {
+		if now < ts.openTill {
+			return Decision{Status: StatusBreaker, RetryAfterNS: a.retryAfter(ts.openTill - now)}
+		}
+		// Cooldown over: half-open — let requests probe again.
+		ts.openTill = 0
+		ts.consec = 0
+	}
+
+	dec := Decision{Admit: true}
+	if ts.quota.Rate > 0 {
+		// Refill, then spend.
+		elapsed := now - time.Duration(ts.lastNS)
+		if elapsed > 0 {
+			ts.tokens += ts.quota.Rate * elapsed.Seconds()
+			if ts.tokens > ts.quota.Burst {
+				ts.tokens = ts.quota.Burst
+			}
+		}
+		ts.lastNS = int64(now)
+		if ts.tokens < 1 {
+			need := (1 - ts.tokens) / ts.quota.Rate // seconds until one token
+			dec = Decision{Status: StatusOverload, RetryAfterNS: a.retryAfter(time.Duration(need * float64(time.Second)))}
+		}
+	}
+	if dec.Admit && a.inflight >= a.capacity() {
+		dec = Decision{Status: StatusOverload, RetryAfterNS: a.retryAfter(a.cfg.RetryAfterMin)}
+	}
+
+	if !dec.Admit {
+		ts.consec++
+		if a.cfg.BreakerTrip > 0 && ts.consec >= a.cfg.BreakerTrip {
+			ts.openTill = now + a.cfg.BreakerCooldown
+		}
+		return dec
+	}
+	ts.tokens--
+	ts.consec = 0
+	a.inflight++
+	return dec
+}
+
+// Done releases one admitted request's concurrency slot.
+func (a *Admission) Done() {
+	a.mu.Lock()
+	if a.inflight > 0 {
+		a.inflight--
+	}
+	a.mu.Unlock()
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client is a synchronous protocol client: one request in flight at a
+// time per client (spin up several clients for concurrency). Not safe
+// for concurrent use.
+type Client struct {
+	nc     net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	tenant uint16
+	nextID uint64
+}
+
+// Dial connects a client for the given tenant.
+func Dial(addr string, tenant uint16) (*Client, error) {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{nc: nc, r: bufio.NewReader(nc), w: bufio.NewWriter(nc), tenant: tenant}, nil
+}
+
+// Close severs the connection.
+func (c *Client) Close() error { return c.nc.Close() }
+
+// Do sends one request and waits for its response. The request's
+// Tenant and ID fields are filled in by the client.
+func (c *Client) Do(req Request) (Response, error) {
+	c.nextID++
+	req.Tenant = c.tenant
+	req.ID = c.nextID
+	if err := WriteFrame(c.w, req.Encode()); err != nil {
+		return Response{}, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return Response{}, err
+	}
+	payload, err := ReadFrame(c.r)
+	if err != nil {
+		return Response{}, err
+	}
+	resp, err := DecodeResponse(payload)
+	if err != nil {
+		return Response{}, err
+	}
+	if resp.ID != req.ID && resp.Status == StatusOK {
+		return Response{}, fmt.Errorf("serve: response id %d for request %d", resp.ID, req.ID)
+	}
+	return resp, nil
+}
+
+// Get fetches one key.
+func (c *Client) Get(key uint64, budget time.Duration) (Response, error) {
+	return c.Do(Request{Op: OpGet, Key: key, BudgetNS: uint64(budget)})
+}
+
+// Put stores one key.
+func (c *Client) Put(key uint64, val []byte, budget time.Duration) (Response, error) {
+	return c.Do(Request{Op: OpPut, Key: key, Val: val, BudgetNS: uint64(budget)})
+}
+
+// Tx runs one smallbank transaction with selector r.
+func (c *Client) Tx(r uint64, budget time.Duration) (Response, error) {
+	return c.Do(Request{Op: OpTx, TxR: r, BudgetNS: uint64(budget)})
+}
+
+// Drain flushes the server's structures and waits for replay.
+func (c *Client) Drain() (Response, error) { return c.Do(Request{Op: OpDrain}) }
+
+// Ping checks liveness, bypassing admission and the run queue.
+func (c *Client) Ping() (Response, error) { return c.Do(Request{Op: OpPing}) }

@@ -1,0 +1,395 @@
+// Package serve is the networked front-end service: a TCP server
+// exposing get/put/getmulti/putmulti/tx over a cluster-backed set of
+// persistent structures, with the overload-robustness plane a
+// production fleet needs when traffic is open-loop — per-tenant
+// token-bucket admission, a global concurrency limiter sized from the
+// autotune controller's depth, a bounded run queue that turns LIFO
+// under overload and prefers cheap reads, deadline propagation into the
+// core retry loop, per-tenant breakers, and slow-client write timeouts.
+//
+// The wire format follows the logrec codec style: little-endian fixed
+// headers, explicit magics, and a trailing CRC32-C, framed by a 4-byte
+// length prefix. Everything is versioned behind a single magic byte so
+// the protocol can evolve.
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame and payload limits.
+const (
+	// MaxFrame bounds one request or response payload: the largest legal
+	// frame is a putmulti of maxMultiKeys values at maxValueLen each.
+	MaxFrame = 4 << 20
+	// maxMultiKeys bounds getmulti/putmulti fan-out per request.
+	maxMultiKeys = 1 << 12
+	// maxValueLen bounds one value (matches the industry-trace ceiling).
+	maxValueLen = 64 << 10
+)
+
+// ReqMagic and RespMagic distinguish payload kinds and catch framing
+// desync.
+const (
+	ReqMagic  byte = 0xAE
+	RespMagic byte = 0xEA
+)
+
+// Request opcodes.
+const (
+	OpGet      uint8 = 1 // {key} -> {found, value}
+	OpPut      uint8 = 2 // {key, value} -> {}
+	OpGetMulti uint8 = 3 // {keys...} -> {found/value...}
+	OpPutMulti uint8 = 4 // {keys..., values...} -> {}
+	OpTx       uint8 = 5 // {selector} -> {} (smallbank transaction)
+	OpDrain    uint8 = 6 // {} -> {} (admin: flush + wait for replay)
+	OpPing     uint8 = 7 // {} -> {} (liveness, bypasses the run queue)
+)
+
+// Response status codes.
+const (
+	StatusOK         uint8 = 0
+	StatusNotFound   uint8 = 1 // tx selector had no target (reserved)
+	StatusOverload   uint8 = 2 // admission rejected; RetryAfterNS is set
+	StatusBreaker    uint8 = 3 // tenant breaker open; RetryAfterNS is set
+	StatusDeadline   uint8 = 4 // the request's budget expired
+	StatusBadRequest uint8 = 5 // malformed or oversized request
+	StatusError      uint8 = 6 // execution failed server-side
+)
+
+// Errors reported by the codec.
+var (
+	ErrShort    = errors.New("serve: payload too short")
+	ErrBadMagic = errors.New("serve: bad payload magic")
+	ErrBadCRC   = errors.New("serve: payload checksum mismatch")
+	ErrTooLarge = errors.New("serve: frame exceeds limit")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Request is one decoded client request.
+type Request struct {
+	Op       uint8
+	ID       uint64 // client-chosen correlation id, echoed in the response
+	Tenant   uint16 // admission-control principal
+	BudgetNS uint64 // deadline budget from arrival; 0 = no deadline
+
+	Key  uint64   // Get/Put
+	Val  []byte   // Put
+	Keys []uint64 // GetMulti/PutMulti
+	Vals [][]byte // PutMulti
+	TxR  uint64   // Tx selector
+}
+
+// Response is one decoded server response.
+type Response struct {
+	Status       uint8
+	ID           uint64
+	RetryAfterNS uint64 // Overload/Breaker: hint before the next attempt
+
+	Found  bool     // Get
+	Val    []byte   // Get
+	Founds []bool   // GetMulti
+	Vals   [][]byte // GetMulti
+}
+
+// reqHeaderLen is magic + op + tenant + id + budget.
+const reqHeaderLen = 1 + 1 + 2 + 8 + 8
+
+// Encode renders the request payload (unframed).
+func (r *Request) Encode() []byte {
+	n := reqHeaderLen
+	switch r.Op {
+	case OpGet:
+		n += 8
+	case OpPut:
+		n += 8 + 4 + len(r.Val)
+	case OpGetMulti:
+		n += 4 + 8*len(r.Keys)
+	case OpPutMulti:
+		n += 4 + 8*len(r.Keys)
+		for _, v := range r.Vals {
+			n += 4 + len(v)
+		}
+	case OpTx:
+		n += 8
+	}
+	buf := make([]byte, n, n+4)
+	buf[0] = ReqMagic
+	buf[1] = r.Op
+	binary.LittleEndian.PutUint16(buf[2:], r.Tenant)
+	binary.LittleEndian.PutUint64(buf[4:], r.ID)
+	binary.LittleEndian.PutUint64(buf[12:], r.BudgetNS)
+	p := reqHeaderLen
+	switch r.Op {
+	case OpGet:
+		binary.LittleEndian.PutUint64(buf[p:], r.Key)
+	case OpPut:
+		binary.LittleEndian.PutUint64(buf[p:], r.Key)
+		binary.LittleEndian.PutUint32(buf[p+8:], uint32(len(r.Val)))
+		copy(buf[p+12:], r.Val)
+	case OpGetMulti:
+		binary.LittleEndian.PutUint32(buf[p:], uint32(len(r.Keys)))
+		p += 4
+		for _, k := range r.Keys {
+			binary.LittleEndian.PutUint64(buf[p:], k)
+			p += 8
+		}
+	case OpPutMulti:
+		binary.LittleEndian.PutUint32(buf[p:], uint32(len(r.Keys)))
+		p += 4
+		for _, k := range r.Keys {
+			binary.LittleEndian.PutUint64(buf[p:], k)
+			p += 8
+		}
+		for _, v := range r.Vals {
+			binary.LittleEndian.PutUint32(buf[p:], uint32(len(v)))
+			p += 4
+			p += copy(buf[p:], v)
+		}
+	case OpTx:
+		binary.LittleEndian.PutUint64(buf[p:], r.TxR)
+	}
+	return appendCRC(buf)
+}
+
+// DecodeRequest parses a request payload.
+func DecodeRequest(src []byte) (Request, error) {
+	body, err := checkCRC(src, ReqMagic)
+	if err != nil {
+		return Request{}, err
+	}
+	if len(body) < reqHeaderLen {
+		return Request{}, ErrShort
+	}
+	r := Request{
+		Op:       body[1],
+		Tenant:   binary.LittleEndian.Uint16(body[2:]),
+		ID:       binary.LittleEndian.Uint64(body[4:]),
+		BudgetNS: binary.LittleEndian.Uint64(body[12:]),
+	}
+	p := body[reqHeaderLen:]
+	switch r.Op {
+	case OpGet:
+		if len(p) < 8 {
+			return Request{}, ErrShort
+		}
+		r.Key = binary.LittleEndian.Uint64(p)
+	case OpPut:
+		if len(p) < 12 {
+			return Request{}, ErrShort
+		}
+		r.Key = binary.LittleEndian.Uint64(p)
+		vl := binary.LittleEndian.Uint32(p[8:])
+		if vl > maxValueLen || len(p) < 12+int(vl) {
+			return Request{}, ErrShort
+		}
+		r.Val = append([]byte(nil), p[12:12+vl]...)
+	case OpGetMulti:
+		keys, _, err := decodeKeys(p)
+		if err != nil {
+			return Request{}, err
+		}
+		r.Keys = keys
+	case OpPutMulti:
+		keys, rest, err := decodeKeys(p)
+		if err != nil {
+			return Request{}, err
+		}
+		r.Keys = keys
+		r.Vals = make([][]byte, 0, len(keys))
+		for range keys {
+			if len(rest) < 4 {
+				return Request{}, ErrShort
+			}
+			vl := binary.LittleEndian.Uint32(rest)
+			if vl > maxValueLen || len(rest) < 4+int(vl) {
+				return Request{}, ErrShort
+			}
+			r.Vals = append(r.Vals, append([]byte(nil), rest[4:4+vl]...))
+			rest = rest[4+vl:]
+		}
+	case OpTx:
+		if len(p) < 8 {
+			return Request{}, ErrShort
+		}
+		r.TxR = binary.LittleEndian.Uint64(p)
+	case OpDrain, OpPing:
+		// No body.
+	default:
+		return Request{}, fmt.Errorf("serve: unknown op %d", r.Op)
+	}
+	return r, nil
+}
+
+func decodeKeys(p []byte) ([]uint64, []byte, error) {
+	if len(p) < 4 {
+		return nil, nil, ErrShort
+	}
+	n := binary.LittleEndian.Uint32(p)
+	if n > maxMultiKeys || len(p) < 4+8*int(n) {
+		return nil, nil, ErrShort
+	}
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = binary.LittleEndian.Uint64(p[4+8*i:])
+	}
+	return keys, p[4+8*int(n):], nil
+}
+
+// respHeaderLen is magic + status + id + retryAfter.
+const respHeaderLen = 1 + 1 + 8 + 8
+
+// Encode renders the response payload (unframed).
+func (r *Response) Encode() []byte {
+	n := respHeaderLen
+	switch {
+	case len(r.Vals) > 0 || r.Founds != nil:
+		n += 4
+		for i := range r.Founds {
+			n += 1 + 4
+			if r.Founds[i] {
+				n += len(r.Vals[i])
+			}
+		}
+	default:
+		n += 1 + 4 + len(r.Val)
+	}
+	buf := make([]byte, n, n+4)
+	buf[0] = RespMagic
+	buf[1] = r.Status
+	binary.LittleEndian.PutUint64(buf[2:], r.ID)
+	binary.LittleEndian.PutUint64(buf[10:], r.RetryAfterNS)
+	p := respHeaderLen
+	if len(r.Vals) > 0 || r.Founds != nil {
+		binary.LittleEndian.PutUint32(buf[p:], uint32(len(r.Founds)))
+		p += 4
+		for i := range r.Founds {
+			var v []byte
+			if r.Founds[i] {
+				buf[p] = 1
+				v = r.Vals[i]
+			}
+			p++
+			binary.LittleEndian.PutUint32(buf[p:], uint32(len(v)))
+			p += 4
+			p += copy(buf[p:], v)
+		}
+	} else {
+		if r.Found {
+			buf[p] = 1
+		}
+		binary.LittleEndian.PutUint32(buf[p+1:], uint32(len(r.Val)))
+		copy(buf[p+5:], r.Val)
+	}
+	return appendCRC(buf)
+}
+
+// DecodeResponse parses a response payload.
+func DecodeResponse(src []byte) (Response, error) {
+	body, err := checkCRC(src, RespMagic)
+	if err != nil {
+		return Response{}, err
+	}
+	if len(body) < respHeaderLen {
+		return Response{}, ErrShort
+	}
+	r := Response{
+		Status:       body[1],
+		ID:           binary.LittleEndian.Uint64(body[2:]),
+		RetryAfterNS: binary.LittleEndian.Uint64(body[10:]),
+	}
+	p := body[respHeaderLen:]
+	if len(p) >= 5 && len(p) == 5+int(binary.LittleEndian.Uint32(p[1:])) {
+		// Single-value form.
+		r.Found = p[0] == 1
+		vl := binary.LittleEndian.Uint32(p[1:])
+		if vl > 0 {
+			r.Val = append([]byte(nil), p[5:5+vl]...)
+		}
+		return r, nil
+	}
+	if len(p) < 4 {
+		return Response{}, ErrShort
+	}
+	n := binary.LittleEndian.Uint32(p)
+	if n > maxMultiKeys {
+		return Response{}, ErrShort
+	}
+	p = p[4:]
+	r.Founds = make([]bool, 0, n)
+	r.Vals = make([][]byte, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(p) < 5 {
+			return Response{}, ErrShort
+		}
+		found := p[0] == 1
+		vl := binary.LittleEndian.Uint32(p[1:])
+		if vl > maxValueLen || len(p) < 5+int(vl) {
+			return Response{}, ErrShort
+		}
+		var v []byte
+		if vl > 0 {
+			v = append([]byte(nil), p[5:5+vl]...)
+		}
+		r.Founds = append(r.Founds, found)
+		r.Vals = append(r.Vals, v)
+		p = p[5+vl:]
+	}
+	return r, nil
+}
+
+func appendCRC(buf []byte) []byte {
+	var c [4]byte
+	binary.LittleEndian.PutUint32(c[:], crc32.Checksum(buf, castagnoli))
+	return append(buf, c[:]...)
+}
+
+func checkCRC(src []byte, magic byte) ([]byte, error) {
+	if len(src) < 5 {
+		return nil, ErrShort
+	}
+	if src[0] != magic {
+		return nil, ErrBadMagic
+	}
+	body, sum := src[:len(src)-4], binary.LittleEndian.Uint32(src[len(src)-4:])
+	if crc32.Checksum(body, castagnoli) != sum {
+		return nil, ErrBadCRC
+	}
+	return body, nil
+}
+
+// WriteFrame writes one length-prefixed payload.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrTooLarge
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed payload, bounding its size.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

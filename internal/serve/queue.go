@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Item is one admitted request waiting for the executor.
+type Item struct {
+	Req        Request
+	Read       bool          // cheap read: gets the priority band
+	ArrivedAt  time.Duration // virtual instant of admission
+	DeadlineAt time.Duration // virtual deadline (0 = none)
+
+	// Reply delivers the response toward the client. Nil in the
+	// simulator, which does its own bookkeeping.
+	Reply func(Response)
+}
+
+// RunQueue is the bounded two-band run queue between admission and the
+// executor. Reads live in the priority band (they are cheap and finish
+// fast, so serving them first raises goodput under pressure). When
+// occupancy climbs past the LIFO watermark the queue flips to
+// last-in-first-out within each band: under overload the freshest
+// requests are the ones whose deadlines are still worth serving, while
+// FIFO would burn the pipeline draining requests that already expired —
+// the adaptive-LIFO trick. Safe for concurrent use.
+type RunQueue struct {
+	mu     sync.Mutex
+	reads  []*Item
+	writes []*Item
+	cap    int
+	lifoAt int // occupancy threshold where LIFO kicks in
+}
+
+// NewRunQueue builds a queue holding at most capacity items, flipping
+// to LIFO when occupancy exceeds lifoFrac of capacity.
+func NewRunQueue(capacity int, lifoFrac float64) *RunQueue {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	if lifoFrac <= 0 || lifoFrac > 1 {
+		lifoFrac = 0.5
+	}
+	return &RunQueue{cap: capacity, lifoAt: int(float64(capacity) * lifoFrac)}
+}
+
+// Push enqueues an item; false means the queue is full (caller sheds).
+func (q *RunQueue) Push(it *Item) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.reads) + len(q.writes)
+	if n >= q.cap {
+		return false
+	}
+	band := &q.writes
+	if it.Read {
+		band = &q.reads
+	}
+	if n >= q.lifoAt {
+		// LIFO under overload: newest first.
+		*band = append(*band, nil)
+		copy((*band)[1:], *band)
+		(*band)[0] = it
+	} else {
+		*band = append(*band, it)
+	}
+	return true
+}
+
+// Pop dequeues the next item (reads first), or nil when empty.
+func (q *RunQueue) Pop() *Item {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.reads) > 0 {
+		it := q.reads[0]
+		q.reads = q.reads[1:]
+		return it
+	}
+	if len(q.writes) > 0 {
+		it := q.writes[0]
+		q.writes = q.writes[1:]
+		return it
+	}
+	return nil
+}
+
+// Len reports current occupancy.
+func (q *RunQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.reads) + len(q.writes)
+}
+
+// Cap reports the queue bound.
+func (q *RunQueue) Cap() int { return q.cap }

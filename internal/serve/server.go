@@ -1,0 +1,396 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"asymnvm/internal/core"
+	"asymnvm/internal/ds"
+	"asymnvm/internal/txapp"
+)
+
+// Backends are the structures the server operates. The front-end and
+// both structures are owned by the server's executor goroutine from
+// Start onward (SWMR discipline: exactly one operating goroutine), so
+// callers must not touch them until Close returns.
+type Backends struct {
+	FE   *core.Frontend
+	KV   *ds.HashTable    // get/put/getmulti/putmulti target
+	Bank *txapp.SmallBank // tx target (nil disables OpTx)
+}
+
+// Options tunes the serving plane.
+type Options struct {
+	Admission AdmissionConfig
+	QueueCap  int
+	LIFOFrac  float64 // run-queue occupancy fraction where LIFO starts
+
+	// SlowWrite bounds (host time) one response write to a client. A
+	// client that cannot drain its socket within it — or whose outbound
+	// buffer overflows — is dropped, so one slow reader never stalls the
+	// executor or other tenants.
+	SlowWrite   time.Duration
+	OutboundCap int // per-connection response buffer (frames)
+}
+
+// DefaultOptions returns a serving configuration sized for tests and
+// the chaos soak: generous quotas, a modest queue, fast slow-client
+// cutoff.
+func DefaultOptions() Options {
+	return Options{
+		QueueCap:    256,
+		LIFOFrac:    0.5,
+		SlowWrite:   2 * time.Second,
+		OutboundCap: 64,
+	}
+}
+
+// CapacityFromAutoTune derives the global concurrency capacity from the
+// front-end's autotune depth gauge: the deeper the pipeline the fabric
+// currently sustains, the more concurrent requests admission lets in.
+func CapacityFromAutoTune(fe *core.Frontend, perDepth int) func() int {
+	if perDepth <= 0 {
+		perDepth = 8
+	}
+	return func() int {
+		d := int(fe.Stats().AutoTuneDepth.Load())
+		if d <= 0 {
+			return DefaultCapacity
+		}
+		return d * perDepth
+	}
+}
+
+// Server is the networked front-end service.
+type Server struct {
+	opts Options
+	b    Backends
+	adm  *Admission
+	q    *RunQueue
+
+	ln     net.Listener
+	wake   chan struct{}
+	done   chan struct{}
+	wg     sync.WaitGroup
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// New assembles a server over the given backends. When no CapacityFn is
+// configured, capacity follows the front-end's autotune depth.
+func New(b Backends, opts Options) *Server {
+	if opts.QueueCap <= 0 {
+		opts.QueueCap = 256
+	}
+	if opts.OutboundCap <= 0 {
+		opts.OutboundCap = 64
+	}
+	if opts.SlowWrite <= 0 {
+		opts.SlowWrite = 2 * time.Second
+	}
+	if opts.Admission.CapacityFn == nil {
+		opts.Admission.CapacityFn = CapacityFromAutoTune(b.FE, 8)
+	}
+	return &Server{
+		opts:  opts,
+		b:     b,
+		adm:   NewAdmission(opts.Admission),
+		q:     NewRunQueue(opts.QueueCap, opts.LIFOFrac),
+		wake:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Admission exposes the admission plane (the simulator and tests reuse
+// it directly).
+func (s *Server) Admission() *Admission { return s.adm }
+
+// Start listens on addr (use "127.0.0.1:0" for an ephemeral port) and
+// begins serving. The executor goroutine takes ownership of the
+// backends here.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.executor()
+	return nil
+}
+
+// Addr reports the bound listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting, severs every connection, and stops the
+// executor. After Close returns the backends are the caller's again.
+func (s *Server) Close() {
+	s.connMu.Lock()
+	if s.closed {
+		s.connMu.Unlock()
+		return
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	close(s.done)
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.connMu.Lock()
+		if s.closed {
+			s.connMu.Unlock()
+			nc.Close()
+			return
+		}
+		s.conns[nc] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(nc)
+	}
+}
+
+func (s *Server) dropConn(nc net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, nc)
+	s.connMu.Unlock()
+	nc.Close()
+}
+
+// handleConn runs one connection: a reader loop in this goroutine and a
+// bounded writer goroutine. Responses (from admission rejections here
+// and from the executor) funnel through the outbound channel; a full
+// channel or a write running past SlowWrite marks the client slow and
+// drops it — the executor never blocks on a socket.
+func (s *Server) handleConn(nc net.Conn) {
+	defer s.wg.Done()
+	out := make(chan []byte, s.opts.OutboundCap)
+	// outMu/outClosed gate sends: queued Items can outlive the reader
+	// loop, so their replies must not race the channel close.
+	var outMu sync.Mutex
+	outClosed := false
+	var once sync.Once
+	drop := func(slow bool) {
+		once.Do(func() {
+			if slow {
+				s.b.FE.Stats().ServeSlowDrop.Add(1)
+			}
+			s.dropConn(nc)
+		})
+	}
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		for buf := range out {
+			nc.SetWriteDeadline(time.Now().Add(s.opts.SlowWrite))
+			if err := WriteFrame(nc, buf); err != nil {
+				slow := false
+				var nerr net.Error
+				if errors.As(err, &nerr) && nerr.Timeout() {
+					slow = true
+				}
+				drop(slow)
+				for range out { // drain so reply never blocks
+				}
+				return
+			}
+		}
+	}()
+	reply := func(r Response) {
+		outMu.Lock()
+		defer outMu.Unlock()
+		if outClosed {
+			return // connection already torn down; response has nowhere to go
+		}
+		select {
+		case out <- r.Encode():
+		default:
+			// Outbound buffer full: the client is not draining.
+			drop(true)
+		}
+	}
+	for {
+		payload, err := ReadFrame(nc)
+		if err != nil {
+			break
+		}
+		req, err := DecodeRequest(payload)
+		if err != nil {
+			reply(Response{Status: StatusBadRequest})
+			continue
+		}
+		s.route(req, reply)
+	}
+	drop(false)
+	outMu.Lock()
+	outClosed = true
+	close(out)
+	outMu.Unlock()
+	wwg.Wait()
+}
+
+// route admits one request. Time is the writer's virtual clock: queue
+// deadlines are measured in the same units the core charges latency to,
+// so a request behind an expensive queue prefix sees that cost against
+// its budget.
+func (s *Server) route(req Request, reply func(Response)) {
+	st := s.b.FE.Stats()
+	if req.Op == OpPing {
+		reply(Response{Status: StatusOK, ID: req.ID})
+		return
+	}
+	now := s.b.FE.Clock().Now()
+	dec := s.adm.Admit(req.Tenant, now)
+	if !dec.Admit {
+		if dec.Status == StatusBreaker {
+			st.ServeBreaker.Add(1)
+		} else {
+			st.ServeRejected.Add(1)
+		}
+		reply(Response{Status: dec.Status, ID: req.ID, RetryAfterNS: dec.RetryAfterNS})
+		return
+	}
+	it := &Item{
+		Req:       req,
+		Read:      req.Op == OpGet || req.Op == OpGetMulti,
+		ArrivedAt: now,
+		Reply:     reply,
+	}
+	if req.BudgetNS > 0 {
+		it.DeadlineAt = now + time.Duration(req.BudgetNS)
+	}
+	if !s.q.Push(it) {
+		s.adm.Done()
+		st.ServeRejected.Add(1)
+		reply(Response{Status: StatusOverload, ID: req.ID, RetryAfterNS: s.adm.retryAfter(s.opts.Admission.RetryAfterMin)})
+		return
+	}
+	st.ServeAccepted.Add(1)
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// executor is the single goroutine operating the writer front-end and
+// its structures.
+func (s *Server) executor() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.wake:
+		}
+		for {
+			it := s.q.Pop()
+			if it == nil {
+				break
+			}
+			s.exec(it)
+		}
+	}
+}
+
+// exec runs one admitted request. Expired-in-queue requests are shed
+// without touching the fabric. For reads the deadline stays armed
+// through the verbs (the core retry loop short-circuits and clamps
+// backoff to the remainder); writes and transactions check the budget
+// before starting but then run to completion unarmed — aborting a
+// half-applied mutation would tear the structure's session state, so
+// the deadline decides whether work starts, not whether it finishes.
+func (s *Server) exec(it *Item) {
+	fe, st := s.b.FE, s.b.FE.Stats()
+	defer s.adm.Done()
+	now := fe.Clock().Now()
+	if it.DeadlineAt > 0 && now >= it.DeadlineAt {
+		st.ServeExpired.Add(1)
+		it.Reply(Response{Status: StatusDeadline, ID: it.Req.ID})
+		return
+	}
+	if it.DeadlineAt > 0 && it.Read {
+		fe.SetDeadline(it.DeadlineAt)
+		defer fe.ClearDeadline()
+	}
+	resp := s.execOp(it.Req)
+	resp.ID = it.Req.ID
+	it.Reply(resp)
+}
+
+func (s *Server) execOp(req Request) Response {
+	switch req.Op {
+	case OpGet:
+		v, ok, err := s.b.KV.Get(req.Key)
+		if err != nil {
+			return errResponse(err)
+		}
+		return Response{Status: StatusOK, Found: ok, Val: v}
+	case OpPut:
+		if err := s.b.KV.Put(req.Key, req.Val); err != nil {
+			return errResponse(err)
+		}
+		return Response{Status: StatusOK}
+	case OpGetMulti:
+		vals, founds, err := s.b.KV.GetMulti(req.Keys)
+		if err != nil {
+			return errResponse(err)
+		}
+		return Response{Status: StatusOK, Founds: founds, Vals: vals}
+	case OpPutMulti:
+		for i, k := range req.Keys {
+			if err := s.b.KV.Put(k, req.Vals[i]); err != nil {
+				return errResponse(err)
+			}
+		}
+		return Response{Status: StatusOK}
+	case OpTx:
+		if s.b.Bank == nil {
+			return Response{Status: StatusBadRequest}
+		}
+		if err := s.b.Bank.DoTx(req.TxR); err != nil {
+			return errResponse(err)
+		}
+		return Response{Status: StatusOK}
+	case OpDrain:
+		if s.b.Bank != nil {
+			if err := s.b.Bank.Table().Drain(); err != nil {
+				return errResponse(err)
+			}
+		}
+		if err := s.b.KV.Flush(); err != nil {
+			return errResponse(err)
+		}
+		if err := s.b.KV.Drain(); err != nil {
+			return errResponse(err)
+		}
+		return Response{Status: StatusOK}
+	default:
+		return Response{Status: StatusBadRequest}
+	}
+}
+
+func errResponse(err error) Response {
+	if errors.Is(err, core.ErrDeadlineExceeded) {
+		return Response{Status: StatusDeadline}
+	}
+	return Response{Status: StatusError, Val: []byte(fmt.Sprintf("%v", err))}
+}

@@ -63,6 +63,23 @@ type Stats struct {
 	TruncatedBytes    atomic.Int64
 	RecoveryReplayOps atomic.Int64
 
+	// Serving-plane counters (internal/serve admission control plus the
+	// core retry loop's deadline propagation). ServeAccepted counts
+	// requests admitted into the run queue; ServeRejected counts
+	// admission rejections (tenant tokens, concurrency limit, queue
+	// full); ServeBreaker counts rejections by an open per-tenant
+	// breaker; ServeExpired counts admitted requests dropped before
+	// execution because their deadline passed while queued; ServeSlowDrop
+	// counts client connections severed for not draining responses;
+	// DeadlineMiss counts verbs aborted by an armed virtual-time
+	// deadline in the retry loop.
+	ServeAccepted atomic.Int64
+	ServeRejected atomic.Int64
+	ServeBreaker  atomic.Int64
+	ServeExpired  atomic.Int64
+	ServeSlowDrop atomic.Int64
+	DeadlineMiss  atomic.Int64
+
 	// BusyNS accumulates virtual nanoseconds during which the owning
 	// node's CPU was doing work (as opposed to waiting on the fabric).
 	BusyNS atomic.Int64
@@ -96,6 +113,9 @@ type Snapshot struct {
 	AutoTuneBatch, AutoTuneDepth              int64
 	Checkpoints, TruncatedBytes               int64
 	RecoveryReplayOps                         int64
+	ServeAccepted, ServeRejected              int64
+	ServeBreaker, ServeExpired                int64
+	ServeSlowDrop, DeadlineMiss               int64
 	BusyNS                                    int64
 }
 
@@ -133,6 +153,12 @@ func (s *Stats) Snapshot() Snapshot {
 		Checkpoints:    s.Checkpoints.Load(),
 		TruncatedBytes: s.TruncatedBytes.Load(),
 		RecoveryReplayOps: s.RecoveryReplayOps.Load(),
+		ServeAccepted:     s.ServeAccepted.Load(),
+		ServeRejected:     s.ServeRejected.Load(),
+		ServeBreaker:      s.ServeBreaker.Load(),
+		ServeExpired:      s.ServeExpired.Load(),
+		ServeSlowDrop:     s.ServeSlowDrop.Load(),
+		DeadlineMiss:      s.DeadlineMiss.Load(),
 		BusyNS:            s.BusyNS.Load(),
 	}
 }
@@ -171,6 +197,12 @@ func (a Snapshot) Sub(b Snapshot) Snapshot {
 		Checkpoints:    a.Checkpoints - b.Checkpoints,
 		TruncatedBytes: a.TruncatedBytes - b.TruncatedBytes,
 		RecoveryReplayOps: a.RecoveryReplayOps - b.RecoveryReplayOps,
+		ServeAccepted:     a.ServeAccepted - b.ServeAccepted,
+		ServeRejected:     a.ServeRejected - b.ServeRejected,
+		ServeBreaker:      a.ServeBreaker - b.ServeBreaker,
+		ServeExpired:      a.ServeExpired - b.ServeExpired,
+		ServeSlowDrop:     a.ServeSlowDrop - b.ServeSlowDrop,
+		DeadlineMiss:      a.DeadlineMiss - b.DeadlineMiss,
 		BusyNS:            a.BusyNS - b.BusyNS,
 	}
 }
@@ -202,7 +234,7 @@ func (a Snapshot) HitRatio() float64 {
 // String renders a compact human-readable summary.
 func (a Snapshot) String() string {
 	return fmt.Sprintf(
-		"rdma{r=%d w=%d atom=%d rpc=%d} bytes{r=%d w=%d} cache{hit=%d miss=%d} logs{op=%d mem=%d tx=%d replayed=%d} retry=%d resil{retry=%d fo=%d} pipe{wr=%d db=%d qd=%.1f saved=%dns} fan{win=%d saved=%dns} tune{steps=%d B=%d depth=%d} ckpt{n=%d trunc=%dB rro=%d}",
+		"rdma{r=%d w=%d atom=%d rpc=%d} bytes{r=%d w=%d} cache{hit=%d miss=%d} logs{op=%d mem=%d tx=%d replayed=%d} retry=%d resil{retry=%d fo=%d} pipe{wr=%d db=%d qd=%.1f saved=%dns} fan{win=%d saved=%dns} tune{steps=%d B=%d depth=%d} ckpt{n=%d trunc=%dB rro=%d} serve{acc=%d rej=%d brk=%d exp=%d slow=%d dl=%d}",
 		a.RDMARead, a.RDMAWrite, a.RDMAAtomic, a.RPCCalls,
 		a.BytesRead, a.BytesWrite,
 		a.CacheHit, a.CacheMiss,
@@ -213,5 +245,7 @@ func (a Snapshot) String() string {
 		a.FanoutWindows, a.FanoutSavedNS,
 		a.AutoTuneSteps, a.AutoTuneBatch, a.AutoTuneDepth,
 		a.Checkpoints, a.TruncatedBytes, a.RecoveryReplayOps,
+		a.ServeAccepted, a.ServeRejected, a.ServeBreaker,
+		a.ServeExpired, a.ServeSlowDrop, a.DeadlineMiss,
 	)
 }
