@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos chaos-race cover check bench bench-smoke bench-compare
+.PHONY: all build vet test race chaos chaos-race cover check bench bench-cpu bench-smoke bench-compare
 
 # Minimum cross-package statement coverage (see `make cover`). Raise it
 # when coverage rises; never lower it to merge.
@@ -63,6 +63,12 @@ check: vet build race chaos
 bench:
 	$(GO) test -bench=. -benchmem ./internal/bench/
 
+# Wall-clock hot-path microbenchmarks (rings, doorbells, zero-alloc
+# codecs) at a fixed iteration count: fast, and allocs/op is exact and
+# host-independent even though ns/op is not.
+bench-cpu: build
+	$(GO) test -run NONE -bench Hotpath -benchtime=100x -benchmem ./internal/bench/
+
 # A fast CI-sized slice of the benchmark suite: the posted-verb pipeline
 # sweep at reduced population, plus the cross-shard scale-out sweep
 # regenerated at the checked-in BENCH_scaleout.json's exact scale and
@@ -76,6 +82,8 @@ bench-smoke: build
 	$(GO) run ./cmd/asymnvm-benchcmp -base BENCH_recovery.json -head BENCH_recovery.smoke.json
 	$(GO) run ./cmd/asymnvm-bench -exp overload -scale quick -ops 600 -json BENCH_overload.smoke.json
 	$(GO) run ./cmd/asymnvm-benchcmp -base BENCH_overload.json -head BENCH_overload.smoke.json
+	$(GO) run ./cmd/asymnvm-bench -exp hotpath -json BENCH_hotpath.smoke.json
+	$(GO) run ./cmd/asymnvm-benchcmp -base BENCH_hotpath.json -head BENCH_hotpath.smoke.json -max-regress 60
 
 # Diff two BENCH_*.json dumps; fails on a >10% KOPS regression.
 # Usage: make bench-compare BASE=old.json HEAD=new.json

@@ -9,7 +9,10 @@
 //
 // Experiments: table2, table3, lockbench, cachebench, fig6, fig7, fig8,
 // fig9, fig10, fig11, fig12, fig13, cost, chaos, ablation, pipeline,
-// scaleout, recovery, overload, all.
+// scaleout, recovery, overload, hotpath, all.
+//
+// Unlike the rest, hotpath measures host wall-clock ns/op (lock-free
+// rings, doorbells, zero-alloc codecs) rather than virtual time.
 package main
 
 import (
@@ -32,12 +35,20 @@ func main() {
 	seedFlag := flag.Int("seed", 0, "override initial population per structure")
 	jsonFlag := flag.String("json", "", "also write every measured row to this file as JSON")
 	httpAddr := flag.String("http", "", "serve live /metrics, /debug/trace and /debug/flame on this address while experiments run")
+	pprofFlag := flag.Bool("pprof", false, "also mount /debug/pprof on the -http address (opt-in; pairs with -exp hotpath for wall-clock profiling)")
 	flag.Parse()
 
+	if *pprofFlag && *httpAddr == "" {
+		fmt.Fprintln(os.Stderr, "asymnvm-bench: -pprof requires -http")
+		os.Exit(2)
+	}
 	if *httpAddr != "" {
 		tr := trace.New()
 		bench.SetTracer(tr)
 		srv := obshttp.New(tr)
+		if *pprofFlag {
+			srv.EnablePprof()
+		}
 		if _, addr, err := srv.Start(*httpAddr); err != nil {
 			fmt.Fprintf(os.Stderr, "asymnvm-bench: http: %v\n", err)
 			os.Exit(2)
@@ -85,6 +96,7 @@ func main() {
 		{"scaleout", func() ([]bench.Row, error) { return bench.ScaleoutSweep(sc) }},
 		{"recovery", func() ([]bench.Row, error) { return bench.RecoverySweep(sc) }},
 		{"overload", func() ([]bench.Row, error) { return bench.OverloadSweep(sc) }},
+		{"hotpath", func() ([]bench.Row, error) { return bench.HotpathSweep() }},
 		{"chaos", func() ([]bench.Row, error) { return bench.FaultDegradation(sc) }},
 		{"ablation", func() ([]bench.Row, error) {
 			rows, err := bench.AblationCachePolicy(sc)

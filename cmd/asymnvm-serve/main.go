@@ -34,6 +34,7 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:4700", "TCP service address")
 	httpAddr := flag.String("http", "", "serve /metrics and /healthz on this address")
+	pprofFlag := flag.Bool("pprof", false, "also mount /debug/pprof on the -http address (opt-in: exposes goroutine stacks and CPU profiles)")
 	loadgen := flag.Bool("loadgen", false, "run the open-loop overload simulator instead of serving")
 	scenario := flag.String("scenario", "const", "loadgen offered-load shape: const, diurnal, flash, slowclient")
 	seed := flag.Int64("seed", 4242, "loadgen arrival/workload seed")
@@ -54,7 +55,7 @@ func main() {
 	flag.Parse()
 
 	if err := run(runConfig{
-		listen: *listen, httpAddr: *httpAddr,
+		listen: *listen, httpAddr: *httpAddr, pprof: *pprofFlag,
 		loadgen: *loadgen, scenario: *scenario,
 		seed: *seed, rate: *rate, factor: *factor,
 		duration: *duration, budget: *budget,
@@ -70,6 +71,7 @@ func main() {
 
 type runConfig struct {
 	listen, httpAddr  string
+	pprof             bool
 	loadgen           bool
 	scenario          string
 	seed              int64
@@ -170,11 +172,16 @@ func run(rc runConfig) error {
 			}
 			return ok, fmt.Sprintf("lag=%dB", lag)
 		})
+		if rc.pprof {
+			srv.EnablePprof()
+		}
 		_, addr, err := srv.Start(rc.httpAddr)
 		if err != nil {
 			return fmt.Errorf("http: %w", err)
 		}
 		fmt.Printf("serving /metrics and /healthz on %s\n", addr)
+	} else if rc.pprof {
+		return fmt.Errorf("-pprof requires -http")
 	}
 
 	if rc.loadgen {

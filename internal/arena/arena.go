@@ -1,0 +1,114 @@
+// Package arena provides the buffer-reuse primitives behind the
+// zero-allocation encode/decode paths: a single-owner bump allocator
+// for decode scratch (values parsed out of log records live exactly one
+// replay iteration) and a concurrency-safe frame pool for wire buffers
+// that cross goroutines (serve's pooled outbound frames).
+package arena
+
+import "sync"
+
+// chunkSize is the default arena chunk. Log-record values and request
+// payloads are bounded well below it, so one chunk serves the common
+// case and oversized allocations get a dedicated chunk.
+const chunkSize = 64 << 10
+
+// Arena is a chunked bump allocator owned by a single goroutine.
+// Alloc carves slices out of the current chunk; Reset recycles every
+// chunk without freeing, so a steady-state decode loop stops touching
+// the heap entirely. Slices returned by Alloc are valid until the next
+// Reset — callers own that lifetime contract.
+type Arena struct {
+	chunks [][]byte
+	cur    int // index of the chunk being bumped
+	off    int // bump offset inside chunks[cur]
+}
+
+// Alloc returns an n-byte slice backed by the arena. Contents are
+// unspecified (callers overwrite); the slice aliases arena memory and
+// dies at Reset.
+func (a *Arena) Alloc(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	for a.cur < len(a.chunks) {
+		c := a.chunks[a.cur]
+		if a.off+n <= len(c) {
+			b := c[a.off : a.off+n : a.off+n]
+			a.off += n
+			return b
+		}
+		a.cur++
+		a.off = 0
+	}
+	size := chunkSize
+	if n > size {
+		size = n
+	}
+	c := make([]byte, size)
+	a.chunks = append(a.chunks, c)
+	a.cur = len(a.chunks) - 1
+	a.off = n
+	return c[0:n:n]
+}
+
+// Copy is Alloc plus a copy of src — the common "retain these decoded
+// bytes for the rest of this iteration" step.
+func (a *Arena) Copy(src []byte) []byte {
+	b := a.Alloc(len(src))
+	copy(b, src)
+	return b
+}
+
+// Reset invalidates every slice handed out since the last Reset and
+// makes the arena's memory reusable. Chunks are kept.
+func (a *Arena) Reset() {
+	a.cur = 0
+	a.off = 0
+}
+
+// Cap reports the total bytes the arena currently holds across chunks
+// (observability; grows monotonically until the arena is dropped).
+func (a *Arena) Cap() int {
+	n := 0
+	for _, c := range a.chunks {
+		n += len(c)
+	}
+	return n
+}
+
+// Pool recycles wire-frame byte slices across goroutines: the serve
+// executor encodes a response into a pooled frame, the connection's
+// writer goroutine writes it and puts it back. Get returns a zero-length
+// slice with at least the requested capacity, so callers append into it
+// and never see stale bytes.
+type Pool struct {
+	p sync.Pool
+}
+
+// minFrameCap keeps tiny first requests from seeding the pool with
+// useless capacities.
+const minFrameCap = 512
+
+// Get returns a frame with len 0 and cap >= n.
+func (p *Pool) Get(n int) []byte {
+	if v := p.p.Get(); v != nil {
+		b := v.([]byte)
+		if cap(b) >= n {
+			return b[:0]
+		}
+		// Too small for this caller; drop it and allocate fresh.
+	}
+	if n < minFrameCap {
+		n = minFrameCap
+	}
+	return make([]byte, 0, n)
+}
+
+// Put recycles a frame obtained from Get once no goroutine references
+// it anymore.
+func (p *Pool) Put(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	p.p.Put(b[:0]) //nolint:staticcheck // slice header boxing is the accepted cost
+}

@@ -7,10 +7,12 @@ import (
 	"time"
 
 	"asymnvm/internal/alloc"
+	"asymnvm/internal/arena"
 	"asymnvm/internal/clock"
 	"asymnvm/internal/logrec"
 	"asymnvm/internal/nvm"
 	"asymnvm/internal/rdma"
+	"asymnvm/internal/ring"
 	"asymnvm/internal/stats"
 	"asymnvm/internal/trace"
 )
@@ -66,7 +68,12 @@ type Backend struct {
 	allocMu sync.Mutex
 	balloc  *alloc.Bitmap
 
-	kick     chan struct{}
+	// kick is the service loop's doorbell (the DMA-completion interrupt
+	// stand-in). A doorbell instead of a closable channel makes the
+	// power-fail teardown race-free by construction: front-ends may Kick
+	// at any time — including after Halt has retired the loop — without
+	// a mutex, a panic, or a block.
+	kick     *ring.Doorbell
 	stop     chan struct{}
 	done     chan struct{}
 	stopOnce sync.Once
@@ -88,6 +95,13 @@ type Backend struct {
 	// mirPipe pipelines the virtual-clock cost of mirror forwarding
 	// (service goroutine only; see mirrorpipe.go).
 	mirPipe mirrorPipe
+
+	// Replay decode scratch (service goroutine only): records and their
+	// value bytes are reused across transactions so the replayer's
+	// steady-state hot loop stays off the heap.
+	txScratch logrec.TxRecord
+	opScratch logrec.OpRecord
+	decArena  arena.Arena
 
 	mu      sync.Mutex
 	dss     map[uint16]*dsReplay
@@ -177,7 +191,7 @@ func New(dev *nvm.Device, opts Options) (*Backend, error) {
 		clk:    opts.Clock,
 		st:     opts.Stats,
 		prof:   *opts.Profile,
-		kick:   make(chan struct{}, 1),
+		kick:   ring.NewDoorbell(),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 		halt:   make(chan struct{}),
@@ -313,34 +327,50 @@ func (b *Backend) WrapMirrors(wrap func(MirrorSink) MirrorSink) {
 
 // Kick wakes the service loop (called by front-end libraries after they
 // write log records or RPC requests, and by mirrors feeding a promoted
-// node). Safe from any goroutine; coalesces.
+// node). Safe from any goroutine at any time — including after Halt or
+// Stop have retired the loop; coalesces and never blocks.
 func (b *Backend) Kick() {
-	select {
-	case b.kick <- struct{}{}:
-	default:
-	}
+	b.kick.Ring()
 }
 
 func (b *Backend) run() {
 	defer close(b.done)
 	for {
+		if !b.kick.Poll() {
+			switch b.kick.Park(b.halt, b.stop) {
+			case 0: // halted mid-flight: no drain, the "power" is gone
+				return
+			case 1:
+				b.stopDrain()
+				return
+			}
+		}
+		// A pending kick must not outrank teardown: halt wins outright,
+		// stop still gets its final drain.
 		select {
 		case <-b.halt:
 			return
-		case <-b.stop:
-			// Final drain so Stop() leaves the device fully applied —
-			// and, with compaction on, checkpointed and truncated.
-			b.serveRPC()
-			b.replayAll()
-			b.checkpointAll()
-			b.drainMirrorPipe()
-			return
-		case <-b.kick:
-			b.serveRPC()
-			b.replayAll()
-			b.drainMirrorPipe()
+		default:
 		}
+		select {
+		case <-b.stop:
+			b.stopDrain()
+			return
+		default:
+		}
+		b.serveRPC()
+		b.replayAll()
+		b.drainMirrorPipe()
 	}
+}
+
+// stopDrain is Stop()'s final pass: it leaves the device fully applied —
+// and, with compaction on, checkpointed and truncated.
+func (b *Backend) stopDrain() {
+	b.serveRPC()
+	b.replayAll()
+	b.checkpointAll()
+	b.drainMirrorPipe()
 }
 
 // setErr records the first background error.

@@ -1,0 +1,108 @@
+package backend
+
+import (
+	"sync"
+	"testing"
+
+	"asymnvm/internal/nvm"
+)
+
+// The kick doorbell replaced a coalescing channel precisely so that a
+// front-end racing the power-fail path can never panic (send on closed
+// channel) or block (service loop already gone). These tests pin that
+// contract; run them with -race.
+
+func newKickBackend(t *testing.T) *Backend {
+	t.Helper()
+	dev := nvm.NewDevice(4 << 20)
+	b, err := New(dev, Options{ID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestKickAfterHalt: once Halt retires the loop, Kick must stay a
+// harmless no-op forever.
+func TestKickAfterHalt(t *testing.T) {
+	b := newKickBackend(t)
+	b.Start()
+	b.Kick()
+	b.Halt()
+	for i := 0; i < 100; i++ {
+		b.Kick()
+	}
+	if b.Alive() {
+		t.Fatal("backend still alive after Halt")
+	}
+}
+
+// TestKickHaltRace hammers Kick from several goroutines while Halt tears
+// the loop down mid-flight.
+func TestKickHaltRace(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		b := newKickBackend(t)
+		b.Start()
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 500; i++ {
+					b.Kick()
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			b.Halt()
+		}()
+		close(start)
+		wg.Wait()
+		b.Kick() // and once more after everything settled
+	}
+}
+
+// TestKickStopRace does the same against the orderly Stop path.
+func TestKickStopRace(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		b := newKickBackend(t)
+		b.Start()
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 500; i++ {
+					b.Kick()
+				}
+			}()
+		}
+		close(start)
+		b.Stop()
+		wg.Wait()
+		b.Kick()
+		if b.Alive() {
+			t.Fatal("backend still alive after Stop")
+		}
+	}
+}
+
+// TestHaltThenStopInterleave: the two teardown paths are documented as
+// safe to interleave in either order.
+func TestHaltThenStopInterleave(t *testing.T) {
+	b := newKickBackend(t)
+	b.Start()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); b.Halt() }()
+	go func() { defer wg.Done(); b.Stop() }()
+	wg.Wait()
+	b.Kick()
+}

@@ -3,6 +3,7 @@ package backend
 import (
 	"time"
 
+	"asymnvm/internal/ring"
 	"asymnvm/internal/trace"
 )
 
@@ -19,10 +20,10 @@ import (
 //
 // All fields belong to the back-end service goroutine.
 type mirrorPipe struct {
-	busyUntil time.Duration   // when the last transfer leaves the wire
-	done      []time.Duration // completion times of in-flight forwards (FIFO)
-	syncCost  time.Duration   // what stop-and-wait would have charged
-	charged   time.Duration   // what the pipelined model actually charged
+	busyUntil time.Duration           // when the last transfer leaves the wire
+	done      ring.Buf[time.Duration] // completion times of in-flight forwards (FIFO)
+	syncCost  time.Duration           // what stop-and-wait would have charged
+	charged   time.Duration           // what the pipelined model actually charged
 }
 
 // mirrorWindow bounds in-flight mirror forwards before the back-end
@@ -40,16 +41,15 @@ func (b *Backend) forwardCharge(n int) {
 		start = now
 	}
 	p.busyUntil = start + b.prof.NetTransfer(n) + b.prof.NVMTransfer(n)
-	p.done = append(p.done, p.busyUntil+b.prof.RDMARTT+b.prof.NVMWrite)
+	p.done.PushBack(p.busyUntil + b.prof.RDMARTT + b.prof.NVMWrite)
 	p.syncCost += b.prof.WriteCost(n)
 	b.st.PostedVerbs.Add(1)
-	b.st.QueueDepthSum.Add(int64(len(p.done)))
+	b.st.QueueDepthSum.Add(int64(p.done.Len()))
 	b.st.RDMAWrite.Add(1)
 	b.st.BytesWrite.Add(int64(n))
 	b.tr.Event(trace.KindMirrorFwd, uint64(n))
-	if len(p.done) >= mirrorWindow {
-		d := p.done[0]
-		p.done = p.done[1:]
+	if p.done.Len() >= mirrorWindow {
+		d, _ := p.done.PopFront()
 		if now := b.clk.Now(); d > now {
 			b.clk.Advance(d - now)
 			b.tr.Charge(trace.KindMirrorFwd, d-now)
@@ -63,17 +63,16 @@ func (b *Backend) forwardCharge(n int) {
 // and books the latency the pipeline hid as overlap savings.
 func (b *Backend) drainMirrorPipe() {
 	p := &b.mirPipe
-	if len(p.done) == 0 && p.syncCost == 0 {
+	if p.done.Len() == 0 && p.syncCost == 0 {
 		return
 	}
-	if len(p.done) > 0 {
-		last := p.done[len(p.done)-1]
+	if last, ok := p.done.Back(); ok {
 		if now := b.clk.Now(); last > now {
 			b.clk.Advance(last - now)
 			b.tr.Charge(trace.KindMirrorFwd, last-now)
 			p.charged += last - now
 		}
-		p.done = p.done[:0]
+		p.done.Reset()
 		b.st.DoorbellGroups.Add(1)
 	}
 	if saved := p.syncCost - p.charged; saved > 0 {

@@ -252,8 +252,13 @@ func (b *Backend) replaySlot(ds *dsReplay) (SlotStatus, error) {
 		pos := 0
 		progressed := false
 		for {
-			rec, used, derr := logrec.DecodeTx(buf[pos:], lpn)
+			// Decode into the service loop's reused record + arena: the
+			// record lives exactly one applyTx, so steady-state replay
+			// stops allocating per transaction.
+			rec := &b.txScratch
+			used, derr := logrec.DecodeTxInto(rec, buf[pos:], lpn, &b.decArena)
 			if derr != nil {
+				b.decArena.Reset()
 				if errors.Is(derr, logrec.ErrShort) && !progressed && chunk < maxTxChunk && uint64(chunk) < ds.memArea.Size {
 					chunk *= 2 // a record larger than the scan buffer
 					break
@@ -270,7 +275,9 @@ func (b *Backend) replaySlot(ds *dsReplay) (SlotStatus, error) {
 				}
 				return status, nil
 			}
-			if err := b.applyTx(ds, &rec, lpn+uint64(used)); err != nil {
+			err := b.applyTx(ds, rec, lpn+uint64(used))
+			b.decArena.Reset()
+			if err != nil {
 				return status, err
 			}
 			lpn += uint64(used)
@@ -295,9 +302,10 @@ func (b *Backend) applyTx(ds *dsReplay, rec *logrec.TxRecord, newLPN uint64) err
 	b.tr.BeginArg(trace.KindReplay, uint64(len(rec.Entries)))
 	defer b.tr.End()
 	// Replicate the log record before applying it (§7.1: logs reach the
-	// mirror before the transaction commits to the data area).
-	wire := rec.Encode()
-	for _, r := range ds.memArea.Split(rec.Abs, len(wire)) {
+	// mirror before the transaction commits to the data area). Only the
+	// record's extent matters here — the bytes forwarded are read back
+	// from the device — so EncodedLen avoids a full re-encode per replay.
+	for _, r := range ds.memArea.Split(rec.Abs, rec.EncodedLen()) {
 		chunkOff := r.DevOff
 		chunk := make([]byte, r.Len)
 		if err := b.dev.ReadAt(chunkOff, chunk); err != nil {
@@ -433,7 +441,12 @@ func (b *Backend) archiveOps(ds *dsReplay) {
 		pos := 0
 		progressed := false
 		for {
-			rec, used, derr := logrec.DecodeOp(buf[pos:], ds.opSeen)
+			// Only the record's validity and extent matter on this scan;
+			// decode into the reused scratch (params land in the arena and
+			// die at the Reset below) and forward the raw wire bytes.
+			rec := &b.opScratch
+			used, derr := logrec.DecodeOpInto(rec, buf[pos:], ds.opSeen, &b.decArena)
+			b.decArena.Reset()
 			if derr != nil {
 				if errors.Is(derr, logrec.ErrShort) && !progressed && chunk < maxTxChunk && uint64(chunk) < ds.opArea.Size {
 					chunk *= 2

@@ -1,0 +1,60 @@
+package bench
+
+import "testing"
+
+// `make bench-cpu` runs these with -benchtime=100x: a fast wall-clock
+// smoke over the zero-alloc hot paths. The same bodies power
+// HotpathSweep (the BENCH_hotpath.json generator), so a number that
+// looks wrong here can be reproduced exactly with
+// `go test -bench Hotpath -benchtime=... ./internal/bench/`.
+
+func BenchmarkHotpathSPSCPushPop(b *testing.B)  { b.ReportAllocs(); hotSPSCPushPop(b) }
+func BenchmarkHotpathChanPushPop(b *testing.B)  { b.ReportAllocs(); hotChanPushPop(b) }
+func BenchmarkHotpathSPSCRing(b *testing.B)     { b.ReportAllocs(); hotSPSCHandoff(b) }
+func BenchmarkHotpathChanHandoff(b *testing.B)  { b.ReportAllocs(); hotChanHandoff(b) }
+func BenchmarkHotpathMPSCRing(b *testing.B)     { b.ReportAllocs(); hotMPSCHandoff(b) }
+func BenchmarkHotpathChanMPSC(b *testing.B)     { b.ReportAllocs(); hotChanMPSCHandoff(b) }
+func BenchmarkHotpathDoorbell(b *testing.B)     { b.ReportAllocs(); hotDoorbell(b) }
+func BenchmarkHotpathTxRoundTrip(b *testing.B)  { b.ReportAllocs(); hotTxRoundTrip(b) }
+func BenchmarkHotpathOpRoundTrip(b *testing.B)  { b.ReportAllocs(); hotOpRoundTrip(b) }
+func BenchmarkHotpathProtoRequest(b *testing.B) { b.ReportAllocs(); hotProtoRequest(b) }
+func BenchmarkHotpathProtoResponse(b *testing.B) {
+	b.ReportAllocs()
+	hotProtoResponse(b)
+}
+
+// TestHotpathSweep pins the in-driver acceptance gate (SPSC ring ≥ 2x
+// channel handoff on multi-core hosts) and the row schema the checked-in
+// BENCH_hotpath.json relies on.
+func TestHotpathSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock sweep; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("wall-clock sweep; ratios measure the race detector, not the queues")
+	}
+	rows, err := HotpathSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"spsc-ring|pushpop": false, "channel|pushpop": false,
+		"spsc-ring|handoff": false, "channel|handoff": false,
+		"mpsc-ring|handoff-4p": false, "channel|handoff-4p": false,
+		"doorbell|ring+poll": false,
+		"logrec|tx-roundtrip": false, "logrec|op-roundtrip": false,
+		"proto|request": false, "proto|response": false,
+		"spsc-vs-channel|speedup": false,
+	}
+	for _, r := range rows {
+		if r.Experiment != "hotpath" {
+			t.Fatalf("unexpected experiment %q", r.Experiment)
+		}
+		want[r.Series+"|"+r.Label] = true
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Fatalf("sweep lost row %q", k)
+		}
+	}
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether this binary was built with -race. The
+// wall-clock hotpath gates are skipped under the detector: instrumented
+// atomics cost ~10x while runtime-internal channel ops are instrumented
+// far more lightly, so the ring-vs-channel ratio measures the detector,
+// not the queues.
+const raceEnabled = true

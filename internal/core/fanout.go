@@ -160,6 +160,7 @@ type PendingFlush struct {
 	h       *Handle
 	toks    []rdma.Token
 	groups  [][]rdma.WriteOp
+	opBuf   []byte // op-log bytes owned by the in-flight WRs until Settle
 	wireLen int
 	hasTx   bool
 	settled bool
@@ -196,7 +197,10 @@ func (h *Handle) FlushAsync() (*PendingFlush, error) {
 			CoverOp: h.coveredOp,
 			Entries: h.pending,
 		}
-		wire := rec.Encode()
+		// The handle runs no further operations until Settle, so the
+		// shared tx scratch stays untouched while the WR is in flight.
+		wire := rec.AppendTo(h.txBuf[:0])
+		h.txBuf = wire
 		if err := h.waitMemSpace(len(wire)); err != nil {
 			return nil, err
 		}
@@ -218,7 +222,10 @@ func (h *Handle) FlushAsync() (*PendingFlush, error) {
 	}
 	h.c.ep.Doorbell()
 	if h.opBufCnt > 0 {
-		h.opBuf = nil // backing array now belongs to the in-flight WR
+		// The backing array belongs to the in-flight WR until Settle,
+		// which recycles it into the handle's freelist.
+		pf.opBuf = h.opBuf
+		h.opBuf = h.takeBuf()
 		h.opBufCnt = 0
 	}
 	h.c.kick()
@@ -246,6 +253,10 @@ func (pf *PendingFlush) Settle() error {
 		if err := h.c.epWriteGroups(pf.groups...); err != nil {
 			return err
 		}
+	}
+	if pf.opBuf != nil {
+		h.bufFree = append(h.bufFree, pf.opBuf[:0])
+		pf.opBuf = nil
 	}
 	if pf.hasTx {
 		return h.finishTx(pf.wireLen)

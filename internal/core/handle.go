@@ -58,10 +58,12 @@ type flushMark struct {
 
 // asyncOpFlush is one posted-but-unsettled op-log flush: the completion
 // token and the posted payload, retained for an idempotent synchronous
-// re-issue if the completion carries a fault.
+// re-issue if the completion carries a fault. buf is the op buffer the
+// ops slice into; settling recycles it through the handle's freelist.
 type asyncOpFlush struct {
 	tok rdma.Token
 	ops []rdma.WriteOp
+	buf []byte
 }
 
 // gcItem is a lazily reclaimed old-version allocation (§6.2).
@@ -107,6 +109,12 @@ type Handle struct {
 	opBufAbs     uint64
 	opBufCnt     int
 	asyncOps     []asyncOpFlush
+	// txBuf is the commit record's reused encode scratch (safe because
+	// every flush path waits its WRs out before the next encode). bufFree
+	// recycles op buffers whose ownership moved to in-flight WRs once
+	// those WRs settle.
+	txBuf   []byte
+	bufFree [][]byte
 	overlay      map[uint64]*ovEntry
 	ovSeq        uint64
 	marks        []flushMark
@@ -393,13 +401,14 @@ func (h *Handle) OpLog(opType uint8, params []byte) (uint64, error) {
 		return 0, nil
 	}
 	rec := logrec.OpRecord{DSSlot: h.slot, OpType: opType, Abs: h.opTail, Params: params}
-	wire := rec.Encode()
 	if h.opBufCnt == 0 {
 		h.opBufAbs = h.opTail
 	}
-	h.opBuf = append(h.opBuf, wire...)
+	// Encode straight into the group-commit buffer: no per-record wire
+	// allocation, no second copy.
+	h.opBuf = rec.AppendTo(h.opBuf)
 	h.opBufCnt++
-	h.opTail += uint64(len(wire))
+	h.opTail += uint64(rec.EncodedLen())
 	fe.st.OpLogs.Add(1)
 	if fe.mode.Batch <= 1 || !h.opGroupCommit {
 		if h.c.pipelined() {
@@ -500,10 +509,22 @@ func (h *Handle) flushOpsAsync() error {
 	ops := h.areaWriteOps(h.opArea, h.opBufAbs, h.opBuf)
 	tok := h.c.ep.PostWriteV(ops)
 	h.c.ep.Doorbell()
-	h.asyncOps = append(h.asyncOps, asyncOpFlush{tok: tok, ops: ops})
-	h.opBuf = nil // backing array now belongs to the in-flight WR
+	h.asyncOps = append(h.asyncOps, asyncOpFlush{tok: tok, ops: ops, buf: h.opBuf})
+	// The backing array belongs to the in-flight WR until settled (it
+	// comes back through bufFree); continue gathering into a recycled one.
+	h.opBuf = h.takeBuf()
 	h.opBufCnt = 0
 	h.c.kick()
+	return nil
+}
+
+// takeBuf pops a recycled byte buffer (len 0) from the freelist.
+func (h *Handle) takeBuf() []byte {
+	if n := len(h.bufFree); n > 0 {
+		b := h.bufFree[n-1]
+		h.bufFree = h.bufFree[:n-1]
+		return b
+	}
 	return nil
 }
 
@@ -519,7 +540,7 @@ func (h *Handle) settleAsyncOps() error {
 	tr.BeginArg(trace.KindOpLogFlush, uint64(len(h.asyncOps)))
 	defer tr.End()
 	pend := h.asyncOps
-	h.asyncOps = nil
+	h.asyncOps = h.asyncOps[:0]
 	for _, af := range pend {
 		if err := h.c.ep.Wait(af.tok); err != nil {
 			h.c.fe.st.VerbRetries.Add(1)
@@ -527,6 +548,9 @@ func (h *Handle) settleAsyncOps() error {
 				return err
 			}
 			h.c.kick()
+		}
+		if af.buf != nil {
+			h.bufFree = append(h.bufFree, af.buf[:0])
 		}
 	}
 	return nil
@@ -553,7 +577,10 @@ func (h *Handle) txWrite() error {
 		CoverOp: h.coveredOp,
 		Entries: h.pending,
 	}
-	wire := rec.Encode()
+	// Encode into the handle's reused scratch: epWriteV waits the WR out
+	// before returning, so the buffer is free again by the next commit.
+	wire := rec.AppendTo(h.txBuf[:0])
+	h.txBuf = wire
 	if err := h.waitMemSpace(len(wire)); err != nil {
 		return err
 	}
@@ -588,7 +615,10 @@ func (h *Handle) flushPipelined() error {
 		CoverOp: h.coveredOp,
 		Entries: h.pending,
 	}
-	wire := rec.Encode()
+	// Reused scratch, same contract as txWrite: epWriteGroups is
+	// synchronous with respect to its payload buffers.
+	wire := rec.AppendTo(h.txBuf[:0])
+	h.txBuf = wire
 	if err := h.waitMemSpace(len(wire)); err != nil {
 		return err
 	}

@@ -1,0 +1,123 @@
+package logrec
+
+import (
+	"testing"
+
+	"asymnvm/internal/arena"
+)
+
+// The allocation ceilings here are the CI gate for the zero-alloc
+// encode/decode contract: AppendTo into a reused buffer and DecodeInto
+// with an arena must not touch the heap in steady state. AllocsPerRun
+// is deterministic (unlike ns/op), so these run in plain `go test`;
+// wall-clock speed is measured separately by `make bench-cpu`.
+
+func sampleTx() TxRecord {
+	val := make([]byte, 64)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	return TxRecord{
+		DSSlot:  7,
+		Abs:     4096,
+		CoverOp: 512,
+		Entries: []MemEntry{
+			{Flag: FlagInline, Addr: 0x0001000000002000, Len: 64, Value: val},
+			{Flag: FlagOpRef, Addr: 0x0001000000003000, Len: 32, OpAbs: 128, SrcOff: 8},
+			{Flag: FlagInline, Addr: 0x0001000000004000, Len: 16, Value: val[:16]},
+		},
+	}
+}
+
+func TestTxRoundTripZeroAllocs(t *testing.T) {
+	rec := sampleTx()
+	var (
+		buf []byte
+		dec TxRecord
+		a   arena.Arena
+	)
+	// Warm: first pass sizes buf, dec.Entries and the arena chunk.
+	buf = rec.AppendTo(buf[:0])
+	if _, err := DecodeTxInto(&dec, buf, rec.Abs, &a); err != nil {
+		t.Fatal(err)
+	}
+	a.Reset()
+
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = rec.AppendTo(buf[:0])
+		if _, err := DecodeTxInto(&dec, buf, rec.Abs, &a); err != nil {
+			t.Fatal(err)
+		}
+		a.Reset()
+	})
+	if allocs != 0 {
+		t.Errorf("tx encode+decode round trip allocates %.1f/op, want 0", allocs)
+	}
+	// The reused decode must still be faithful.
+	if dec.DSSlot != rec.DSSlot || dec.CoverOp != rec.CoverOp || len(dec.Entries) != len(rec.Entries) {
+		t.Fatalf("decode mismatch: %+v", dec)
+	}
+	if string(dec.Entries[0].Value) != string(rec.Entries[0].Value) {
+		t.Fatal("entry value mismatch")
+	}
+}
+
+func TestOpRoundTripZeroAllocs(t *testing.T) {
+	params := make([]byte, 128)
+	for i := range params {
+		params[i] = byte(i * 3)
+	}
+	rec := OpRecord{DSSlot: 3, OpType: 9, Abs: 2048, Params: params}
+	var (
+		buf []byte
+		dec OpRecord
+		a   arena.Arena
+	)
+	buf = rec.AppendTo(buf[:0])
+	if _, err := DecodeOpInto(&dec, buf, rec.Abs, &a); err != nil {
+		t.Fatal(err)
+	}
+	a.Reset()
+
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = rec.AppendTo(buf[:0])
+		if _, err := DecodeOpInto(&dec, buf, rec.Abs, &a); err != nil {
+			t.Fatal(err)
+		}
+		a.Reset()
+	})
+	if allocs != 0 {
+		t.Errorf("op encode+decode round trip allocates %.1f/op, want 0", allocs)
+	}
+	if dec.OpType != rec.OpType || string(dec.Params) != string(rec.Params) {
+		t.Fatalf("decode mismatch: %+v", dec)
+	}
+}
+
+// TestAppendToChains pins the framing property the flush paths rely on:
+// several records appended to one buffer decode back in sequence.
+func TestAppendToChains(t *testing.T) {
+	op := OpRecord{DSSlot: 1, OpType: 2, Abs: 0, Params: []byte("abcd")}
+	var buf []byte
+	abs := uint64(0)
+	for i := 0; i < 3; i++ {
+		op.Abs = abs
+		buf = op.AppendTo(buf)
+		abs += uint64(op.EncodedLen())
+	}
+	pos, wantAbs := 0, uint64(0)
+	for i := 0; i < 3; i++ {
+		rec, used, err := DecodeOp(buf[pos:], wantAbs)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if string(rec.Params) != "abcd" {
+			t.Fatalf("record %d params %q", i, rec.Params)
+		}
+		pos += used
+		wantAbs += uint64(used)
+	}
+	if pos != len(buf) {
+		t.Fatalf("consumed %d of %d", pos, len(buf))
+	}
+}

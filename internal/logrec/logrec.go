@@ -21,6 +21,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"slices"
+
+	"asymnvm/internal/arena"
 )
 
 // Record magics distinguish record kinds and catch scans running into
@@ -85,31 +88,39 @@ func (e *MemEntry) encode(dst []byte) int {
 	return 13 + int(e.Len)
 }
 
-func decodeMemEntry(src []byte) (MemEntry, int, error) {
+// decodeMemEntry parses one entry into *e. Inline values are copied out
+// of src — into a, when non-nil (the zero-alloc replay path; the copy
+// dies at the arena's next Reset), onto the heap otherwise.
+func decodeMemEntry(e *MemEntry, src []byte, a *arena.Arena) (int, error) {
 	if len(src) < 13 {
-		return MemEntry{}, 0, ErrShort
+		return 0, ErrShort
 	}
-	var e MemEntry
 	e.Flag = src[0]
 	e.Addr = binary.LittleEndian.Uint64(src[1:])
 	e.Len = binary.LittleEndian.Uint32(src[9:])
+	e.Value = nil
+	e.OpAbs, e.SrcOff = 0, 0
 	if e.Flag == FlagOpRef {
 		if len(src) < 25 {
-			return MemEntry{}, 0, ErrShort
+			return 0, ErrShort
 		}
 		e.OpAbs = binary.LittleEndian.Uint64(src[13:])
 		e.SrcOff = binary.LittleEndian.Uint32(src[21:])
-		return e, 25, nil
+		return 25, nil
 	}
 	if e.Flag != FlagInline {
-		return MemEntry{}, 0, fmt.Errorf("%w: mem entry flag %#x", ErrBadMagic, e.Flag)
+		return 0, fmt.Errorf("%w: mem entry flag %#x", ErrBadMagic, e.Flag)
 	}
 	end := 13 + int(e.Len)
 	if len(src) < end {
-		return MemEntry{}, 0, ErrShort
+		return 0, ErrShort
 	}
-	e.Value = append([]byte(nil), src[13:end]...)
-	return e, end, nil
+	if a != nil {
+		e.Value = a.Copy(src[13:end])
+	} else {
+		e.Value = append([]byte(nil), src[13:end]...)
+	}
+	return end, nil
 }
 
 // TxRecord is one transaction in the memory log area.
@@ -137,10 +148,16 @@ func (t *TxRecord) EncodedLen() int {
 	return n + 1 + 4 // commit flag + crc
 }
 
-// Encode serializes the record, computing the checksum over everything
-// before it (header, body, commit flag).
-func (t *TxRecord) Encode() []byte {
-	buf := make([]byte, t.EncodedLen())
+// AppendTo serializes the record onto dst and returns the extended
+// slice, computing the checksum over everything before it (header,
+// body, commit flag). With a dst of sufficient capacity it does not
+// allocate, which is what lets the front-end's flush paths chain the
+// op-log group and the commit record into one reused wire buffer.
+func (t *TxRecord) AppendTo(dst []byte) []byte {
+	n := t.EncodedLen()
+	base := len(dst)
+	dst = slices.Grow(dst, n)[:base+n]
+	buf := dst[base:]
 	buf[0] = TxMagic
 	binary.LittleEndian.PutUint16(buf[1:], t.DSSlot)
 	binary.LittleEndian.PutUint16(buf[3:], uint16(len(t.Entries)))
@@ -154,53 +171,72 @@ func (t *TxRecord) Encode() []byte {
 	buf[off] = CommitFlag
 	off++
 	binary.LittleEndian.PutUint32(buf[off:], crc32.Checksum(buf[:off], castagnoli))
-	return buf
+	return dst
+}
+
+// Encode serializes the record into a fresh buffer.
+func (t *TxRecord) Encode() []byte {
+	return t.AppendTo(make([]byte, 0, t.EncodedLen()))
 }
 
 // DecodeTx parses one transaction record from src, verifying the embedded
 // absolute offset against expectAbs and the checksum. It returns the
 // record and the number of bytes consumed.
 func DecodeTx(src []byte, expectAbs uint64) (TxRecord, int, error) {
+	var t TxRecord
+	n, err := DecodeTxInto(&t, src, expectAbs, nil)
+	if err != nil {
+		return TxRecord{}, 0, err
+	}
+	return t, n, nil
+}
+
+// DecodeTxInto parses one transaction record into *t, reusing t's
+// Entries backing array across calls. When a is non-nil, inline entry
+// values are copied into the arena instead of the heap — valid until
+// the arena's next Reset — so a replay loop that resets the arena per
+// transaction decodes at zero allocations in steady state. On error *t
+// is left in an unspecified state.
+func DecodeTxInto(t *TxRecord, src []byte, expectAbs uint64, a *arena.Arena) (int, error) {
 	if len(src) < txHeaderLen {
-		return TxRecord{}, 0, ErrShort
+		return 0, ErrShort
 	}
 	if src[0] != TxMagic {
-		return TxRecord{}, 0, ErrBadMagic
+		return 0, ErrBadMagic
 	}
-	var t TxRecord
 	t.DSSlot = binary.LittleEndian.Uint16(src[1:])
 	count := int(binary.LittleEndian.Uint16(src[3:]))
 	t.Abs = binary.LittleEndian.Uint64(src[5:])
 	t.CoverOp = binary.LittleEndian.Uint64(src[13:])
 	bodyLen := int(binary.LittleEndian.Uint32(src[21:]))
 	if t.Abs != expectAbs {
-		return TxRecord{}, 0, ErrBadAbs
+		return 0, ErrBadAbs
 	}
 	end := txHeaderLen + bodyLen
 	if bodyLen < 0 || len(src) < end+5 {
-		return TxRecord{}, 0, ErrShort
+		return 0, ErrShort
 	}
 	if src[end] != CommitFlag {
-		return TxRecord{}, 0, ErrNoCommit
+		return 0, ErrNoCommit
 	}
 	want := binary.LittleEndian.Uint32(src[end+1:])
 	if crc32.Checksum(src[:end+1], castagnoli) != want {
-		return TxRecord{}, 0, ErrBadCRC
+		return 0, ErrBadCRC
 	}
 	off := txHeaderLen
-	t.Entries = make([]MemEntry, 0, count)
+	t.Entries = slices.Grow(t.Entries[:0], count)
 	for i := 0; i < count; i++ {
-		e, n, err := decodeMemEntry(src[off:end])
+		t.Entries = t.Entries[:i+1]
+		n, err := decodeMemEntry(&t.Entries[i], src[off:end], a)
 		if err != nil {
-			return TxRecord{}, 0, err
+			return 0, err
 		}
-		t.Entries = append(t.Entries, e)
 		off += n
 	}
 	if off != end {
-		return TxRecord{}, 0, fmt.Errorf("logrec: tx body length mismatch: %d != %d", off, end)
+		return 0, fmt.Errorf("logrec: tx body length mismatch: %d != %d", off, end)
 	}
-	return t, end + 5, nil
+	return end + 5, nil
 }
 
 // OpRecord is one operation log record: a data-structure operation with
@@ -222,9 +258,15 @@ func (o *OpRecord) EncodedLen() int { return opHeaderLen + len(o.Params) + 4 }
 // record; FlagOpRef memory entries point at Abs+ParamsWireOff+SrcOff.
 const ParamsWireOff = opHeaderLen
 
-// Encode serializes the record with its trailing checksum.
-func (o *OpRecord) Encode() []byte {
-	buf := make([]byte, o.EncodedLen())
+// AppendTo serializes the record (with its trailing checksum) onto dst
+// and returns the extended slice, allocation-free given capacity. The
+// front-end's OpLog hot path appends records into the group-commit
+// buffer with it, replacing the encode-then-append double copy.
+func (o *OpRecord) AppendTo(dst []byte) []byte {
+	n := o.EncodedLen()
+	base := len(dst)
+	dst = slices.Grow(dst, n)[:base+n]
+	buf := dst[base:]
 	buf[0] = OpMagic
 	binary.LittleEndian.PutUint16(buf[1:], o.DSSlot)
 	buf[3] = o.OpType
@@ -233,33 +275,54 @@ func (o *OpRecord) Encode() []byte {
 	copy(buf[opHeaderLen:], o.Params)
 	binary.LittleEndian.PutUint32(buf[opHeaderLen+len(o.Params):],
 		crc32.Checksum(buf[:opHeaderLen+len(o.Params)], castagnoli))
-	return buf
+	return dst
+}
+
+// Encode serializes the record into a fresh buffer.
+func (o *OpRecord) Encode() []byte {
+	return o.AppendTo(make([]byte, 0, o.EncodedLen()))
 }
 
 // DecodeOp parses one operation record, verifying offset and checksum.
 func DecodeOp(src []byte, expectAbs uint64) (OpRecord, int, error) {
+	var o OpRecord
+	n, err := DecodeOpInto(&o, src, expectAbs, nil)
+	if err != nil {
+		return OpRecord{}, 0, err
+	}
+	return o, n, nil
+}
+
+// DecodeOpInto parses one operation record into *o. When a is non-nil
+// the params are copied into the arena (valid until its next Reset)
+// instead of the heap, making the back-end's op-log scan loop
+// allocation-free in steady state.
+func DecodeOpInto(o *OpRecord, src []byte, expectAbs uint64, a *arena.Arena) (int, error) {
 	if len(src) < opHeaderLen {
-		return OpRecord{}, 0, ErrShort
+		return 0, ErrShort
 	}
 	if src[0] != OpMagic {
-		return OpRecord{}, 0, ErrBadMagic
+		return 0, ErrBadMagic
 	}
-	var o OpRecord
 	o.DSSlot = binary.LittleEndian.Uint16(src[1:])
 	o.OpType = src[3]
 	o.Abs = binary.LittleEndian.Uint64(src[4:])
 	plen := int(binary.LittleEndian.Uint32(src[12:]))
 	if o.Abs != expectAbs {
-		return OpRecord{}, 0, ErrBadAbs
+		return 0, ErrBadAbs
 	}
 	end := opHeaderLen + plen
 	if plen < 0 || len(src) < end+4 {
-		return OpRecord{}, 0, ErrShort
+		return 0, ErrShort
 	}
 	want := binary.LittleEndian.Uint32(src[end:])
 	if crc32.Checksum(src[:end], castagnoli) != want {
-		return OpRecord{}, 0, ErrBadCRC
+		return 0, ErrBadCRC
 	}
-	o.Params = append([]byte(nil), src[opHeaderLen:end]...)
-	return o, end + 4, nil
+	if a != nil {
+		o.Params = a.Copy(src[opHeaderLen:end])
+	} else {
+		o.Params = append([]byte(nil), src[opHeaderLen:end]...)
+	}
+	return end + 4, nil
 }

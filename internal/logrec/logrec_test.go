@@ -14,7 +14,8 @@ func TestMemEntryInlineRoundTrip(t *testing.T) {
 	if n != len(buf) {
 		t.Fatalf("encode wrote %d, want %d", n, len(buf))
 	}
-	got, m, err := decodeMemEntry(buf)
+	var got MemEntry
+	m, err := decodeMemEntry(&got, buf, nil)
 	if err != nil || m != n {
 		t.Fatalf("decode: %v consumed=%d", err, m)
 	}
@@ -27,7 +28,8 @@ func TestMemEntryOpRefRoundTrip(t *testing.T) {
 	e := MemEntry{Flag: FlagOpRef, Addr: 99, Len: 64, OpAbs: 777, SrcOff: 16}
 	buf := make([]byte, e.EncodedLen())
 	e.encode(buf)
-	got, _, err := decodeMemEntry(buf)
+	var got MemEntry
+	_, err := decodeMemEntry(&got, buf, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

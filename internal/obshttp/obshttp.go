@@ -8,6 +8,10 @@
 //	GET /healthz     — readiness: 200 when every registered health check
 //	                   passes (back-end service loops alive, replay lag
 //	                   bounded), 503 otherwise, one line per check.
+//	GET /debug/pprof — the stdlib runtime profiler, mounted only after
+//	                   EnablePprof (the binaries' -pprof flag): the
+//	                   wall-clock hot-path work is profiled with real
+//	                   CPU samples, not the virtual clock.
 //
 // The bench, chaos and serve binaries mount it behind an optional -http
 // flag. Everything is read-only and safe to scrape mid-run: stats are
@@ -20,6 +24,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 
 	"asymnvm/internal/stats"
@@ -32,6 +37,7 @@ type Server struct {
 	tr      *trace.Tracer
 	sources []source
 	checks  []check
+	pprof   bool
 }
 
 type source struct {
@@ -99,6 +105,17 @@ func (s *Server) SetHealth(name string, fn HealthFunc) {
 	s.checks = append(s.checks, check{name: name, fn: fn})
 }
 
+// EnablePprof mounts the runtime profiler (net/http/pprof) under
+// /debug/pprof/ on handlers built after the call. Off by default: the
+// profiler exposes goroutine stacks and on-demand CPU sampling, so the
+// binaries mount it only behind an explicit -pprof opt-in, never
+// implicitly with -http.
+func (s *Server) EnablePprof() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pprof = true
+}
+
 // Handler returns the route mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -106,6 +123,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/trace", s.debugTrace)
 	mux.HandleFunc("/debug/flame", s.debugFlame)
 	mux.HandleFunc("/healthz", s.healthz)
+	s.mu.Lock()
+	withPprof := s.pprof
+	s.mu.Unlock()
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

@@ -193,3 +193,36 @@ func TestMetricsRaceWithRegistration(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestPprofOptIn pins the profiler's gating: /debug/pprof must 404 on a
+// default handler and serve the index only after EnablePprof — the
+// binaries' -pprof flag is the single way to expose it.
+func TestPprofOptIn(t *testing.T) {
+	srv := New(nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof reachable without opt-in: status %d", resp.StatusCode)
+	}
+
+	srv.EnablePprof()
+	ts2 := httptest.NewServer(srv.Handler())
+	defer ts2.Close()
+	resp, err = http.Get(ts2.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index missing after EnablePprof: status %d", resp.StatusCode)
+	}
+}

@@ -93,11 +93,31 @@ func (e *Endpoint) SetPipeline(depth int) {
 // completion queue (send queue + rung doorbell groups).
 func (e *Endpoint) Outstanding() int { return e.inflight }
 
+// newWR takes a work-request header off the freelist (retireOldest and
+// retargetFlush put them back) or allocates the pool's next one.
+func (e *Endpoint) newWR() *postedWR {
+	if n := len(e.wrFree); n > 0 {
+		wr := e.wrFree[n-1]
+		e.wrFree = e.wrFree[:n-1]
+		return wr
+	}
+	return &postedWR{}
+}
+
+// freeWR recycles a retired WR header, dropping its payload references
+// so caller-owned buffers are not pinned by the freelist.
+func (e *Endpoint) freeWR(wr *postedWR) {
+	*wr = postedWR{}
+	e.wrFree = append(e.wrFree, wr)
+}
+
 // PostRead posts a one-sided read of len(buf) bytes at off and returns
 // its completion token. buf is filled at Doorbell time; its contents are
 // only meaningful once the token retires without error.
 func (e *Endpoint) PostRead(off uint64, buf []byte) Token {
-	return e.post(&postedWR{op: OpRead, buf: buf, off: off, n: len(buf)})
+	wr := e.newWR()
+	wr.op, wr.buf, wr.off, wr.n = OpRead, buf, off, len(buf)
+	return e.post(wr)
 }
 
 // PostWrite posts a one-sided persistent write as a single-segment WR.
@@ -118,7 +138,9 @@ func (e *Endpoint) PostWriteV(ops []WriteOp) Token {
 	for _, op := range ops {
 		n += len(op.Data)
 	}
-	return e.post(&postedWR{op: OpWrite, segs: ops, off: off, n: n})
+	wr := e.newWR()
+	wr.op, wr.segs, wr.off, wr.n = OpWrite, ops, off, n
+	return e.post(wr)
 }
 
 func (e *Endpoint) post(wr *postedWR) Token {
@@ -158,8 +180,18 @@ func (e *Endpoint) Doorbell() {
 	if len(e.sendQ) == 0 {
 		return
 	}
+	// Recycle a group header and swap slices: the group takes the send
+	// queue's backing array, the send queue inherits the recycled group's
+	// empty one. Steady state cycles the same two arrays forever.
+	var g *doorbellGroup
+	if n := len(e.groupFree); n > 0 {
+		g = e.groupFree[n-1]
+		e.groupFree = e.groupFree[:n-1]
+	} else {
+		g = &doorbellGroup{}
+	}
 	wrs := e.sendQ
-	e.sendQ = nil
+	e.sendQ = g.wrs[:0]
 
 	var (
 		extraDelay time.Duration
@@ -199,10 +231,11 @@ func (e *Endpoint) Doorbell() {
 		cost += e.prof.NVMRead
 	}
 	readyAt := e.clk.Now() + cost
-	if n := len(e.groups); n > 0 && e.groups[n-1].readyAt > readyAt {
-		readyAt = e.groups[n-1].readyAt // in-order CQ: no overtaking
+	if last, ok := e.groups.Back(); ok && last.readyAt > readyAt {
+		readyAt = last.readyAt // in-order CQ: no overtaking
 	}
-	e.groups = append(e.groups, &doorbellGroup{wrs: wrs, cost: cost, readyAt: readyAt})
+	g.wrs, g.cost, g.readyAt = wrs, cost, readyAt
+	e.groups.PushBack(g)
 
 	// One doorbell group is one network round trip, whatever its size.
 	e.tr.Event(trace.KindDoorbell, uint64(total))
@@ -268,11 +301,10 @@ func (e *Endpoint) execWR(wr *postedWR, extraDelay *time.Duration) {
 // the group's ready time; cost already hidden behind the actor's own
 // work is recorded as overlap savings.
 func (e *Endpoint) retireOldest() {
-	if len(e.groups) == 0 {
+	g, ok := e.groups.PopFront()
+	if !ok {
 		return
 	}
-	g := e.groups[0]
-	e.groups = e.groups[1:]
 	if e.win != nil {
 		e.win.serial += g.cost
 	}
@@ -287,23 +319,40 @@ func (e *Endpoint) retireOldest() {
 		e.tr.Event(trace.KindOverlapSaved, uint64(g.cost))
 		e.st.OverlapSavedNS.Add(int64(g.cost))
 	}
-	for _, wr := range g.wrs {
+	for i, wr := range g.wrs {
 		e.inflight--
-		e.cq = append(e.cq, Completion{Token: wr.token, Op: wr.op, Off: wr.off, N: wr.n, Err: wr.err})
+		e.cq.PushBack(Completion{Token: wr.token, Op: wr.op, Off: wr.off, N: wr.n, Err: wr.err})
+		e.freeWR(wr)
+		g.wrs[i] = nil
 	}
+	g.wrs = g.wrs[:0]
+	e.groupFree = append(e.groupFree, g)
 }
 
 // Poll retires every doorbell group that is already ready at the current
 // virtual time — charging nothing — and returns the drained completion
 // queue (including completions retired earlier by Wait's group draining
-// but not yet consumed). Completions are in posted order.
+// but not yet consumed). Completions are in posted order. The returned
+// slice is reused by the next Poll: consume it before calling again.
 func (e *Endpoint) Poll() []Completion {
 	now := e.clk.Now()
-	for len(e.groups) > 0 && e.groups[0].readyAt <= now {
+	for {
+		g, ok := e.groups.Front()
+		if !ok || g.readyAt > now {
+			break
+		}
 		e.retireOldest()
 	}
-	out := e.cq
-	e.cq = nil
+	out := append(e.pollBuf[:0], e.cqSkip...)
+	e.cqSkip = e.cqSkip[:0]
+	for {
+		c, ok := e.cq.PopFront()
+		if !ok {
+			break
+		}
+		out = append(out, c)
+	}
+	e.pollBuf = out
 	return out
 }
 
@@ -314,13 +363,27 @@ func (e *Endpoint) Poll() []Completion {
 // doorbell is rung first.
 func (e *Endpoint) Wait(tok Token) error {
 	for {
-		for i, c := range e.cq {
+		// Tokens are waited on out of posted order, but the CQ ring pops
+		// front-only; completions popped past on the way to tok are
+		// stashed (still in posted order) and re-delivered to their own
+		// waiters — or to Poll — first.
+		for i, c := range e.cqSkip {
 			if c.Token == tok {
-				e.cq = append(e.cq[:i], e.cq[i+1:]...)
+				e.cqSkip = append(e.cqSkip[:i], e.cqSkip[i+1:]...)
 				return c.Err
 			}
 		}
-		if len(e.groups) == 0 {
+		for {
+			c, ok := e.cq.PopFront()
+			if !ok {
+				break
+			}
+			if c.Token == tok {
+				return c.Err
+			}
+			e.cqSkip = append(e.cqSkip, c)
+		}
+		if e.groups.Len() == 0 {
 			if len(e.sendQ) == 0 {
 				return fmt.Errorf("rdma: wait on unknown or already-consumed token %d", tok)
 			}
@@ -337,16 +400,25 @@ func (e *Endpoint) Wait(tok Token) error {
 // outstanding token may use it; Handle-level code uses per-token Wait.
 func (e *Endpoint) Drain() error {
 	e.Doorbell()
-	for len(e.groups) > 0 {
+	for e.groups.Len() > 0 {
 		e.retireOldest()
 	}
 	var first error
-	for _, c := range e.cq {
+	for _, c := range e.cqSkip {
 		if c.Err != nil && first == nil {
 			first = c.Err
 		}
 	}
-	e.cq = nil
+	e.cqSkip = e.cqSkip[:0]
+	for {
+		c, ok := e.cq.PopFront()
+		if !ok {
+			break
+		}
+		if c.Err != nil && first == nil {
+			first = c.Err
+		}
+	}
 	return first
 }
 
@@ -370,19 +442,27 @@ func (e *Endpoint) fenceOrder() {
 func (e *Endpoint) retargetFlush() {
 	flush := func(wr *postedWR) {
 		e.inflight--
-		e.cq = append(e.cq, Completion{
+		e.cq.PushBack(Completion{
 			Token: wr.token, Op: wr.op, Off: wr.off, N: wr.n,
 			Err: fmt.Errorf("%w: op=%v off=%d n=%d (flushed by retarget)", ErrDisconnected, wr.op, wr.off, wr.n),
 		})
+		e.freeWR(wr)
 	}
-	for _, g := range e.groups {
-		for _, wr := range g.wrs {
-			flush(wr)
+	for {
+		g, ok := e.groups.PopFront()
+		if !ok {
+			break
 		}
+		for i, wr := range g.wrs {
+			flush(wr)
+			g.wrs[i] = nil
+		}
+		g.wrs = g.wrs[:0]
+		e.groupFree = append(e.groupFree, g)
 	}
-	e.groups = nil
-	for _, wr := range e.sendQ {
+	for i, wr := range e.sendQ {
 		flush(wr)
+		e.sendQ[i] = nil
 	}
-	e.sendQ = nil
+	e.sendQ = e.sendQ[:0]
 }

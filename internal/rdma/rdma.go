@@ -21,6 +21,7 @@ import (
 
 	"asymnvm/internal/clock"
 	"asymnvm/internal/nvm"
+	"asymnvm/internal/ring"
 	"asymnvm/internal/stats"
 	"asymnvm/internal/trace"
 )
@@ -116,13 +117,22 @@ type Endpoint struct {
 	// Posted-verb pipeline state (see pipeline.go). The send queue holds
 	// WRs posted since the last doorbell; groups are rung doorbells whose
 	// completions are not yet retired; cq holds retired completions not
-	// yet consumed by Wait/Poll.
+	// yet consumed by Wait/Poll. The rings and freelists keep the hot
+	// post→doorbell→retire path allocation-free in steady state: WR and
+	// group headers recycle through wrFree/groupFree, a retired group's
+	// wrs backing array swaps back in as the next send queue, and the
+	// completion queue reuses its ring storage instead of re-growing a
+	// drained slice.
 	pipeDepth int
 	nextToken Token
 	sendQ     []*postedWR
-	groups    []*doorbellGroup
+	groups    ring.Buf[*doorbellGroup]
 	inflight  int
-	cq        []Completion
+	cq        ring.Buf[Completion]
+	cqSkip    []Completion // Wait's stash of completions popped past (still in posted order)
+	wrFree    []*postedWR
+	groupFree []*doorbellGroup
+	pollBuf   []Completion // Poll's reused return buffer
 
 	// win, when non-nil, is the open cross-connection fan-out window this
 	// endpoint is enrolled in (see fanout.go): retired group costs are

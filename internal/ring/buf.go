@@ -1,0 +1,92 @@
+package ring
+
+// Buf is a single-owner circular buffer: a FIFO ring for queues that
+// never cross a goroutine boundary (the rdma completion queue, the
+// mirror forward window). No atomics, no locks — just wrap-around
+// indexing with amortized growth, so a steady-state workload recycles
+// the same backing array forever instead of re-allocating per append
+// the way a drained slice does.
+type Buf[T any] struct {
+	buf  []T
+	head int // index of the oldest element
+	n    int // live element count
+}
+
+// NewBuf returns a buffer pre-sized for capacity elements (rounded up
+// to a power of two, minimum 2). A zero Buf is also valid and sizes
+// itself on first push.
+func NewBuf[T any](capacity int) *Buf[T] {
+	return &Buf[T]{buf: make([]T, ceilPow2(capacity))}
+}
+
+// PushBack appends v, growing the ring when full.
+func (b *Buf[T]) PushBack(v T) {
+	if b.n == len(b.buf) {
+		b.grow()
+	}
+	b.buf[(b.head+b.n)&(len(b.buf)-1)] = v
+	b.n++
+}
+
+// PopFront removes and returns the oldest element.
+func (b *Buf[T]) PopFront() (v T, ok bool) {
+	if b.n == 0 {
+		return v, false
+	}
+	slot := &b.buf[b.head&(len(b.buf)-1)]
+	v = *slot
+	var zero T
+	*slot = zero
+	b.head = (b.head + 1) & (len(b.buf) - 1)
+	b.n--
+	return v, true
+}
+
+// Front returns the oldest element without removing it.
+func (b *Buf[T]) Front() (v T, ok bool) {
+	if b.n == 0 {
+		return v, false
+	}
+	return b.buf[b.head], true
+}
+
+// Back returns the newest element without removing it.
+func (b *Buf[T]) Back() (v T, ok bool) {
+	if b.n == 0 {
+		return v, false
+	}
+	return b.buf[(b.head+b.n-1)&(len(b.buf)-1)], true
+}
+
+// At returns the i-th element from the front (0 = oldest). The caller
+// guarantees 0 <= i < Len.
+func (b *Buf[T]) At(i int) T {
+	return b.buf[(b.head+i)&(len(b.buf)-1)]
+}
+
+// Len reports the live element count.
+func (b *Buf[T]) Len() int { return b.n }
+
+// Reset discards every element, keeping the backing array.
+func (b *Buf[T]) Reset() {
+	var zero T
+	for i := 0; i < b.n; i++ {
+		b.buf[(b.head+i)&(len(b.buf)-1)] = zero
+	}
+	b.head, b.n = 0, 0
+}
+
+// grow doubles the backing array, unwrapping the live elements to the
+// front of the new one.
+func (b *Buf[T]) grow() {
+	size := len(b.buf) * 2
+	if size == 0 {
+		size = 2
+	}
+	nb := make([]T, size)
+	for i := 0; i < b.n; i++ {
+		nb[i] = b.buf[(b.head+i)&(len(b.buf)-1)]
+	}
+	b.buf = nb
+	b.head = 0
+}

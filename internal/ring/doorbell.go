@@ -1,0 +1,82 @@
+package ring
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Doorbell is the park/unpark primitive that replaces the
+// `select { case ch <- struct{}{}: default: }` wakeup idiom. Any number
+// of goroutines may Ring; one consumer polls the flag in its hot loop
+// and parks only when idle.
+//
+// Unlike a closable channel, a Doorbell has no teardown hazard: Ring is
+// a flag swap plus (at most) one non-blocking send on a channel that is
+// never closed, so a producer racing the consumer's shutdown — the
+// power-fail Halt() path — can never panic or block. Coalescing
+// matches the old idiom: any number of Rings while the consumer is busy
+// collapse into one wakeup.
+type Doorbell struct {
+	rung atomic.Bool
+	ch   chan struct{} // capacity 1; never closed
+}
+
+// NewDoorbell returns a ready doorbell.
+func NewDoorbell() *Doorbell {
+	return &Doorbell{ch: make(chan struct{}, 1)}
+}
+
+// Ring wakes the consumer. Safe from any goroutine, at any time — in
+// particular after the consumer has exited for good.
+func (d *Doorbell) Ring() {
+	if !d.rung.Swap(true) {
+		select {
+		case d.ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Poll consumes a pending ring without blocking. The consumer calls it
+// at the top of its hot loop; only when it returns false does the loop
+// fall back to Park.
+func (d *Doorbell) Poll() bool {
+	return d.rung.Swap(false)
+}
+
+// parkSpins bounds the busy-poll phase before Park blocks: long enough
+// to catch a producer in the doorbell-ring window, short enough that an
+// idle consumer yields the CPU quickly.
+const parkSpins = 32
+
+// Park blocks until the doorbell rings or one of the abort channels
+// fires. It returns -1 when rung, else the index (0 or 1) of the abort
+// channel; abort1 may be nil (a nil channel never fires). A short spin
+// phase precedes the blocking wait so a busy producer-consumer pair
+// stays out of the scheduler entirely.
+func (d *Doorbell) Park(abort0, abort1 <-chan struct{}) int {
+	for i := 0; i < parkSpins; i++ {
+		if d.rung.Swap(false) {
+			return -1
+		}
+		if i&7 == 7 {
+			select {
+			case <-abort0:
+				return 0
+			case <-abort1:
+				return 1
+			default:
+			}
+			runtime.Gosched()
+		}
+	}
+	select {
+	case <-d.ch:
+		d.rung.Swap(false)
+		return -1
+	case <-abort0:
+		return 0
+	case <-abort1:
+		return 1
+	}
+}

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"testing"
+
+	"asymnvm/internal/arena"
+)
+
+// CI gate for the wire codec's zero-alloc contract: framing a request
+// and a response into reused buffers and decoding them back through an
+// arena must not touch the heap in steady state. AllocsPerRun is
+// deterministic, so this runs in plain `go test`; wall-clock throughput
+// is bench-cpu's job.
+
+func TestRequestFramingZeroAllocs(t *testing.T) {
+	val := make([]byte, 100)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	req := Request{Op: OpPut, ID: 42, Tenant: 7, BudgetNS: 1e6, Key: 99, Val: val}
+	var (
+		buf []byte
+		dec Request
+		a   arena.Arena
+		err error
+	)
+	// Warm: size buf, dec's slices, and the arena chunk.
+	if buf, err = req.AppendFramed(buf[:0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeRequestInto(&dec, buf[4:], &a); err != nil {
+		t.Fatal(err)
+	}
+	a.Reset()
+
+	allocs := testing.AllocsPerRun(200, func() {
+		buf, err = req.AppendFramed(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := DecodeRequestInto(&dec, buf[4:], &a); err != nil {
+			t.Fatal(err)
+		}
+		a.Reset()
+	})
+	if allocs != 0 {
+		t.Errorf("request frame+decode round trip allocates %.1f/op, want 0", allocs)
+	}
+	if dec.Op != req.Op || dec.ID != req.ID || dec.Key != req.Key || string(dec.Val) != string(val) {
+		t.Fatalf("decode mismatch: %+v", dec)
+	}
+}
+
+func TestMultiRequestFramingZeroAllocs(t *testing.T) {
+	req := Request{Op: OpPutMulti, ID: 1, Keys: []uint64{1, 2, 3}, Vals: [][]byte{{0xA}, {0xB, 0xB}, {0xC}}}
+	var (
+		buf []byte
+		dec Request
+		a   arena.Arena
+		err error
+	)
+	if buf, err = req.AppendFramed(buf[:0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeRequestInto(&dec, buf[4:], &a); err != nil {
+		t.Fatal(err)
+	}
+	a.Reset()
+
+	allocs := testing.AllocsPerRun(200, func() {
+		buf, err = req.AppendFramed(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := DecodeRequestInto(&dec, buf[4:], &a); err != nil {
+			t.Fatal(err)
+		}
+		a.Reset()
+	})
+	if allocs != 0 {
+		t.Errorf("putmulti frame+decode round trip allocates %.1f/op, want 0", allocs)
+	}
+	if len(dec.Keys) != 3 || len(dec.Vals) != 3 || string(dec.Vals[1]) != "\x0b\x0b" {
+		t.Fatalf("decode mismatch: %+v", dec)
+	}
+}
+
+func TestResponseFramingZeroAllocs(t *testing.T) {
+	val := make([]byte, 100)
+	resp := Response{Status: StatusOK, ID: 42, Found: true, Val: val}
+	var (
+		buf []byte
+		dec Response
+		a   arena.Arena
+		err error
+	)
+	if buf, err = resp.AppendFramed(buf[:0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeResponseInto(&dec, buf[4:], &a); err != nil {
+		t.Fatal(err)
+	}
+	a.Reset()
+
+	allocs := testing.AllocsPerRun(200, func() {
+		buf, err = resp.AppendFramed(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := DecodeResponseInto(&dec, buf[4:], &a); err != nil {
+			t.Fatal(err)
+		}
+		a.Reset()
+	})
+	if allocs != 0 {
+		t.Errorf("response frame+decode round trip allocates %.1f/op, want 0", allocs)
+	}
+	if !dec.Found || len(dec.Val) != 100 || dec.ID != 42 {
+		t.Fatalf("decode mismatch: %+v", dec)
+	}
+}
+
+// TestAppendFramedMatchesWriteFrame pins that the one-pass framed
+// encoding is byte-identical to Encode + WriteFrame.
+func TestAppendFramedMatchesWriteFrame(t *testing.T) {
+	reqs := []Request{
+		{Op: OpGet, ID: 1, Key: 5},
+		{Op: OpPut, ID: 2, Key: 5, Val: []byte("hello")},
+		{Op: OpGetMulti, ID: 3, Keys: []uint64{1, 2}},
+		{Op: OpPing, ID: 4},
+	}
+	for _, req := range reqs {
+		framed, err := req.AppendFramed(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want frameSink
+		if err := WriteFrame(&want, req.Encode()); err != nil {
+			t.Fatal(err)
+		}
+		if string(framed) != string(want) {
+			t.Fatalf("op %d: framed bytes diverge from WriteFrame", req.Op)
+		}
+	}
+	resp := Response{Status: StatusOK, ID: 9, Founds: []bool{true, false}, Vals: [][]byte{[]byte("x"), nil}}
+	framed, err := resp.AppendFramed(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want frameSink
+	if err := WriteFrame(&want, resp.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if string(framed) != string(want) {
+		t.Fatal("response framed bytes diverge from WriteFrame")
+	}
+}
+
+type frameSink []byte
+
+func (s *frameSink) Write(p []byte) (int, error) {
+	*s = append(*s, p...)
+	return len(p), nil
+}

@@ -16,6 +16,8 @@ type Client struct {
 	w      *bufio.Writer
 	tenant uint16
 	nextID uint64
+	wbuf   []byte // reused framed-request scratch (client is single-flight)
+	rbuf   []byte // reused response payload scratch
 }
 
 // Dial connects a client for the given tenant.
@@ -36,15 +38,23 @@ func (c *Client) Do(req Request) (Response, error) {
 	c.nextID++
 	req.Tenant = c.tenant
 	req.ID = c.nextID
-	if err := WriteFrame(c.w, req.Encode()); err != nil {
+	wbuf, err := req.AppendFramed(c.wbuf[:0])
+	if err != nil {
+		return Response{}, err
+	}
+	c.wbuf = wbuf[:0]
+	if _, err := c.w.Write(wbuf); err != nil {
 		return Response{}, err
 	}
 	if err := c.w.Flush(); err != nil {
 		return Response{}, err
 	}
-	payload, err := ReadFrame(c.r)
+	payload, err := ReadFrameInto(c.r, c.rbuf)
 	if err != nil {
 		return Response{}, err
+	}
+	if cap(payload) > cap(c.rbuf) {
+		c.rbuf = payload[:0]
 	}
 	resp, err := DecodeResponse(payload)
 	if err != nil {

@@ -19,6 +19,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"slices"
+
+	"asymnvm/internal/arena"
 )
 
 // Frame and payload limits.
@@ -100,9 +103,9 @@ type Response struct {
 // reqHeaderLen is magic + op + tenant + id + budget.
 const reqHeaderLen = 1 + 1 + 2 + 8 + 8
 
-// Encode renders the request payload (unframed).
-func (r *Request) Encode() []byte {
-	n := reqHeaderLen
+// EncodedLen reports the unframed payload size (header + body + CRC).
+func (r *Request) EncodedLen() int {
+	n := reqHeaderLen + 4
 	switch r.Op {
 	case OpGet:
 		n += 8
@@ -118,7 +121,16 @@ func (r *Request) Encode() []byte {
 	case OpTx:
 		n += 8
 	}
-	buf := make([]byte, n, n+4)
+	return n
+}
+
+// AppendTo appends the request payload (unframed) to dst and returns the
+// extended slice. Given sufficient capacity it does not allocate.
+func (r *Request) AppendTo(dst []byte) []byte {
+	n := r.EncodedLen()
+	base := len(dst)
+	dst = slices.Grow(dst, n)[: base+n-4 : base+n]
+	buf := dst[base:]
 	buf[0] = ReqMagic
 	buf[1] = r.Op
 	binary.LittleEndian.PutUint16(buf[2:], r.Tenant)
@@ -154,19 +166,35 @@ func (r *Request) Encode() []byte {
 	case OpTx:
 		binary.LittleEndian.PutUint64(buf[p:], r.TxR)
 	}
-	return appendCRC(buf)
+	return appendCRC(dst, base)
 }
+
+// Encode renders the request payload (unframed).
+func (r *Request) Encode() []byte { return r.AppendTo(nil) }
 
 // DecodeRequest parses a request payload.
 func DecodeRequest(src []byte) (Request, error) {
-	body, err := checkCRC(src, ReqMagic)
-	if err != nil {
+	var r Request
+	if err := DecodeRequestInto(&r, src, nil); err != nil {
 		return Request{}, err
 	}
-	if len(body) < reqHeaderLen {
-		return Request{}, ErrShort
+	return r, nil
+}
+
+// DecodeRequestInto parses a request payload into r, reusing r's Keys
+// and Vals slices. When a is non-nil, value bytes are copied into the
+// arena (valid until its Reset) instead of freshly allocated; either
+// way the result never aliases src.
+func DecodeRequestInto(r *Request, src []byte, a *arena.Arena) error {
+	body, err := checkCRC(src, ReqMagic)
+	if err != nil {
+		return err
 	}
-	r := Request{
+	if len(body) < reqHeaderLen {
+		return ErrShort
+	}
+	keys, vals := r.Keys[:0], r.Vals[:0]
+	*r = Request{
 		Op:       body[1],
 		Tenant:   binary.LittleEndian.Uint16(body[2:]),
 		ID:       binary.LittleEndian.Uint64(body[4:]),
@@ -176,57 +204,71 @@ func DecodeRequest(src []byte) (Request, error) {
 	switch r.Op {
 	case OpGet:
 		if len(p) < 8 {
-			return Request{}, ErrShort
+			return ErrShort
 		}
 		r.Key = binary.LittleEndian.Uint64(p)
 	case OpPut:
 		if len(p) < 12 {
-			return Request{}, ErrShort
+			return ErrShort
 		}
 		r.Key = binary.LittleEndian.Uint64(p)
 		vl := binary.LittleEndian.Uint32(p[8:])
 		if vl > maxValueLen || len(p) < 12+int(vl) {
-			return Request{}, ErrShort
+			return ErrShort
 		}
-		r.Val = append([]byte(nil), p[12:12+vl]...)
+		r.Val = copyVal(a, p[12:12+vl])
 	case OpGetMulti:
-		keys, _, err := decodeKeys(p)
+		keys, _, err = decodeKeys(keys, p)
 		if err != nil {
-			return Request{}, err
+			return err
 		}
 		r.Keys = keys
 	case OpPutMulti:
-		keys, rest, err := decodeKeys(p)
+		var rest []byte
+		keys, rest, err = decodeKeys(keys, p)
 		if err != nil {
-			return Request{}, err
+			return err
 		}
 		r.Keys = keys
-		r.Vals = make([][]byte, 0, len(keys))
+		vals = slices.Grow(vals, len(keys))
 		for range keys {
 			if len(rest) < 4 {
-				return Request{}, ErrShort
+				return ErrShort
 			}
 			vl := binary.LittleEndian.Uint32(rest)
 			if vl > maxValueLen || len(rest) < 4+int(vl) {
-				return Request{}, ErrShort
+				return ErrShort
 			}
-			r.Vals = append(r.Vals, append([]byte(nil), rest[4:4+vl]...))
+			vals = append(vals, copyVal(a, rest[4:4+vl]))
 			rest = rest[4+vl:]
 		}
+		r.Vals = vals
 	case OpTx:
 		if len(p) < 8 {
-			return Request{}, ErrShort
+			return ErrShort
 		}
 		r.TxR = binary.LittleEndian.Uint64(p)
 	case OpDrain, OpPing:
 		// No body.
 	default:
-		return Request{}, fmt.Errorf("serve: unknown op %d", r.Op)
+		return fmt.Errorf("serve: unknown op %d", r.Op)
 	}
-	return r, nil
+	return nil
 }
 
-func decodeKeys(p []byte) ([]uint64, []byte, error) {
+// copyVal detaches value bytes from the wire buffer: into the arena when
+// one is supplied, onto the heap otherwise. Empty values stay nil.
+func copyVal(a *arena.Arena, src []byte) []byte {
+	if len(src) == 0 {
+		return nil
+	}
+	if a != nil {
+		return a.Copy(src)
+	}
+	return append([]byte(nil), src...)
+}
+
+func decodeKeys(dst []uint64, p []byte) ([]uint64, []byte, error) {
 	if len(p) < 4 {
 		return nil, nil, ErrShort
 	}
@@ -234,19 +276,19 @@ func decodeKeys(p []byte) ([]uint64, []byte, error) {
 	if n > maxMultiKeys || len(p) < 4+8*int(n) {
 		return nil, nil, ErrShort
 	}
-	keys := make([]uint64, n)
-	for i := range keys {
-		keys[i] = binary.LittleEndian.Uint64(p[4+8*i:])
+	dst = slices.Grow(dst, int(n))
+	for i := 0; i < int(n); i++ {
+		dst = append(dst, binary.LittleEndian.Uint64(p[4+8*i:]))
 	}
-	return keys, p[4+8*int(n):], nil
+	return dst, p[4+8*int(n):], nil
 }
 
 // respHeaderLen is magic + status + id + retryAfter.
 const respHeaderLen = 1 + 1 + 8 + 8
 
-// Encode renders the response payload (unframed).
-func (r *Response) Encode() []byte {
-	n := respHeaderLen
+// EncodedLen reports the unframed payload size (header + body + CRC).
+func (r *Response) EncodedLen() int {
+	n := respHeaderLen + 4
 	switch {
 	case len(r.Vals) > 0 || r.Founds != nil:
 		n += 4
@@ -259,7 +301,16 @@ func (r *Response) Encode() []byte {
 	default:
 		n += 1 + 4 + len(r.Val)
 	}
-	buf := make([]byte, n, n+4)
+	return n
+}
+
+// AppendTo appends the response payload (unframed) to dst and returns
+// the extended slice. Given sufficient capacity it does not allocate.
+func (r *Response) AppendTo(dst []byte) []byte {
+	n := r.EncodedLen()
+	base := len(dst)
+	dst = slices.Grow(dst, n)[: base+n-4 : base+n]
+	buf := dst[base:]
 	buf[0] = RespMagic
 	buf[1] = r.Status
 	binary.LittleEndian.PutUint64(buf[2:], r.ID)
@@ -270,6 +321,7 @@ func (r *Response) Encode() []byte {
 		p += 4
 		for i := range r.Founds {
 			var v []byte
+			buf[p] = 0 // dst may be reused; flag bytes must not leak stale data
 			if r.Founds[i] {
 				buf[p] = 1
 				v = r.Vals[i]
@@ -280,25 +332,40 @@ func (r *Response) Encode() []byte {
 			p += copy(buf[p:], v)
 		}
 	} else {
+		buf[p] = 0
 		if r.Found {
 			buf[p] = 1
 		}
 		binary.LittleEndian.PutUint32(buf[p+1:], uint32(len(r.Val)))
 		copy(buf[p+5:], r.Val)
 	}
-	return appendCRC(buf)
+	return appendCRC(dst, base)
 }
+
+// Encode renders the response payload (unframed).
+func (r *Response) Encode() []byte { return r.AppendTo(nil) }
 
 // DecodeResponse parses a response payload.
 func DecodeResponse(src []byte) (Response, error) {
-	body, err := checkCRC(src, RespMagic)
-	if err != nil {
+	var r Response
+	if err := DecodeResponseInto(&r, src, nil); err != nil {
 		return Response{}, err
 	}
-	if len(body) < respHeaderLen {
-		return Response{}, ErrShort
+	return r, nil
+}
+
+// DecodeResponseInto parses a response payload into r, reusing r's
+// Founds and Vals slices; value bytes go to the arena when a is non-nil.
+func DecodeResponseInto(r *Response, src []byte, a *arena.Arena) error {
+	body, err := checkCRC(src, RespMagic)
+	if err != nil {
+		return err
 	}
-	r := Response{
+	if len(body) < respHeaderLen {
+		return ErrShort
+	}
+	founds, vals := r.Founds[:0], r.Vals[:0]
+	*r = Response{
 		Status:       body[1],
 		ID:           binary.LittleEndian.Uint64(body[2:]),
 		RetryAfterNS: binary.LittleEndian.Uint64(body[10:]),
@@ -307,46 +374,42 @@ func DecodeResponse(src []byte) (Response, error) {
 	if len(p) >= 5 && len(p) == 5+int(binary.LittleEndian.Uint32(p[1:])) {
 		// Single-value form.
 		r.Found = p[0] == 1
-		vl := binary.LittleEndian.Uint32(p[1:])
-		if vl > 0 {
-			r.Val = append([]byte(nil), p[5:5+vl]...)
-		}
-		return r, nil
+		r.Val = copyVal(a, p[5:])
+		return nil
 	}
 	if len(p) < 4 {
-		return Response{}, ErrShort
+		return ErrShort
 	}
 	n := binary.LittleEndian.Uint32(p)
 	if n > maxMultiKeys {
-		return Response{}, ErrShort
+		return ErrShort
 	}
 	p = p[4:]
-	r.Founds = make([]bool, 0, n)
-	r.Vals = make([][]byte, 0, n)
+	founds = slices.Grow(founds, int(n))
+	vals = slices.Grow(vals, int(n))
 	for i := uint32(0); i < n; i++ {
 		if len(p) < 5 {
-			return Response{}, ErrShort
+			return ErrShort
 		}
 		found := p[0] == 1
 		vl := binary.LittleEndian.Uint32(p[1:])
 		if vl > maxValueLen || len(p) < 5+int(vl) {
-			return Response{}, ErrShort
+			return ErrShort
 		}
-		var v []byte
-		if vl > 0 {
-			v = append([]byte(nil), p[5:5+vl]...)
-		}
-		r.Founds = append(r.Founds, found)
-		r.Vals = append(r.Vals, v)
+		founds = append(founds, found)
+		vals = append(vals, copyVal(a, p[5:5+vl]))
 		p = p[5+vl:]
 	}
-	return r, nil
+	r.Founds, r.Vals = founds, vals
+	return nil
 }
 
-func appendCRC(buf []byte) []byte {
+// appendCRC checksums dst[start:] (the payload appended so far) and
+// appends the 4-byte trailer.
+func appendCRC(dst []byte, start int) []byte {
 	var c [4]byte
-	binary.LittleEndian.PutUint32(c[:], crc32.Checksum(buf, castagnoli))
-	return append(buf, c[:]...)
+	binary.LittleEndian.PutUint32(c[:], crc32.Checksum(dst[start:], castagnoli))
+	return append(dst, c[:]...)
 }
 
 func checkCRC(src []byte, magic byte) ([]byte, error) {
@@ -377,17 +440,53 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
+// AppendFramed appends the length prefix plus the request payload to dst
+// in one pass — no intermediate Encode buffer, one Write on the wire.
+func (r *Request) AppendFramed(dst []byte) ([]byte, error) {
+	return finishFrame(r.AppendTo(reserveFrame(dst)), len(dst))
+}
+
+// AppendFramed appends the length prefix plus the response payload to
+// dst in one pass.
+func (r *Response) AppendFramed(dst []byte) ([]byte, error) {
+	return finishFrame(r.AppendTo(reserveFrame(dst)), len(dst))
+}
+
+// reserveFrame appends a zeroed 4-byte slot for the length prefix.
+func reserveFrame(dst []byte) []byte { return append(dst, 0, 0, 0, 0) }
+
+// finishFrame backfills the length prefix reserved at base.
+func finishFrame(dst []byte, base int) ([]byte, error) {
+	n := len(dst) - base - 4
+	if n > MaxFrame {
+		return dst[:base], ErrTooLarge
+	}
+	binary.LittleEndian.PutUint32(dst[base:], uint32(n))
+	return dst, nil
+}
+
 // ReadFrame reads one length-prefixed payload, bounding its size.
 func ReadFrame(r io.Reader) ([]byte, error) {
+	return ReadFrameInto(r, nil)
+}
+
+// ReadFrameInto reads one length-prefixed payload into buf (grown as
+// needed), returning the payload slice. The returned slice aliases buf's
+// backing array and is valid until the next call with the same buf —
+// callers that queue the payload must decode (and detach) first.
+func ReadFrameInto(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
 	if n > MaxFrame {
 		return nil, ErrTooLarge
 	}
-	payload := make([]byte, n)
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	payload := buf[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, err
 	}

@@ -7,8 +7,10 @@ import (
 	"sync"
 	"time"
 
+	"asymnvm/internal/arena"
 	"asymnvm/internal/core"
 	"asymnvm/internal/ds"
+	"asymnvm/internal/ring"
 	"asymnvm/internal/txapp"
 )
 
@@ -72,7 +74,8 @@ type Server struct {
 	q    *RunQueue
 
 	ln     net.Listener
-	wake   chan struct{}
+	wake   *ring.Doorbell
+	frames arena.Pool // outbound wire frames, recycled across connections
 	done   chan struct{}
 	wg     sync.WaitGroup
 	connMu sync.Mutex
@@ -100,7 +103,7 @@ func New(b Backends, opts Options) *Server {
 		b:     b,
 		adm:   NewAdmission(opts.Admission),
 		q:     NewRunQueue(opts.QueueCap, opts.LIFOFrac),
-		wake:  make(chan struct{}, 1),
+		wake:  ring.NewDoorbell(),
 		done:  make(chan struct{}),
 		conns: make(map[net.Conn]struct{}),
 	}
@@ -177,16 +180,16 @@ func (s *Server) dropConn(nc net.Conn) {
 
 // handleConn runs one connection: a reader loop in this goroutine and a
 // bounded writer goroutine. Responses (from admission rejections here
-// and from the executor) funnel through the outbound channel; a full
-// channel or a write running past SlowWrite marks the client slow and
-// drops it — the executor never blocks on a socket.
+// and from the executor) are encoded straight into pooled pre-framed
+// buffers and funnel through a lock-free MPSC ring; a full ring or a
+// write running past SlowWrite marks the client slow and drops it — the
+// executor never blocks on a socket. The ring's close semantics make
+// the teardown race benign: a reply racing the reader's exit just fails
+// its Push and recycles the frame, so no mutex guards the hot path.
 func (s *Server) handleConn(nc net.Conn) {
 	defer s.wg.Done()
-	out := make(chan []byte, s.opts.OutboundCap)
-	// outMu/outClosed gate sends: queued Items can outlive the reader
-	// loop, so their replies must not race the channel close.
-	var outMu sync.Mutex
-	outClosed := false
+	out := ring.NewMPSC[[]byte](s.opts.OutboundCap)
+	bell := ring.NewDoorbell()
 	var once sync.Once
 	drop := func(slow bool) {
 		once.Do(func() {
@@ -200,52 +203,85 @@ func (s *Server) handleConn(nc net.Conn) {
 	wwg.Add(1)
 	go func() {
 		defer wwg.Done()
-		for buf := range out {
+		for {
+			buf, ok := out.Pop()
+			if !ok {
+				if out.Closed() {
+					if buf, ok = out.Pop(); !ok { // final drain: Push may race Close
+						return
+					}
+				} else {
+					// No abort channel: the reader always closes the ring and
+					// rings the bell on its way out, including server Close
+					// (which severs the conn under the reader first).
+					if !bell.Poll() {
+						bell.Park(nil, nil)
+					}
+					continue
+				}
+			}
 			nc.SetWriteDeadline(time.Now().Add(s.opts.SlowWrite))
-			if err := WriteFrame(nc, buf); err != nil {
+			_, err := nc.Write(buf) // frame prefix + payload in one write
+			s.frames.Put(buf)
+			if err != nil {
 				slow := false
 				var nerr net.Error
 				if errors.As(err, &nerr) && nerr.Timeout() {
 					slow = true
 				}
 				drop(slow)
-				for range out { // drain so reply never blocks
-				}
-				return
+				// Keep draining (and recycling) until the reader closes the
+				// ring, so late replies from queued items are still consumed.
 			}
 		}
 	}()
 	reply := func(r Response) {
-		outMu.Lock()
-		defer outMu.Unlock()
-		if outClosed {
-			return // connection already torn down; response has nowhere to go
+		buf, err := r.AppendFramed(s.frames.Get(4 + r.EncodedLen()))
+		if err != nil {
+			s.frames.Put(buf)
+			drop(false)
+			return
 		}
-		select {
-		case out <- r.Encode():
-		default:
-			// Outbound buffer full: the client is not draining.
+		if !out.Push(buf) {
+			// Ring full (client not draining) or connection torn down.
+			s.frames.Put(buf)
 			drop(true)
+			return
 		}
+		bell.Ring()
 	}
+	var rbuf []byte
+	var req Request
 	for {
-		payload, err := ReadFrame(nc)
+		payload, err := ReadFrameInto(nc, rbuf)
 		if err != nil {
 			break
 		}
-		req, err := DecodeRequest(payload)
-		if err != nil {
+		if cap(payload) > cap(rbuf) {
+			rbuf = payload[:0]
+		}
+		// DecodeRequestInto detaches all value bytes from payload, so the
+		// read buffer is safe to reuse even though items are queued.
+		if err := DecodeRequestInto(&req, payload, nil); err != nil {
 			reply(Response{Status: StatusBadRequest})
 			continue
 		}
 		s.route(req, reply)
+		req = Request{} // queued item owns the decoded slices now
 	}
 	drop(false)
-	outMu.Lock()
-	outClosed = true
-	close(out)
-	outMu.Unlock()
+	out.Close()
+	bell.Ring() // wake the writer so it observes the close
 	wwg.Wait()
+	// Recycle whatever the writer left behind (it exits on the first
+	// empty+closed observation; a straggling reply may still have pushed).
+	for {
+		buf, ok := out.Pop()
+		if !ok {
+			break
+		}
+		s.frames.Put(buf)
+	}
 }
 
 // route admits one request. Time is the writer's virtual clock: queue
@@ -285,21 +321,25 @@ func (s *Server) route(req Request, reply func(Response)) {
 		return
 	}
 	st.ServeAccepted.Add(1)
-	select {
-	case s.wake <- struct{}{}:
-	default:
-	}
+	s.wake.Ring()
 }
 
 // executor is the single goroutine operating the writer front-end and
-// its structures.
+// its structures. It polls the doorbell between queue drains and parks
+// only when idle, so a loaded server never round-trips the scheduler
+// between requests.
 func (s *Server) executor() {
 	defer s.wg.Done()
 	for {
+		if !s.wake.Poll() {
+			if s.wake.Park(s.done, nil) == 0 {
+				return
+			}
+		}
 		select {
 		case <-s.done:
 			return
-		case <-s.wake:
+		default:
 		}
 		for {
 			it := s.q.Pop()
