@@ -9,7 +9,7 @@
 //
 // Experiments: table2, table3, lockbench, cachebench, fig6, fig7, fig8,
 // fig9, fig10, fig11, fig12, fig13, cost, chaos, ablation, pipeline,
-// scaleout, recovery, overload, hotpath, all.
+// scaleout, tx2pc, recovery, overload, hotpath, all.
 //
 // Unlike the rest, hotpath measures host wall-clock ns/op (lock-free
 // rings, doorbells, zero-alloc codecs) rather than virtual time.
@@ -94,6 +94,7 @@ func main() {
 		{"cost", func() ([]bench.Row, error) { return bench.CostModel(100, nil), nil }},
 		{"pipeline", func() ([]bench.Row, error) { return bench.PipelineSweep(sc, nil) }},
 		{"scaleout", func() ([]bench.Row, error) { return bench.ScaleoutSweep(sc) }},
+		{"tx2pc", func() ([]bench.Row, error) { return bench.Tx2PCSweep(sc) }},
 		{"recovery", func() ([]bench.Row, error) { return bench.RecoverySweep(sc) }},
 		{"overload", func() ([]bench.Row, error) { return bench.OverloadSweep(sc) }},
 		{"hotpath", func() ([]bench.Row, error) { return bench.HotpathSweep() }},

@@ -51,6 +51,9 @@ type SlotStatus struct {
 	PendingOps int
 	// LockHeld is the stale writer-lock owner (owner id + 1), 0 if free.
 	LockHeld uint64
+	// InDoubt counts prepared transactions recovery could not resolve
+	// (coordinator unreachable): they stay buffered and pin the cursors.
+	InDoubt int
 }
 
 // Backend is one back-end node: an NVM device plus the minimal passive
@@ -99,9 +102,14 @@ type Backend struct {
 	// Replay decode scratch (service goroutine only): records and their
 	// value bytes are reused across transactions so the replayer's
 	// steady-state hot loop stays off the heap.
-	txScratch logrec.TxRecord
-	opScratch logrec.OpRecord
-	decArena  arena.Arena
+	txScratch  logrec.TxRecord
+	opScratch  logrec.OpRecord
+	cmtScratch logrec.CommitRecord
+	decArena   arena.Arena
+
+	// resolver consults a coordinator log for in-doubt prepares during
+	// recovery (see twopc.go); nil leaves them held.
+	resolver TxResolver
 
 	mu      sync.Mutex
 	dss     map[uint16]*dsReplay
@@ -131,6 +139,13 @@ type dsReplay struct {
 	appliedSince uint64 // memory-log bytes applied since the last checkpoint
 	memRec       *alloc.Reclaimer
 	opRec        *alloc.Reclaimer
+
+	// Two-phase-commit hold state (see twopc.go). Mutated by the service
+	// goroutine; twopcMu lets status accessors read it concurrently.
+	twopcMu   sync.Mutex
+	prep      map[uint64]*heldPrepare // buffered prepares by txid
+	prepOrder []uint64                // prepare txids in log order
+	commits   map[uint64]uint64       // un-Ended commit txid -> record abs
 }
 
 // Options configures a back-end node.
@@ -148,6 +163,11 @@ type Options struct {
 	// CheckpointHook, when set, is consulted before each checkpoint step;
 	// crash tests return CkptCrash to tear the step (see compact.go).
 	CheckpointHook func(CkptEvent) CkptAction
+	// TxResolver consults a coordinator structure's log for in-doubt
+	// prepared transactions during recovery (presumed abort needs a
+	// reachable coordinator to declare an abort). nil keeps in-doubt
+	// prepares buffered, pinning cursors and checkpoints below them.
+	TxResolver TxResolver
 	// replayFromZero makes recovery ignore checkpoints and durable
 	// cursors and replay every structure's full log from offset zero.
 	// Test-only (see export_test.go): the replay-equivalence property
@@ -203,6 +223,7 @@ func New(dev *nvm.Device, opts Options) (*Backend, error) {
 		b.ckptHook = opts.CheckpointHook
 	}
 	b.replayFromZero = opts.replayFromZero
+	b.resolver = opts.TxResolver
 	if opts.Tracer != nil {
 		b.tr = opts.Tracer.Actor(fmt.Sprintf("bk%03d", opts.ID), b.clk, b.st)
 	}

@@ -144,6 +144,13 @@ func (b *Backend) checkpointAll() {
 func (b *Backend) checkpoint(ds *dsReplay) error {
 	lpn := ds.lpn.Load()
 	opn := ds.opn.Load()
+	// 2PC hold: an unresolved prepare (or un-Ended commit record) must
+	// survive into the next incarnation, so the checkpoint's watermark —
+	// and with it the scrub and truncation below — stays pinned under the
+	// oldest such record (twopc.go).
+	if f, held := ds.holdFloor(); held && f < lpn {
+		lpn = f
+	}
 	memTrunc := ds.memTrunc.Load()
 	opTrunc := ds.opTrunc.Load()
 	// Never truncate op records the archive scan has not forwarded yet —

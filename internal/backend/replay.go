@@ -75,6 +75,12 @@ func (b *Backend) recover() error {
 		if err != nil {
 			return err
 		}
+		// Consult the coordinator log for prepares the scan left in doubt
+		// (presumed-abort recovery; see twopc.go).
+		status.InDoubt, err = b.resolveInDoubt(ds)
+		if err != nil {
+			return err
+		}
 		entry, err := b.readNameEntry(ds.slot)
 		if err != nil {
 			return err
@@ -252,13 +258,36 @@ func (b *Backend) replaySlot(ds *dsReplay) (SlotStatus, error) {
 		pos := 0
 		progressed := false
 		for {
-			// Decode into the service loop's reused record + arena: the
-			// record lives exactly one applyTx, so steady-state replay
-			// stops allocating per transaction.
-			rec := &b.txScratch
-			used, derr := logrec.DecodeTxInto(rec, buf[pos:], lpn, &b.decArena)
+			// Dispatch on the record magic: plain transactions apply
+			// immediately; 2PC prepares are buffered unapplied and commit
+			// records resolve them (twopc.go).
+			var used int
+			var derr error
+			switch buf[pos] {
+			case logrec.PrepareMagic:
+				used, derr = b.replayPrepare(ds, buf[pos:], lpn)
+			case logrec.CommitMagic:
+				used, derr = b.replayDecision(ds, buf[pos:], lpn)
+			default:
+				// Decode into the service loop's reused record + arena: the
+				// record lives exactly one applyTx, so steady-state replay
+				// stops allocating per transaction.
+				rec := &b.txScratch
+				used, derr = logrec.DecodeTxInto(rec, buf[pos:], lpn, &b.decArena)
+				if derr == nil {
+					err := b.applyTx(ds, rec, lpn+uint64(used))
+					b.decArena.Reset()
+					if err != nil {
+						return status, err
+					}
+					ds.opn.Store(rec.CoverOp)
+				}
+			}
 			if derr != nil {
 				b.decArena.Reset()
+				if errors.Is(derr, errApply) {
+					return status, derr // device/apply failure, not a log tail
+				}
 				if errors.Is(derr, logrec.ErrShort) && !progressed && chunk < maxTxChunk && uint64(chunk) < ds.memArea.Size {
 					chunk *= 2 // a record larger than the scan buffer
 					break
@@ -275,14 +304,8 @@ func (b *Backend) replaySlot(ds *dsReplay) (SlotStatus, error) {
 				}
 				return status, nil
 			}
-			err := b.applyTx(ds, rec, lpn+uint64(used))
-			b.decArena.Reset()
-			if err != nil {
-				return status, err
-			}
 			lpn += uint64(used)
 			ds.lpn.Store(lpn)
-			ds.opn.Store(rec.CoverOp)
 			ds.appliedSince += uint64(used)
 			pos += used
 			progressed = true
@@ -305,15 +328,39 @@ func (b *Backend) applyTx(ds *dsReplay, rec *logrec.TxRecord, newLPN uint64) err
 	// mirror before the transaction commits to the data area). Only the
 	// record's extent matters here — the bytes forwarded are read back
 	// from the device — so EncodedLen avoids a full re-encode per replay.
-	for _, r := range ds.memArea.Split(rec.Abs, rec.EncodedLen()) {
-		chunkOff := r.DevOff
+	if err := b.forwardExtent(ds.memArea, rec.Abs, rec.EncodedLen()); err != nil {
+		return err
+	}
+	if err := b.applyEntries(ds, rec.Entries); err != nil {
+		return err
+	}
+	if err := b.persistCursors(ds, newLPN, rec.CoverOp); err != nil {
+		return err
+	}
+	if b.inRecovery {
+		b.st.RecoveryReplayOps.Add(1)
+	}
+	b.st.TxReplayed.Add(1)
+	return nil
+}
+
+// forwardExtent replicates one log record's raw extent (read back from
+// the device, split around the circular wrap) to replica mirrors.
+func (b *Backend) forwardExtent(area logrec.Area, abs uint64, n int) error {
+	for _, r := range area.Split(abs, n) {
 		chunk := make([]byte, r.Len)
-		if err := b.dev.ReadAt(chunkOff, chunk); err != nil {
+		if err := b.dev.ReadAt(r.DevOff, chunk); err != nil {
 			return err
 		}
-		b.forwardRaw(chunkOff, chunk)
+		b.forwardRaw(r.DevOff, chunk)
 	}
+	return nil
+}
 
+// applyEntries writes a transaction body's memory-log entries into the
+// data area under the structure's seqlock (Algorithm 2's Write_Begin /
+// Write_End run here, in the back-end, exactly as the paper specifies).
+func (b *Backend) applyEntries(ds *dsReplay, entries []logrec.MemEntry) error {
 	// Write_Begin: SN becomes odd while the structure is inconsistent.
 	sn, err := b.dev.Load64(ds.snOff)
 	if err != nil {
@@ -322,8 +369,8 @@ func (b *Backend) applyTx(ds *dsReplay, rec *logrec.TxRecord, newLPN uint64) err
 	if err := b.dev.Store64(ds.snOff, sn+1); err != nil {
 		return err
 	}
-	for i := range rec.Entries {
-		e := &rec.Entries[i]
+	for i := range entries {
+		e := &entries[i]
 		val := e.Value
 		if e.Flag == logrec.FlagOpRef {
 			val, err = b.readArea(ds.opArea, e.OpAbs+logrec.ParamsWireOff+uint64(e.SrcOff), int(e.Len))
@@ -345,15 +392,25 @@ func (b *Backend) applyTx(ds *dsReplay, rec *logrec.TxRecord, newLPN uint64) err
 		b.chargeBusy(b.prof.PersistBarrier)
 	}
 	// Write_End: SN even again; readers revalidate against it.
-	if err := b.dev.Store64(ds.snOff, sn+2); err != nil {
-		return err
+	return b.dev.Store64(ds.snOff, sn+2)
+}
+
+// persistCursors advances the structure's durable (eager) or
+// persistence-window (lazy) LPN/OPN words after a record is processed,
+// clamped to the 2PC hold floor: cursors never advance past an
+// unresolved prepare or an un-Ended commit record, so a restart always
+// rescans them and prepared-but-unapplied state stays out of
+// checkpoints (twopc.go).
+func (b *Backend) persistCursors(ds *dsReplay, newLPN, coverOp uint64) error {
+	if f, held := ds.holdFloor(); held && f < newLPN {
+		newLPN = f
 	}
 	if !b.lazy() {
 		// Persist the cursors (the LPN/OPN of §5.1).
 		if err := b.dev.Store64(ds.auxOff+auxLPN, newLPN); err != nil {
 			return err
 		}
-		if err := b.dev.Store64(ds.auxOff+auxOPN, rec.CoverOp); err != nil {
+		if err := b.dev.Store64(ds.auxOff+auxOPN, coverOp); err != nil {
 			return err
 		}
 		// Eager mode never leaves an unapplied durable suffix, so the
@@ -362,29 +419,22 @@ func (b *Backend) applyTx(ds *dsReplay, rec *logrec.TxRecord, newLPN uint64) err
 		if err := b.dev.Store64(ds.auxOff+auxMemTrunc, newLPN); err != nil {
 			return err
 		}
-		if err := b.dev.Store64(ds.auxOff+auxOpTrunc, rec.CoverOp); err != nil {
+		if err := b.dev.Store64(ds.auxOff+auxOpTrunc, coverOp); err != nil {
 			return err
 		}
 		ds.memTrunc.Store(newLPN)
-		ds.opTrunc.Store(rec.CoverOp)
-	} else {
-		// Lazy mode: cursors advance with volatile writes placed in the
-		// persistence window AFTER the entry writes above. A power
-		// failure reverts a suffix of that window newest-first, so a
-		// surviving LPN implies the entries below it survived — the next
-		// checkpoint's PersistAll makes both durable together.
-		if err := b.writeLE64(ds.auxOff+auxLPN, newLPN); err != nil {
-			return err
-		}
-		if err := b.writeLE64(ds.auxOff+auxOPN, rec.CoverOp); err != nil {
-			return err
-		}
+		ds.opTrunc.Store(coverOp)
+		return nil
 	}
-	if b.inRecovery {
-		b.st.RecoveryReplayOps.Add(1)
+	// Lazy mode: cursors advance with volatile writes placed in the
+	// persistence window AFTER the entry writes above. A power
+	// failure reverts a suffix of that window newest-first, so a
+	// surviving LPN implies the entries below it survived — the next
+	// checkpoint's PersistAll makes both durable together.
+	if err := b.writeLE64(ds.auxOff+auxLPN, newLPN); err != nil {
+		return err
 	}
-	b.st.TxReplayed.Add(1)
-	return nil
+	return b.writeLE64(ds.auxOff+auxOPN, coverOp)
 }
 
 // bestCkpt decodes a structure's two checkpoint slots from its aux image

@@ -1,0 +1,211 @@
+package backend_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"asymnvm/internal/backend"
+	"asymnvm/internal/core"
+	"asymnvm/internal/ds"
+	"asymnvm/internal/nvm"
+	"asymnvm/internal/stats"
+	"asymnvm/internal/txapp"
+)
+
+// Replay equivalence over two-phase-commit histories: the log now
+// contains PrepareRecords (entries buffered unapplied), coordinator
+// commit records, decisions, Ends, flagged transactional op records, and
+// aborted transactions whose prepares were ledgered. Recovering from the
+// newest checkpoint plus the suffix must still reconstruct the same
+// device image as replaying the whole history from zero — the prepare
+// hold floor, decision idempotency, and presumed-abort scrubbing have to
+// commute with checkpointing exactly.
+
+// txEnrollable is a KV that can join a cross-shard transaction.
+type txEnrollable interface {
+	Put(key uint64, val []byte) error
+	Handle() *core.Handle
+}
+
+func TestReplayEquivalence2PC(t *testing.T) {
+	dev := nvm.NewDevice(64 << 20)
+	st := &stats.Stats{}
+	bk, err := backend.New(dev, backend.Options{ID: 0, Profile: &eqProf, Stats: st, Compact: eqCompact()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk.Start()
+	fe := core.NewFrontend(core.FrontendOptions{ID: 1, Mode: core.ModeR(), Profile: &eqProf})
+	conn, err := fe.Connect(bk)
+	if err != nil {
+		bk.Stop()
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(0x2FC))
+
+	// All eight structures participate in transactions. Stack and Queue
+	// join through push ops; the KV six through puts.
+	stack, err := ds.CreateStack(conn, "Stack", eqOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queue, err := ds.CreateQueue(conn, "Queue", eqOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvs := []txEnrollable{}
+	for _, row := range []struct {
+		name   string
+		create func(c *core.Conn, n string) (txEnrollable, error)
+	}{
+		{"HashTable", func(c *core.Conn, n string) (txEnrollable, error) { return ds.CreateHashTable(c, n, eqOpts()) }},
+		{"SkipList", func(c *core.Conn, n string) (txEnrollable, error) { return ds.CreateSkipList(c, n, eqOpts()) }},
+		{"BST", func(c *core.Conn, n string) (txEnrollable, error) { return ds.CreateBST(c, n, eqOpts()) }},
+		{"BPTree", func(c *core.Conn, n string) (txEnrollable, error) { return ds.CreateBPTree(c, n, eqOpts()) }},
+		{"MVBST", func(c *core.Conn, n string) (txEnrollable, error) { return ds.CreateMVBST(c, n, eqOpts()) }},
+		{"MVBPTree", func(c *core.Conn, n string) (txEnrollable, error) { return ds.CreateMVBPTree(c, n, eqOpts()) }},
+	} {
+		kv, err := row.create(conn, row.name)
+		if err != nil {
+			t.Fatalf("%s: %v", row.name, err)
+		}
+		kvs = append(kvs, kv)
+	}
+	// Secondary index pair: order placements maintain a B+Tree primary
+	// and a hash-table by-customer index in the same transaction.
+	orders, err := txapp.CreateOrderStore(conn, conn, "Orders", eqOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := core.NewTxCoordinator(conn, "Coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	val := func() []byte {
+		v := make([]byte, 16+rng.Intn(48))
+		rng.Read(v)
+		return v
+	}
+	// Seed each structure with plain single-shard history first, so
+	// transactions land on non-trivial state and checkpoints interleave.
+	for i := 0; i < 40; i++ {
+		for _, kv := range kvs {
+			if err := kv.Put(rng.Uint64()%64+1, val()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := stack.Push(val()); err != nil {
+			t.Fatal(err)
+		}
+		if err := queue.Enqueue(val()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Transactional phase: pairs of structures (including stack/queue
+	// and the order-store pair) commit — and sometimes abort — under the
+	// coordinator.
+	for i := 0; i < 60; i++ {
+		switch i % 4 {
+		case 3:
+			if err := orders.PlaceOrder(tc, uint64(2000+i), uint64(i%7+1), uint64(i)); err != nil {
+				t.Fatalf("tx %d: place order: %v", i, err)
+			}
+			continue
+		default:
+		}
+		a := kvs[rng.Intn(len(kvs))]
+		b := kvs[rng.Intn(len(kvs))]
+		tx, err := tc.Begin()
+		if err != nil {
+			t.Fatalf("tx %d: begin: %v", i, err)
+		}
+		parts := []*core.Handle{a.Handle()}
+		ops := []func() error{func() error { return a.Put(rng.Uint64()%64+1, val()) }}
+		if b != a {
+			parts = append(parts, b.Handle())
+			ops = append(ops, func() error { return b.Put(rng.Uint64()%64+1, val()) })
+		}
+		if i%5 == 0 {
+			parts = append(parts, stack.Handle(), queue.Handle())
+			ops = append(ops,
+				func() error { return stack.Push(val()) },
+				func() error { return queue.Enqueue(val()) })
+		}
+		if err := tx.Enroll(parts...); err != nil {
+			t.Fatalf("tx %d: enroll: %v", i, err)
+		}
+		for j, op := range ops {
+			if err := op(); err != nil {
+				t.Fatalf("tx %d op %d (a=%T b=%T): %v", i, j, a, b, err)
+			}
+		}
+		if i%7 == 6 {
+			tx.Abort()
+			continue
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("tx %d: commit: %v", i, err)
+		}
+	}
+	// End the open commit chain, then leave a short committed-undrained
+	// 2PC tail: one more transaction whose commit is durable but whose
+	// End never lands, so both recovery paths must resolve it from the
+	// coordinator log.
+	if err := tc.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := tc.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Enroll(kvs[0].Handle(), kvs[1].Handle()); err != nil {
+		t.Fatal(err)
+	}
+	if err := kvs[0].Put(7, val()); err != nil {
+		t.Fatal(err)
+	}
+	if err := kvs[1].Put(9, val()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Power failure mid-flight.
+	bk.Halt()
+	dev.Crash(nil)
+	if st.Checkpoints.Load() == 0 {
+		t.Fatal("workload completed without a single checkpoint; the property would be vacuous")
+	}
+	img := snapshotDev(t, dev)
+
+	imgA, rroA := recoverImage(t, img, false)
+	imgB, rroB := recoverImage(t, img, true)
+
+	if len(imgA) != len(imgB) {
+		t.Fatalf("image sizes differ: %d vs %d", len(imgA), len(imgB))
+	}
+	for off := range imgA {
+		if imgA[off] != imgB[off] {
+			lo := off - 16
+			if lo < 0 {
+				lo = 0
+			}
+			hi := off + 16
+			if hi > len(imgA) {
+				hi = len(imgA)
+			}
+			t.Fatalf("recovered images diverge at offset %d:\n ckpt+suffix %x\n full replay %x",
+				off, imgA[lo:hi], imgB[lo:hi])
+		}
+	}
+	if rroB == 0 {
+		t.Fatal("full replay applied no transactions")
+	}
+	if rroA*3 > rroB {
+		t.Errorf("checkpointed recovery replayed %d transactions, full replay %d — suffix not bounded", rroA, rroB)
+	}
+	t.Logf("2PC replay ops: ckpt+suffix=%d full=%d (%.1fx)", rroA, rroB, float64(rroB)/float64(max64(rroA, 1)))
+}

@@ -1,0 +1,51 @@
+package bench
+
+import "testing"
+
+// TestTx2PCDoorbellSurcharge pins the cross-shard commit price: at
+// pipeline depth 16 a spanning two-key transaction may cost at most two
+// doorbell round trips more than the same transaction confined to one
+// shard — the second participant's prepare and its apply decision, and
+// nothing else. A third doorbell appearing here means the coordinator
+// stopped sharing work between the phases (e.g. the commit record or
+// the End stopped riding an existing group).
+func TestTx2PCDoorbellSurcharge(t *testing.T) {
+	sc := Scale{Seed: 500, Ops: 400, Keys: 4000}
+	rows, err := Tx2PCSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Row{}
+	for _, r := range rows {
+		byKey[r.Series+"/"+r.Label] = r
+	}
+	single, ok := byKey["single/depth=16"]
+	if !ok {
+		t.Fatal("sweep lost the single/depth=16 cell")
+	}
+	cross, ok := byKey["cross/depth=16"]
+	if !ok {
+		t.Fatal("sweep lost the cross/depth=16 cell")
+	}
+	sdb, cdb := single.Extra["doorbells_per_tx"], cross.Extra["doorbells_per_tx"]
+	if sdb <= 0 || cdb <= 0 {
+		t.Fatalf("doorbell counters empty at depth 16: single=%.2f cross=%.2f", sdb, cdb)
+	}
+	if surcharge := cdb - sdb; surcharge > 2.01 {
+		t.Errorf("cross-shard commit costs %.2f doorbells/tx over single-shard's %.2f — surcharge %.2f exceeds the 2-RTT budget", cdb, sdb, surcharge)
+	}
+	// The protocol counters must match the workload exactly: one prepare
+	// per participant, every transaction reaching its commit record.
+	for series, wantPrep := range map[string]float64{"single": 1, "cross": 2} {
+		r := byKey[series+"/depth=16"]
+		if got := r.Extra["prepares_per_tx"]; got != wantPrep {
+			t.Errorf("%s: %.2f prepares/tx, want %.0f", series, got, wantPrep)
+		}
+		if got := r.Extra["commits"]; got != float64(sc.Ops) {
+			t.Errorf("%s: %.0f commit records, want %d", series, got, sc.Ops)
+		}
+	}
+	if plain := byKey["plain/depth=16"]; plain.KOPS <= 0 || cross.KOPS <= 0 {
+		t.Fatalf("throughput collapsed: plain=%.1f cross=%.1f KOPS", plain.KOPS, cross.KOPS)
+	}
+}

@@ -78,6 +78,17 @@ type Config struct {
 	// byte-identical per seed.
 	Serve bool
 
+	// TxCross partitions the smallbank across two back-ends and routes
+	// every transfer that spans partitions through a cross-shard 2PC
+	// transaction (prepare on each participant, coordinator commit
+	// record, presumed abort). The conservation invariant then checks
+	// cross-partition atomicity: a transfer half-applied across back-ends
+	// would mint or burn money. Verb faults run on both links. Mutually
+	// exclusive with Serve (the TCP service owns a single-shard bank),
+	// and the archive rebuild check is skipped — one node's archived
+	// stream cannot reconstruct transactions that span two nodes.
+	TxCross bool
+
 	// Tracer, when non-nil, records per-operation spans for the soak's
 	// writer front-end and primary back-end (see cluster.Config.Tracer).
 	Tracer *trace.Tracer
@@ -126,6 +137,8 @@ type soak struct {
 	inj    *fault.Injector
 	fe     *core.Frontend
 	bank   *txapp.SmallBank
+	pbank  *txapp.PartitionedSmallBank // TxCross mode: replaces bank
+	tc     *core.TxCoordinator
 	kv     *ds.HashTable
 	oracle map[uint64][]byte
 	rep    *Report
@@ -197,10 +210,16 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Promotes > cfg.Mirrors {
 		return nil, fmt.Errorf("chaos: %d promotions need at least that many mirrors, have %d", cfg.Promotes, cfg.Mirrors)
 	}
+	if cfg.TxCross && cfg.Serve {
+		return nil, fmt.Errorf("chaos: -txcross and -serve are mutually exclusive (the TCP service owns a single-shard bank)")
+	}
 	ccfg := cluster.DefaultConfig()
 	ccfg.MirrorsPerBack = cfg.Mirrors
 	ccfg.ArchivePerBack = true
 	ccfg.Tracer = cfg.Tracer
+	if cfg.TxCross {
+		ccfg.Backends = 2
+	}
 	if cfg.Compact {
 		// A small interval so checkpoints and log truncation actually fire
 		// mid-soak, interleaved with crashes and promotions. Determinism is
@@ -264,11 +283,25 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Serve {
 		tune += " serve=on"
 	}
+	if cfg.TxCross {
+		tune += " txcross=on"
+	}
 	s.line("chaos: seed=%d ops=%d accounts=%d keys=%d mirrors=%d lag=%d pipe=%d%s", cfg.Seed, cfg.Ops, cfg.Accounts, cfg.Keys, cfg.Mirrors, cfg.MirrorLag, cfg.Pipeline, tune)
 
 	// Build both structures before faults start: creation is plumbing, the
 	// soak exercises steady-state operation under failure.
-	if s.bank, err = txapp.NewSmallBank(conns[0], bankName, cfg.Accounts, dsOpts()); err != nil {
+	if cfg.TxCross {
+		// Four partitions striped across the two back-ends, a coordinator
+		// structure on back-end 0, and the 2PC path armed: every transfer
+		// whose rows hash to different partitions commits cross-shard.
+		if s.pbank, err = txapp.NewPartitionedSmallBank(conns, bankName, cfg.Accounts, 4, dsOpts()); err != nil {
+			return nil, err
+		}
+		if s.tc, err = core.NewTxCoordinator(conns[0], bankName+".txc"); err != nil {
+			return nil, err
+		}
+		s.pbank.EnableCrossShardTx(s.tc)
+	} else if s.bank, err = txapp.NewSmallBank(conns[0], bankName, cfg.Accounts, dsOpts()); err != nil {
 		return nil, err
 	}
 	if s.kv, err = ds.CreateHashTable(conns[0], kvName, dsOpts()); err != nil {
@@ -287,6 +320,15 @@ func Run(cfg Config) (*Report, error) {
 		TruncateProb: cfg.TruncateProb,
 		DelayProb:    cfg.DelayProb,
 	})
+	if cfg.TxCross {
+		// Participant-side faults too: prepares and decisions to the
+		// second back-end take hits on their own link.
+		plane.Injector(cluster.InjectorName(1, 1)).SetVerbFaults(fault.VerbFaults{
+			DropProb:     cfg.DropProb,
+			TruncateProb: cfg.TruncateProb,
+			DelayProb:    cfg.DelayProb,
+		})
+	}
 
 	if cfg.Serve {
 		if err := s.serveStart(); err != nil {
@@ -308,9 +350,21 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	if cfg.Rebuild {
-		if err := s.rebuildCheck(); err != nil {
+		if cfg.TxCross {
+			// One node's archived op stream cannot reconstruct cross-shard
+			// transactions on its own: the flagged transactional records
+			// carry no outcome, so a per-node replay would apply one
+			// shard's half of an aborted transfer.
+			s.line("rebuild: skipped (cross-shard stream spans back-ends)")
+		} else if err := s.rebuildCheck(); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.TxCross {
+		snap := fe.Stats().Snapshot()
+		s.line("txcross: cross=%d prepares=%d commits=%d aborts=%d indoubt=%d",
+			s.pbank.CrossShardTxs(), snap.TxPrepares, snap.TxCrossCommits,
+			snap.TxCrossAborts, snap.InDoubtResolved)
 	}
 
 	s.rep.Digest = plane.Digest()
@@ -349,7 +403,11 @@ func (s *soak) drain() error {
 		resp, err := s.cli.Drain()
 		return serveErr("drain", resp, err)
 	}
-	if err := s.bank.Table().Drain(); err != nil {
+	if s.pbank != nil {
+		if err := s.pbank.Drain(); err != nil {
+			return err
+		}
+	} else if err := s.bank.Table().Drain(); err != nil {
 		return err
 	}
 	return s.kv.Drain()
@@ -428,6 +486,10 @@ func (s *soak) workOp(rng *rand.Rand) error {
 			if err := serveErr("tx", resp, err); err != nil {
 				return err
 			}
+		} else if s.pbank != nil {
+			if err := s.pbank.DoTx(r); err != nil {
+				return err
+			}
 		} else if err := s.bank.DoTx(r); err != nil {
 			return err
 		}
@@ -491,7 +553,13 @@ func (s *soak) verify(tag string) {
 		return
 	}
 	wantMoney := int64(s.cfg.Accounts) * moneyPerAccount
-	money, err := s.bank.TotalMoney()
+	var money int64
+	var err error
+	if s.pbank != nil {
+		money, err = s.pbank.TotalMoney()
+	} else {
+		money, err = s.bank.TotalMoney()
+	}
 	if err != nil {
 		s.violation("verify[%s]: writer TotalMoney: %v", tag, err)
 		return
@@ -508,12 +576,22 @@ func (s *soak) verify(tag string) {
 		s.violation("verify[%s]: reader connect: %v", tag, err)
 		return
 	}
-	rbank, err := txapp.OpenSmallBank(conns[0], bankName, s.cfg.Accounts, false, dsOpts())
-	if err != nil {
-		s.violation("verify[%s]: reader open bank: %v", tag, err)
-		return
+	var rmoney int64
+	if s.pbank != nil {
+		rbank, oerr := txapp.OpenPartitionedSmallBank(conns, bankName, s.cfg.Accounts, false, dsOpts())
+		if oerr != nil {
+			s.violation("verify[%s]: reader open bank: %v", tag, oerr)
+			return
+		}
+		rmoney, err = rbank.TotalMoney()
+	} else {
+		rbank, oerr := txapp.OpenSmallBank(conns[0], bankName, s.cfg.Accounts, false, dsOpts())
+		if oerr != nil {
+			s.violation("verify[%s]: reader open bank: %v", tag, oerr)
+			return
+		}
+		rmoney, err = rbank.TotalMoney()
 	}
-	rmoney, err := rbank.TotalMoney()
 	s.rep.Checks++
 	if err != nil {
 		s.violation("verify[%s]: reader TotalMoney: %v", tag, err)

@@ -203,3 +203,81 @@ func TestSoakServeDeterministic(t *testing.T) {
 		t.Fatalf("final stats differ:\n%+v\n%+v", a.Stats, b.Stats)
 	}
 }
+
+// TestSoakTxCrossDeterministic partitions the bank across two back-ends
+// and routes spanning transfers through cross-shard 2PC under the full
+// failure menu. The conservation invariant now checks cross-partition
+// atomicity — a transfer half-applied across back-ends mints or burns
+// money — and the reproducibility contract must hold with the 2PC plane
+// (prepares, coordinator commit records, decisions) in the verb stream.
+func TestSoakTxCrossDeterministic(t *testing.T) {
+	cfg := smallConfig(19)
+	cfg.TxCross = true
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Violations != 0 {
+		t.Fatalf("txcross soak reported %d violations:\n%s", a.Violations, a.String())
+	}
+	if a.Stats.TxCrossCommits == 0 {
+		t.Fatalf("txcross mode on but no transfer committed cross-shard: %+v", a.Stats)
+	}
+	if !strings.Contains(a.String(), "txcross=on") {
+		t.Fatalf("report does not mark txcross mode:\n%s", a.String())
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc, diverged := DiffReports(a, b); diverged {
+		t.Fatalf("txcross soak not reproducible: %s", desc)
+	}
+}
+
+// TestTxCrossServeRejected pins the mode exclusion: the TCP service owns
+// a single-shard bank, so combining it with -txcross must fail loudly
+// instead of silently soaking the wrong topology.
+func TestTxCrossServeRejected(t *testing.T) {
+	cfg := smallConfig(1)
+	cfg.TxCross = true
+	cfg.Serve = true
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("TxCross+Serve config was accepted")
+	}
+}
+
+// TestDiffReports exercises the determinism comparator on crafted
+// divergences, in particular the stats-only case the report text alone
+// cannot catch (the -determinism regression this comparator fixes).
+func TestDiffReports(t *testing.T) {
+	base := func() *Report {
+		r := &Report{Lines: []string{"a", "b"}, Digest: 42}
+		r.Stats.TxCommits = 7
+		return r
+	}
+	if desc, diverged := DiffReports(base(), base()); diverged {
+		t.Fatalf("identical reports flagged: %s", desc)
+	}
+	r := base()
+	r.Lines[1] = "B"
+	if desc, diverged := DiffReports(base(), r); !diverged || !strings.Contains(desc, "line 2") {
+		t.Fatalf("line divergence missed: %q %v", desc, diverged)
+	}
+	r = base()
+	r.Lines = append(r.Lines, "extra")
+	if desc, diverged := DiffReports(base(), r); !diverged || !strings.Contains(desc, "extra") {
+		t.Fatalf("length divergence missed: %q %v", desc, diverged)
+	}
+	r = base()
+	r.Digest = 43
+	if desc, diverged := DiffReports(base(), r); !diverged || !strings.Contains(desc, "digest") {
+		t.Fatalf("digest divergence missed: %q %v", desc, diverged)
+	}
+	r = base()
+	r.Stats.VerbRetries = 1
+	desc, diverged := DiffReports(base(), r)
+	if !diverged || !strings.Contains(desc, "VerbRetries") {
+		t.Fatalf("stats-only divergence missed or unnamed: %q %v", desc, diverged)
+	}
+}

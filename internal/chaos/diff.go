@@ -1,0 +1,45 @@
+package chaos
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// DiffReports implements the determinism contract as a comparison: two
+// soaks with identical configuration must agree on every report line,
+// on the fault event digest, and on the final stats snapshot. The
+// snapshot matters — a scheduling leak can produce byte-identical
+// report text while a counter (a retry taken on one run only, an extra
+// prepare) drifts, and the counter is the first symptom worth chasing.
+// It returns a human-readable description of the first divergence.
+func DiffReports(a, b *Report) (string, bool) {
+	n := len(a.Lines)
+	if len(b.Lines) < n {
+		n = len(b.Lines)
+	}
+	for i := 0; i < n; i++ {
+		if a.Lines[i] != b.Lines[i] {
+			return fmt.Sprintf("report line %d differs:\nrun 1: %s\nrun 2: %s", i+1, a.Lines[i], b.Lines[i]), true
+		}
+	}
+	if len(a.Lines) != len(b.Lines) {
+		long, tag := a.Lines, "run 1"
+		if len(b.Lines) > len(a.Lines) {
+			long, tag = b.Lines, "run 2"
+		}
+		return fmt.Sprintf("%s has %d extra report line(s), first: %s", tag, len(long)-n, long[n]), true
+	}
+	if a.Digest != b.Digest {
+		return fmt.Sprintf("fault event digests differ: %016x vs %016x", a.Digest, b.Digest), true
+	}
+	if a.Stats != b.Stats {
+		va, vb := reflect.ValueOf(a.Stats), reflect.ValueOf(b.Stats)
+		t := va.Type()
+		for i := 0; i < t.NumField(); i++ {
+			if fa, fb := va.Field(i), vb.Field(i); fa.Interface() != fb.Interface() {
+				return fmt.Sprintf("final stats field %s differs: %v vs %v", t.Field(i).Name, fa, fb), true
+			}
+		}
+	}
+	return "", false
+}

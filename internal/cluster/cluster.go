@@ -66,6 +66,36 @@ type Cluster struct {
 	gens     []uint64
 	plane    *fault.Plane
 	injNames [][]string // per back-end slot: injector names of its connections
+
+	// devMu guards devs for the 2PC resolver. It is separate from foMu on
+	// purpose: the resolver runs inside backend.New's recovery, which
+	// RestartBackend/promoteLocked invoke while HOLDING foMu — consulting
+	// a coordinator device mid-restart must not deadlock.
+	devMu sync.Mutex
+}
+
+// txResolver builds the cluster's in-doubt consultation (§7.2 extended
+// for cross-shard transactions): a recovering back-end hands it the
+// coordinator's node/slot and the transaction id, and it scans the
+// coordinator structure's log straight off that node's device. A
+// missing device (node gone, not yet promoted) keeps the prepare held.
+func (c *Cluster) txResolver() backend.TxResolver {
+	return func(coordNode, coordSlot uint16, txid uint64) backend.TxOutcome {
+		c.devMu.Lock()
+		var dev *nvm.Device
+		if int(coordNode) < len(c.devs) {
+			dev = c.devs[coordNode]
+		}
+		c.devMu.Unlock()
+		if dev == nil {
+			return backend.TxUnknown
+		}
+		out, err := backend.ScanTxOutcome(dev, coordSlot, txid)
+		if err != nil {
+			return backend.TxUnknown
+		}
+		return out
+	}
 }
 
 // New builds and starts a cluster.
@@ -79,7 +109,7 @@ func New(cfg Config) (*Cluster, error) {
 	cl := &Cluster{cfg: cfg, KA: NewKeepAlive()}
 	for i := 0; i < cfg.Backends; i++ {
 		dev := nvm.NewDevice(cfg.DeviceBytes)
-		opts := backend.Options{ID: uint16(i), Profile: &cfg.Profile, Config: cfg.BackendConfig, Tracer: cfg.Tracer, Compact: cfg.Compact}
+		opts := backend.Options{ID: uint16(i), Profile: &cfg.Profile, Config: cfg.BackendConfig, Tracer: cfg.Tracer, Compact: cfg.Compact, TxResolver: cl.txResolver()}
 		bk, err := backend.New(dev, opts)
 		if err != nil {
 			return nil, err
@@ -322,6 +352,7 @@ func (c *Cluster) RestartBackend(backendID int, powerFail bool) (*backend.Backen
 	}
 	bk, err := backend.New(c.devs[backendID], backend.Options{
 		ID: uint16(backendID), Profile: &c.cfg.Profile, Compact: c.cfg.Compact,
+		TxResolver: c.txResolver(),
 	})
 	if err != nil {
 		return nil, nil, err
@@ -377,7 +408,7 @@ func (c *Cluster) promoteLocked(backendID, mirrorIdx int) (*backend.Backend, err
 		c.plane.DropMirrors()
 	}
 	rep := c.Mirrors[backendID][mirrorIdx]
-	bk, err := rep.Promote(backend.Options{Profile: &c.cfg.Profile, Compact: c.cfg.Compact})
+	bk, err := rep.Promote(backend.Options{Profile: &c.cfg.Profile, Compact: c.cfg.Compact, TxResolver: c.txResolver()})
 	if err != nil {
 		return nil, err
 	}
@@ -398,7 +429,9 @@ func (c *Cluster) promoteLocked(backendID, mirrorIdx int) (*backend.Backend, err
 	}
 	bk.Start()
 	c.Backends[backendID] = bk
+	c.devMu.Lock()
 	c.devs[backendID] = rep.Device()
+	c.devMu.Unlock()
 	c.gens[backendID]++
 	if c.plane != nil {
 		c.plane.Record(fmt.Sprintf("promote backend%d mirror=%d gen=%d", backendID, mirrorIdx, c.gens[backendID]))
@@ -429,7 +462,9 @@ func (c *Cluster) RebuildFromArchive(backendID int, arch *mirror.Archive, reexec
 	}
 	bk.Start()
 	c.Backends[backendID] = bk
+	c.devMu.Lock()
 	c.devs[backendID] = dev
+	c.devMu.Unlock()
 	c.gens[backendID]++
 	if c.plane != nil {
 		c.plane.Record(fmt.Sprintf("rebuild backend%d gen=%d", backendID, c.gens[backendID]))

@@ -233,11 +233,42 @@ func (h *Handle) recoverTails() error {
 	h.lpnKnown = lpn
 	h.opnKnown = opn
 
+	// The memory-log scan dispatches on the record magic: plain
+	// transactions just advance the tail, while 2PC records rebuild the
+	// writer's view of unresolved cross-shard state — prepares without a
+	// resolving decision and coordinator commit records without a KindEnd
+	// (twopc.go's RecoverTx consumes both).
 	h.memTail = maxU64(lpn, memHint)
+	prep := make(map[uint64]logrec.PrepareRecord)
+	prepAbs := make(map[uint64]uint64)
+	var prepOrder []uint64
+	commits := make(map[uint64]uint64)
 	for {
-		used, err := h.scanOne(h.memArea, h.memTail, func(buf []byte, abs uint64) (int, error) {
-			_, n, derr := logrec.DecodeTx(buf, abs)
-			return n, derr
+		var kind byte
+		var prec logrec.PrepareRecord
+		var crec logrec.CommitRecord
+		start := h.memTail
+		used, err := h.scanOne(h.memArea, start, func(buf []byte, abs uint64) (int, error) {
+			switch buf[0] {
+			case logrec.PrepareMagic:
+				p, n, derr := logrec.DecodePrepare(buf, abs)
+				if derr == nil {
+					kind, prec = logrec.PrepareMagic, p
+				}
+				return n, derr
+			case logrec.CommitMagic:
+				cr, n, derr := logrec.DecodeCommit(buf, abs)
+				if derr == nil {
+					kind, crec = logrec.CommitMagic, cr
+				}
+				return n, derr
+			default:
+				_, n, derr := logrec.DecodeTx(buf, abs)
+				if derr == nil {
+					kind = 0
+				}
+				return n, derr
+			}
 		})
 		if err != nil {
 			return err
@@ -245,7 +276,54 @@ func (h *Handle) recoverTails() error {
 		if used == 0 {
 			break
 		}
+		switch kind {
+		case logrec.PrepareMagic:
+			if _, dup := prep[prec.TxID]; !dup {
+				prep[prec.TxID] = prec
+				prepAbs[prec.TxID] = start
+				prepOrder = append(prepOrder, prec.TxID)
+			}
+		case logrec.CommitMagic:
+			switch crec.Kind {
+			case logrec.KindCommit:
+				commits[crec.TxID] = start
+			case logrec.KindEnd:
+				delete(commits, crec.TxID)
+			case logrec.KindApply, logrec.KindAbort:
+				if _, ok := prep[crec.TxID]; ok {
+					delete(prep, crec.TxID)
+					delete(prepAbs, crec.TxID)
+					for i, id := range prepOrder {
+						if id == crec.TxID {
+							prepOrder = append(prepOrder[:i], prepOrder[i+1:]...)
+							break
+						}
+					}
+				}
+			}
+		}
 		h.memTail += uint64(used)
+	}
+	h.inDoubt = h.inDoubt[:0]
+	for _, txid := range prepOrder {
+		h.inDoubt = append(h.inDoubt, prep[txid])
+	}
+	h.unEnded = h.unEnded[:0]
+	for txid := range commits {
+		h.unEnded = append(h.unEnded, txid)
+	}
+	// Unresolved 2PC records pin the back-end's durable LPN (its hold
+	// floor): the catch-up wait below must stop there, not at the tail.
+	waitTo := h.memTail
+	for _, txid := range prepOrder {
+		if a := prepAbs[txid]; a < waitTo {
+			waitTo = a
+		}
+	}
+	for _, a := range commits {
+		if a < waitTo {
+			waitTo = a
+		}
 	}
 
 	h.opTail = maxU64(opn, opHint)
@@ -265,9 +343,10 @@ func (h *Handle) recoverTails() error {
 	h.coveredOp = h.opTail
 
 	// Let the replayer catch up with everything already persisted before
-	// recovery decisions are made: once LPN reaches the tail, the OPN is
-	// final and PendingOps returns exactly the operations whose memory
-	// logs never made it (no double application).
+	// recovery decisions are made: once LPN reaches the tail (or the 2PC
+	// hold floor, whichever is lower), the OPN is final and PendingOps
+	// returns exactly the operations whose memory logs never made it (no
+	// double application).
 	for i := 0; ; i++ {
 		var cur uint64
 		var err error
@@ -279,7 +358,7 @@ func (h *Handle) recoverTails() error {
 		if err != nil {
 			return err
 		}
-		if cur >= h.memTail {
+		if cur >= waitTo {
 			h.lpnKnown = cur
 			break
 		}
@@ -355,7 +434,13 @@ func (h *Handle) PendingOps() ([]logrec.OpRecord, error) {
 		if used == 0 {
 			return out, nil
 		}
-		out = append(out, rec)
+		// Cross-shard transactional records are settled by prepare
+		// resolution (commit applies the buffered entries, presumed
+		// abort discards them); re-executing one here would apply a
+		// single shard's half of the transaction.
+		if rec.OpType&logrec.OpTxFlag == 0 {
+			out = append(out, rec)
+		}
 		abs += uint64(used)
 	}
 }

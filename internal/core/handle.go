@@ -49,6 +49,18 @@ type ovEntry struct {
 	refs int // flush marks (plus the pending tx) still referencing it
 }
 
+// undoEnt records the overlay bytes one in-window rewrite displaced
+// (arena-sliced to keep the hot path allocation-steady). An abort
+// replays these in reverse so a unit still referenced by earlier flush
+// marks reverts to its pre-transaction value — without it, the aborted
+// bytes would stay authoritative in the overlay and surface uncommitted
+// state to every later read.
+type undoEnt struct {
+	addr uint64
+	off  int
+	len  int
+}
+
 // flushMark remembers which overlay units one flushed transaction wrote,
 // and the memory-log offset its replay completion is visible at.
 type flushMark struct {
@@ -119,8 +131,16 @@ type Handle struct {
 	ovSeq        uint64
 	marks        []flushMark
 	gcList       []gcItem
-	flushCnt     int
-	inFlush      bool
+	// gcTxStart is gcList's length at the last transaction boundary;
+	// aborts truncate back to it, un-scheduling DelayedFrees the rolled
+	// back operations issued against nodes that remain live.
+	gcTxStart int
+	// undoLog/undoArena hold the displaced overlay values of the current
+	// flush window (see undoEnt); cleared at every window close.
+	undoLog   []undoEnt
+	undoArena []byte
+	flushCnt  int
+	inFlush   bool
 
 	// opGroupCommit defers op-log flushes to the batch boundary. Off by
 	// default: §4.3's write durability point is the op-log persist, so
@@ -133,6 +153,17 @@ type Handle struct {
 	// commitT0 is the virtual time the in-progress commit flush started
 	// at, the controller's latency sample boundary (autotune.go).
 	commitT0 time.Duration
+
+	// hold2pc marks the handle enrolled in a cross-shard transaction
+	// (twopc.go): batch-quota flushes are suppressed so the buffered
+	// memory logs leave the front-end only inside a PrepareRecord.
+	hold2pc bool
+	// inDoubt / unEnded are populated by the writer's recovery scan
+	// (recoverTails): prepares with no resolving decision in this log,
+	// and coordinator commit records not yet forgotten by a KindEnd.
+	// RecoverTx consumes them.
+	inDoubt []logrec.PrepareRecord
+	unEnded []uint64
 
 	// Reader-side state.
 	curSN uint64
@@ -375,6 +406,11 @@ func (h *Handle) write(addr uint64, data []byte, opAbs uint64, srcOff uint32, fr
 		h.overlay = make(map[uint64]*ovEntry)
 	}
 	if oe, ok := h.overlay[addr]; ok {
+		// The unit is still referenced by earlier flush marks: save the
+		// displaced bytes so an abort can make them authoritative again.
+		off := len(h.undoArena)
+		h.undoArena = append(h.undoArena, oe.data...)
+		h.undoLog = append(h.undoLog, undoEnt{addr: addr, off: off, len: len(oe.data)})
 		oe.data = append(oe.data[:0], data...)
 		oe.refs++
 	} else {
@@ -400,6 +436,12 @@ func (h *Handle) OpLog(opType uint8, params []byte) (uint64, error) {
 	if !fe.mode.OpLog {
 		return 0, nil
 	}
+	if h.hold2pc {
+		// Flag transactional records: their effects ride in the prepare,
+		// so recovery settles them by prepare resolution, never by
+		// re-execution (see logrec.OpTxFlag).
+		opType |= logrec.OpTxFlag
+	}
 	rec := logrec.OpRecord{DSSlot: h.slot, OpType: opType, Abs: h.opTail, Params: params}
 	if h.opBufCnt == 0 {
 		h.opBufAbs = h.opTail
@@ -410,7 +452,11 @@ func (h *Handle) OpLog(opType uint8, params []byte) (uint64, error) {
 	h.opBufCnt++
 	h.opTail += uint64(rec.EncodedLen())
 	fe.st.OpLogs.Add(1)
-	if fe.mode.Batch <= 1 || !h.opGroupCommit {
+	// Enrolled in a cross-shard transaction the op records must not become
+	// durable ahead of the prepare (their durability point moves to phase
+	// one), so the group stays buffered until prepareAsync flushes it
+	// under the prepare record's doorbell.
+	if (fe.mode.Batch <= 1 || !h.opGroupCommit) && !h.hold2pc {
 		if h.c.pipelined() {
 			// Post the record and let its round trip fly while the
 			// operation keeps gathering; EndOp settles the completion.
@@ -441,11 +487,20 @@ func (h *Handle) EndOp() error {
 	}
 	h.coveredOp = h.opTail
 	h.opsInTx++
-	if h.opsInTx >= h.c.fe.effBatch() {
+	if h.opsInTx >= h.c.fe.effBatch() && !h.hold2pc {
 		return h.Flush()
 	}
 	return nil
 }
+
+// InDoubtPrepares returns the prepare records the writer's recovery scan
+// found with no resolving decision, in log order. RecoverTx resolves
+// them against the coordinator's log.
+func (h *Handle) InDoubtPrepares() []logrec.PrepareRecord { return h.inDoubt }
+
+// UnEndedCommits returns the transaction ids of coordinator commit
+// records the writer's recovery scan found without a matching KindEnd.
+func (h *Handle) UnEndedCommits() []uint64 { return h.unEnded }
 
 // Flush forces the op-log group commit and the pending rnvm_tx_write out.
 // With the pipeline enabled and both buffers non-empty, the op-log group
@@ -642,6 +697,8 @@ func (h *Handle) finishTx(wireLen int) error {
 	h.marks = append(h.marks, flushMark{endAbs: h.memTail, addrs: h.pendingAddrs})
 	h.pending = nil
 	h.pendingAddrs = nil
+	h.undoLog = h.undoLog[:0]
+	h.undoArena = h.undoArena[:0]
 	h.opsInTx = 0
 	h.flushCnt++
 	h.c.kick()
@@ -655,6 +712,7 @@ func (h *Handle) finishTx(wireLen int) error {
 		h.persistHints()
 	}
 	h.releaseDueGC()
+	h.gcTxStart = len(h.gcList)
 	return nil
 }
 
@@ -742,7 +800,7 @@ func (h *Handle) waitOpSpace() error {
 		if h.opTail-h.opTruncKnown <= h.opArea.Size-min64(n, h.opArea.Size) {
 			return nil
 		}
-		if !h.inFlush && len(h.pending) > 0 {
+		if !h.inFlush && !h.hold2pc && len(h.pending) > 0 {
 			h.inFlush = true
 			err := h.txWrite()
 			h.inFlush = false
@@ -827,6 +885,29 @@ func (h *Handle) releaseDueGC() {
 	h.gcList = h.gcList[:n]
 }
 
+// abortOverlay drops the current window's overlay references and then
+// replays the undo log in reverse, so units still referenced by earlier
+// flush marks revert to their pre-window bytes instead of keeping the
+// aborted values as authoritative.
+func (h *Handle) abortOverlay() {
+	for _, a := range h.pendingAddrs {
+		if oe, ok := h.overlay[a]; ok {
+			oe.refs--
+			if oe.refs <= 0 {
+				delete(h.overlay, a)
+			}
+		}
+	}
+	for i := len(h.undoLog) - 1; i >= 0; i-- {
+		u := h.undoLog[i]
+		if oe, ok := h.overlay[u.addr]; ok {
+			oe.data = append(oe.data[:0], h.undoArena[u.off:u.off+u.len]...)
+		}
+	}
+	h.undoLog = h.undoLog[:0]
+	h.undoArena = h.undoArena[:0]
+}
+
 // Abort is the §4.3 back-end-failure path on the client: the in-flight
 // transaction (buffered memory logs, un-flushed op logs, overlay units it
 // created) is dropped and the DRAM cache is cleared; the caller re-runs
@@ -838,14 +919,7 @@ func (h *Handle) Abort() {
 	// failed over anyway, and the records sit below the rewound tail or
 	// will be re-covered after recovery).
 	_ = h.settleAsyncOps()
-	for _, a := range h.pendingAddrs {
-		if oe, ok := h.overlay[a]; ok {
-			oe.refs--
-			if oe.refs <= 0 {
-				delete(h.overlay, a)
-			}
-		}
-	}
+	h.abortOverlay()
 	h.pending = nil
 	h.pendingAddrs = nil
 	if h.opBufCnt > 0 {
@@ -858,6 +932,12 @@ func (h *Handle) Abort() {
 	h.opsInTx = 0
 	if h.coveredOp > h.opTail {
 		h.coveredOp = h.opTail
+	}
+	// The rolled-back operations' DelayedFrees target nodes the abort
+	// keeps live (the old versions they would have replaced): un-schedule
+	// them or the lazy GC would hand live nodes back to the allocator.
+	if h.gcTxStart <= len(h.gcList) {
+		h.gcList = h.gcList[:h.gcTxStart]
 	}
 	if h.c.fe.cache != nil {
 		h.c.fe.cache.Clear()

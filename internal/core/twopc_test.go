@@ -1,0 +1,436 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"asymnvm/internal/backend"
+	"asymnvm/internal/clock"
+	"asymnvm/internal/nvm"
+)
+
+// twoShardRig is two independent back-ends (shards 0 and 1) plus one
+// front-end connected to both — the smallest cross-shard deployment.
+type twoShardRig struct {
+	t   *testing.T
+	bks [2]*backend.Backend
+}
+
+func newTwoShardRig(t *testing.T) *twoShardRig {
+	t.Helper()
+	r := &twoShardRig{t: t}
+	prof := clock.ZeroProfile()
+	for i := 0; i < 2; i++ {
+		bk, err := backend.New(nvm.NewDevice(16<<20), backend.Options{ID: uint16(i), Profile: &prof})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bk.Start()
+		t.Cleanup(bk.Stop)
+		r.bks[i] = bk
+	}
+	return r
+}
+
+func (r *twoShardRig) frontend(id uint16) (*Frontend, *Conn, *Conn) {
+	r.t.Helper()
+	prof := clock.ZeroProfile()
+	fe := NewFrontend(FrontendOptions{ID: id, Mode: Mode{OpLog: true, Batch: 4, Pipeline: 4}, Profile: &prof})
+	c0, err := fe.Connect(r.bks[0])
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	c1, err := fe.Connect(r.bks[1])
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	return fe, c0, c1
+}
+
+// part creates one participant structure with an allocated 64-byte unit.
+func (r *twoShardRig) part(c *Conn, name string) (*Handle, uint64) {
+	r.t.Helper()
+	h, err := c.Create(name, 1, smallOpts)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	addr, err := c.Alloc(64)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	return h, addr
+}
+
+// txOp runs one logged operation writing val at addr on an enrolled handle.
+func txOp(t *testing.T, h *Handle, addr uint64, val byte) {
+	t.Helper()
+	if _, err := h.OpLog(1, []byte{val}); err != nil {
+		t.Fatal(err)
+	}
+	buf := bytes.Repeat([]byte{val}, 64)
+	if err := h.Write(addr, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.EndOp(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// devBytes reads the unit straight off the device, bypassing overlay and
+// cache — only replay-applied state is visible here.
+func devBytes(t *testing.T, h *Handle, addr uint64) []byte {
+	t.Helper()
+	b, err := h.ReadUncached(addr, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestCrossShardCommitAtomic: a transaction spanning both shards stays
+// invisible to the back-ends until the decision, then both sides apply.
+func TestCrossShardCommitAtomic(t *testing.T) {
+	r := newTwoShardRig(t)
+	fe, c0, c1 := r.frontend(7)
+	h0, addr0 := r.part(c0, "p0")
+	h1, addr1 := r.part(c1, "p1")
+	tc, err := NewTxCoordinator(c0, "coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := tc.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Enroll(h0, h1); err != nil {
+		t.Fatal(err)
+	}
+	txOp(t, h0, addr0, 0xAA)
+	txOp(t, h1, addr1, 0xBB)
+	// Buffered, unprepared: nothing may be applied anywhere.
+	if got := devBytes(t, h0, addr0); got[0] != 0 {
+		t.Fatalf("shard 0 applied before commit: %#x", got[0])
+	}
+	if got := devBytes(t, h1, addr1); got[0] != 0 {
+		t.Fatalf("shard 1 applied before commit: %#x", got[0])
+	}
+	// But the writer's own view (overlay) already sees the new values.
+	if got, err := h0.Read(addr0, 64, false); err != nil || got[0] != 0xAA {
+		t.Fatalf("writer overlay read: %v %#x", err, got[0])
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h0.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h1.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := devBytes(t, h0, addr0); got[0] != 0xAA || got[63] != 0xAA {
+		t.Fatalf("shard 0 not applied after commit: %#x", got[0])
+	}
+	if got := devBytes(t, h1, addr1); got[0] != 0xBB {
+		t.Fatalf("shard 1 not applied after commit: %#x", got[0])
+	}
+	snap := fe.Stats().Snapshot()
+	if snap.TxPrepares != 2 || snap.TxCrossCommits != 1 || snap.TxCrossAborts != 0 {
+		t.Fatalf("stats prep=%d commit=%d abort=%d", snap.TxPrepares, snap.TxCrossCommits, snap.TxCrossAborts)
+	}
+	// No lingering in-doubt state on either back-end.
+	for i, bk := range r.bks {
+		if ids, _ := bk.InDoubt(h0.Slot()); len(ids) != 0 {
+			t.Fatalf("backend %d holds in-doubt %v", i, ids)
+		}
+	}
+}
+
+// TestCrossShardAbortLocal: Abort before Commit leaves no durable trace
+// and the handles keep working for single-shard writes.
+func TestCrossShardAbortLocal(t *testing.T) {
+	r := newTwoShardRig(t)
+	fe, c0, c1 := r.frontend(8)
+	h0, addr0 := r.part(c0, "p0")
+	h1, addr1 := r.part(c1, "p1")
+	tc, err := NewTxCoordinator(c0, "coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := tc.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Enroll(h0, h1); err != nil {
+		t.Fatal(err)
+	}
+	txOp(t, h0, addr0, 0x11)
+	txOp(t, h1, addr1, 0x22)
+	tx.Abort()
+	if err := tx.Commit(); err == nil {
+		t.Fatal("Commit after Abort must fail")
+	}
+	if err := h0.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := devBytes(t, h0, addr0); got[0] != 0 {
+		t.Fatalf("aborted write leaked to shard 0: %#x", got[0])
+	}
+	// The handle still works outside a transaction.
+	txOp(t, h0, addr0, 0x33)
+	if err := h0.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h0.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := devBytes(t, h0, addr0); got[0] != 0x33 {
+		t.Fatalf("post-abort write lost: %#x", got[0])
+	}
+	if snap := fe.Stats().Snapshot(); snap.TxCrossAborts != 1 {
+		t.Fatalf("TxCrossAborts = %d", snap.TxCrossAborts)
+	}
+	_ = addr1
+}
+
+// TestRecoverPresumedAbort: the front-end dies after the prepare is
+// durable but before any commit record exists. A new writer finds the
+// in-doubt prepare, consults the coordinator (nothing there) and aborts
+// it durably; the prepared write never applies.
+func TestRecoverPresumedAbort(t *testing.T) {
+	r := newTwoShardRig(t)
+	_, c0, c1 := r.frontend(9)
+	h0, addr0 := r.part(c0, "p0")
+	_, _ = c1, addr0
+	tc, err := NewTxCoordinator(c0, "coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := tc.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Enroll(h0); err != nil {
+		t.Fatal(err)
+	}
+	txOp(t, h0, addr0, 0x5A)
+	// Phase one only; then the front-end "dies".
+	pp, err := h0.prepareAsync(tx.TxID(), c0.BackendID(), tc.Handle().Slot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pp.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	// Settle makes the prepare durable; the replayer buffers it
+	// asynchronously.
+	var ids []uint64
+	for i := 0; i < 1_000_000; i++ {
+		ids, _ = r.bks[0].InDoubt(h0.Slot())
+		if len(ids) == 1 {
+			break
+		}
+		runtime.Gosched()
+	}
+	if len(ids) != 1 || ids[0] != tx.TxID() {
+		t.Fatalf("backend in-doubt = %v, want [%#x]", ids, tx.TxID())
+	}
+
+	// A new front-end takes over.
+	_, c0b, _ := r.frontend(10)
+	h0b, err := c0b.Open("p0", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h0b.InDoubtPrepares(); len(got) != 1 || got[0].TxID != tx.TxID() {
+		t.Fatalf("reopened writer in-doubt = %+v", got)
+	}
+	tcb, err := NewTxCoordinator(c0b, "coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed, aborted, err := tcb.RecoverTx(h0b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed != 0 || aborted != 1 {
+		t.Fatalf("RecoverTx committed=%d aborted=%d", committed, aborted)
+	}
+	if err := h0b.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := devBytes(t, h0b, addr0); got[0] != 0 {
+		t.Fatalf("presumed-abort leaked the prepared write: %#x", got[0])
+	}
+	if ids, _ := r.bks[0].InDoubt(h0b.Slot()); len(ids) != 0 {
+		t.Fatalf("in-doubt not cleared: %v", ids)
+	}
+	// The op log must not hand the aborted op back for re-execution.
+	if ops, err := h0b.PendingOps(); err != nil || len(ops) != 0 {
+		t.Fatalf("aborted op still pending: %v %v", ops, err)
+	}
+}
+
+// TestRecoverCommittedInDoubt: the commit record is durable but the
+// coordinator died before delivering decisions. Recovery must apply the
+// prepared bodies on both shards — the atomicity point already passed.
+func TestRecoverCommittedInDoubt(t *testing.T) {
+	r := newTwoShardRig(t)
+	_, c0, c1 := r.frontend(11)
+	h0, addr0 := r.part(c0, "p0")
+	h1, addr1 := r.part(c1, "p1")
+	tc, err := NewTxCoordinator(c0, "coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := tc.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Enroll(h0, h1); err != nil {
+		t.Fatal(err)
+	}
+	txOp(t, h0, addr0, 0xC1)
+	txOp(t, h1, addr1, 0xC2)
+	pp0, err := h0.prepareAsync(tx.TxID(), c0.BackendID(), tc.Handle().Slot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp1, err := h1.prepareAsync(tx.TxID(), c0.BackendID(), tc.Handle().Slot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pp0.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pp1.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	// Atomicity point reached; decisions never leave.
+	if err := tc.commitRecord(tx.TxID()); err != nil {
+		t.Fatal(err)
+	}
+
+	_, c0b, c1b := r.frontend(12)
+	h0b, err := c0b.Open("p0", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1b, err := c1b.Open("p1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcb, err := NewTxCoordinator(c0b, "coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unEnded := tcb.Handle().UnEndedCommits()
+	if len(unEnded) != 1 || unEnded[0] != tx.TxID() {
+		t.Fatalf("un-Ended commits = %v, want [%#x]", unEnded, tx.TxID())
+	}
+	committed, aborted, err := tcb.RecoverTx(h0b, h1b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed != 2 || aborted != 0 {
+		t.Fatalf("RecoverTx committed=%d aborted=%d", committed, aborted)
+	}
+	if err := tcb.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h0b.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h1b.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := devBytes(t, h0b, addr0); got[0] != 0xC1 {
+		t.Fatalf("committed write lost on shard 0: %#x", got[0])
+	}
+	if got := devBytes(t, h1b, addr1); got[0] != 0xC2 {
+		t.Fatalf("committed write lost on shard 1: %#x", got[0])
+	}
+	if got := tcb.Handle().UnEndedCommits(); len(got) != 0 {
+		t.Fatalf("commit records not forgotten: %v", got)
+	}
+}
+
+// TestTxIDsNeverReused: ids come from durably reserved blocks; a
+// coordinator reopened after a crash skips the whole outstanding block.
+func TestTxIDsNeverReused(t *testing.T) {
+	r := newTwoShardRig(t)
+	_, c0, _ := r.frontend(13)
+	tc, err := NewTxCoordinator(c0, "coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for i := 0; i < 3; i++ {
+		tx, err := tc.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tx.TxID() <= last {
+			t.Fatalf("txid %#x not monotonic after %#x", tx.TxID(), last)
+		}
+		last = tx.TxID()
+		tx.Abort()
+	}
+	// Crash/reopen: the dispenser must jump past every possibly-used id.
+	_, c0b, _ := r.frontend(14)
+	tcb, err := NewTxCoordinator(c0b, "coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := tcb.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.TxID() <= last {
+		t.Fatalf("reopened coordinator reissued %#x (last used %#x)", tx.TxID(), last)
+	}
+	tx.Abort()
+}
+
+// TestDeviceScanResolver: backend.ScanTxOutcome consults the coordinator
+// log directly off the device — commit record present vs absent.
+func TestDeviceScanResolver(t *testing.T) {
+	r := newTwoShardRig(t)
+	_, c0, _ := r.frontend(15)
+	h0, addr0 := r.part(c0, "p0")
+	tc, err := NewTxCoordinator(c0, "coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := tc.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Enroll(h0); err != nil {
+		t.Fatal(err)
+	}
+	txOp(t, h0, addr0, 0x77)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Committed but not yet Ended: the scan must find the record.
+	dev := r.bks[0].Device()
+	out, err := backend.ScanTxOutcome(dev, tc.Handle().Slot(), tx.TxID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != backend.TxCommitted {
+		t.Fatalf("outcome = %v, want committed", out)
+	}
+	// An id that never committed is presumed aborted.
+	out, err = backend.ScanTxOutcome(dev, tc.Handle().Slot(), tx.TxID()+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != backend.TxAborted {
+		t.Fatalf("outcome = %v, want aborted", out)
+	}
+}

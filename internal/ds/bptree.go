@@ -542,7 +542,7 @@ func (t *BPTree) Close() error {
 
 // ReplayOp re-executes one pending op-log record.
 func (t *BPTree) ReplayOp(rec logrec.OpRecord) error {
-	switch rec.OpType {
+	switch rec.OpType &^ logrec.OpTxFlag {
 	case OpPut:
 		key, val, err := blobParamsSplit(rec.Params)
 		if err != nil {

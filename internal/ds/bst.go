@@ -387,7 +387,7 @@ func (t *BST) Close() error {
 
 // ReplayOp re-executes one pending op-log record.
 func (t *BST) ReplayOp(rec logrec.OpRecord) error {
-	switch rec.OpType {
+	switch rec.OpType &^ logrec.OpTxFlag {
 	case OpPut:
 		key, val, err := splitKV(rec.Params)
 		if err != nil {

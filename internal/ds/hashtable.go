@@ -350,7 +350,7 @@ func (t *HashTable) Close() error {
 
 // ReplayOp re-executes one pending op-log record.
 func (t *HashTable) ReplayOp(rec logrec.OpRecord) error {
-	switch rec.OpType {
+	switch rec.OpType &^ logrec.OpTxFlag {
 	case OpPut:
 		key, val, err := splitKV(rec.Params)
 		if err != nil {

@@ -305,7 +305,7 @@ func (t *MVBPTree) Close() error {
 
 // ReplayOp re-executes one pending op-log record.
 func (t *MVBPTree) ReplayOp(rec logrec.OpRecord) error {
-	switch rec.OpType {
+	switch rec.OpType &^ logrec.OpTxFlag {
 	case OpPut:
 		key, val, err := splitKV(rec.Params)
 		if err != nil {

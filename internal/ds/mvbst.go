@@ -244,7 +244,7 @@ func (t *MVBST) Close() error {
 
 // ReplayOp re-executes one pending op-log record.
 func (t *MVBST) ReplayOp(rec logrec.OpRecord) error {
-	switch rec.OpType {
+	switch rec.OpType &^ logrec.OpTxFlag {
 	case OpPut:
 		key, val, err := splitKV(rec.Params)
 		if err != nil {

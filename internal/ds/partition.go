@@ -278,6 +278,81 @@ func (p *Partitioned) DrainAll() error {
 	return nil
 }
 
+// PartIndex exposes the key-to-partition routing (transaction code needs
+// to know when an operation crosses partitions).
+func (p *Partitioned) PartIndex(key uint64) int { return partIndex(key, len(p.parts)) }
+
+// PartHandle returns partition pi's handle, or nil when that kind does
+// not expose one.
+func (p *Partitioned) PartHandle(pi int) *core.Handle {
+	if hp, ok := p.parts[pi].(handled); ok {
+		return hp.Handle()
+	}
+	return nil
+}
+
+// TxHandles returns every partition's handle, for cross-shard
+// enrollment or recovery.
+func (p *Partitioned) TxHandles() []*core.Handle {
+	hs := make([]*core.Handle, 0, len(p.parts))
+	for _, part := range p.parts {
+		if hp, ok := part.(handled); ok {
+			hs = append(hs, hp.Handle())
+		}
+	}
+	return hs
+}
+
+// TxPutMulti writes the batch atomically across partitions as ONE
+// cross-shard transaction under tc (§8.3 partitioning composed with the
+// 2PC plane): the owning partitions enroll, every put buffers into its
+// partition's logs, and Commit drives prepare/commit/decide. Either all
+// pairs become durable or none do.
+func (p *Partitioned) TxPutMulti(tc *core.TxCoordinator, keys []uint64, vals [][]byte) error {
+	if len(keys) != len(vals) {
+		return fmt.Errorf("ds: tx put multi length mismatch (%d keys, %d values)", len(keys), len(vals))
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	tx, err := tc.Begin()
+	if err != nil {
+		return err
+	}
+	enrolled := make(map[int]bool, len(p.parts))
+	for _, k := range keys {
+		pi := partIndex(k, len(p.parts))
+		if enrolled[pi] {
+			continue
+		}
+		hp, ok := p.parts[pi].(handled)
+		if !ok {
+			tx.Abort()
+			return fmt.Errorf("ds: partition %d kind cannot join transactions", pi)
+		}
+		if err := tx.Enroll(hp.Handle()); err != nil {
+			tx.Abort()
+			return err
+		}
+		enrolled[pi] = true
+	}
+	for i, k := range keys {
+		if err := p.parts[partIndex(k, len(p.parts))].Put(k, vals[i]); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	return tx.Commit()
+}
+
+// TxRecover resolves this structure's cross-shard in-doubt state against
+// tc's coordinator (presumed abort). Run it on a fresh writer before any
+// PendingOps-based re-execution: resolution advances the op cursor past
+// the transactions it settles.
+func (p *Partitioned) TxRecover(tc *core.TxCoordinator) (committed, aborted int, err error) {
+	return tc.RecoverTx(p.TxHandles()...)
+}
+
 // KVKind selects the structure type backing each partition.
 type KVKind int
 

@@ -239,7 +239,7 @@ func (q *Queue) Close() error {
 
 // ReplayOp re-executes one pending op-log record.
 func (q *Queue) ReplayOp(rec logrec.OpRecord) error {
-	switch rec.OpType {
+	switch rec.OpType &^ logrec.OpTxFlag {
 	case OpPush:
 		_, val, err := splitKV(rec.Params)
 		if err != nil {

@@ -311,7 +311,7 @@ func (s *SkipList) Close() error {
 
 // ReplayOp re-executes one pending op-log record.
 func (s *SkipList) ReplayOp(rec logrec.OpRecord) error {
-	switch rec.OpType {
+	switch rec.OpType &^ logrec.OpTxFlag {
 	case OpPut:
 		key, val, err := splitKV(rec.Params)
 		if err != nil {

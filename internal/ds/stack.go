@@ -233,7 +233,7 @@ func (s *Stack) Close() error {
 // state already reflects every *applied* transaction; pending records are
 // re-run in order.
 func (s *Stack) ReplayOp(rec logrec.OpRecord) error {
-	switch rec.OpType {
+	switch rec.OpType &^ logrec.OpTxFlag {
 	case OpPush:
 		_, val, err := splitKV(rec.Params)
 		if err != nil {

@@ -35,6 +35,14 @@ const (
 	CommitFlag byte = 0xC3
 )
 
+// OpTxFlag marks an op record written inside a cross-shard transaction:
+// its physical effects travel in the participant's PrepareRecord, so its
+// fate is decided solely by prepare resolution. Recovery must never
+// re-execute it — if the prepare never became durable the transaction
+// presumes abort, and re-execution would apply one shard's half.
+// Consumers mask it off OpType before dispatching.
+const OpTxFlag uint8 = 0x80
+
 // Memory-log entry flags.
 const (
 	// FlagInline marks an entry whose value bytes are stored in the entry.

@@ -1,0 +1,248 @@
+// Two-phase-commit record formats. A cross-shard transaction appends a
+// PrepareRecord — a full transaction body that the replayer buffers
+// without applying — to every participant's memory log, then appends a
+// CommitRecord (KindCommit) to the coordinator structure's log: that
+// single CRC-protected record is the atomicity point. Participant logs
+// then receive KindApply/KindAbort CommitRecords resolving the buffered
+// prepare; the coordinator receives a KindEnd once every participant's
+// decision is durable, releasing the commit record for truncation
+// (presumed abort: a prepare whose commit record cannot be found is
+// aborted, so only commits need coordinator-log retention).
+package logrec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"slices"
+
+	"asymnvm/internal/arena"
+)
+
+// Record magics for the 2PC plane (disjoint from TxMagic/OpMagic/CkptMagic
+// so one scan loop can dispatch on the first byte).
+const (
+	PrepareMagic byte = 0xB4
+	CommitMagic  byte = 0xC7
+)
+
+// CommitRecord kinds.
+const (
+	// KindCommit in the coordinator log is the transaction's atomicity
+	// point: the instant it is durable, every participant's prepared
+	// body is logically committed.
+	KindCommit byte = 1
+	// KindEnd in the coordinator log forgets a committed transaction:
+	// every participant's decision record is durable, so the commit
+	// record is no longer needed for recovery.
+	KindEnd byte = 2
+	// KindApply in a participant log applies that participant's buffered
+	// prepare.
+	KindApply byte = 3
+	// KindAbort in a participant log discards the buffered prepare; its
+	// log bytes go to the reclaim ledger.
+	KindAbort byte = 4
+)
+
+// PrepareRecord is a transaction body appended to one participant's
+// memory log during phase one: identical in content to a TxRecord, plus
+// the transaction id and the coordinate of the coordinator structure
+// whose log holds (or will hold) the commit record. The replayer buffers
+// it unapplied until a CommitRecord resolves it.
+type PrepareRecord struct {
+	DSSlot    uint16 // participant structure's naming-table slot
+	Abs       uint64 // absolute log offset the record was appended at
+	TxID      uint64 // globally unique transaction id
+	CoordNode uint16 // back-end id holding the coordinator structure
+	CoordSlot uint16 // coordinator structure's naming-table slot
+	CoverOp   uint64 // op-log coverage once applied (see TxRecord.CoverOp)
+	Entries   []MemEntry
+}
+
+// prepHeaderLen is magic(1) + dsSlot(2) + count(2) + abs(8) + txid(8) +
+// coordNode(2) + coordSlot(2) + coverOp(8) + bodyLen(4).
+const prepHeaderLen = 1 + 2 + 2 + 8 + 8 + 2 + 2 + 8 + 4
+
+// EncodedLen reports the wire size of the record.
+func (p *PrepareRecord) EncodedLen() int {
+	n := prepHeaderLen
+	for i := range p.Entries {
+		n += p.Entries[i].EncodedLen()
+	}
+	return n + 1 + 4 // commit flag + crc
+}
+
+// AppendTo serializes the record onto dst and returns the extended slice,
+// allocation-free given capacity, with the checksum over everything
+// before it — the same wire discipline as TxRecord.AppendTo, so the
+// prepare fan-out reuses the handle's tx scratch buffer.
+func (p *PrepareRecord) AppendTo(dst []byte) []byte {
+	n := p.EncodedLen()
+	base := len(dst)
+	dst = slices.Grow(dst, n)[:base+n]
+	buf := dst[base:]
+	buf[0] = PrepareMagic
+	binary.LittleEndian.PutUint16(buf[1:], p.DSSlot)
+	binary.LittleEndian.PutUint16(buf[3:], uint16(len(p.Entries)))
+	binary.LittleEndian.PutUint64(buf[5:], p.Abs)
+	binary.LittleEndian.PutUint64(buf[13:], p.TxID)
+	binary.LittleEndian.PutUint16(buf[21:], p.CoordNode)
+	binary.LittleEndian.PutUint16(buf[23:], p.CoordSlot)
+	binary.LittleEndian.PutUint64(buf[25:], p.CoverOp)
+	off := prepHeaderLen
+	for i := range p.Entries {
+		off += p.Entries[i].encode(buf[off:])
+	}
+	binary.LittleEndian.PutUint32(buf[prepHeaderLen-4:], uint32(off-prepHeaderLen))
+	buf[off] = CommitFlag
+	off++
+	binary.LittleEndian.PutUint32(buf[off:], crc32.Checksum(buf[:off], castagnoli))
+	return dst
+}
+
+// Encode serializes the record into a fresh buffer.
+func (p *PrepareRecord) Encode() []byte {
+	return p.AppendTo(make([]byte, 0, p.EncodedLen()))
+}
+
+// DecodePrepare parses one prepare record from src, verifying the
+// embedded absolute offset against expectAbs and the checksum.
+func DecodePrepare(src []byte, expectAbs uint64) (PrepareRecord, int, error) {
+	var p PrepareRecord
+	n, err := DecodePrepareInto(&p, src, expectAbs, nil)
+	if err != nil {
+		return PrepareRecord{}, 0, err
+	}
+	return p, n, nil
+}
+
+// DecodePrepareInto parses one prepare record into *p, reusing p's
+// Entries backing array across calls. When a is non-nil, inline entry
+// values are copied into the arena instead of the heap (valid until the
+// arena's next Reset), keeping the replayer's scan loop allocation-free.
+// On error *p is left in an unspecified state.
+func DecodePrepareInto(p *PrepareRecord, src []byte, expectAbs uint64, a *arena.Arena) (int, error) {
+	if len(src) < prepHeaderLen {
+		return 0, ErrShort
+	}
+	if src[0] != PrepareMagic {
+		return 0, ErrBadMagic
+	}
+	p.DSSlot = binary.LittleEndian.Uint16(src[1:])
+	count := int(binary.LittleEndian.Uint16(src[3:]))
+	p.Abs = binary.LittleEndian.Uint64(src[5:])
+	p.TxID = binary.LittleEndian.Uint64(src[13:])
+	p.CoordNode = binary.LittleEndian.Uint16(src[21:])
+	p.CoordSlot = binary.LittleEndian.Uint16(src[23:])
+	p.CoverOp = binary.LittleEndian.Uint64(src[25:])
+	bodyLen := int(binary.LittleEndian.Uint32(src[33:]))
+	if p.Abs != expectAbs {
+		return 0, ErrBadAbs
+	}
+	end := prepHeaderLen + bodyLen
+	if bodyLen < 0 || len(src) < end+5 {
+		return 0, ErrShort
+	}
+	if src[end] != CommitFlag {
+		return 0, ErrNoCommit
+	}
+	want := binary.LittleEndian.Uint32(src[end+1:])
+	if crc32.Checksum(src[:end+1], castagnoli) != want {
+		return 0, ErrBadCRC
+	}
+	off := prepHeaderLen
+	p.Entries = slices.Grow(p.Entries[:0], count)
+	for i := 0; i < count; i++ {
+		p.Entries = p.Entries[:i+1]
+		n, err := decodeMemEntry(&p.Entries[i], src[off:end], a)
+		if err != nil {
+			return 0, err
+		}
+		off += n
+	}
+	if off != end {
+		return 0, fmt.Errorf("logrec: prepare body length mismatch: %d != %d", off, end)
+	}
+	return end + 5, nil
+}
+
+// CommitRecord is a fixed-size 2PC control record. In the coordinator
+// log, KindCommit is the atomicity point and KindEnd forgets a finished
+// transaction; in a participant log, KindApply/KindAbort resolve that
+// participant's buffered prepare. CoverOp carries the op-log coverage
+// the resolution establishes (KindApply: the prepare's coverage;
+// KindAbort: past the aborted transaction's op records, so presumed
+// abort never re-executes them); it is zero for coordinator kinds.
+type CommitRecord struct {
+	Kind    byte
+	DSSlot  uint16
+	Abs     uint64 // absolute log offset the record was appended at
+	TxID    uint64
+	CoverOp uint64
+}
+
+// commitWireLen is magic(1) + kind(1) + dsSlot(2) + abs(8) + txid(8) +
+// coverOp(8) + crc(4).
+const commitWireLen = 1 + 1 + 2 + 8 + 8 + 8 + 4
+
+// EncodedLen reports the wire size of the record.
+func (c *CommitRecord) EncodedLen() int { return commitWireLen }
+
+// AppendTo serializes the record onto dst and returns the extended
+// slice, allocation-free given capacity.
+func (c *CommitRecord) AppendTo(dst []byte) []byte {
+	base := len(dst)
+	dst = slices.Grow(dst, commitWireLen)[:base+commitWireLen]
+	buf := dst[base:]
+	buf[0] = CommitMagic
+	buf[1] = c.Kind
+	binary.LittleEndian.PutUint16(buf[2:], c.DSSlot)
+	binary.LittleEndian.PutUint64(buf[4:], c.Abs)
+	binary.LittleEndian.PutUint64(buf[12:], c.TxID)
+	binary.LittleEndian.PutUint64(buf[20:], c.CoverOp)
+	binary.LittleEndian.PutUint32(buf[28:], crc32.Checksum(buf[:28], castagnoli))
+	return dst
+}
+
+// Encode serializes the record into a fresh buffer.
+func (c *CommitRecord) Encode() []byte {
+	return c.AppendTo(make([]byte, 0, commitWireLen))
+}
+
+// DecodeCommit parses one commit record, verifying offset and checksum.
+func DecodeCommit(src []byte, expectAbs uint64) (CommitRecord, int, error) {
+	var c CommitRecord
+	n, err := DecodeCommitInto(&c, src, expectAbs)
+	if err != nil {
+		return CommitRecord{}, 0, err
+	}
+	return c, n, nil
+}
+
+// DecodeCommitInto parses one commit record into *c. The record holds no
+// variable-length bytes, so no arena is needed and the decode never
+// aliases src. On error *c is left in an unspecified state.
+func DecodeCommitInto(c *CommitRecord, src []byte, expectAbs uint64) (int, error) {
+	if len(src) < commitWireLen {
+		return 0, ErrShort
+	}
+	if src[0] != CommitMagic {
+		return 0, ErrBadMagic
+	}
+	c.Kind = src[1]
+	c.DSSlot = binary.LittleEndian.Uint16(src[2:])
+	c.Abs = binary.LittleEndian.Uint64(src[4:])
+	c.TxID = binary.LittleEndian.Uint64(src[12:])
+	c.CoverOp = binary.LittleEndian.Uint64(src[20:])
+	if c.Abs != expectAbs {
+		return 0, ErrBadAbs
+	}
+	want := binary.LittleEndian.Uint32(src[28:])
+	if crc32.Checksum(src[:28], castagnoli) != want {
+		return 0, ErrBadCRC
+	}
+	if c.Kind < KindCommit || c.Kind > KindAbort {
+		return 0, fmt.Errorf("%w: commit record kind %#x", ErrBadMagic, c.Kind)
+	}
+	return commitWireLen, nil
+}

@@ -1,0 +1,115 @@
+package logrec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// seedPrepare builds a representative prepare record for the fuzzers.
+func seedPrepare(abs uint64) *PrepareRecord {
+	return &PrepareRecord{
+		DSSlot:    3,
+		Abs:       abs,
+		TxID:      0xDEADBEEF01,
+		CoordNode: 1,
+		CoordSlot: 12,
+		CoverOp:   512,
+		Entries: []MemEntry{
+			{Flag: FlagInline, Addr: 0x0001_0000_2000, Len: 4, Value: []byte("abcd")},
+			{Flag: FlagOpRef, Addr: 0x0001_0000_3000, Len: 16, OpAbs: 448, SrcOff: 8},
+			{Flag: FlagInline, Addr: 8, Len: 0, Value: nil},
+		},
+	}
+}
+
+// FuzzDecodePrepare hammers the prepare decoder with arbitrary bytes,
+// mirroring FuzzDecodeTx: no panics, no over-consumption, and anything
+// accepted must survive an encode→decode round trip unchanged.
+func FuzzDecodePrepare(f *testing.F) {
+	f.Add(seedPrepare(96).Encode(), uint64(96))
+	f.Add(seedPrepare(0).Encode(), uint64(0))
+	enc := seedPrepare(96).Encode()
+	f.Add(enc[:len(enc)-3], uint64(96)) // torn tail
+	bad := append([]byte(nil), enc...)
+	bad[0] ^= 0xFF
+	f.Add(bad, uint64(96)) // flipped magic
+	f.Add(enc, uint64(97)) // stale offset
+
+	f.Fuzz(func(t *testing.T, data []byte, abs uint64) {
+		rec, n, err := DecodePrepare(data, abs)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(data))
+		}
+		if rec.Abs != abs {
+			t.Fatalf("accepted record with Abs=%d, expected %d", rec.Abs, abs)
+		}
+		for _, e := range rec.Entries {
+			if e.Flag == FlagInline && int(e.Len) != len(e.Value) {
+				t.Fatalf("inline entry Len=%d but %d value bytes", e.Len, len(e.Value))
+			}
+		}
+		re := rec.Encode()
+		rec2, n2, err := DecodePrepare(re, abs)
+		if err != nil {
+			t.Fatalf("re-encoded accepted record does not decode: %v", err)
+		}
+		if n2 != len(re) {
+			t.Fatalf("re-decode consumed %d of %d bytes", n2, len(re))
+		}
+		if rec2.DSSlot != rec.DSSlot || rec2.Abs != rec.Abs || rec2.TxID != rec.TxID ||
+			rec2.CoordNode != rec.CoordNode || rec2.CoordSlot != rec.CoordSlot ||
+			rec2.CoverOp != rec.CoverOp || len(rec2.Entries) != len(rec.Entries) {
+			t.Fatalf("round trip changed the record: %+v vs %+v", rec, rec2)
+		}
+		for i := range rec.Entries {
+			a, b := rec.Entries[i], rec2.Entries[i]
+			if a.Flag != b.Flag || a.Addr != b.Addr || a.Len != b.Len ||
+				a.OpAbs != b.OpAbs || a.SrcOff != b.SrcOff || !bytes.Equal(a.Value, b.Value) {
+				t.Fatalf("round trip changed entry %d: %+v vs %+v", i, a, b)
+			}
+		}
+	})
+}
+
+// FuzzDecodeCommit does the same for the fixed-size commit records.
+func FuzzDecodeCommit(f *testing.F) {
+	for _, kind := range []byte{KindCommit, KindEnd, KindApply, KindAbort} {
+		rec := CommitRecord{Kind: kind, DSSlot: 2, Abs: 448, TxID: 99, CoverOp: 64}
+		f.Add(rec.Encode(), uint64(448))
+	}
+	enc := (&CommitRecord{Kind: KindCommit, Abs: 448, TxID: 99}).Encode()
+	f.Add(enc[:len(enc)-1], uint64(448)) // torn
+	bad := append([]byte(nil), enc...)
+	bad[len(bad)-1] ^= 0x01 // corrupt checksum
+	f.Add(bad, uint64(448))
+	f.Add(enc, uint64(449)) // stale offset
+	kindBad := CommitRecord{Kind: 0, Abs: 448, TxID: 99}
+	f.Add(kindBad.Encode(), uint64(448)) // zero kind: checksum fine, kind invalid
+
+	f.Fuzz(func(t *testing.T, data []byte, abs uint64) {
+		rec, n, err := DecodeCommit(data, abs)
+		if err != nil {
+			return
+		}
+		if n != commitWireLen || n > len(data) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(data))
+		}
+		if rec.Abs != abs {
+			t.Fatalf("accepted record with Abs=%d, expected %d", rec.Abs, abs)
+		}
+		if rec.Kind < KindCommit || rec.Kind > KindAbort {
+			t.Fatalf("accepted record with kind %#x", rec.Kind)
+		}
+		re := rec.Encode()
+		rec2, n2, err := DecodeCommit(re, abs)
+		if err != nil || n2 != len(re) {
+			t.Fatalf("re-encoded accepted record does not decode: n=%d err=%v", n2, err)
+		}
+		if rec2 != rec {
+			t.Fatalf("round trip changed the record: %+v vs %+v", rec, rec2)
+		}
+	})
+}

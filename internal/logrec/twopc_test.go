@@ -1,0 +1,208 @@
+package logrec
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"asymnvm/internal/arena"
+)
+
+func samplePrepare() PrepareRecord {
+	val := make([]byte, 48)
+	for i := range val {
+		val[i] = byte(i * 7)
+	}
+	return PrepareRecord{
+		DSSlot:    5,
+		Abs:       8192,
+		TxID:      0x1122334455667788,
+		CoordNode: 2,
+		CoordSlot: 9,
+		CoverOp:   640,
+		Entries: []MemEntry{
+			{Flag: FlagInline, Addr: 0x0001000000002000, Len: 48, Value: val},
+			{Flag: FlagOpRef, Addr: 0x0001000000003000, Len: 24, OpAbs: 256, SrcOff: 8},
+		},
+	}
+}
+
+func TestPrepareRoundTrip(t *testing.T) {
+	rec := samplePrepare()
+	wire := rec.Encode()
+	if len(wire) != rec.EncodedLen() {
+		t.Fatalf("encoded %d bytes, EncodedLen says %d", len(wire), rec.EncodedLen())
+	}
+	dec, n, err := DecodePrepare(wire, rec.Abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(wire) {
+		t.Fatalf("consumed %d of %d", n, len(wire))
+	}
+	if dec.DSSlot != rec.DSSlot || dec.TxID != rec.TxID ||
+		dec.CoordNode != rec.CoordNode || dec.CoordSlot != rec.CoordSlot ||
+		dec.CoverOp != rec.CoverOp || len(dec.Entries) != len(rec.Entries) {
+		t.Fatalf("round trip changed the record: %+v vs %+v", rec, dec)
+	}
+	if !bytes.Equal(dec.Entries[0].Value, rec.Entries[0].Value) {
+		t.Fatal("entry value mismatch")
+	}
+
+	// Stale offset, torn tail, corrupt checksum.
+	if _, _, err := DecodePrepare(wire, rec.Abs+1); !errors.Is(err, ErrBadAbs) {
+		t.Fatalf("stale abs: %v", err)
+	}
+	if _, _, err := DecodePrepare(wire[:len(wire)-3], rec.Abs); !errors.Is(err, ErrShort) {
+		t.Fatalf("torn tail: %v", err)
+	}
+	bad := append([]byte(nil), wire...)
+	bad[len(bad)-1] ^= 0x40
+	if _, _, err := DecodePrepare(bad, rec.Abs); !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("corrupt crc: %v", err)
+	}
+}
+
+func TestCommitRoundTrip(t *testing.T) {
+	for _, kind := range []byte{KindCommit, KindEnd, KindApply, KindAbort} {
+		rec := CommitRecord{Kind: kind, DSSlot: 4, Abs: 512, TxID: 77, CoverOp: 96}
+		wire := rec.Encode()
+		if len(wire) != rec.EncodedLen() {
+			t.Fatalf("encoded %d bytes, EncodedLen says %d", len(wire), rec.EncodedLen())
+		}
+		dec, n, err := DecodeCommit(wire, rec.Abs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(wire) || dec != rec {
+			t.Fatalf("round trip changed the record: %+v vs %+v (n=%d)", rec, dec, n)
+		}
+		if _, _, err := DecodeCommit(wire, rec.Abs+8); !errors.Is(err, ErrBadAbs) {
+			t.Fatalf("stale abs: %v", err)
+		}
+	}
+	// An out-of-range kind must be rejected even with a valid checksum.
+	rec := CommitRecord{Kind: 9, Abs: 0, TxID: 1}
+	if _, _, err := DecodeCommit(rec.Encode(), 0); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad kind accepted: %v", err)
+	}
+}
+
+// TestPrepareDecodeIntoAliasSafety pins the arena contract: a decoded
+// record's values must survive the source buffer being rewritten (the
+// circular log area reuses its bytes), because DecodeInto copies them.
+func TestPrepareDecodeIntoAliasSafety(t *testing.T) {
+	rec := samplePrepare()
+	wire := rec.Encode()
+	var dec PrepareRecord
+	var a arena.Arena
+	if _, err := DecodePrepareInto(&dec, wire, rec.Abs, &a); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), dec.Entries[0].Value...)
+	for i := range wire {
+		wire[i] = 0xFF
+	}
+	if !bytes.Equal(dec.Entries[0].Value, want) {
+		t.Fatal("decoded value aliases the source buffer")
+	}
+}
+
+func TestPrepareRoundTripZeroAllocs(t *testing.T) {
+	rec := samplePrepare()
+	var (
+		buf []byte
+		dec PrepareRecord
+		a   arena.Arena
+	)
+	buf = rec.AppendTo(buf[:0])
+	if _, err := DecodePrepareInto(&dec, buf, rec.Abs, &a); err != nil {
+		t.Fatal(err)
+	}
+	a.Reset()
+
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = rec.AppendTo(buf[:0])
+		if _, err := DecodePrepareInto(&dec, buf, rec.Abs, &a); err != nil {
+			t.Fatal(err)
+		}
+		a.Reset()
+	})
+	if allocs != 0 {
+		t.Errorf("prepare encode+decode round trip allocates %.1f/op, want 0", allocs)
+	}
+	if dec.TxID != rec.TxID || len(dec.Entries) != len(rec.Entries) {
+		t.Fatalf("decode mismatch: %+v", dec)
+	}
+}
+
+func TestCommitRoundTripZeroAllocs(t *testing.T) {
+	rec := CommitRecord{Kind: KindApply, DSSlot: 2, Abs: 1024, TxID: 42, CoverOp: 64}
+	var (
+		buf []byte
+		dec CommitRecord
+	)
+	buf = rec.AppendTo(buf[:0])
+	if _, err := DecodeCommitInto(&dec, buf, rec.Abs); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = rec.AppendTo(buf[:0])
+		if _, err := DecodeCommitInto(&dec, buf, rec.Abs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("commit encode+decode round trip allocates %.1f/op, want 0", allocs)
+	}
+	if dec != rec {
+		t.Fatalf("decode mismatch: %+v", dec)
+	}
+}
+
+// TestTwoPCChains pins the mixed-record framing the participant log
+// relies on: a tx record, a prepare and its resolving commit record
+// appended to one buffer decode back in sequence by magic dispatch.
+func TestTwoPCChains(t *testing.T) {
+	var buf []byte
+	abs := uint64(0)
+
+	tx := seedTx(0)
+	buf = tx.AppendTo(buf)
+	abs += uint64(tx.EncodedLen())
+
+	prep := samplePrepare()
+	prep.Abs = abs
+	buf = prep.AppendTo(buf)
+	abs += uint64(prep.EncodedLen())
+
+	dec := CommitRecord{Kind: KindApply, DSSlot: prep.DSSlot, Abs: abs, TxID: prep.TxID, CoverOp: prep.CoverOp}
+	buf = dec.AppendTo(buf)
+	abs += uint64(dec.EncodedLen())
+
+	pos, wantAbs := 0, uint64(0)
+	wantMagic := []byte{TxMagic, PrepareMagic, CommitMagic}
+	for i, magic := range wantMagic {
+		if buf[pos] != magic {
+			t.Fatalf("record %d magic %#x, want %#x", i, buf[pos], magic)
+		}
+		var used int
+		var err error
+		switch magic {
+		case TxMagic:
+			_, used, err = DecodeTx(buf[pos:], wantAbs)
+		case PrepareMagic:
+			_, used, err = DecodePrepare(buf[pos:], wantAbs)
+		case CommitMagic:
+			_, used, err = DecodeCommit(buf[pos:], wantAbs)
+		}
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		pos += used
+		wantAbs += uint64(used)
+	}
+	if pos != len(buf) || wantAbs != abs {
+		t.Fatalf("consumed %d of %d (abs %d of %d)", pos, len(buf), wantAbs, abs)
+	}
+}

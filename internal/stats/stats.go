@@ -80,6 +80,17 @@ type Stats struct {
 	ServeSlowDrop atomic.Int64
 	DeadlineMiss  atomic.Int64
 
+	// Two-phase-commit counters. TxPrepares counts prepare records
+	// appended by the front-end (one per participant per transaction);
+	// TxCrossCommits/TxCrossAborts count cross-shard transactions that
+	// reached the commit record vs. aborted before it; InDoubtResolved
+	// counts prepares resolved by recovery's coordinator consultation
+	// (both outcomes — the presumed-abort path of §7.2 extended).
+	TxPrepares      atomic.Int64
+	TxCrossCommits  atomic.Int64
+	TxCrossAborts   atomic.Int64
+	InDoubtResolved atomic.Int64
+
 	// BusyNS accumulates virtual nanoseconds during which the owning
 	// node's CPU was doing work (as opposed to waiting on the fabric).
 	BusyNS atomic.Int64
@@ -116,6 +127,8 @@ type Snapshot struct {
 	ServeAccepted, ServeRejected              int64
 	ServeBreaker, ServeExpired                int64
 	ServeSlowDrop, DeadlineMiss               int64
+	TxPrepares, TxCrossCommits                int64
+	TxCrossAborts, InDoubtResolved            int64
 	BusyNS                                    int64
 }
 
@@ -159,6 +172,10 @@ func (s *Stats) Snapshot() Snapshot {
 		ServeExpired:      s.ServeExpired.Load(),
 		ServeSlowDrop:     s.ServeSlowDrop.Load(),
 		DeadlineMiss:      s.DeadlineMiss.Load(),
+		TxPrepares:        s.TxPrepares.Load(),
+		TxCrossCommits:    s.TxCrossCommits.Load(),
+		TxCrossAborts:     s.TxCrossAborts.Load(),
+		InDoubtResolved:   s.InDoubtResolved.Load(),
 		BusyNS:            s.BusyNS.Load(),
 	}
 }
@@ -203,6 +220,10 @@ func (a Snapshot) Sub(b Snapshot) Snapshot {
 		ServeExpired:      a.ServeExpired - b.ServeExpired,
 		ServeSlowDrop:     a.ServeSlowDrop - b.ServeSlowDrop,
 		DeadlineMiss:      a.DeadlineMiss - b.DeadlineMiss,
+		TxPrepares:        a.TxPrepares - b.TxPrepares,
+		TxCrossCommits:    a.TxCrossCommits - b.TxCrossCommits,
+		TxCrossAborts:     a.TxCrossAborts - b.TxCrossAborts,
+		InDoubtResolved:   a.InDoubtResolved - b.InDoubtResolved,
 		BusyNS:            a.BusyNS - b.BusyNS,
 	}
 }
@@ -234,7 +255,7 @@ func (a Snapshot) HitRatio() float64 {
 // String renders a compact human-readable summary.
 func (a Snapshot) String() string {
 	return fmt.Sprintf(
-		"rdma{r=%d w=%d atom=%d rpc=%d} bytes{r=%d w=%d} cache{hit=%d miss=%d} logs{op=%d mem=%d tx=%d replayed=%d} retry=%d resil{retry=%d fo=%d} pipe{wr=%d db=%d qd=%.1f saved=%dns} fan{win=%d saved=%dns} tune{steps=%d B=%d depth=%d} ckpt{n=%d trunc=%dB rro=%d} serve{acc=%d rej=%d brk=%d exp=%d slow=%d dl=%d}",
+		"rdma{r=%d w=%d atom=%d rpc=%d} bytes{r=%d w=%d} cache{hit=%d miss=%d} logs{op=%d mem=%d tx=%d replayed=%d} retry=%d resil{retry=%d fo=%d} pipe{wr=%d db=%d qd=%.1f saved=%dns} fan{win=%d saved=%dns} tune{steps=%d B=%d depth=%d} ckpt{n=%d trunc=%dB rro=%d} serve{acc=%d rej=%d brk=%d exp=%d slow=%d dl=%d} 2pc{prep=%d commit=%d abort=%d doubt=%d}",
 		a.RDMARead, a.RDMAWrite, a.RDMAAtomic, a.RPCCalls,
 		a.BytesRead, a.BytesWrite,
 		a.CacheHit, a.CacheMiss,
@@ -247,5 +268,6 @@ func (a Snapshot) String() string {
 		a.Checkpoints, a.TruncatedBytes, a.RecoveryReplayOps,
 		a.ServeAccepted, a.ServeRejected, a.ServeBreaker,
 		a.ServeExpired, a.ServeSlowDrop, a.DeadlineMiss,
+		a.TxPrepares, a.TxCrossCommits, a.TxCrossAborts, a.InDoubtResolved,
 	)
 }

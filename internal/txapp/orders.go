@@ -1,0 +1,217 @@
+package txapp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"asymnvm/internal/core"
+	"asymnvm/internal/ds"
+)
+
+// OrderStore couples a primary order table with a by-customer secondary
+// index. The primary is a B+Tree keyed by order id; the index is a hash
+// table mapping customer id to the customer's most recent order ids.
+// The two structures may live on different back-ends, so a placement
+// updates both under one cross-shard transaction: a crash between the
+// two writes can never leave an order without its index entry (or an
+// index entry pointing at a missing order) — presumed-abort recovery
+// settles the prepared halves together.
+type OrderStore struct {
+	orders *ds.BPTree
+	byCust *ds.HashTable
+	maxIDs int
+	writer bool
+}
+
+// orderVal packs an order row: customer id then amount, both LE64.
+func orderVal(customer, amount uint64) []byte {
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint64(buf, customer)
+	binary.LittleEndian.PutUint64(buf[8:], amount)
+	return buf
+}
+
+// CreateOrderStore builds the pair; ordConn and idxConn may target
+// different back-ends.
+func CreateOrderStore(ordConn, idxConn *core.Conn, name string, opts ds.Options) (*OrderStore, error) {
+	orders, err := ds.CreateBPTree(ordConn, name+".ord", opts)
+	if err != nil {
+		return nil, err
+	}
+	byCust, err := ds.CreateHashTable(idxConn, name+".idx", opts)
+	if err != nil {
+		return nil, err
+	}
+	return &OrderStore{orders: orders, byCust: byCust, maxIDs: idCap(opts), writer: true}, nil
+}
+
+// OpenOrderStore attaches to an existing store.
+func OpenOrderStore(ordConn, idxConn *core.Conn, name string, writer bool, opts ds.Options) (*OrderStore, error) {
+	orders, err := ds.OpenBPTree(ordConn, name+".ord", writer, opts)
+	if err != nil {
+		return nil, err
+	}
+	byCust, err := ds.OpenHashTable(idxConn, name+".idx", writer, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &OrderStore{orders: orders, byCust: byCust, maxIDs: idCap(opts), writer: writer}, nil
+}
+
+// idCap derives how many order ids fit in one index entry.
+func idCap(opts ds.Options) int {
+	cap := opts.ValueCap
+	if cap == 0 {
+		cap = 64
+	}
+	return cap / 8
+}
+
+// Handles returns the two participant handles (crash harnesses enroll
+// them for recovery).
+func (s *OrderStore) Handles() []*core.Handle {
+	return []*core.Handle{s.orders.Handle(), s.byCust.Handle()}
+}
+
+// PlaceOrder inserts the order row and updates the customer's index
+// entry in one cross-shard transaction. The index read goes through the
+// enrolled writer handle, so it observes earlier writes buffered in the
+// same transaction.
+func (s *OrderStore) PlaceOrder(tc *core.TxCoordinator, orderID, customer, amount uint64) error {
+	tx, err := tc.Begin()
+	if err != nil {
+		return err
+	}
+	if err := tx.Enroll(s.orders.Handle(), s.byCust.Handle()); err != nil {
+		tx.Abort()
+		return err
+	}
+	if err := s.placeBuffered(orderID, customer, amount); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// placeBuffered performs the two structure updates without committing;
+// PlaceOrder wraps it in a transaction, crash harnesses call it under a
+// transaction they drive themselves.
+func (s *OrderStore) placeBuffered(orderID, customer, amount uint64) error {
+	if err := s.orders.Put(orderID, orderVal(customer, amount)); err != nil {
+		return err
+	}
+	ids, _, err := s.byCust.Get(customer)
+	if err != nil {
+		return err
+	}
+	ids = append(ids, 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.LittleEndian.PutUint64(ids[len(ids)-8:], orderID)
+	if n := s.maxIDs * 8; len(ids) > n {
+		ids = ids[len(ids)-n:] // keep the most recent entries
+	}
+	return s.byCust.Put(customer, ids)
+}
+
+// Order looks up an order row by id.
+func (s *OrderStore) Order(orderID uint64) (customer, amount uint64, ok bool, err error) {
+	val, ok, err := s.orders.Get(orderID)
+	if err != nil || !ok {
+		return 0, 0, ok, err
+	}
+	if len(val) < 16 {
+		return 0, 0, false, fmt.Errorf("txapp: short order row (%d bytes)", len(val))
+	}
+	return binary.LittleEndian.Uint64(val), binary.LittleEndian.Uint64(val[8:]), true, nil
+}
+
+// OrdersByCustomer returns the customer's indexed order ids, oldest
+// retained first.
+func (s *OrderStore) OrdersByCustomer(customer uint64) ([]uint64, error) {
+	val, ok, err := s.byCust.Get(customer)
+	if err != nil || !ok {
+		return nil, err
+	}
+	ids := make([]uint64, 0, len(val)/8)
+	for off := 0; off+8 <= len(val); off += 8 {
+		ids = append(ids, binary.LittleEndian.Uint64(val[off:]))
+	}
+	return ids, nil
+}
+
+// CheckIndex cross-validates the two structures: every indexed order id
+// must resolve to an order row owned by that customer, and every order
+// row (up to limit, by ascending id) must appear in its customer's index
+// entry unless evicted by the recency cap. Crash tests call it after
+// recovery to prove the secondary index never splits from the primary.
+func (s *OrderStore) CheckIndex(limit int) error {
+	keys, vals, err := s.orders.Scan(0, limit)
+	if err != nil {
+		return err
+	}
+	for i, id := range keys {
+		if len(vals[i]) < 16 {
+			return fmt.Errorf("txapp: order %d: short row", id)
+		}
+		cust := binary.LittleEndian.Uint64(vals[i])
+		ids, err := s.OrdersByCustomer(cust)
+		if err != nil {
+			return err
+		}
+		found := false
+		for _, oid := range ids {
+			if oid == id {
+				found = true
+				break
+			}
+		}
+		if !found && len(ids) < s.maxIDs {
+			return fmt.Errorf("txapp: order %d missing from customer %d index", id, cust)
+		}
+		// Reverse direction: each indexed id must be a real order of
+		// this customer.
+		for _, oid := range ids {
+			c2, _, ok, err := s.Order(oid)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("txapp: customer %d index points at missing order %d", cust, oid)
+			}
+			if c2 != cust {
+				return fmt.Errorf("txapp: customer %d index points at order %d owned by %d", cust, oid, c2)
+			}
+		}
+	}
+	return nil
+}
+
+// TxRecover resolves in-doubt prepares on either structure against tc's
+// coordinator log (presumed abort). Run on a fresh writer before new
+// placements.
+func (s *OrderStore) TxRecover(tc *core.TxCoordinator) (committed, aborted int, err error) {
+	return tc.RecoverTx(s.Handles()...)
+}
+
+// Flush commits buffered single-structure writes.
+func (s *OrderStore) Flush() error {
+	if err := s.orders.Flush(); err != nil {
+		return err
+	}
+	return s.byCust.Flush()
+}
+
+// Drain flushes and waits for both back-ends to apply.
+func (s *OrderStore) Drain() error {
+	if err := s.orders.Drain(); err != nil {
+		return err
+	}
+	return s.byCust.Drain()
+}
+
+// Close releases writer locks.
+func (s *OrderStore) Close() error {
+	if err := s.orders.Close(); err != nil {
+		return err
+	}
+	return s.byCust.Close()
+}

@@ -17,8 +17,10 @@ import (
 // identical to SmallBank.
 type PartitionedSmallBank struct {
 	p        *ds.Partitioned
+	tc       *core.TxCoordinator
 	accounts uint64
 	counts   [sbTxKinds]int64
+	cross    int64
 	writer   bool
 }
 
@@ -95,6 +97,51 @@ func (b *PartitionedSmallBank) setBals(keys []uint64, vals []int64) error {
 	return b.p.PutMulti(keys, bufs)
 }
 
+// EnableCrossShardTx arms two-phase commit: transfers whose rows hash to
+// different partitions commit through the coordinator's prepare/commit
+// protocol instead of independent per-partition flushes, so a crash
+// between the two partition writes can no longer create or destroy money.
+func (b *PartitionedSmallBank) EnableCrossShardTx(tc *core.TxCoordinator) { b.tc = tc }
+
+// CrossShardTxs reports how many transfers took the 2PC path.
+func (b *PartitionedSmallBank) CrossShardTxs() int64 { return b.cross }
+
+// TxRecover resolves in-doubt prepares left by a crash mid-2PC. Call it
+// after reopening the bank with a writer front-end, before running new
+// transactions.
+func (b *PartitionedSmallBank) TxRecover(tc *core.TxCoordinator) (committed, aborted int, err error) {
+	return b.p.TxRecover(tc)
+}
+
+// spansPartitions reports whether the keys hash to more than one
+// partition.
+func (b *PartitionedSmallBank) spansPartitions(keys []uint64) bool {
+	pi := b.p.PartIndex(keys[0])
+	for _, k := range keys[1:] {
+		if b.p.PartIndex(k) != pi {
+			return true
+		}
+	}
+	return false
+}
+
+// setBalsTx is setBals for the transfer transactions: when a coordinator
+// is armed and the rows span partitions, the updates are committed
+// atomically under one cross-shard transaction.
+func (b *PartitionedSmallBank) setBalsTx(keys []uint64, vals []int64) error {
+	if b.tc == nil || !b.spansPartitions(keys) {
+		return b.setBals(keys, vals)
+	}
+	bufs := make([][]byte, len(keys))
+	for i, v := range vals {
+		buf := make([]byte, 8)
+		binary.LittleEndian.PutUint64(buf, uint64(v))
+		bufs[i] = buf
+	}
+	b.cross++
+	return b.p.TxPutMulti(b.tc, keys, bufs)
+}
+
 // DoTx executes one transaction from the standard mix; the random-stream
 // derivations match SmallBank.DoTx so the two harnesses run comparable
 // workloads.
@@ -137,7 +184,7 @@ func (b *PartitionedSmallBank) DoTx(r uint64) error {
 		if err != nil {
 			return err
 		}
-		return b.setBals(
+		return b.setBalsTx(
 			[]uint64{savKey(id), chkKey(id), chkKey(id2)},
 			[]int64{0, 0, v[2] + v[0] + v[1]})
 	case SBWriteCheck:
@@ -163,7 +210,7 @@ func (b *PartitionedSmallBank) DoTx(r uint64) error {
 		if v[0] < amount {
 			return nil // insufficient funds: abort (no effect)
 		}
-		return b.setBals(
+		return b.setBalsTx(
 			[]uint64{chkKey(id), chkKey(id2)},
 			[]int64{v[0] - amount, v[1] + amount})
 	}
