@@ -9,7 +9,7 @@
 //
 // Experiments: table2, table3, lockbench, cachebench, fig6, fig7, fig8,
 // fig9, fig10, fig11, fig12, fig13, cost, chaos, ablation, pipeline,
-// scaleout, tx2pc, recovery, overload, hotpath, all.
+// scaleout, tx2pc, multiwriter, recovery, overload, hotpath, all.
 //
 // Unlike the rest, hotpath measures host wall-clock ns/op (lock-free
 // rings, doorbells, zero-alloc codecs) rather than virtual time.
@@ -95,6 +95,7 @@ func main() {
 		{"pipeline", func() ([]bench.Row, error) { return bench.PipelineSweep(sc, nil) }},
 		{"scaleout", func() ([]bench.Row, error) { return bench.ScaleoutSweep(sc) }},
 		{"tx2pc", func() ([]bench.Row, error) { return bench.Tx2PCSweep(sc) }},
+		{"multiwriter", func() ([]bench.Row, error) { return bench.MultiWriterSweep(sc) }},
 		{"recovery", func() ([]bench.Row, error) { return bench.RecoverySweep(sc) }},
 		{"overload", func() ([]bench.Row, error) { return bench.OverloadSweep(sc) }},
 		{"hotpath", func() ([]bench.Row, error) { return bench.HotpathSweep() }},

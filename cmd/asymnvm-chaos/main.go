@@ -22,6 +22,12 @@
 // transfers spanning partitions commit under cross-shard 2PC; the money
 // conservation check then covers cross-partition atomicity.
 //
+// With -multiwriter the hash table becomes a striped table written
+// alternately by two front-ends through per-stripe shared writer locks,
+// and every verification additionally reads the committed keys back
+// through a mirror replica with a zero-staleness-after-sync assertion.
+// Requires -promotes 0.
+//
 // Usage:
 //
 //	asymnvm-chaos -seed 1 -ops 5000
@@ -60,6 +66,7 @@ func main() {
 	flag.BoolVar(&cfg.Rebuild, "rebuild", cfg.Rebuild, "end with an archive-replay rebuild check")
 	flag.BoolVar(&cfg.Serve, "serve", cfg.Serve, "route the workload through the TCP front-end service")
 	flag.BoolVar(&cfg.TxCross, "txcross", cfg.TxCross, "partition the bank across two back-ends with cross-shard 2PC transfers")
+	flag.BoolVar(&cfg.MultiWriter, "multiwriter", cfg.MultiWriter, "alternate two writer front-ends over one striped table and verify through a mirror replica (requires -promotes 0)")
 	flag.BoolVar(&cfg.Verbose, "v", cfg.Verbose, "print every injected fault event")
 	determinism := flag.Bool("determinism", false, "run twice and fail on the first divergent report line")
 	doTrace := flag.Bool("trace", false, "record a span trace of the soak")

@@ -308,6 +308,29 @@ func (b *Backend) ReplayLag() uint64 {
 	return lag
 }
 
+// SlotSNs reports the seqlock sequence number of every structure slot
+// this node's replayer has discovered, keyed by slot. The SN advances
+// twice per applied transaction, deterministically from the log, so a
+// mirror that has replayed the same prefix shows the same SN: equal
+// maps mean the mirror's materialized state matches the primary's.
+func (b *Backend) SlotSNs() map[uint16]uint64 {
+	b.mu.Lock()
+	dss := make([]*dsReplay, 0, len(b.dss))
+	for _, d := range b.dss {
+		dss = append(dss, d)
+	}
+	b.mu.Unlock()
+	sns := make(map[uint16]uint64, len(dss))
+	for _, d := range dss {
+		sn, err := b.dev.Load64(d.snOff)
+		if err != nil {
+			continue
+		}
+		sns[d.slot] = sn
+	}
+	return sns
+}
+
 // Start launches the back-end service goroutine: it sleeps until kicked,
 // then serves RPC cells and replays new log records. The kick stands in
 // for the DMA-completion interrupt of a real NIC; no payload crosses it —

@@ -17,7 +17,8 @@ const (
 	TypeBPTree    uint8 = 6
 	TypeMVBST     uint8 = 7
 	TypeMVBPTree  uint8 = 8
-	TypeApp       uint8 = 9 // application-defined composite
+	TypeApp       uint8 = 9  // application-defined composite
+	TypeStriped   uint8 = 10 // striped structure meta entry: child slots carry the data
 )
 
 // NameEntry is the decoded form of one naming-table slot.

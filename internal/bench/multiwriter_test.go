@@ -1,0 +1,70 @@
+package bench
+
+import "testing"
+
+// TestMultiWriterGates pins the beyond-SWMR acceptance numbers:
+//
+//   - striping must actually buy write concurrency — four stripe-disjoint
+//     writers deliver at least 2.5× one writer's throughput at equal
+//     reader counts, and disjoint writers never conflict on a stripe
+//     lock;
+//   - the lock-free MV path must not thrash — with four CAS writers and
+//     the scheduled races, under 20% of puts re-execute;
+//   - mirror-served reads must respect the staleness budget — the worst
+//     epoch lag actually served stays within it.
+func TestMultiWriterGates(t *testing.T) {
+	sc := Scale{Seed: 400, Ops: 240, Keys: 4000}
+	rows, err := MultiWriterSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Row{}
+	for _, r := range rows {
+		byKey[r.Series+"/"+r.Label] = r
+	}
+
+	for _, readers := range []string{"r=0", "r=2"} {
+		one, ok := byKey["striped/w=1,"+readers]
+		if !ok {
+			t.Fatalf("sweep lost the striped/w=1,%s cell", readers)
+		}
+		four, ok := byKey["striped/w=4,"+readers]
+		if !ok {
+			t.Fatalf("sweep lost the striped/w=4,%s cell", readers)
+		}
+		if one.KOPS <= 0 || four.KOPS <= 0 {
+			t.Fatalf("striped throughput collapsed at %s: w1=%.2f w4=%.2f", readers, one.KOPS, four.KOPS)
+		}
+		if ratio := four.KOPS / one.KOPS; ratio < 2.5 {
+			t.Errorf("striped %s: 4 writers only %.2fx one writer (%.1f vs %.1f KOPS), want >= 2.5x",
+				readers, ratio, four.KOPS, one.KOPS)
+		}
+		if c := four.Extra["stripe_conflicts"]; c != 0 {
+			t.Errorf("striped %s: %g stripe conflicts between stripe-disjoint writers, want 0", readers, c)
+		}
+	}
+
+	mv, ok := byKey["mvcas/w=4"]
+	if !ok {
+		t.Fatal("sweep lost the mvcas cell")
+	}
+	if mv.KOPS <= 0 {
+		t.Fatalf("mvcas throughput collapsed: %.2f KOPS", mv.KOPS)
+	}
+	if rate := mv.Extra["abort_rate"]; rate >= 0.20 {
+		t.Errorf("mvcas: %.1f%% of puts re-executed after a lost root CAS, want < 20%%", rate*100)
+	}
+
+	mir, ok := byKey["mirror/stale-bounded"]
+	if !ok {
+		t.Fatal("sweep lost the mirror cell")
+	}
+	if mir.KOPS <= 0 || mir.Extra["reads"] <= 0 {
+		t.Fatalf("mirror reads collapsed: %.2f KOPS over %g reads", mir.KOPS, mir.Extra["reads"])
+	}
+	if lag, budget := mir.Extra["max_served_lag"], mir.Extra["budget"]; lag > budget {
+		t.Errorf("mirror served a read %g epochs stale, budget %g", lag, budget)
+	} else if lag == 0 {
+		t.Error("mirror cell never served a stale read — the lag ramp is not exercising the budget")
+	}
+}

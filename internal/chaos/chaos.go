@@ -89,6 +89,21 @@ type Config struct {
 	// stream cannot reconstruct transactions that span two nodes.
 	TxCross bool
 
+	// MultiWriter replaces the plain hash table with a striped one
+	// (ds.Striped) written by TWO front-ends that the soak goroutine
+	// alternates deterministically, so the per-stripe shared-lock
+	// handoff (release → acquire → tail resync) runs under verb faults,
+	// partitions and restarts. After every recovery the committed keys
+	// are additionally read back through a mirror replica front-end,
+	// with the staleness assertion that a synced mirror shows a zero
+	// epoch gap on every stripe. Mutually exclusive with Serve (the TCP
+	// service owns one writer) and TxCross (the partitioned bank owns
+	// the second back-end), and requires Promotes = 0: promotion hands
+	// the primary role to a mirror mid-bracket, which the shared stripe
+	// lock protocol does not arbitrate (the lock word on the promoted
+	// copy is an attach-time snapshot, not live lock state).
+	MultiWriter bool
+
 	// Tracer, when non-nil, records per-operation spans for the soak's
 	// writer front-end and primary back-end (see cluster.Config.Tracer).
 	Tracer *trace.Tracer
@@ -142,6 +157,14 @@ type soak struct {
 	kv     *ds.HashTable
 	oracle map[uint64][]byte
 	rep    *Report
+
+	// MultiWriter mode: mw replaces kv with two writer attachments to
+	// one striped table; the soak alternates them per put (mwTurn).
+	// inj2 is the second writer's injector (cut on restarts, like inj).
+	mw     [2]*ds.Striped
+	mwFes  [2]*core.Frontend
+	mwTurn int
+	inj2   *fault.Injector
 
 	// Serve-mode plumbing: while srv is non-nil its executor goroutine
 	// owns fe/bank/kv and every operation goes through cli.
@@ -212,6 +235,12 @@ func Run(cfg Config) (*Report, error) {
 	}
 	if cfg.TxCross && cfg.Serve {
 		return nil, fmt.Errorf("chaos: -txcross and -serve are mutually exclusive (the TCP service owns a single-shard bank)")
+	}
+	if cfg.MultiWriter && (cfg.Serve || cfg.TxCross) {
+		return nil, fmt.Errorf("chaos: -multiwriter is mutually exclusive with -serve and -txcross")
+	}
+	if cfg.MultiWriter && cfg.Promotes > 0 {
+		return nil, fmt.Errorf("chaos: -multiwriter requires -promotes 0 (shared stripe locks do not arbitrate promotion mid-bracket)")
 	}
 	ccfg := cluster.DefaultConfig()
 	ccfg.MirrorsPerBack = cfg.Mirrors
@@ -286,6 +315,9 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.TxCross {
 		tune += " txcross=on"
 	}
+	if cfg.MultiWriter {
+		tune += " multiwriter=on"
+	}
 	s.line("chaos: seed=%d ops=%d accounts=%d keys=%d mirrors=%d lag=%d pipe=%d%s", cfg.Seed, cfg.Ops, cfg.Accounts, cfg.Keys, cfg.Mirrors, cfg.MirrorLag, cfg.Pipeline, tune)
 
 	// Build both structures before faults start: creation is plumbing, the
@@ -304,7 +336,20 @@ func Run(cfg Config) (*Report, error) {
 	} else if s.bank, err = txapp.NewSmallBank(conns[0], bankName, cfg.Accounts, dsOpts()); err != nil {
 		return nil, err
 	}
-	if s.kv, err = ds.CreateHashTable(conns[0], kvName, dsOpts()); err != nil {
+	if cfg.MultiWriter {
+		if s.mw[0], err = ds.CreateStriped(conns[0], ds.KindHashTable, kvName, 4, dsOpts()); err != nil {
+			return nil, err
+		}
+		fe2, conns2, err := clu.NewFrontend(2, wMode)
+		if err != nil {
+			return nil, err
+		}
+		if s.mw[1], err = ds.OpenStriped(conns2[0], kvName, true, dsOpts()); err != nil {
+			return nil, err
+		}
+		s.mwFes[0], s.mwFes[1] = fe, fe2
+		s.inj2 = plane.Injector(cluster.InjectorName(2, 0))
+	} else if s.kv, err = ds.CreateHashTable(conns[0], kvName, dsOpts()); err != nil {
 		return nil, err
 	}
 	if err := s.drain(); err != nil {
@@ -320,6 +365,16 @@ func Run(cfg Config) (*Report, error) {
 		TruncateProb: cfg.TruncateProb,
 		DelayProb:    cfg.DelayProb,
 	})
+	if cfg.MultiWriter {
+		// The second writer's link takes hits too: stripe-lock handoff
+		// verbs (release drain, hint persists, acquire CAS) must survive
+		// faults on either side.
+		s.inj2.SetVerbFaults(fault.VerbFaults{
+			DropProb:     cfg.DropProb,
+			TruncateProb: cfg.TruncateProb,
+			DelayProb:    cfg.DelayProb,
+		})
+	}
 	if cfg.TxCross {
 		// Participant-side faults too: prepares and decisions to the
 		// second back-end take hits on their own link.
@@ -356,9 +411,23 @@ func Run(cfg Config) (*Report, error) {
 			// carry no outcome, so a per-node replay would apply one
 			// shard's half of an aborted transfer.
 			s.line("rebuild: skipped (cross-shard stream spans back-ends)")
+		} else if cfg.MultiWriter {
+			// The rebuild re-executor maps archived slots onto the two
+			// known structures; a striped table spans a meta slot plus
+			// one slot per stripe, which it does not reassemble. Striped
+			// post-crash recovery is covered by the crash matrix instead.
+			s.line("rebuild: skipped (striped table spans multiple slots)")
 		} else if err := s.rebuildCheck(); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.MultiWriter {
+		// Conflicts must be zero: the soak goroutine alternates the two
+		// writers, so a stripe lock is always free at acquire time — any
+		// conflict means a release failed to clear the word.
+		s.line("multiwriter: puts=%d stripe_conflicts=%d+%d", s.mwTurn,
+			s.mwFes[0].Stats().Snapshot().StripeConflicts,
+			s.mwFes[1].Stats().Snapshot().StripeConflicts)
 	}
 	if cfg.TxCross {
 		snap := fe.Stats().Snapshot()
@@ -410,6 +479,16 @@ func (s *soak) drain() error {
 	} else if err := s.bank.Table().Drain(); err != nil {
 		return err
 	}
+	if s.mw[0] != nil {
+		// Striped writers drain inside every shared-lock release; Flush
+		// only settles batched state outside brackets.
+		for _, w := range s.mw {
+			if err := w.Flush(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	return s.kv.Drain()
 }
 
@@ -455,6 +534,9 @@ func (s *soak) soakLoop(sched []fault.Action) error {
 				// injector is cut first — the front-end must observe the
 				// death and re-target the new incarnation.
 				s.inj.Disconnect()
+				if s.inj2 != nil {
+					s.inj2.Disconnect()
+				}
 				if _, _, err := s.clu.RestartBackend(0, true); err != nil {
 					return err
 				}
@@ -502,6 +584,15 @@ func (s *soak) workOp(rng *rand.Rand) error {
 			if err := serveErr("put", resp, err); err != nil {
 				return err
 			}
+		} else if s.mw[0] != nil {
+			// Alternate the two writers: every handoff of a stripe's lock
+			// (release by one front-end, acquire by the other) exercises
+			// the tail-hint resync under whatever faults are active.
+			w := s.mw[s.mwTurn%2]
+			s.mwTurn++
+			if err := w.Put(k, val); err != nil {
+				return err
+			}
 		} else if err := s.kv.Put(k, val); err != nil {
 			return err
 		}
@@ -516,6 +607,12 @@ func (s *soak) workOp(rng *rand.Rand) error {
 				return err
 			}
 			got, ok = resp.Val, resp.Found
+		} else if s.mw[0] != nil {
+			var err error
+			got, ok, err = s.mw[s.mwTurn%2].Get(k)
+			if err != nil {
+				return err
+			}
 		} else {
 			var err error
 			got, ok, err = s.kv.Get(k)
@@ -598,17 +695,75 @@ func (s *soak) verify(tag string) {
 	} else if rmoney != wantMoney {
 		s.violation("verify[%s]: reader money=%d want %d", tag, rmoney, wantMoney)
 	}
-	rkv, err := ds.OpenHashTable(conns[0], kvName, false, dsOpts())
-	if err != nil {
-		s.violation("verify[%s]: reader open kv: %v", tag, err)
-		return
+	var rget func(uint64) ([]byte, bool, error)
+	if s.mw[0] != nil {
+		rkv, err := ds.OpenStriped(conns[0], kvName, false, dsOpts())
+		if err != nil {
+			s.violation("verify[%s]: reader open kv: %v", tag, err)
+			return
+		}
+		rget = rkv.Get
+	} else {
+		rkv, err := ds.OpenHashTable(conns[0], kvName, false, dsOpts())
+		if err != nil {
+			s.violation("verify[%s]: reader open kv: %v", tag, err)
+			return
+		}
+		rget = rkv.Get
 	}
-	bad := s.checkOracle(func(k uint64) ([]byte, bool, error) { return rkv.Get(k) })
+	bad := s.checkOracle(rget)
 	s.rep.Checks++
 	if bad != 0 {
 		s.violation("verify[%s]: %d/%d committed keys wrong on reader", tag, bad, len(s.oracle))
 	}
 	s.line("verify[%s]: money=%d reader=%d keys=%d ok=%v", tag, money, rmoney, len(s.oracle), bad == 0 && money == wantMoney && rmoney == wantMoney)
+	if s.cfg.MultiWriter {
+		s.mirrorVerify(tag, conns[0])
+	}
+}
+
+// mirrorVerify reads the committed keys back through a mirror replica
+// front-end: after SyncMirrors, every stripe's seqlock SN on the mirror
+// must match the primary's (zero staleness epochs — the assertion that
+// bounds what mirror-served reads can observe), and every committed key
+// must read back byte for byte off the replica device.
+func (s *soak) mirrorVerify(tag string, primary *core.Conn) {
+	s.clu.SyncMirrors(0)
+	if len(s.clu.Mirrors[0]) == 0 {
+		s.line("mirror[%s]: skipped (no replica attached)", tag)
+		return
+	}
+	_, mconn, err := s.clu.NewMirrorFrontend(7, 0, 0, core.ModeR())
+	if err != nil {
+		s.violation("mirror[%s]: connect: %v", tag, err)
+		return
+	}
+	mkv, err := ds.OpenStriped(mconn, kvName, false, dsOpts())
+	if err != nil {
+		s.violation("mirror[%s]: open kv: %v", tag, err)
+		return
+	}
+	var maxLag uint64
+	for _, h := range s.mw[0].Handles() {
+		lag, err := cluster.MirrorStaleness(primary, mconn, h.Slot())
+		if err != nil {
+			s.violation("mirror[%s]: staleness: %v", tag, err)
+			return
+		}
+		if lag > maxLag {
+			maxLag = lag
+		}
+	}
+	s.rep.Checks++
+	if maxLag != 0 {
+		s.violation("mirror[%s]: synced mirror still %d epochs stale", tag, maxLag)
+	}
+	bad := s.checkOracle(mkv.Get)
+	s.rep.Checks++
+	if bad != 0 {
+		s.violation("mirror[%s]: %d/%d committed keys wrong on mirror", tag, bad, len(s.oracle))
+	}
+	s.line("mirror[%s]: lag=%d keys=%d ok=%v", tag, maxLag, len(s.oracle), maxLag == 0 && bad == 0)
 }
 
 // checkOracle reads every committed key in sorted order and counts

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"asymnvm/internal/backend"
@@ -236,6 +237,90 @@ func (c *Cluster) NewFrontend(id uint16, mode core.Mode) (*core.Frontend, []*cor
 	}
 	_ = c.KA.Register(fmt.Sprintf("frontend%d", id), RoleFrontend, 3)
 	return fe, conns, nil
+}
+
+// NewMirrorFrontend creates a read-only front-end connected to one
+// replica mirror's internal back-end instead of the primary. The replica
+// impersonates the primary's node id, so global addresses read off it
+// resolve identically; its state lags the primary by whatever the
+// replication pipe plus its replayer have not applied yet. Callers bound
+// that staleness with MirrorStaleness and refresh it with SyncMirrors.
+// Mirror connections get no fault injector or failover delegate: a
+// mirror that falls over is simply not consulted.
+func (c *Cluster) NewMirrorFrontend(id uint16, backendID, mirrorIdx int, mode core.Mode) (*core.Frontend, *core.Conn, error) {
+	c.foMu.Lock()
+	if backendID >= len(c.Mirrors) || mirrorIdx >= len(c.Mirrors[backendID]) {
+		c.foMu.Unlock()
+		return nil, nil, fmt.Errorf("cluster: no mirror %d.%d", backendID, mirrorIdx)
+	}
+	rep := c.Mirrors[backendID][mirrorIdx]
+	c.foMu.Unlock()
+	fe := core.NewFrontend(core.FrontendOptions{ID: id, Mode: mode, Profile: &c.cfg.Profile})
+	conn, err := fe.Connect(rep.Backend())
+	if err != nil {
+		return nil, nil, err
+	}
+	return fe, conn, nil
+}
+
+// SyncMirrors flushes the replication pipe to a back-end's mirrors (any
+// fault-plane lag queues included) and waits for each replica's internal
+// replayer to apply everything it has, so mirror-served state catches up
+// to the primary's applied point. Convergence is judged by per-slot
+// seqlock SN parity with the primary, not ReplayLag alone: a replica
+// that has not yet discovered a slot (its naming scan runs inside its
+// own service loop) reports zero lag for it, and the aux tail hints
+// ReplayLag reads are advisory front-end writes that do not travel the
+// replication pipe. SN words do — the replica's replayer bumps them as
+// it applies — so equal SNs mean equal applied state. Call this at a
+// quiescent point (primary drained); otherwise it chases a moving target.
+func (c *Cluster) SyncMirrors(backendID int) {
+	c.foMu.Lock()
+	plane := c.plane
+	reps := append([]*mirror.Replica(nil), c.Mirrors[backendID]...)
+	c.foMu.Unlock()
+	if plane != nil {
+		plane.DrainMirrors()
+	}
+	primary := c.Backends[backendID]
+	for _, rep := range reps {
+		for {
+			rep.MirrorKick()
+			want := primary.SlotSNs()
+			got := rep.Backend().SlotSNs()
+			synced := rep.ReplayLag() == 0
+			for slot, sn := range want {
+				if got[slot] != sn {
+					synced = false
+					break
+				}
+			}
+			if synced {
+				break
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// MirrorStaleness reports how many applied transactions (epoch steps) the
+// mirror's view of one structure slot is behind the primary's: the
+// seqlock sequence number advances by two per applied transaction, so the
+// distance is half the SN gap. A negative gap cannot happen (the mirror
+// replays the primary's own log); equal SNs mean the mirror is current.
+func MirrorStaleness(primary, mirrored *core.Conn, slot uint16) (uint64, error) {
+	psn, err := primary.SlotSN(slot)
+	if err != nil {
+		return 0, err
+	}
+	msn, err := mirrored.SlotSN(slot)
+	if err != nil {
+		return 0, err
+	}
+	if msn >= psn {
+		return 0, nil
+	}
+	return (psn - msn) / 2, nil
 }
 
 // enableResilience installs the connection's fault injector (when a plane

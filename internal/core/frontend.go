@@ -358,3 +358,11 @@ func (s *slabRPC) FreeSlab(addr uint64, n int) error {
 // ReadEpoch re-reads the back-end incarnation counter; a change means the
 // back-end restarted since connect (Case 3 of §7.2).
 func (c *Conn) ReadEpoch() (uint64, error) { return c.epLoad64(backend.EpochOff) }
+
+// SlotSN loads a naming slot's seqlock word. The replayer bumps it twice
+// per applied transaction, so comparing the primary's and a mirror's
+// values for the same slot yields the mirror's staleness in applied-
+// transaction epochs: (primarySN - mirrorSN) / 2.
+func (c *Conn) SlotSN(slot uint16) (uint64, error) {
+	return c.epLoad64(c.layout.SNOff(slot))
+}

@@ -36,6 +36,13 @@ const (
 // ErrNotWriter is returned when a read-only handle performs a write.
 var ErrNotWriter = errors.New("core: handle is not in writer mode")
 
+// ErrRootConflict reports a lost publication race in multi-writer MV mode
+// (RedirectRoot): the root CAS found the shared root moved by a
+// concurrent front-end after this operation read it. The operation left
+// no visible effect (its nodes are applied but unreachable) and can be
+// re-executed after backoff.
+var ErrRootConflict = errors.New("core: shared root moved by a concurrent writer")
+
 // ErrUnitMismatch reports a read whose length differs from the unit the
 // writer previously logged at that address. Data-structure code must read
 // and write at matching unit granularity (a whole node, or a standalone
@@ -102,6 +109,22 @@ type Handle struct {
 	// Writer-side state (valid when writer is true).
 	writer       bool
 	lockHeld     bool
+	// shared marks the writer lock as contended by other front-ends
+	// (striped structures): acquisition resyncs the log tails from the
+	// durable hints the previous holder left, and release drains so the
+	// next holder's resync is exact. lockPin suppresses per-operation
+	// WriterUnlock brackets while a multi-stripe ordered lock set is held
+	// (see LockOrdered).
+	shared  bool
+	lockPin int
+	// rootCAS redirects root access to another slot's root word and
+	// publishes updates with compare-and-swap instead of the log path —
+	// the lock-free multi-writer mode of MV structures. rootSeen is the
+	// root value the current operation's traversal started from; the CAS
+	// failing against it surfaces as ErrRootConflict.
+	rootCAS     bool
+	rootCASSlot uint16
+	rootSeen    uint64
 	memTail      uint64
 	opTail       uint64
 	lpnKnown     uint64
@@ -171,6 +194,22 @@ type Handle struct {
 
 // SetOpGroupCommit enables op-log group commit (stack/queue, §8.1).
 func (h *Handle) SetOpGroupCommit(on bool) { h.opGroupCommit = on }
+
+// SetSharedWriter marks the handle's writer lock as shared between
+// front-ends: WriterLock resyncs the durable log tails on every
+// acquisition and WriterUnlock drains before handing the stripe off.
+func (h *Handle) SetSharedWriter(on bool) { h.shared = on }
+
+// RedirectRoot switches the handle into lock-free multi-writer mode:
+// root reads load slot's root word directly (uncached) and root writes
+// publish with compare-and-swap against the value the operation read,
+// failing with ErrRootConflict when a concurrent writer moved it. The
+// handle's own logs still carry the node writes — only the root word of
+// the shared structure is bypassed.
+func (h *Handle) RedirectRoot(slot uint16) {
+	h.rootCAS = true
+	h.rootCASSlot = slot
+}
 
 // Slot returns the naming-table slot.
 func (h *Handle) Slot() uint16 { return h.slot }
@@ -863,11 +902,57 @@ func (h *Handle) persistHints() {
 	_ = h.c.epStore64(off+backend.AuxOpTailOff, h.opTail)
 }
 
+// resyncShared adopts the durable log tails left by the previous holder
+// of a shared (striped) writer lock. The shared release protocol drains
+// and then persists exact tail hints, so between a release and the next
+// acquisition the hints equal the true tails; tails only grow, so max()
+// also covers the case where this handle itself was the last holder.
+// State cached before the acquisition may predate another front-end's
+// writes and is dropped: the overlay (empty since our own last release's
+// drain, but cleared for safety) and the per-structure cache tag.
+func (h *Handle) resyncShared() error {
+	off, err := h.devOff(h.auxAddr)
+	if err != nil {
+		return err
+	}
+	mt, err := h.c.epLoad64(off + backend.AuxMemTailOff)
+	if err != nil {
+		return err
+	}
+	ot, err := h.c.epLoad64(off + backend.AuxOpTailOff)
+	if err != nil {
+		return err
+	}
+	if mt > h.memTail {
+		h.memTail = mt
+	}
+	if ot > h.opTail {
+		h.opTail = ot
+	}
+	if h.coveredOp < h.opTail {
+		h.coveredOp = h.opTail
+	}
+	h.overlay = make(map[uint64]*ovEntry)
+	h.marks = nil
+	if h.c.fe.cache != nil {
+		h.c.fe.cache.InvalidateTag(h.tag)
+	}
+	return nil
+}
+
 // DelayedFree schedules an old-version allocation for the lazy garbage
 // collection of §6.2: the space returns to the allocator only after
 // gcDelayFlushes more transaction flushes, long after any reader that
 // could still hold the old root has finished.
 func (h *Handle) DelayedFree(addr uint64, size int) {
+	if h.rootCAS {
+		// Multi-writer MV mode: replaced nodes may still be reachable from
+		// roots published by other front-ends, and there is no cross-
+		// front-end GC coordination — old versions are leaked, not
+		// reclaimed. The leak is what keeps every concurrently cached node
+		// immutable (addresses are never reused).
+		return
+	}
 	h.gcList = append(h.gcList, gcItem{addr: addr, size: size, after: h.flushCnt + gcDelayFlushes, bornAt: time.Now()})
 }
 
@@ -997,6 +1082,18 @@ func (h *Handle) Free(addr uint64, size int) error { return h.c.Release(addr, si
 // applied transaction (including ones whose node addresses the lazy GC
 // reused) cannot be served stale.
 func (h *Handle) ReadRoot() (uint64, error) {
+	if h.rootCAS && h.writer {
+		// Multi-writer mode: the shared root lives in another slot and is
+		// moved by concurrent front-ends, so it is always loaded from NVM,
+		// never from the overlay or cache. The loaded value is remembered
+		// as the CAS expectation for this operation's WriteRoot.
+		v, err := h.c.epLoad64(h.c.layout.RootOff(h.rootCASSlot))
+		if err != nil {
+			return 0, err
+		}
+		h.rootSeen = v
+		return v, nil
+	}
 	if h.mv && !h.writer {
 		// Root (+0) and SN (+16) live side by side in the naming entry;
 		// one 24-byte read returns a consistent pair.
@@ -1021,6 +1118,30 @@ func (h *Handle) ReadRoot() (uint64, error) {
 // WriteRoot updates the root pointer through the log path (or in place,
 // in naive mode), so replay and mirrors both see it.
 func (h *Handle) WriteRoot(v uint64) error {
+	if h.rootCAS && h.writer {
+		// Publication point of the lock-free multi-writer path: drain the
+		// carrying logs first — readers fetch node bytes from NVM, so the
+		// new version must be fully applied before the root can flip to
+		// it — then install the root with CAS against the value this
+		// operation's traversal started from. A lost race surfaces as
+		// ErrRootConflict and the caller re-executes with backoff.
+		if err := h.Flush(); err != nil {
+			return err
+		}
+		if err := h.Drain(); err != nil {
+			return err
+		}
+		_, ok, err := h.c.epCAS(h.c.layout.RootOff(h.rootCASSlot), h.rootSeen, v)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			h.c.fe.st.CASRetries.Add(1)
+			return ErrRootConflict
+		}
+		h.rootSeen = v
+		return nil
+	}
 	var b [8]byte
 	putLE64(b[:], v)
 	return h.Write(h.RootAddr(), b[:])

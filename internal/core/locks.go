@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sort"
 
 	"asymnvm/internal/backend"
+	"asymnvm/internal/trace"
 )
 
 // Concurrency control (§6). Writes are exclusive per structure (SWMR):
@@ -36,6 +38,11 @@ func (h *Handle) WriterLock() error {
 		if ok {
 			break
 		}
+		if h.shared {
+			// Another front-end holds this stripe; every failed CAS is one
+			// wasted round trip of lock contention.
+			h.c.fe.st.StripeConflicts.Add(1)
+		}
 		if i > pollLimit {
 			return fmt.Errorf("core: writer lock on slot %d stuck", h.slot)
 		}
@@ -51,18 +58,37 @@ func (h *Handle) WriterLock() error {
 		return err
 	}
 	h.lpnKnown = lpn
+	if h.shared {
+		// Adopt the tails the previous holder persisted at release and
+		// drop any locally cached view that predates its writes.
+		if err := h.resyncShared(); err != nil {
+			_ = h.c.epStore64(h.c.layout.LockLogOff(h.slot), me<<1)
+			_ = h.c.epStore64(lockOff, 0)
+			return err
+		}
+	}
 	h.lockHeld = true
 	return nil
 }
 
 // WriterUnlock flushes outstanding logs, journals the release, and resets
-// the lock word with an RDMA write.
+// the lock word with an RDMA write. While a pin from LockOrdered is held
+// the call is a no-op, so per-operation lock brackets compose with a held
+// multi-stripe lock set. A shared (striped) lock additionally drains and
+// persists exact tail hints before release, so the next holder's
+// resyncShared adopts the true durable tails.
 func (h *Handle) WriterUnlock() error {
-	if !h.lockHeld {
+	if !h.lockHeld || h.lockPin > 0 {
 		return nil
 	}
 	if err := h.Flush(); err != nil {
 		return err
+	}
+	if h.shared {
+		if err := h.Drain(); err != nil {
+			return err
+		}
+		h.persistHints()
 	}
 	me := uint64(h.c.fe.id) + 1
 	if err := h.c.epStore64(h.c.layout.LockLogOff(h.slot), me<<1); err != nil {
@@ -93,6 +119,61 @@ func (h *Handle) BreakLock(deadOwner uint16) error {
 	}
 	_, _, err = h.c.epCAS(lockOff, dead, 0)
 	return err
+}
+
+// LockOrdered acquires the writer locks of every handle in hs in global
+// (backend, slot) order — a total order over all stripes, so two
+// multi-stripe operations with overlapping stripe sets always contend on
+// their common stripes in the same sequence and cannot deadlock. Each
+// acquisition is traced as a stripe-acquire span and pinned: WriterUnlock
+// calls issued by per-operation lock brackets while the pin is held are
+// no-ops, so single-key operations compose under a held lock set. On
+// error the already-acquired locks are released in reverse order. hs is
+// sorted in place; duplicate handles are tolerated (the pin nests).
+func LockOrdered(hs ...*Handle) error {
+	sortByLockOrder(hs)
+	for i, h := range hs {
+		tr := h.c.fe.tr
+		tr.BeginArg(trace.KindStripeAcquire, uint64(h.slot))
+		err := h.WriterLock()
+		tr.End()
+		if err != nil {
+			for j := i - 1; j >= 0; j-- {
+				hs[j].lockPin--
+				_ = hs[j].WriterUnlock()
+			}
+			return err
+		}
+		h.lockPin++
+	}
+	return nil
+}
+
+// UnlockOrdered releases a lock set taken with LockOrdered, in reverse
+// acquisition order. The first error is reported; later handles are
+// still unpinned and released.
+func UnlockOrdered(hs ...*Handle) error {
+	sortByLockOrder(hs)
+	var firstErr error
+	for i := len(hs) - 1; i >= 0; i-- {
+		h := hs[i]
+		if h.lockPin > 0 {
+			h.lockPin--
+		}
+		if err := h.WriterUnlock(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func sortByLockOrder(hs []*Handle) {
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].c.backendID != hs[j].c.backendID {
+			return hs[i].c.backendID < hs[j].c.backendID
+		}
+		return hs[i].slot < hs[j].slot
+	})
 }
 
 // ReaderLock begins an optimistic read section (Algorithm 2): it loads

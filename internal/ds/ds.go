@@ -123,6 +123,14 @@ func (w writerSession) end() error {
 	return nil
 }
 
+// cancel closes the operation span without marking the operation
+// boundary — the error path of operations that can fail retryably (the
+// multi-writer MV root conflict), keeping the tracer's span stack
+// balanced across a re-execution.
+func (w writerSession) cancel() {
+	w.h.Conn().Frontend().Tracer().End()
+}
+
 // readRetry runs body under the optimistic reader lock until it validates
 // (Algorithm 2's retry loop). Multi-version handles validate trivially.
 // The structure's single writer needs no lock at all: its overlay patches

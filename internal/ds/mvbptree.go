@@ -119,9 +119,11 @@ func (t *MVBPTree) Put(key uint64, val []byte) error {
 		return err
 	}
 	if _, err := t.h.OpLog(OpPut, kvParams(key, val)); err != nil {
+		t.w.cancel()
 		return err
 	}
 	if err := t.put(key, val); err != nil {
+		t.w.cancel()
 		return err
 	}
 	t.pol.observe(t.h.Conn().Frontend().Stats())

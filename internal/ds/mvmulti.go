@@ -1,0 +1,141 @@
+package ds
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"asymnvm/internal/backend"
+	"asymnvm/internal/core"
+)
+
+// Lock-free multi-writer MV structures. The single-writer MV trees of
+// §6.2 already give readers lock-free traversals (immutable nodes, one
+// atomic root switch); what serializes writers is the structure's writer
+// lock. MVMulti removes it: every writer front-end owns a private "lane"
+// slot ("<name>@<feID>") whose memory/op logs carry its node writes —
+// node addresses are global, so the back-end replayer applies them into
+// the shared data area no matter which slot's log delivered them — while
+// the shared root word stays in the parent structure's naming entry and
+// is moved by compare-and-swap (core.RedirectRoot):
+//
+//	read root (uncached) -> path-copy new version through the lane's
+//	logs -> drain the lane (nodes must be applied before they are
+//	reachable) -> CAS the parent root old->new.
+//
+// A lost CAS surfaces as core.ErrRootConflict; Put re-executes with
+// bounded exponential backoff on the virtual clock, counting each lost
+// race in stats.CASRetries. Replaced nodes are leaked, not reclaimed
+// (no cross-front-end GC), which is also what keeps every concurrently
+// cached node immutable. The root CAS bypasses the log stream, so
+// mirror replicas do not see root movement — mirror-served reads are
+// for log-published (striped / single-writer) structures.
+type MVMulti struct {
+	kv KV
+	h  *core.Handle
+	fe *core.Frontend
+}
+
+// mvCASMaxRetry bounds the re-execution loop: past it the conflict is
+// reported to the caller instead of retried (livelock guard).
+const mvCASMaxRetry = 64
+
+// OpenMVMulti attaches one writer front-end to the shared MV structure
+// name (created normally with CreateMVBST/CreateMVBPTree), creating or
+// reopening this front-end's lane slot. kind must be an MV kind.
+func OpenMVMulti(c *core.Conn, kind KVKind, name string, opts Options) (*MVMulti, error) {
+	var typ uint8
+	switch kind {
+	case KindMVBST:
+		typ = backend.TypeMVBST
+	case KindMVBPTree:
+		typ = backend.TypeMVBPTree
+	default:
+		return nil, fmt.Errorf("ds: kind %d is not multi-version", kind)
+	}
+	opts.fill()
+	parent, err := c.Open(name, false)
+	if err != nil {
+		return nil, err
+	}
+	lane := fmt.Sprintf("%s@%d", name, c.Frontend().ID())
+	h, err := c.Open(lane, true)
+	if errors.Is(err, core.ErrNotFound) {
+		h, err = c.Create(lane, typ, opts.Create)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Redirect before constructing the structure (and before replaying
+	// any interrupted operations), so every root access — including
+	// recovery's — goes through the shared word.
+	h.RedirectRoot(parent.Slot())
+	// A reattach after a crash finds the lane lock still journalled to
+	// this front-end; break our own stale hold before relocking.
+	if err := h.BreakLock(c.Frontend().ID()); err != nil {
+		return nil, err
+	}
+	var kv KV
+	switch kind {
+	case KindMVBST:
+		kv, err = newMVBST(h, opts, true)
+	case KindMVBPTree:
+		kv, err = newMVBPTree(h, opts, true)
+	}
+	if err != nil {
+		return nil, err
+	}
+	m := &MVMulti{kv: kv, h: h, fe: c.Frontend()}
+	if _, err := ReplayPending(h, kv.(Replayer)); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Handle exposes the lane handle.
+func (m *MVMulti) Handle() *core.Handle { return m.h }
+
+// Put inserts or updates key, re-executing on publication races with
+// bounded exponential backoff.
+func (m *MVMulti) Put(key uint64, val []byte) error {
+	for attempt := 0; ; attempt++ {
+		err := m.kv.Put(key, val)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, core.ErrRootConflict) || attempt >= mvCASMaxRetry {
+			return err
+		}
+		m.backoff(attempt)
+	}
+}
+
+// backoff charges a jittered exponentially growing pause to the writer's
+// virtual clock and yields, so racing writers deterministically desync in
+// simulated time and the host scheduler gets a chance to run the winner.
+func (m *MVMulti) backoff(attempt int) {
+	shift := attempt
+	if shift > 6 {
+		shift = 6
+	}
+	base := time.Duration(100<<uint(shift)) * time.Nanosecond
+	jitter := time.Duration(m.fe.Rand() % uint64(base))
+	m.fe.Clock().Advance(base + jitter)
+	runtime.Gosched()
+}
+
+// Get traverses the current shared version through the lane handle
+// (root loads are uncached in multi-writer mode, so the view is fresh).
+func (m *MVMulti) Get(key uint64) ([]byte, bool, error) { return m.kv.Get(key) }
+
+// Flush flushes the lane's buffers (publication already drains per put).
+func (m *MVMulti) Flush() error { return m.kv.Flush() }
+
+// Close drains the lane and releases its (uncontended) lane lock.
+func (m *MVMulti) Close() error {
+	if err := m.h.Drain(); err != nil {
+		return err
+	}
+	return m.h.WriterUnlock()
+}

@@ -1,0 +1,282 @@
+package ds
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"asymnvm/internal/backend"
+	"asymnvm/internal/core"
+)
+
+// Striping: beyond SWMR. A striped structure splits one logical key space
+// into N sub-structures ("stripes") on the SAME back-end, each with its
+// own writer lock word, lock-ahead log, memory/op logs and seqlock — "N
+// independent lock words + per-stripe memory logs in the naming space".
+// Where Partitioned (§8.3) spreads partitions across back-ends so one
+// writer scales its verbs out, striping exists so several front-ends can
+// write ONE structure concurrently: writers contend per stripe, not per
+// structure.
+//
+// Stripe writer locks are shared locks (core.SetSharedWriter): releasing
+// drains the stripe and persists exact tail hints; acquiring adopts those
+// tails and invalidates the per-stripe cache tag, so the lock word hands
+// the whole log-append role from front-end to front-end. Multi-stripe
+// operations (PutMulti/AddMulti) take their stripe locks in global
+// (backend, slot) order — a total order, so overlapping stripe sets
+// cannot deadlock — and recovery after a writer death is per stripe: the
+// stripe's lock-ahead log names the dead holder, BreakLock frees the
+// word, and reopening the child scans its own logs (see the crash
+// matrix's striped rows).
+//
+// Attaching a writer must happen at a quiescent point (no operation in
+// flight on the structure), the same discipline every writer open in the
+// framework requires; once attached, concurrent operation is safe.
+//
+// The stripe count is persisted in a TypeStriped meta entry through the
+// log path (mirrors see the mapping); stripe i lives under "<name>~<i>".
+
+// Striped routes KV operations to per-stripe instances whose writer
+// locks are shared between front-ends.
+type Striped struct {
+	name    string
+	meta    *core.Handle
+	stripes []KV
+	hs      []*core.Handle
+	bits    uint
+}
+
+// stripeOf maps a key to a stripe by hashed key range: the top bits of
+// the golden-ratio-scrambled key, so dense integer key populations still
+// spread uniformly while each stripe owns one contiguous range of the
+// hashed space.
+func stripeOf(key uint64, bits uint) int {
+	return int((key * 0x9E3779B97F4A7C15) >> (64 - bits))
+}
+
+func stripeName(name string, i int) string { return fmt.Sprintf("%s~%d", name, i) }
+
+// CreateStriped creates a striped structure with the given power-of-two
+// stripe count on one back-end connection and records {kind, stripes} in
+// a TypeStriped meta entry.
+func CreateStriped(c *core.Conn, kind KVKind, name string, stripes int, opts Options) (*Striped, error) {
+	if stripes <= 0 || stripes > 1<<12 || stripes&(stripes-1) != 0 {
+		return nil, fmt.Errorf("ds: stripe count must be a power of two in [1, 4096], got %d", stripes)
+	}
+	meta, err := c.Create(name, backend.TypeStriped, core.CreateOptions{MemLogSize: 64 << 10, OpLogSize: 64 << 10})
+	if err != nil {
+		return nil, err
+	}
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], uint64(kind))
+	binary.LittleEndian.PutUint64(b[8:], uint64(stripes))
+	if err := meta.Write(meta.AuxAddr()+backend.AuxUser, b[:]); err != nil {
+		return nil, err
+	}
+	if err := meta.Flush(); err != nil {
+		return nil, err
+	}
+	s := &Striped{name: name, meta: meta, bits: log2(stripes)}
+	opts.LockPerOp = true
+	for i := 0; i < stripes; i++ {
+		kv, err := createKV(c, kind, stripeName(name, i), opts)
+		if err != nil {
+			return nil, err
+		}
+		h, err := kvHandle(kv)
+		if err != nil {
+			return nil, err
+		}
+		h.SetSharedWriter(true)
+		// Creation wrote the stripe's initial state outside any lock
+		// bracket; one acquire/release cycle drains it and persists exact
+		// tail hints, so the first real acquisition (possibly by another
+		// front-end) resyncs from true tails.
+		if err := h.WriterLock(); err != nil {
+			return nil, err
+		}
+		if err := h.WriterUnlock(); err != nil {
+			return nil, err
+		}
+		s.stripes = append(s.stripes, kv)
+		s.hs = append(s.hs, h)
+	}
+	return s, nil
+}
+
+// OpenStriped attaches to a striped structure. Writer attachments scan
+// each stripe's logs for exact tails (the open-time recovery path) and
+// then contend per stripe through the shared lock protocol.
+func OpenStriped(c *core.Conn, name string, writer bool, opts Options) (*Striped, error) {
+	meta, err := c.Open(name, false)
+	if err != nil {
+		return nil, err
+	}
+	mb, err := meta.Read(meta.AuxAddr()+backend.AuxUser, 16, false)
+	if err != nil {
+		return nil, err
+	}
+	kind := KVKind(binary.LittleEndian.Uint64(mb[:8]))
+	stripes := int(binary.LittleEndian.Uint64(mb[8:]))
+	if stripes <= 0 || stripes > 1<<12 || stripes&(stripes-1) != 0 {
+		return nil, fmt.Errorf("ds: corrupt stripe meta (stripes=%d)", stripes)
+	}
+	opts.LockPerOp = true
+	s := &Striped{name: name, meta: meta, bits: log2(stripes)}
+	for i := 0; i < stripes; i++ {
+		kv, err := openKV(c, kind, stripeName(name, i), writer, opts)
+		if err != nil {
+			return nil, err
+		}
+		h, err := kvHandle(kv)
+		if err != nil {
+			return nil, err
+		}
+		if writer {
+			h.SetSharedWriter(true)
+		}
+		s.stripes = append(s.stripes, kv)
+		s.hs = append(s.hs, h)
+	}
+	return s, nil
+}
+
+// kvHandle extracts the core handle every concrete structure exposes.
+func kvHandle(kv KV) (*core.Handle, error) {
+	type handled interface{ Handle() *core.Handle }
+	hk, ok := kv.(handled)
+	if !ok {
+		return nil, fmt.Errorf("ds: %T exposes no handle", kv)
+	}
+	return hk.Handle(), nil
+}
+
+func log2(n int) uint {
+	var b uint
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// StripeIndex reports which stripe owns key.
+func (s *Striped) StripeIndex(key uint64) int { return stripeOf(key, s.bits) }
+
+// Stripes reports the stripe count.
+func (s *Striped) Stripes() int { return len(s.stripes) }
+
+// Stripe exposes one stripe instance.
+func (s *Striped) Stripe(i int) KV { return s.stripes[i] }
+
+// Handles exposes the per-stripe core handles (tests and recovery
+// tooling address stripe locks individually).
+func (s *Striped) Handles() []*core.Handle { return s.hs }
+
+// Put routes to the owning stripe; the per-operation lock bracket
+// acquires that stripe's shared writer lock around the write.
+func (s *Striped) Put(key uint64, val []byte) error {
+	return s.stripes[s.StripeIndex(key)].Put(key, val)
+}
+
+// Get routes to the owning stripe (readers run that stripe's seqlock).
+func (s *Striped) Get(key uint64) ([]byte, bool, error) {
+	return s.stripes[s.StripeIndex(key)].Get(key)
+}
+
+// GetMulti looks up a batch of keys stripe by stripe.
+func (s *Striped) GetMulti(keys []uint64) ([][]byte, []bool, error) {
+	vals := make([][]byte, len(keys))
+	found := make([]bool, len(keys))
+	for i, k := range keys {
+		v, ok, err := s.Get(k)
+		if err != nil {
+			return nil, nil, err
+		}
+		vals[i], found[i] = v, ok
+	}
+	return vals, found, nil
+}
+
+// lockSet collects the distinct stripe handles a key batch touches.
+func (s *Striped) lockSet(keys []uint64) []*core.Handle {
+	seen := make(map[int]bool, len(keys))
+	var hs []*core.Handle
+	for _, k := range keys {
+		si := s.StripeIndex(k)
+		if !seen[si] {
+			seen[si] = true
+			hs = append(hs, s.hs[si])
+		}
+	}
+	return hs
+}
+
+// PutMulti writes a batch atomically with respect to other multi-stripe
+// operations: every involved stripe's lock is taken in global order
+// before the first write and released only after the last, so two
+// concurrent batches serialize instead of deadlocking or interleaving.
+func (s *Striped) PutMulti(keys []uint64, vals [][]byte) error {
+	if len(keys) != len(vals) {
+		return fmt.Errorf("ds: striped putmulti: %d keys, %d values", len(keys), len(vals))
+	}
+	hs := s.lockSet(keys)
+	if err := core.LockOrdered(hs...); err != nil {
+		return err
+	}
+	var firstErr error
+	for i, k := range keys {
+		if err := s.Put(k, vals[i]); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if err := core.UnlockOrdered(hs...); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// AddMulti atomically increments 8-byte little-endian counters at the
+// given keys (missing keys start at zero): a read-modify-write batch
+// under the ordered stripe lock set. Concurrent AddMulti batches over
+// overlapping keys serialize on their common stripes, so no increment is
+// ever lost — the property the ordered-acquisition stress test pins.
+func (s *Striped) AddMulti(keys []uint64, delta uint64) error {
+	hs := s.lockSet(keys)
+	if err := core.LockOrdered(hs...); err != nil {
+		return err
+	}
+	var firstErr error
+	for _, k := range keys {
+		cur, ok, err := s.Get(k)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		var v uint64
+		if ok && len(cur) >= 8 {
+			v = binary.LittleEndian.Uint64(cur)
+		}
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v+delta)
+		if err := s.Put(k, b[:]); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if err := core.UnlockOrdered(hs...); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Flush flushes every stripe (writers flush inside their lock brackets,
+// so this matters only for buffered batch state).
+func (s *Striped) Flush() error {
+	for _, kv := range s.stripes {
+		if err := kv.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -76,6 +76,18 @@ func (r *Replica) MirrorKick() { r.bk.Kick() }
 // Device exposes the replica device (crash injection in tests).
 func (r *Replica) Device() *nvm.Device { return r.dev }
 
+// Backend exposes the replica's internal replayer back-end. Front-ends
+// may connect to it for mirror-served reads (§7.1 extended): the replica
+// holds a byte-identical copy of the primary, so read verbs against it
+// return real — possibly stale — structure state. Its per-slot sequence
+// numbers lag the primary's by exactly the unapplied suffix, which is
+// what bounds the staleness a mirror-served read can observe.
+func (r *Replica) Backend() *backend.Backend { return r.bk }
+
+// ReplayLag reports how many durable-but-unapplied memory-log bytes the
+// replica's internal replayer still has to catch up on.
+func (r *Replica) ReplayLag() uint64 { return r.bk.ReplayLag() }
+
 // Promote turns the replica into a live back-end after the primary is
 // gone: the internal replayer is drained and stopped, and a fresh back-end
 // is recovered from the replicated bytes, keeping the primary's node id.

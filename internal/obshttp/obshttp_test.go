@@ -84,6 +84,42 @@ func TestMetricsExportsCheckpointCounters(t *testing.T) {
 	}
 }
 
+// TestMetricsExportsMultiWriterCounters pins the /metrics wire format
+// for the beyond-SWMR telemetry: stripe lock conflicts, MV root-CAS
+// retries, mirror-served reads and their accumulated staleness — the
+// counters an operator watches to size stripes and staleness budgets.
+func TestMetricsExportsMultiWriterCounters(t *testing.T) {
+	st := &stats.Stats{}
+	st.StripeConflicts.Store(5)
+	st.CASRetries.Store(9)
+	st.MirrorReads.Store(120)
+	st.MirrorStaleEpochs.Store(36)
+
+	srv := New(nil)
+	srv.AddStats("fe002", st)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# source fe002",
+		"mw{stripe=5 cas=9 mread=120 mstale=36}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func get(t *testing.T, url string) (int, string) {
 	t.Helper()
 	resp, err := http.Get(url)

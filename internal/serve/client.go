@@ -71,6 +71,13 @@ func (c *Client) Get(key uint64, budget time.Duration) (Response, error) {
 	return c.Do(Request{Op: OpGet, Key: key, BudgetNS: uint64(budget)})
 }
 
+// GetStale fetches one key, allowing the server to serve it from a
+// mirror replica at most staleEpochs applied transactions behind the
+// primary (0 behaves like Get: primary only).
+func (c *Client) GetStale(key uint64, staleEpochs uint32, budget time.Duration) (Response, error) {
+	return c.Do(Request{Op: OpGet, Key: key, StaleBudget: staleEpochs, BudgetNS: uint64(budget)})
+}
+
 // Put stores one key.
 func (c *Client) Put(key uint64, val []byte, budget time.Duration) (Response, error) {
 	return c.Do(Request{Op: OpPut, Key: key, Val: val, BudgetNS: uint64(budget)})

@@ -11,6 +11,17 @@
 // headers, explicit magics, and a trailing CRC32-C, framed by a 4-byte
 // length prefix. Everything is versioned behind a single magic byte so
 // the protocol can evolve.
+//
+// Every request header carries a staleness budget (Request.StaleBudget)
+// alongside the deadline budget: the maximum number of
+// applied-transaction epochs a Get/GetMulti answer may trail the
+// primary. A non-zero budget lets the server route the read to an NVM
+// mirror replica whose measured lag fits the budget — off-loading the
+// primary — while zero (the default) keeps the strict read-your-writes
+// path. The server never serves beyond the budget: if every mirror is
+// too stale the read falls back to the primary, so the budget is an
+// upper bound on staleness, not a target. Client.GetStale sets it per
+// call.
 package serve
 
 import (
@@ -80,6 +91,12 @@ type Request struct {
 	ID       uint64 // client-chosen correlation id, echoed in the response
 	Tenant   uint16 // admission-control principal
 	BudgetNS uint64 // deadline budget from arrival; 0 = no deadline
+	// StaleBudget is the read-staleness budget in applied-transaction
+	// epochs: a Get/GetMulti may be served from an NVM mirror replica
+	// whose view of the structure is at most this many epochs behind the
+	// primary. 0 (the default) demands the primary's fresh view. Ignored
+	// for writes and transactions.
+	StaleBudget uint32
 
 	Key  uint64   // Get/Put
 	Val  []byte   // Put
@@ -100,8 +117,8 @@ type Response struct {
 	Vals   [][]byte // GetMulti
 }
 
-// reqHeaderLen is magic + op + tenant + id + budget.
-const reqHeaderLen = 1 + 1 + 2 + 8 + 8
+// reqHeaderLen is magic + op + tenant + id + budget + staleness budget.
+const reqHeaderLen = 1 + 1 + 2 + 8 + 8 + 4
 
 // EncodedLen reports the unframed payload size (header + body + CRC).
 func (r *Request) EncodedLen() int {
@@ -136,6 +153,7 @@ func (r *Request) AppendTo(dst []byte) []byte {
 	binary.LittleEndian.PutUint16(buf[2:], r.Tenant)
 	binary.LittleEndian.PutUint64(buf[4:], r.ID)
 	binary.LittleEndian.PutUint64(buf[12:], r.BudgetNS)
+	binary.LittleEndian.PutUint32(buf[20:], r.StaleBudget)
 	p := reqHeaderLen
 	switch r.Op {
 	case OpGet:
@@ -195,10 +213,11 @@ func DecodeRequestInto(r *Request, src []byte, a *arena.Arena) error {
 	}
 	keys, vals := r.Keys[:0], r.Vals[:0]
 	*r = Request{
-		Op:       body[1],
-		Tenant:   binary.LittleEndian.Uint16(body[2:]),
-		ID:       binary.LittleEndian.Uint64(body[4:]),
-		BudgetNS: binary.LittleEndian.Uint64(body[12:]),
+		Op:          body[1],
+		Tenant:      binary.LittleEndian.Uint16(body[2:]),
+		ID:          binary.LittleEndian.Uint64(body[4:]),
+		BudgetNS:    binary.LittleEndian.Uint64(body[12:]),
+		StaleBudget: binary.LittleEndian.Uint32(body[20:]),
 	}
 	p := body[reqHeaderLen:]
 	switch r.Op {

@@ -11,6 +11,7 @@ import (
 	"asymnvm/internal/cluster"
 	"asymnvm/internal/core"
 	"asymnvm/internal/ds"
+	"asymnvm/internal/fault"
 	"asymnvm/internal/txapp"
 	"asymnvm/internal/workload"
 )
@@ -84,7 +85,7 @@ func dial(t *testing.T, s *Server, tenant uint16) *Client {
 
 func TestProtoRoundTrip(t *testing.T) {
 	reqs := []Request{
-		{Op: OpGet, ID: 7, Tenant: 3, BudgetNS: 5000, Key: 42},
+		{Op: OpGet, ID: 7, Tenant: 3, BudgetNS: 5000, Key: 42, StaleBudget: 6},
 		{Op: OpPut, ID: 8, Key: 42, Val: []byte("hello")},
 		{Op: OpGetMulti, ID: 9, Keys: []uint64{1, 2, 3}},
 		{Op: OpPutMulti, ID: 10, Keys: []uint64{4, 5}, Vals: [][]byte{[]byte("a"), []byte("bb")}},
@@ -99,7 +100,8 @@ func TestProtoRoundTrip(t *testing.T) {
 			t.Fatalf("op %d: decode: %v", want.Op, err)
 		}
 		if got.Op != want.Op || got.ID != want.ID || got.Tenant != want.Tenant ||
-			got.BudgetNS != want.BudgetNS || got.Key != want.Key || got.TxR != want.TxR {
+			got.BudgetNS != want.BudgetNS || got.StaleBudget != want.StaleBudget ||
+			got.Key != want.Key || got.TxR != want.TxR {
 			t.Fatalf("op %d: got %+v want %+v", want.Op, got, want)
 		}
 		if !bytes.Equal(got.Val, want.Val) || len(got.Keys) != len(want.Keys) || len(got.Vals) != len(want.Vals) {
@@ -552,4 +554,114 @@ func TestLoadgenUsesVirtualTime(t *testing.T) {
 		t.Fatal("virtual clock did not advance")
 	}
 	var _ clock.Clock = r.fe.Clock()
+}
+
+// ---- mirror-served reads ----
+
+// TestMirrorServedReads pins the staleness-budget contract end to end:
+// a lagged replica serves reads only when the client's budget covers its
+// lag, a zero budget always reads the primary, and a served stale read
+// shows exactly the pre-lag state — never a torn in-between.
+func TestMirrorServedReads(t *testing.T) {
+	cfg := cluster.DefaultConfig()
+	cfg.DeviceBytes = 128 << 20
+	cfg.MirrorsPerBack = 1
+	clu, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(clu.Stop)
+	plane := fault.NewPlane(7)
+	plane.SetMirrorLag(1 << 20) // hold replication until drained explicitly
+	clu.AttachFaultPlane(plane)
+	fe, conns, err := clu.NewFrontend(1, core.Mode{OpLog: true, Batch: 4, Pipeline: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv, err := ds.CreateHashTable(conns[0], "serve-kv", dsOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Put(1, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	clu.SyncMirrors(0) // replica now holds {1: old}
+
+	mfe, mconn, err := clu.NewMirrorFrontend(9, 0, 0, core.ModeR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = mfe
+	mkv, err := ds.OpenHashTable(mconn, "serve-kv", false, dsOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Advance the primary past the replica: these stay queued in the lag
+	// plane, so the mirror's SN (and state) is pinned behind.
+	if err := kv.Put(1, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Put(2, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	lag, err := cluster.MirrorStaleness(conns[0], mconn, kv.Handle().Slot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lag == 0 {
+		t.Fatal("replication lag plane did not hold the mirror back")
+	}
+
+	s := New(Backends{FE: fe, KV: kv, MirrorKV: mkv}, DefaultOptions())
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	c := dial(t, s, 1)
+
+	st := fe.Stats()
+	// Zero budget: primary, fresh.
+	resp, err := c.Get(1, 0)
+	if err != nil || resp.Status != StatusOK || !resp.Found || string(resp.Val) != "new" {
+		t.Fatalf("fresh get: %+v err=%v", resp, err)
+	}
+	// Budget below the lag: the mirror may NOT serve; still fresh.
+	if lag > 1 {
+		resp, err = c.GetStale(1, uint32(lag-1), 0)
+		if err != nil || string(resp.Val) != "new" {
+			t.Fatalf("under-budget get: %+v err=%v", resp, err)
+		}
+	}
+	if n := st.MirrorReads.Load(); n != 0 {
+		t.Fatalf("mirror served %d reads without budget cover", n)
+	}
+	// Budget covering the lag: served from the mirror, observing exactly
+	// the synced snapshot — key 1 old, key 2 absent.
+	resp, err = c.GetStale(1, uint32(lag), 0)
+	if err != nil || resp.Status != StatusOK || !resp.Found || string(resp.Val) != "old" {
+		t.Fatalf("stale get key 1: %+v err=%v", resp, err)
+	}
+	resp, err = c.GetStale(2, uint32(lag), 0)
+	if err != nil || resp.Status != StatusOK || resp.Found {
+		t.Fatalf("stale get key 2 should miss: %+v err=%v", resp, err)
+	}
+	if n := st.MirrorReads.Load(); n != 2 {
+		t.Fatalf("MirrorReads = %d, want 2", n)
+	}
+	if n := st.MirrorStaleEpochs.Load(); n != 2*int64(lag) {
+		t.Fatalf("MirrorStaleEpochs = %d, want %d", n, 2*int64(lag))
+	}
+	// Catch the mirror up: the same budget now observes fresh state.
+	clu.SyncMirrors(0)
+	resp, err = c.GetStale(2, uint32(lag), 0)
+	if err != nil || !resp.Found || string(resp.Val) != "two" {
+		t.Fatalf("post-sync stale get: %+v err=%v", resp, err)
+	}
 }

@@ -11,6 +11,7 @@ import (
 	"asymnvm/internal/core"
 	"asymnvm/internal/ds"
 	"asymnvm/internal/ring"
+	"asymnvm/internal/trace"
 	"asymnvm/internal/txapp"
 )
 
@@ -22,6 +23,14 @@ type Backends struct {
 	FE   *core.Frontend
 	KV   *ds.HashTable    // get/put/getmulti/putmulti target
 	Bank *txapp.SmallBank // tx target (nil disables OpTx)
+
+	// MirrorKV, when non-nil, is a reader instance of the same structure
+	// opened over an NVM mirror replica (cluster.NewMirrorFrontend). A
+	// Get/GetMulti whose StaleBudget covers the mirror's current lag is
+	// served from it instead of the primary; writes, transactions, and
+	// zero-budget reads always go to the primary. The executor goroutine
+	// owns it like the other backends.
+	MirrorKV *ds.HashTable
 }
 
 // Options tunes the serving plane.
@@ -376,9 +385,54 @@ func (s *Server) exec(it *Item) {
 	it.Reply(resp)
 }
 
+// mirrorSource decides whether a read with the given staleness budget
+// may be served from the mirror replica: the mirror's lag for the
+// structure's slot — half the seqlock SN gap, i.e. applied transactions
+// behind the primary — must not exceed the budget. The lag is probed at
+// serve time, so a served read never observes an epoch older than the
+// budget the client declared.
+func (s *Server) mirrorSource(staleBudget uint32) (*ds.HashTable, uint64, bool) {
+	if s.b.MirrorKV == nil || staleBudget == 0 {
+		return nil, 0, false
+	}
+	slot := s.b.KV.Handle().Slot()
+	psn, err := s.b.KV.Handle().Conn().SlotSN(slot)
+	if err != nil {
+		return nil, 0, false
+	}
+	msn, err := s.b.MirrorKV.Handle().Conn().SlotSN(slot)
+	if err != nil {
+		return nil, 0, false
+	}
+	var lag uint64
+	if psn > msn {
+		lag = (psn - msn) / 2
+	}
+	if lag > uint64(staleBudget) {
+		return nil, 0, false
+	}
+	return s.b.MirrorKV, lag, true
+}
+
+// countMirrorRead records one mirror-served read on the primary
+// front-end's ledgers (the mirror front-end has its own clock).
+func (s *Server) countMirrorRead(lag uint64) {
+	st := s.b.FE.Stats()
+	st.MirrorReads.Add(1)
+	st.MirrorStaleEpochs.Add(int64(lag))
+	s.b.FE.Tracer().Event(trace.KindMirrorRead, lag)
+}
+
 func (s *Server) execOp(req Request) Response {
 	switch req.Op {
 	case OpGet:
+		if kv, lag, ok := s.mirrorSource(req.StaleBudget); ok {
+			if v, found, err := kv.Get(req.Key); err == nil {
+				s.countMirrorRead(lag)
+				return Response{Status: StatusOK, Found: found, Val: v}
+			}
+			// A failed mirror read falls back to the primary below.
+		}
 		v, ok, err := s.b.KV.Get(req.Key)
 		if err != nil {
 			return errResponse(err)
@@ -390,6 +444,12 @@ func (s *Server) execOp(req Request) Response {
 		}
 		return Response{Status: StatusOK}
 	case OpGetMulti:
+		if kv, lag, ok := s.mirrorSource(req.StaleBudget); ok {
+			if vals, founds, err := kv.GetMulti(req.Keys); err == nil {
+				s.countMirrorRead(lag)
+				return Response{Status: StatusOK, Founds: founds, Vals: vals}
+			}
+		}
 		vals, founds, err := s.b.KV.GetMulti(req.Keys)
 		if err != nil {
 			return errResponse(err)

@@ -91,6 +91,20 @@ type Stats struct {
 	TxCrossAborts   atomic.Int64
 	InDoubtResolved atomic.Int64
 
+	// Multi-writer / mirror-read counters. StripeConflicts counts failed
+	// lock CAS attempts on a shared (striped) writer lock — spins caused
+	// by another front-end holding the stripe; CASRetries counts aborted
+	// multi-writer MV root publications (the CAS found a root moved by a
+	// concurrent writer and the operation re-executed); MirrorReads counts
+	// read operations served from a mirror replica instead of the primary;
+	// MirrorStaleEpochs accumulates, over those reads, how many epochs the
+	// serving mirror trailed the primary — divide by MirrorReads for the
+	// average served staleness.
+	StripeConflicts  atomic.Int64
+	CASRetries       atomic.Int64
+	MirrorReads      atomic.Int64
+	MirrorStaleEpochs atomic.Int64
+
 	// BusyNS accumulates virtual nanoseconds during which the owning
 	// node's CPU was doing work (as opposed to waiting on the fabric).
 	BusyNS atomic.Int64
@@ -129,6 +143,8 @@ type Snapshot struct {
 	ServeSlowDrop, DeadlineMiss               int64
 	TxPrepares, TxCrossCommits                int64
 	TxCrossAborts, InDoubtResolved            int64
+	StripeConflicts, CASRetries               int64
+	MirrorReads, MirrorStaleEpochs            int64
 	BusyNS                                    int64
 }
 
@@ -176,6 +192,10 @@ func (s *Stats) Snapshot() Snapshot {
 		TxCrossCommits:    s.TxCrossCommits.Load(),
 		TxCrossAborts:     s.TxCrossAborts.Load(),
 		InDoubtResolved:   s.InDoubtResolved.Load(),
+		StripeConflicts:   s.StripeConflicts.Load(),
+		CASRetries:        s.CASRetries.Load(),
+		MirrorReads:       s.MirrorReads.Load(),
+		MirrorStaleEpochs: s.MirrorStaleEpochs.Load(),
 		BusyNS:            s.BusyNS.Load(),
 	}
 }
@@ -224,6 +244,10 @@ func (a Snapshot) Sub(b Snapshot) Snapshot {
 		TxCrossCommits:    a.TxCrossCommits - b.TxCrossCommits,
 		TxCrossAborts:     a.TxCrossAborts - b.TxCrossAborts,
 		InDoubtResolved:   a.InDoubtResolved - b.InDoubtResolved,
+		StripeConflicts:   a.StripeConflicts - b.StripeConflicts,
+		CASRetries:        a.CASRetries - b.CASRetries,
+		MirrorReads:       a.MirrorReads - b.MirrorReads,
+		MirrorStaleEpochs: a.MirrorStaleEpochs - b.MirrorStaleEpochs,
 		BusyNS:            a.BusyNS - b.BusyNS,
 	}
 }
@@ -255,7 +279,7 @@ func (a Snapshot) HitRatio() float64 {
 // String renders a compact human-readable summary.
 func (a Snapshot) String() string {
 	return fmt.Sprintf(
-		"rdma{r=%d w=%d atom=%d rpc=%d} bytes{r=%d w=%d} cache{hit=%d miss=%d} logs{op=%d mem=%d tx=%d replayed=%d} retry=%d resil{retry=%d fo=%d} pipe{wr=%d db=%d qd=%.1f saved=%dns} fan{win=%d saved=%dns} tune{steps=%d B=%d depth=%d} ckpt{n=%d trunc=%dB rro=%d} serve{acc=%d rej=%d brk=%d exp=%d slow=%d dl=%d} 2pc{prep=%d commit=%d abort=%d doubt=%d}",
+		"rdma{r=%d w=%d atom=%d rpc=%d} bytes{r=%d w=%d} cache{hit=%d miss=%d} logs{op=%d mem=%d tx=%d replayed=%d} retry=%d resil{retry=%d fo=%d} pipe{wr=%d db=%d qd=%.1f saved=%dns} fan{win=%d saved=%dns} tune{steps=%d B=%d depth=%d} ckpt{n=%d trunc=%dB rro=%d} serve{acc=%d rej=%d brk=%d exp=%d slow=%d dl=%d} 2pc{prep=%d commit=%d abort=%d doubt=%d} mw{stripe=%d cas=%d mread=%d mstale=%d}",
 		a.RDMARead, a.RDMAWrite, a.RDMAAtomic, a.RPCCalls,
 		a.BytesRead, a.BytesWrite,
 		a.CacheHit, a.CacheMiss,
@@ -269,5 +293,6 @@ func (a Snapshot) String() string {
 		a.ServeAccepted, a.ServeRejected, a.ServeBreaker,
 		a.ServeExpired, a.ServeSlowDrop, a.DeadlineMiss,
 		a.TxPrepares, a.TxCrossCommits, a.TxCrossAborts, a.InDoubtResolved,
+		a.StripeConflicts, a.CASRetries, a.MirrorReads, a.MirrorStaleEpochs,
 	)
 }

@@ -50,6 +50,8 @@ const (
 	KindMirrorFwd                // back-end: forwarding bytes to mirrors
 	KindCPU                      // fixed per-op CPU charge
 	KindCheckpoint               // back-end: compaction checkpoint (apply+truncate)
+	KindStripeAcquire            // ordered acquisition of one stripe's writer lock
+	KindMirrorRead               // read served from a mirror replica (arg = stale epochs)
 	NumKinds                     // sentinel
 )
 
@@ -58,7 +60,7 @@ var kindNames = [NumKinds]string{
 	"verb.read", "verb.write", "verb.atomic",
 	"post", "doorbell", "retire.wait", "overlap.saved",
 	"rpc", "retry.backoff", "failover", "replay", "mirror.fwd", "cpu",
-	"checkpoint",
+	"checkpoint", "stripe.acquire", "mirror.read",
 }
 
 // String names the kind as it appears in exported traces.
@@ -91,8 +93,10 @@ var kindPhase = [NumKinds]stats.Phase{
 	KindFailover:     noPhase,
 	KindReplay:       stats.PhaseReplay,
 	KindMirrorFwd:    stats.PhaseMirror,
-	KindCPU:          stats.PhaseCPU,
-	KindCheckpoint:   stats.PhaseReplay,
+	KindCPU:           stats.PhaseCPU,
+	KindCheckpoint:    stats.PhaseReplay,
+	KindStripeAcquire: stats.PhaseOp,
+	KindMirrorRead:    stats.PhaseFetch,
 }
 
 // attributable reports span kinds that round trips are attributed to:
