@@ -286,6 +286,15 @@ func (cl *Client) OpenPartitioned(name string, writer bool, opts DSOptions) (*Pa
 	return ds.OpenPartitioned(cl.conns, name, writer, opts)
 }
 
+// CreateElastic creates a partitioned structure whose placement lives in
+// a versioned mapping table, so partitions can migrate between back-ends
+// online (cluster.Ring/PlanMoves/Rebalance via Cluster.Internal, or
+// ds.Partitioned.BeginMigration directly). OpenPartitioned reopens it;
+// the persisted map routes every key to its current home.
+func (cl *Client) CreateElastic(kind ds.KVKind, name string, parts int, opts DSOptions) (*Partitioned, error) {
+	return ds.CreateElastic(cl.conns, kind, name, parts, opts)
+}
+
 // NewTATP creates and populates a TATP database with n subscribers.
 func (cl *Client) NewTATP(name string, n uint64, opts DSOptions) (*TATP, error) {
 	return txapp.NewTATP(cl.conns[0], name, n, opts)

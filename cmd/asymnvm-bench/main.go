@@ -9,7 +9,8 @@
 //
 // Experiments: table2, table3, lockbench, cachebench, fig6, fig7, fig8,
 // fig9, fig10, fig11, fig12, fig13, cost, chaos, ablation, pipeline,
-// scaleout, tx2pc, multiwriter, recovery, overload, hotpath, all.
+// scaleout, tx2pc, multiwriter, recovery, overload, rebalance, hotpath,
+// all.
 //
 // Unlike the rest, hotpath measures host wall-clock ns/op (lock-free
 // rings, doorbells, zero-alloc codecs) rather than virtual time.
@@ -33,6 +34,7 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "quick or full")
 	opsFlag := flag.Int("ops", 0, "override measured operations per cell")
 	seedFlag := flag.Int("seed", 0, "override initial population per structure")
+	keysFlag := flag.Int("keys", 0, "override workload key-space size")
 	jsonFlag := flag.String("json", "", "also write every measured row to this file as JSON")
 	httpAddr := flag.String("http", "", "serve live /metrics, /debug/trace and /debug/flame on this address while experiments run")
 	pprofFlag := flag.Bool("pprof", false, "also mount /debug/pprof on the -http address (opt-in; pairs with -exp hotpath for wall-clock profiling)")
@@ -67,6 +69,9 @@ func main() {
 	if *seedFlag > 0 {
 		sc.Seed = *seedFlag
 	}
+	if *keysFlag > 0 {
+		sc.Keys = *keysFlag
+	}
 
 	wanted := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {
@@ -97,6 +102,7 @@ func main() {
 		{"tx2pc", func() ([]bench.Row, error) { return bench.Tx2PCSweep(sc) }},
 		{"multiwriter", func() ([]bench.Row, error) { return bench.MultiWriterSweep(sc) }},
 		{"recovery", func() ([]bench.Row, error) { return bench.RecoverySweep(sc) }},
+		{"rebalance", func() ([]bench.Row, error) { return bench.RebalanceSweep(sc) }},
 		{"overload", func() ([]bench.Row, error) { return bench.OverloadSweep(sc) }},
 		{"hotpath", func() ([]bench.Row, error) { return bench.HotpathSweep() }},
 		{"chaos", func() ([]bench.Row, error) { return bench.FaultDegradation(sc) }},

@@ -28,6 +28,12 @@
 // through a mirror replica with a zero-staleness-after-sync assertion.
 // Requires -promotes 0.
 //
+// With -rebalance the hash table becomes an elastic partitioned table
+// spread over two back-ends, and partition migrations run continuously
+// under the workload: double-log windows stay open across live writes,
+// cutovers flip the versioned map mid-soak, and every verification
+// re-routes through the persisted map. Requires -promotes 0.
+//
 // Usage:
 //
 //	asymnvm-chaos -seed 1 -ops 5000
@@ -67,6 +73,7 @@ func main() {
 	flag.BoolVar(&cfg.Serve, "serve", cfg.Serve, "route the workload through the TCP front-end service")
 	flag.BoolVar(&cfg.TxCross, "txcross", cfg.TxCross, "partition the bank across two back-ends with cross-shard 2PC transfers")
 	flag.BoolVar(&cfg.MultiWriter, "multiwriter", cfg.MultiWriter, "alternate two writer front-ends over one striped table and verify through a mirror replica (requires -promotes 0)")
+	flag.BoolVar(&cfg.Rebalance, "rebalance", cfg.Rebalance, "run continuous elastic partition migrations across two back-ends under the workload (requires -promotes 0)")
 	flag.BoolVar(&cfg.Verbose, "v", cfg.Verbose, "print every injected fault event")
 	determinism := flag.Bool("determinism", false, "run twice and fail on the first divergent report line")
 	doTrace := flag.Bool("trace", false, "record a span trace of the soak")

@@ -262,6 +262,31 @@ func (b *Backend) AddMirror(m MirrorSink) {
 	b.mu.Unlock()
 }
 
+// RemoveMirror detaches a mirror sink previously attached with
+// AddMirror, looking through any interposed wrapper that exposes the
+// original via Inner() (the fault plane's lag queues do). Detaching a
+// sink that was never attached is a no-op.
+func (b *Backend) RemoveMirror(m MirrorSink) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := b.mirrors[:0]
+	for _, s := range b.mirrors {
+		cur := s
+		for cur != m {
+			iw, ok := cur.(interface{ Inner() MirrorSink })
+			if !ok {
+				break
+			}
+			cur = iw.Inner()
+		}
+		if cur == m {
+			continue
+		}
+		out = append(out, s)
+	}
+	b.mirrors = out
+}
+
 // ReplicationError returns the first error the replication/replay path
 // hit, if any.
 func (b *Backend) ReplicationError() error {

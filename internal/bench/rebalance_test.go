@@ -1,0 +1,84 @@
+package bench
+
+import "testing"
+
+// rebalanceScale is the pinned cell BENCH_rebalance.json is generated
+// at (see `make bench-smoke`): small enough that the 2->8 growth's
+// streamed history amortizes inside the measured window, large enough
+// that every partition moves with real data in it.
+var rebalanceScale = Scale{Seed: 2048, Ops: 1024, Keys: 2048}
+
+// checkRebalanceRows applies the acceptance gates to a rebalance sweep,
+// pinned or live:
+//
+//   - the 2->8 growth actually happened: every planned move cut over,
+//     the settled placement spans all 8 back-ends, and live writes
+//     double-logged inside the handoff windows;
+//   - online: throughput over the rebalance window dips less than 25%
+//     below the steady baseline, and the grown placement serves at
+//     least 75% of it;
+//   - exactly-once: the fresh-reader write-counter oracle found zero
+//     lost and zero duplicated committed writes.
+func checkRebalanceRows(t *testing.T, rows []Row) {
+	t.Helper()
+	byS := map[string]Row{}
+	for _, r := range rows {
+		if r.Experiment == "rebalance" {
+			byS[r.Series] = r
+		}
+	}
+	steady, ok1 := byS["steady"]
+	mig, ok2 := byS["migrating"]
+	grown, ok3 := byS["grown"]
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("sweep lost a series: have %v", byS)
+	}
+	if steady.KOPS <= 0 || mig.KOPS <= 0 || grown.KOPS <= 0 {
+		t.Fatalf("throughput collapsed: steady=%.1f migrating=%.1f grown=%.1f KOPS",
+			steady.KOPS, mig.KOPS, grown.KOPS)
+	}
+	if mig.Extra["moves"] == 0 || mig.Extra["cutovers"] != mig.Extra["moves"] {
+		t.Errorf("growth incomplete: %g moves, %g cutovers", mig.Extra["moves"], mig.Extra["cutovers"])
+	}
+	if mig.Extra["streamed_ops"] == 0 {
+		t.Error("no history streamed; the partitions moved empty")
+	}
+	if mig.Extra["double_ops"] == 0 {
+		t.Error("no write double-logged; the handoff windows saw no live traffic")
+	}
+	if dip := mig.Extra["dip_pct"]; dip >= 25 {
+		t.Errorf("rebalance window dipped %.1f%% below steady (%.1f vs %.1f KOPS), want < 25%%",
+			dip, mig.KOPS, steady.KOPS)
+	}
+	if grown.KOPS < 0.75*steady.KOPS {
+		t.Errorf("grown placement serves %.1f KOPS vs %.1f steady; spreading cost > 25%%",
+			grown.KOPS, steady.KOPS)
+	}
+	if s := grown.Extra["spread"]; s != 8 {
+		t.Errorf("settled placement spans %g back-ends, want 8", s)
+	}
+	if grown.Extra["verified_keys"] == 0 {
+		t.Error("oracle verified zero keys; the check is vacuous")
+	}
+	if l, d := grown.Extra["lost_writes"], grown.Extra["dup_writes"]; l != 0 || d != 0 {
+		t.Errorf("exactly-once violated: %g lost, %g duplicated committed writes", l, d)
+	}
+}
+
+// TestRebalanceGatesLive re-derives every gate on a fresh sweep, so the
+// online-rebalancing claim is checked against the code and not only the
+// checked-in numbers.
+func TestRebalanceGatesLive(t *testing.T) {
+	rows, err := RebalanceSweep(rebalanceScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRebalanceRows(t, rows)
+}
+
+// TestRebalanceCheckedInCurve pins BENCH_rebalance.json (regenerated
+// verbatim by `make bench-smoke` — the virtual clock makes the rows
+// reproducible) against the same gates.
+func TestRebalanceCheckedInCurve(t *testing.T) {
+	checkRebalanceRows(t, loadCheckedInRows(t, "BENCH_rebalance.json"))
+}

@@ -104,6 +104,25 @@ type Config struct {
 	// copy is an attach-time snapshot, not live lock state).
 	MultiWriter bool
 
+	// Rebalance replaces the plain hash table with an elastic partitioned
+	// one (ds.CreateElastic) spread over TWO back-ends and keeps
+	// migrations running for the whole soak: every few dozen operations
+	// the soak either begins a handoff (snapshot stream + double-log
+	// window opens) or cuts one over (epoch-fenced map flip + finish), so
+	// workload writes land inside live double-log windows and reads cross
+	// cutovers, all under verb faults, partitions and restarts. The
+	// durability check then covers migrated state: every committed key
+	// must read back through a fresh reader that routes by the persisted
+	// versioned map alone. Mutually exclusive with Serve (the TCP service
+	// owns a plain hash table), TxCross (cross-shard 2PC history refuses
+	// to migrate, and transactions pause during a handoff), MultiWriter
+	// (partition handoff is SWMR: the migrating writer is the only
+	// writer), and Compact (log truncation invalidates the full-history
+	// stream migration replays from). Requires Promotes = 0: promotion
+	// replaces the source node mid-soak, while the in-flight migration
+	// state is writer-side.
+	Rebalance bool
+
 	// Tracer, when non-nil, records per-operation spans for the soak's
 	// writer front-end and primary back-end (see cluster.Config.Tracer).
 	Tracer *trace.Tracer
@@ -166,10 +185,58 @@ type soak struct {
 	mwTurn int
 	inj2   *fault.Injector
 
+	// Rebalance mode: reb replaces kv with an elastic partitioned table
+	// over rebConns (two back-ends); rebMig is the handoff currently in
+	// its double-log window, rebMoves counts completed cutovers and
+	// rebRng draws the partition choices (its own stream, so the workload
+	// rng sequence is identical with rebalancing on or off).
+	reb      *ds.Partitioned
+	rebConns []*core.Conn
+	rebMig   *ds.Migration
+	rebMoves int
+	rebRng   *rand.Rand
+
 	// Serve-mode plumbing: while srv is non-nil its executor goroutine
 	// owns fe/bank/kv and every operation goes through cli.
 	srv *serve.Server
 	cli *serve.Client
+}
+
+// rebEvery is the rebalance-mode cadence in workload operations: each
+// notch either opens a handoff's double-log window or cuts it over, so
+// every migration spans rebEvery live operations.
+const rebEvery = 48
+
+// rebStep advances the continuous-migration state machine one notch.
+// With no handoff in flight it begins one — partition drawn from the
+// dedicated rng, destination the back-end that does NOT currently own
+// it — and streams the snapshot, which opens the double-log window.
+// Otherwise it cuts the in-flight handoff over and finishes it. The
+// workload operations between two notches commit inside the window, so
+// every soak migration ships a live log suffix, not just a snapshot.
+func (s *soak) rebStep() error {
+	if s.rebMig == nil {
+		pi := s.rebRng.Intn(len(s.reb.Parts()))
+		dst := 1 - s.reb.Owner(pi) // ping-pong between the two back-ends
+		m, err := s.reb.BeginMigration(pi, s.rebConns[dst])
+		if err != nil {
+			return fmt.Errorf("chaos: begin migration part %d: %w", pi, err)
+		}
+		if _, err := m.StreamSnapshot(); err != nil {
+			return fmt.Errorf("chaos: stream part %d: %w", pi, err)
+		}
+		s.rebMig = m
+		return nil
+	}
+	if err := s.rebMig.Cutover(); err != nil {
+		return fmt.Errorf("chaos: cutover: %w", err)
+	}
+	if err := s.rebMig.Finish(); err != nil {
+		return fmt.Errorf("chaos: finish migration: %w", err)
+	}
+	s.rebMig = nil
+	s.rebMoves++
+	return nil
 }
 
 // serveStart hands the structures to a fresh TCP server and connects
@@ -242,11 +309,17 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.MultiWriter && cfg.Promotes > 0 {
 		return nil, fmt.Errorf("chaos: -multiwriter requires -promotes 0 (shared stripe locks do not arbitrate promotion mid-bracket)")
 	}
+	if cfg.Rebalance && (cfg.Serve || cfg.TxCross || cfg.MultiWriter || cfg.Compact) {
+		return nil, fmt.Errorf("chaos: -rebalance is mutually exclusive with -serve, -txcross, -multiwriter and -compact")
+	}
+	if cfg.Rebalance && cfg.Promotes > 0 {
+		return nil, fmt.Errorf("chaos: -rebalance requires -promotes 0 (in-flight handoff state is writer-side)")
+	}
 	ccfg := cluster.DefaultConfig()
 	ccfg.MirrorsPerBack = cfg.Mirrors
 	ccfg.ArchivePerBack = true
 	ccfg.Tracer = cfg.Tracer
-	if cfg.TxCross {
+	if cfg.TxCross || cfg.Rebalance {
 		ccfg.Backends = 2
 	}
 	if cfg.Compact {
@@ -318,6 +391,9 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.MultiWriter {
 		tune += " multiwriter=on"
 	}
+	if cfg.Rebalance {
+		tune += " rebalance=on"
+	}
 	s.line("chaos: seed=%d ops=%d accounts=%d keys=%d mirrors=%d lag=%d pipe=%d%s", cfg.Seed, cfg.Ops, cfg.Accounts, cfg.Keys, cfg.Mirrors, cfg.MirrorLag, cfg.Pipeline, tune)
 
 	// Build both structures before faults start: creation is plumbing, the
@@ -336,7 +412,21 @@ func Run(cfg Config) (*Report, error) {
 	} else if s.bank, err = txapp.NewSmallBank(conns[0], bankName, cfg.Accounts, dsOpts()); err != nil {
 		return nil, err
 	}
-	if cfg.MultiWriter {
+	if cfg.Rebalance {
+		// Every handoff materialises a fresh destination generation with
+		// its own logs, and reclaim is lazy — with the soak-wide 32 MiB
+		// logs a long soak exhausts the 256 MiB devices on generation
+		// areas alone. The elastic table's whole history is a slice of the
+		// soak's kv ops, so 2 MiB mem + 1 MiB op logs hold it un-wrapped
+		// (HistoryOps needs the full ring) with a wide margin.
+		rebOpts := dsOpts()
+		rebOpts.Create = core.CreateOptions{MemLogSize: 2 << 20, OpLogSize: 1 << 20}
+		if s.reb, err = ds.CreateElastic(conns, ds.KindHashTable, kvName, 4, rebOpts); err != nil {
+			return nil, err
+		}
+		s.rebConns = conns
+		s.rebRng = rand.New(rand.NewSource(cfg.Seed ^ 0x7265626C)) // migration stream
+	} else if cfg.MultiWriter {
 		if s.mw[0], err = ds.CreateStriped(conns[0], ds.KindHashTable, kvName, 4, dsOpts()); err != nil {
 			return nil, err
 		}
@@ -394,6 +484,13 @@ func Run(cfg Config) (*Report, error) {
 		s.serveStop()
 		return nil, err
 	}
+	if s.rebMig != nil {
+		// The workload ended mid-window; settle the last handoff so the
+		// final verification sees a fully balanced begin/finish ledger.
+		if err := s.rebStep(); err != nil {
+			return nil, err
+		}
+	}
 	s.verify("final")
 	if err := s.serveStop(); err != nil {
 		return nil, err
@@ -417,6 +514,13 @@ func Run(cfg Config) (*Report, error) {
 			// one slot per stripe, which it does not reassemble. Striped
 			// post-crash recovery is covered by the crash matrix instead.
 			s.line("rebuild: skipped (striped table spans multiple slots)")
+		} else if cfg.Rebalance {
+			// The elastic table's history spans both back-ends (each
+			// migration restarts a partition's op log on its new home), so
+			// one node's archive is not a complete stream. Migrated-state
+			// recovery is covered by the crash matrix and the replay-
+			// equivalence property instead.
+			s.line("rebuild: skipped (elastic partitions span back-ends)")
 		} else if err := s.rebuildCheck(); err != nil {
 			return nil, err
 		}
@@ -428,6 +532,19 @@ func Run(cfg Config) (*Report, error) {
 		s.line("multiwriter: puts=%d stripe_conflicts=%d+%d", s.mwTurn,
 			s.mwFes[0].Stats().Snapshot().StripeConflicts,
 			s.mwFes[1].Stats().Snapshot().StripeConflicts)
+	}
+	if cfg.Rebalance {
+		// The handoff counters are pure functions of (seed, workload):
+		// cutovers equals completed moves, double-logged ops counts the
+		// live suffixes the windows shipped, and anything still marked
+		// active would mean an unbalanced begin/finish pair.
+		snap := fe.Stats().Snapshot()
+		s.rep.Checks++
+		if snap.MigrationsActive != 0 {
+			s.violation("rebalance: %d migrations still active at soak end", snap.MigrationsActive)
+		}
+		s.line("rebalance: moves=%d cutovers=%d dblops=%d inflight=%d",
+			s.rebMoves, snap.CutoverEpochs, snap.DoubleLoggedOps, snap.MigrationsActive)
 	}
 	if cfg.TxCross {
 		snap := fe.Stats().Snapshot()
@@ -489,6 +606,9 @@ func (s *soak) drain() error {
 		}
 		return nil
 	}
+	if s.reb != nil {
+		return s.reb.DrainAll()
+	}
 	return s.kv.Drain()
 }
 
@@ -532,7 +652,16 @@ func (s *soak) soakLoop(sched []fault.Action) error {
 				// Transient crash: the node returns on the same NVM. The
 				// old endpoint still reaches the (shared) device, so the
 				// injector is cut first — the front-end must observe the
-				// death and re-target the new incarnation.
+				// death and re-target the new incarnation. An open handoff
+				// window is cut over first: its in-memory stream cursor
+				// does not survive the source restart (the crash matrix
+				// covers handoffs that die mid-window; the soak covers
+				// windows and restarts interleaving).
+				if s.rebMig != nil {
+					if err := s.rebStep(); err != nil {
+						return err
+					}
+				}
 				s.inj.Disconnect()
 				if s.inj2 != nil {
 					s.inj2.Disconnect()
@@ -543,6 +672,11 @@ func (s *soak) soakLoop(sched []fault.Action) error {
 				pending = fmt.Sprintf("restart@%d", i)
 			case "partition":
 				s.inj.Partition(a.Arg)
+			}
+		}
+		if s.reb != nil && i > 0 && i%rebEvery == 0 {
+			if err := s.rebStep(); err != nil {
+				return err
 			}
 		}
 		if err := s.workOp(rng); err != nil {
@@ -593,6 +727,12 @@ func (s *soak) workOp(rng *rand.Rand) error {
 			if err := w.Put(k, val); err != nil {
 				return err
 			}
+		} else if s.reb != nil {
+			// Routed write: inside a handoff window the owning partition's
+			// puts double-log to the migration destination.
+			if err := s.reb.Put(k, val); err != nil {
+				return err
+			}
 		} else if err := s.kv.Put(k, val); err != nil {
 			return err
 		}
@@ -610,6 +750,12 @@ func (s *soak) workOp(rng *rand.Rand) error {
 		} else if s.mw[0] != nil {
 			var err error
 			got, ok, err = s.mw[s.mwTurn%2].Get(k)
+			if err != nil {
+				return err
+			}
+		} else if s.reb != nil {
+			var err error
+			got, ok, err = s.reb.Get(k)
 			if err != nil {
 				return err
 			}
@@ -698,6 +844,16 @@ func (s *soak) verify(tag string) {
 	var rget func(uint64) ([]byte, bool, error)
 	if s.mw[0] != nil {
 		rkv, err := ds.OpenStriped(conns[0], kvName, false, dsOpts())
+		if err != nil {
+			s.violation("verify[%s]: reader open kv: %v", tag, err)
+			return
+		}
+		rget = rkv.Get
+	} else if s.reb != nil {
+		// The reader routes by the persisted versioned map alone: after
+		// however many cutovers, it must land on each partition's current
+		// home to find the committed keys.
+		rkv, err := ds.OpenPartitioned(conns, kvName, false, dsOpts())
 		if err != nil {
 			s.violation("verify[%s]: reader open kv: %v", tag, err)
 			return

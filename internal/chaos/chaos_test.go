@@ -281,3 +281,66 @@ func TestDiffReports(t *testing.T) {
 		t.Fatalf("stats-only divergence missed or unnamed: %q %v", desc, diverged)
 	}
 }
+
+// TestSoakRebalanceDeterministic keeps elastic partition migrations
+// running under the workload — double-log windows spanning live writes,
+// epoch-fenced cutovers mid-soak, crash-restarts of the source node —
+// with the usual contract: zero violations, committed keys durable
+// through the persisted versioned map, and byte-identical reports per
+// seed. The migration counters must show real activity: completed
+// cutovers and operations double-logged inside open windows.
+func TestSoakRebalanceDeterministic(t *testing.T) {
+	cfg := smallConfig(23)
+	cfg.Rebalance = true
+	cfg.Promotes = 0
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Violations != 0 {
+		t.Fatalf("rebalance soak reported %d violations:\n%s", a.Violations, a.String())
+	}
+	if a.Stats.CutoverEpochs == 0 {
+		t.Fatalf("rebalance mode on but nothing cut over: %+v", a.Stats)
+	}
+	if a.Stats.DoubleLoggedOps == 0 {
+		t.Fatalf("no workload write landed inside a double-log window: %+v", a.Stats)
+	}
+	if a.Stats.MigrationsActive != 0 {
+		t.Fatalf("soak ended with %d migrations still active", a.Stats.MigrationsActive)
+	}
+	if !strings.Contains(a.String(), "rebalance=on") {
+		t.Fatalf("report does not mark rebalance mode:\n%s", a.String())
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc, diverged := DiffReports(a, b); diverged {
+		t.Fatalf("rebalance soak not reproducible: %s", desc)
+	}
+}
+
+// TestRebalanceModeExclusions pins the -rebalance mode exclusions: the
+// modes that own the hash table (serve, multiwriter), pause under
+// migration (txcross), or truncate the history it streams (compact)
+// must be rejected loudly, as must scheduled promotions.
+func TestRebalanceModeExclusions(t *testing.T) {
+	for _, tweak := range []func(*Config){
+		func(c *Config) { c.Serve = true },
+		func(c *Config) { c.TxCross = true },
+		func(c *Config) { c.MultiWriter = true; c.Promotes = 0 },
+		func(c *Config) { c.Compact = true },
+		func(c *Config) { c.Promotes = 1 },
+	} {
+		cfg := smallConfig(1)
+		cfg.Rebalance = true
+		if cfg.Promotes == 0 {
+			cfg.Promotes = 0
+		}
+		tweak(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("invalid rebalance combination accepted: %+v", cfg)
+		}
+	}
+}

@@ -68,6 +68,14 @@ type Cluster struct {
 	plane    *fault.Plane
 	injNames [][]string // per back-end slot: injector names of its connections
 
+	// archiveHome[slot] is the index into Archives of the archive stream
+	// currently attached to that back-end slot, or -1. Seeded identity at
+	// deployment; RehomeArchive moves an entry when rebalancing migrates a
+	// slot's structures to another back-end, and every later restart or
+	// promotion of either slot consults this mapping — not the open-time
+	// identity — when re-attaching archives.
+	archiveHome []int
+
 	// devMu guards devs for the 2PC resolver. It is separate from foMu on
 	// purpose: the resolver runs inside backend.New's recovery, which
 	// RestartBackend/promoteLocked invoke while HOLDING foMu — consulting
@@ -125,6 +133,7 @@ func New(cfg Config) (*Cluster, error) {
 			reps = append(reps, rep)
 			_ = cl.KA.Register(fmt.Sprintf("mirror%d.%d", i, m), RoleMirror, 3)
 		}
+		home := -1
 		if cfg.ArchivePerBack {
 			adev := nvm.NewDevice(cfg.DeviceBytes)
 			arch, err := mirror.NewArchive(adev, bk, nil, nil, cfg.Profile)
@@ -132,7 +141,9 @@ func New(cfg Config) (*Cluster, error) {
 				return nil, err
 			}
 			cl.Archives = append(cl.Archives, arch)
+			home = len(cl.Archives) - 1
 		}
+		cl.archiveHome = append(cl.archiveHome, home)
 		bk.Start()
 		cl.Backends = append(cl.Backends, bk)
 		cl.Mirrors = append(cl.Mirrors, reps)
@@ -378,12 +389,21 @@ func (c *Cluster) Device(backendID int) *nvm.Device { return c.devs[backendID] }
 
 // ---- recovery orchestration (§7.2) ----
 
-// archiveFor returns the archive sink attached to a back-end slot, or nil.
+// archiveFor returns the archive sink whose current home is the given
+// back-end slot, or nil. The lookup goes through the versioned
+// archiveHome mapping rather than a slot-index identity: after a
+// rebalance re-homes an archive stream, a restarted incarnation of the
+// OLD slot must not re-adopt a stream that followed its structures to
+// another back-end (the stale-owner bug), and the NEW slot must.
 func (c *Cluster) archiveFor(backendID int) *mirror.Archive {
-	if !c.cfg.ArchivePerBack || backendID >= len(c.Archives) {
+	if backendID >= len(c.archiveHome) {
 		return nil
 	}
-	return c.Archives[backendID]
+	ai := c.archiveHome[backendID]
+	if ai < 0 || ai >= len(c.Archives) {
+		return nil
+	}
+	return c.Archives[ai]
 }
 
 // CrashBackend kills a back-end without replacing it: the process stops

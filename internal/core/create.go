@@ -16,6 +16,13 @@ var ErrExists = errors.New("core: structure already exists")
 // ErrNotFound is returned when opening an unknown name.
 var ErrNotFound = errors.New("core: structure not found")
 
+// ErrMoved is returned when an operation's target partition migrated to
+// another back-end while the operation was in flight and a transparent
+// refresh did not converge (the map flipped again mid-retry). The caller
+// re-resolves the versioned partition map and retries — the serving layer
+// surfaces it as a retry-after hint.
+var ErrMoved = errors.New("core: partition moved during operation")
+
 // CreateOptions sizes a new structure's private log areas.
 type CreateOptions struct {
 	// MemLogSize is the memory-log area size (rounded up to blocks).
@@ -441,6 +448,52 @@ func (h *Handle) PendingOps() ([]logrec.OpRecord, error) {
 		if rec.OpType&logrec.OpTxFlag == 0 {
 			out = append(out, rec)
 		}
+		abs += uint64(used)
+	}
+}
+
+// HistoryOps returns every intact operation record of the structure,
+// from the op log's origin to its tail — the semantic history a
+// migration re-executes on a destination back-end. Raw data-area bytes
+// cannot move between nodes (global addresses embed the owning node id),
+// so elastic rebalancing ships this stream instead. The history is only
+// complete while the op-log ring has never wrapped: once the writer laps
+// the area, the oldest records are overwritten and their effects live
+// only in the source's data area, so migration refuses to stream (the
+// archive mirror carries the full stream for that case).
+func (h *Handle) HistoryOps() ([]logrec.OpRecord, error) {
+	if !h.writer {
+		return nil, fmt.Errorf("core: op history needs the writer handle")
+	}
+	if h.opTail > h.opArea.Size {
+		return nil, fmt.Errorf("core: op log wrapped (%d bytes appended into a %d-byte area); migrate from the archive stream",
+			h.opTail, h.opArea.Size)
+	}
+	var out []logrec.OpRecord
+	abs := uint64(0)
+	for {
+		var rec logrec.OpRecord
+		used, err := h.scanOne(h.opArea, abs, func(buf []byte, a uint64) (int, error) {
+			r, n, derr := logrec.DecodeOp(buf, a)
+			if derr == nil {
+				rec = r
+			}
+			return n, derr
+		})
+		if err != nil {
+			return nil, err
+		}
+		if used == 0 {
+			return out, nil
+		}
+		// A cross-shard transactional record's fate was decided by prepare
+		// resolution, which the op log alone cannot reconstruct: replaying
+		// it might apply an aborted transaction's half, skipping it might
+		// lose a committed one. Refuse rather than guess.
+		if rec.OpType&logrec.OpTxFlag != 0 {
+			return nil, fmt.Errorf("core: op history holds cross-shard record at %d; structures with 2PC history do not migrate", abs)
+		}
+		out = append(out, rec)
 		abs += uint64(used)
 	}
 }

@@ -788,3 +788,422 @@ func kvCrashCase(kind string) crashCase {
 		},
 	}
 }
+
+// ---- migration-phase rows (elastic rebalancing plane) ----
+//
+// A handoff adds crash surfaces of its own: the source dying mid-stream,
+// the destination dying before cutover, and the coordinator dying in the
+// window between the map flip and reclaim bookkeeping. Each row recovers
+// on fresh front-ends (and, where the row kills a node, a rebuilt
+// back-end over the crashed device) and asserts the two invariants the
+// protocol promises: recovery lands on exactly ONE owner, and no
+// committed operation is lost.
+
+// migCrashOpts sizes migration crash cells.
+func migCrashOpts() Options { return Options{Create: testCreate, Buckets: 256} }
+
+// breakPart frees a dead writer's lock on one partition child.
+func breakPart(t *testing.T, c *core.Conn, name string, holder uint16) {
+	t.Helper()
+	raw, err := c.Open(name, true)
+	if err != nil {
+		t.Fatalf("raw open %s: %v", name, err)
+	}
+	if err := raw.BreakLock(holder); err != nil {
+		t.Fatalf("break lock %s: %v", name, err)
+	}
+}
+
+// TestMigrationCrashSourceMidStream kills the source back-end while the
+// snapshot streams. The map never flipped, so recovery must land on the
+// source as sole owner, every committed op intact, and a retry must
+// probe past the orphaned destination generation and complete.
+func TestMigrationCrashSourceMidStream(t *testing.T) {
+	cell := newMigCell(t, 2)
+	const parts = 2
+	p, err := CreateElastic(cell.conns, KindHashTable, "mcrA", parts, migCrashOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := map[uint64][]byte{}
+	for i := 1; i <= 60; i++ {
+		if err := p.Put(uint64(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+		oracle[uint64(i)] = val(i)
+	}
+	if err := p.DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	const pi = 0 // lives on back-end 0, which also hosts the meta entry
+	m, err := p.BeginMigration(pi, cell.conns[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dst() == nil {
+		t.Fatal("begin left no destination structure")
+	}
+	// The source node dies a few verbs into the stream.
+	seen, dead := 0, false
+	cell.conns[0].Endpoint().SetFault(func(op rdma.Op, off uint64, sz int) rdma.Fault {
+		if dead {
+			return rdma.Fault{Err: rdma.ErrDisconnected}
+		}
+		seen++
+		if seen == 3 {
+			dead = true
+			return rdma.Fault{Err: rdma.ErrDisconnected}
+		}
+		return rdma.Fault{}
+	})
+	if _, err := m.StreamSnapshot(); err == nil {
+		t.Fatal("snapshot stream succeeded despite source death")
+	}
+	cell.crashBackend(0)
+
+	conns2 := cell.connect(2)
+	breakPart(t, conns2[0], "mcrA#0", 1)
+	breakPart(t, conns2[1], "mcrA#1", 1)
+	p2, err := OpenPartitioned(conns2, "mcrA", true, migCrashOpts())
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	if got := p2.Migrating(); got != pi {
+		t.Fatalf("recovered migration word names partition %d, want %d", got, pi)
+	}
+	res, err := p2.ResolveMigration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != -1 {
+		t.Fatalf("resolution = %+d, want -1 (aborted stream)", res)
+	}
+	if h := p2.PartHandle(pi); h == nil || h.Conn().BackendID() != 0 {
+		t.Fatal("ownership moved despite an unflipped map")
+	}
+	if err := p2.DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range oracle {
+		got, ok, err := p2.Get(k)
+		if err != nil || !ok || !bytes.Equal(got, want) {
+			t.Fatalf("committed key %d lost: ok=%v err=%v got=%q", k, ok, err, got)
+		}
+	}
+	// Retry: the orphaned generation-1 destination must not collide.
+	m2, err := p2.BeginMigration(pi, conns2[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.gen != 2 {
+		t.Fatalf("retry generation %d, want 2", m2.gen)
+	}
+	if _, err := m2.StreamSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Cutover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if h := p2.PartHandle(pi); h == nil || h.Conn().BackendID() != 1 {
+		t.Fatal("retry handoff did not land on the destination")
+	}
+	for k, want := range oracle {
+		got, ok, err := p2.Get(k)
+		if err != nil || !ok || !bytes.Equal(got, want) {
+			t.Fatalf("key %d after retry handoff: ok=%v err=%v got=%q", k, ok, err, got)
+		}
+	}
+}
+
+// TestMigrationCrashDestBeforeCutover kills the destination back-end
+// after the snapshot landed and the double-log window opened, before any
+// cutover. The source remains sole owner with every committed write —
+// including the double-logged suffix — and a retry completes.
+func TestMigrationCrashDestBeforeCutover(t *testing.T) {
+	cell := newMigCell(t, 2)
+	const parts = 2
+	p, err := CreateElastic(cell.conns, KindHashTable, "mcrB", parts, migCrashOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := map[uint64][]byte{}
+	for i := 1; i <= 60; i++ {
+		if err := p.Put(uint64(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+		oracle[uint64(i)] = val(i)
+	}
+	if err := p.DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	const pi = 0
+	m, err := p.BeginMigration(pi, cell.conns[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.StreamSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Double-logged suffix: committed on the source, mirrored to the
+	// destination that is about to die.
+	for i, k := range migKeysFor(pi, parts, 6, 1000) {
+		if err := p.Put(k, val(5000+i)); err != nil {
+			t.Fatal(err)
+		}
+		oracle[k] = val(5000 + i)
+	}
+	if err := p.DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	cell.crashBackend(1)
+
+	conns2 := cell.connect(2)
+	breakPart(t, conns2[0], "mcrB#0", 1)
+	breakPart(t, conns2[1], "mcrB#1", 1)
+	p2, err := OpenPartitioned(conns2, "mcrB", true, migCrashOpts())
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	res, err := p2.ResolveMigration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != -1 {
+		t.Fatalf("resolution = %+d, want -1 (map never flipped)", res)
+	}
+	if h := p2.PartHandle(pi); h == nil || h.Conn().BackendID() != 0 {
+		t.Fatal("ownership moved despite an unflipped map")
+	}
+	if err := p2.DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range oracle {
+		got, ok, err := p2.Get(k)
+		if err != nil || !ok || !bytes.Equal(got, want) {
+			t.Fatalf("committed key %d lost: ok=%v err=%v got=%q", k, ok, err, got)
+		}
+	}
+	m2, err := p2.BeginMigration(pi, conns2[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.gen != 2 {
+		t.Fatalf("retry generation %d, want 2", m2.gen)
+	}
+	if _, err := m2.StreamSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Cutover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range oracle {
+		got, ok, err := p2.Get(k)
+		if err != nil || !ok || !bytes.Equal(got, want) {
+			t.Fatalf("key %d after retry handoff: ok=%v err=%v got=%q", k, ok, err, got)
+		}
+	}
+}
+
+// TestMigrationCrashAfterFlip kills the coordinator — and then power-
+// fails BOTH nodes — in the window between the cutover's map flip and
+// the reclaim bookkeeping. The flip is one durable logged write, so
+// recovery must land on the destination as sole owner with the full
+// history (snapshot + double-logged suffix), and the stale source area
+// must be dead weight, not a second owner.
+func TestMigrationCrashAfterFlip(t *testing.T) {
+	cell := newMigCell(t, 2)
+	const parts = 2
+	p, err := CreateElastic(cell.conns, KindHashTable, "mcrC", parts, migCrashOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := map[uint64][]byte{}
+	for i := 1; i <= 60; i++ {
+		if err := p.Put(uint64(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+		oracle[uint64(i)] = val(i)
+	}
+	if err := p.DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	const pi = 0
+	m, err := p.BeginMigration(pi, cell.conns[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.StreamSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	suffix := migKeysFor(pi, parts, 6, 1000)
+	for i, k := range suffix {
+		if err := p.Put(k, val(6000+i)); err != nil {
+			t.Fatal(err)
+		}
+		oracle[k] = val(6000 + i)
+	}
+	if err := m.Cutover(); err != nil {
+		t.Fatal(err)
+	}
+	// Coordinator dies here: no Finish, and both nodes power-fail.
+	cell.crashBackend(0)
+	cell.crashBackend(1)
+
+	conns2 := cell.connect(2)
+	breakPart(t, conns2[1], "mcrC#0.g1", 1)
+	breakPart(t, conns2[1], "mcrC#1", 1)
+	p2, err := OpenPartitioned(conns2, "mcrC", true, migCrashOpts())
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	if h := p2.PartHandle(pi); h == nil || h.Conn().BackendID() != 1 {
+		t.Fatal("durable flip lost: recovery did not land on the destination")
+	}
+	res, err := p2.ResolveMigration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != 1 {
+		t.Fatalf("resolution = %+d, want +1 (flip already durable)", res)
+	}
+	if err := p2.DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range oracle {
+		got, ok, err := p2.Get(k)
+		if err != nil || !ok || !bytes.Equal(got, want) {
+			t.Fatalf("committed key %d lost: ok=%v err=%v got=%q", k, ok, err, got)
+		}
+	}
+	// Exactly one owner: a post-recovery write reaches the destination
+	// area and never the stale source.
+	probe := suffix[0]
+	if err := p2.Put(probe, val(7777)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	dstChild, err := OpenHashTable(conns2[1], "mcrC#0.g1", false, migCrashOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, err := dstChild.Get(probe); err != nil || !ok || !bytes.Equal(got, val(7777)) {
+		t.Fatalf("destination area missing the post-recovery write: ok=%v err=%v got=%q", ok, err, got)
+	}
+	srcChild, err := OpenHashTable(conns2[0], "mcrC#0", false, migCrashOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, _ := srcChild.Get(probe); ok && bytes.Equal(got, val(7777)) {
+		t.Fatal("stale source area also received the post-recovery write: two owners")
+	}
+}
+
+// TestMigrationCrashStriped covers the striped rows of the phase matrix:
+// a coordinator death before cutover leaves the source sole owner (and a
+// retry surfaces the orphaned same-name destination as ErrExists rather
+// than corrupting it); a death after cutover leaves the moved-to stamp
+// durable, so the source redirects and the destination owns the full
+// history.
+func TestMigrationCrashStriped(t *testing.T) {
+	t.Run("before-cutover", func(t *testing.T) {
+		cell := newMigCell(t, 2)
+		s, err := CreateStriped(cell.conns[0], KindHashTable, "mcrS", 4, migCrashOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := map[uint64][]byte{}
+		for i := 1; i <= 80; i++ {
+			k := uint64(i * 2654435761)
+			if err := s.Put(k, val(i)); err != nil {
+				t.Fatal(err)
+			}
+			oracle[k] = val(i)
+		}
+		m, err := s.BeginMigration(cell.conns[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.StreamSnapshot(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= 10; i++ {
+			k := uint64(8_000_000 + i)
+			if err := s.Put(k, val(4000+i)); err != nil {
+				t.Fatal(err)
+			}
+			oracle[k] = val(4000 + i)
+		}
+		// Coordinator dies before Cutover; both nodes power-fail.
+		cell.crashBackend(0)
+		cell.crashBackend(1)
+
+		conns2 := cell.connect(2)
+		s2, err := OpenStriped(conns2[0], "mcrS", true, migCrashOpts())
+		if err != nil {
+			t.Fatalf("source must still open (no moved-to stamp): %v", err)
+		}
+		for k, want := range oracle {
+			got, ok, err := s2.Get(k)
+			if err != nil || !ok || !bytes.Equal(got, want) {
+				t.Fatalf("committed key %d lost on the source: ok=%v err=%v got=%q", k, ok, err, got)
+			}
+		}
+		// The orphaned same-name destination blocks a blind retry: that is
+		// surfaced, never silently adopted (re-replaying into a partially
+		// streamed structure could double-apply).
+		if _, err := s2.BeginMigration(conns2[1]); !errors.Is(err, core.ErrExists) {
+			t.Fatalf("retry against an orphaned destination = %v, want ErrExists", err)
+		}
+	})
+	t.Run("after-cutover", func(t *testing.T) {
+		cell := newMigCell(t, 2)
+		s, err := CreateStriped(cell.conns[0], KindHashTable, "mcrS2", 4, migCrashOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := map[uint64][]byte{}
+		for i := 1; i <= 80; i++ {
+			k := uint64(i * 2654435761)
+			if err := s.Put(k, val(i)); err != nil {
+				t.Fatal(err)
+			}
+			oracle[k] = val(i)
+		}
+		m, err := s.BeginMigration(cell.conns[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.StreamSnapshot(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Cutover(); err != nil {
+			t.Fatal(err)
+		}
+		// Coordinator dies before Finish; both nodes power-fail.
+		cell.crashBackend(0)
+		cell.crashBackend(1)
+
+		conns2 := cell.connect(2)
+		if _, err := OpenStriped(conns2[0], "mcrS2", false, migCrashOpts()); !errors.Is(err, core.ErrMoved) {
+			t.Fatalf("moved source open = %v, want ErrMoved", err)
+		}
+		d, err := OpenStriped(conns2[1], "mcrS2", true, migCrashOpts())
+		if err != nil {
+			t.Fatalf("destination open: %v", err)
+		}
+		for k, want := range oracle {
+			got, ok, err := d.Get(k)
+			if err != nil || !ok || !bytes.Equal(got, want) {
+				t.Fatalf("committed key %d lost on the destination: ok=%v err=%v got=%q", k, ok, err, got)
+			}
+		}
+	})
+}

@@ -14,13 +14,39 @@ import (
 // bottleneck and letting a writer in one partition proceed while readers
 // work in others. The partition count is persisted in a naming-table
 // meta entry (the "mapping table between key range and partition ...
-// stored in the global naming space"); partition i lives under the name
-// "<name>#<i>" on back-end conns[i % len(conns)].
+// stored in the global naming space"); partition i lives by default under
+// the name "<name>#<i>" on back-end conns[i % len(conns)].
+//
+// The mapping table is versioned (see migrate.go): an elastic structure's
+// meta entry additionally records a map version, a per-partition owner
+// word (connection index + child-name generation) and an in-flight
+// migration word, so partitions can be re-homed to other back-ends while
+// writers keep committing. Readers of a versioned map fence each routed
+// operation on the meta slot's seqlock sequence number: a cutover bumps
+// it, and the next routed operation re-reads the map and re-opens any
+// moved partition before proceeding (the retry-on-moved path).
 
 // Partitioned routes KV operations to per-partition instances.
 type Partitioned struct {
-	parts []KV
-	meta  *core.Handle
+	parts  []KV
+	meta   *core.Handle
+	conns  []*core.Conn
+	kind   KVKind
+	name   string
+	opts   Options
+	writer bool
+
+	// Versioned-map state (zero for legacy static maps).
+	version uint64
+	owners  []uint16 // wire owner words; see ownerOf
+	metaSN  uint64   // meta seqlock SN at the last map read (the fence)
+	migw    uint64   // persisted migration word mirror (writer side)
+
+	// Double-log window (writer side): once the snapshot stream lands,
+	// the partition being handed off and its destination instance —
+	// every committed write goes to both until cutover.
+	migPart int
+	migDst  KV
 }
 
 // partIndex hashes a key to a partition.
@@ -28,13 +54,32 @@ func partIndex(key uint64, n int) int {
 	return int((key * 0x9E3779B97F4A7C15) >> 33 % uint64(n))
 }
 
-// Put routes to the owning partition.
+// Put routes to the owning partition. During a handoff's double-log
+// window the destination receives every committed write too, so the
+// streamed snapshot plus this live suffix is complete at cutover.
 func (p *Partitioned) Put(key uint64, val []byte) error {
-	return p.parts[partIndex(key, len(p.parts))].Put(key, val)
+	if err := p.fence(); err != nil {
+		return err
+	}
+	pi := partIndex(key, len(p.parts))
+	if err := p.parts[pi].Put(key, val); err != nil {
+		return err
+	}
+	if p.migDst != nil && pi == p.migPart {
+		if err := p.migDst.Put(key, val); err != nil {
+			return fmt.Errorf("ds: double-log to migration destination: %w", err)
+		}
+		p.meta.Conn().Frontend().Stats().DoubleLoggedOps.Add(1)
+	}
+	return nil
 }
 
-// Get routes to the owning partition.
+// Get routes to the owning partition. Reads stay on the source until
+// cutover — it is authoritative for the whole double-log window.
 func (p *Partitioned) Get(key uint64) ([]byte, bool, error) {
+	if err := p.fence(); err != nil {
+		return nil, false, err
+	}
 	return p.parts[partIndex(key, len(p.parts))].Get(key)
 }
 
@@ -61,6 +106,9 @@ func (p *Partitioned) Parts() []KV { return p.parts }
 // is re-run through its own retrying GetMulti; kinds without a walker
 // fall back to per-key routing. Results index-match keys.
 func (p *Partitioned) GetMulti(keys []uint64) ([][]byte, []bool, error) {
+	if err := p.fence(); err != nil {
+		return nil, nil, err
+	}
 	n := len(p.parts)
 	vals := make([][]byte, len(keys))
 	found := make([]bool, len(keys))
@@ -207,7 +255,8 @@ func (p *Partitioned) PutMulti(keys []uint64, vals [][]byte) error {
 		return fmt.Errorf("ds: put multi length mismatch (%d keys, %d values)", len(keys), len(vals))
 	}
 	for i, k := range keys {
-		if err := p.parts[partIndex(k, len(p.parts))].Put(k, vals[i]); err != nil {
+		// Route through Put so the double-log window covers batches too.
+		if err := p.Put(k, vals[i]); err != nil {
 			return err
 		}
 	}
@@ -311,6 +360,12 @@ func (p *Partitioned) TxHandles() []*core.Handle {
 func (p *Partitioned) TxPutMulti(tc *core.TxCoordinator, keys []uint64, vals [][]byte) error {
 	if len(keys) != len(vals) {
 		return fmt.Errorf("ds: tx put multi length mismatch (%d keys, %d values)", len(keys), len(vals))
+	}
+	if p.migw != 0 {
+		// Cross-shard records do not migrate (HistoryOps refuses a log
+		// holding them — replaying could resurrect an aborted half), so
+		// the 2PC surface pauses for the duration of a handoff.
+		return fmt.Errorf("ds: cross-shard transactions are paused while a partition migrates")
 	}
 	if len(keys) == 0 {
 		return nil
@@ -428,10 +483,10 @@ func CreatePartitioned(conns []*core.Conn, kind KVKind, name string, parts int, 
 	if err := meta.Flush(); err != nil {
 		return nil, err
 	}
-	p := &Partitioned{meta: meta}
+	p := &Partitioned{meta: meta, conns: conns, kind: kind, name: name, opts: opts, writer: true, migPart: -1}
 	for i := 0; i < parts; i++ {
 		c := conns[i%len(conns)]
-		part, err := createKV(c, kind, fmt.Sprintf("%s#%d", name, i), opts)
+		part, err := createKV(c, kind, partName(name, i, 0), opts)
 		if err != nil {
 			return nil, err
 		}
@@ -440,25 +495,34 @@ func CreatePartitioned(conns []*core.Conn, kind KVKind, name string, parts int, 
 	return p, nil
 }
 
-// OpenPartitioned reads the mapping meta entry and opens every partition.
+// OpenPartitioned reads the mapping meta entry and opens every partition
+// at its current owner. On a versioned map the meta slot SN is sampled
+// BEFORE the map read, so a cutover racing the open is caught by the
+// first routed operation's fence rather than missed.
 func OpenPartitioned(conns []*core.Conn, name string, writer bool, opts Options) (*Partitioned, error) {
 	meta, err := conns[0].Open(name, false)
 	if err != nil {
 		return nil, err
 	}
-	mb, err := meta.Read(meta.AuxAddr()+backend.AuxUser, 16, false)
+	sn, err := meta.Conn().SlotSN(meta.Slot())
 	if err != nil {
 		return nil, err
 	}
-	kind := KVKind(binary.LittleEndian.Uint64(mb[:8]))
-	parts := int(binary.LittleEndian.Uint64(mb[8:]))
-	if parts <= 0 || parts > 1<<16 {
-		return nil, fmt.Errorf("ds: corrupt partition meta (parts=%d)", parts)
+	pm, err := readPartMap(meta)
+	if err != nil {
+		return nil, err
 	}
-	p := &Partitioned{meta: meta}
-	for i := 0; i < parts; i++ {
-		c := conns[i%len(conns)]
-		part, err := openKV(c, kind, fmt.Sprintf("%s#%d", name, i), writer, opts)
+	p := &Partitioned{
+		meta: meta, conns: conns, kind: pm.kind, name: name, opts: opts, writer: writer,
+		version: pm.version, owners: pm.owners, metaSN: sn, migw: pm.mig, migPart: -1,
+	}
+	for i := 0; i < pm.parts; i++ {
+		ci, gen := ownerOf(pm.owners, i, len(conns))
+		if ci >= len(conns) {
+			return nil, fmt.Errorf("ds: partition %d owned by connection %d, only %d attached: %w",
+				i, ci, len(conns), core.ErrMoved)
+		}
+		part, err := openKV(conns[ci], pm.kind, partName(name, i, gen), writer, opts)
 		if err != nil {
 			return nil, err
 		}

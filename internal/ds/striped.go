@@ -34,15 +34,29 @@ import (
 //
 // The stripe count is persisted in a TypeStriped meta entry through the
 // log path (mirrors see the mapping); stripe i lives under "<name>~<i>".
+// The meta additionally carries a version word and a moved-to word (see
+// migrate.go): re-homing a striped structure to another back-end streams
+// every stripe's history to a same-named structure there, then stamps
+// moved-to on the source so later opens are redirected with
+// core.ErrMoved. Because stripe writer locks are shared, the handoff
+// requires the quiesce discipline every writer attach does: other
+// front-ends must detach before Cutover and re-attach at the new home.
 
 // Striped routes KV operations to per-stripe instances whose writer
 // locks are shared between front-ends.
 type Striped struct {
 	name    string
 	meta    *core.Handle
+	conn    *core.Conn
+	kind    KVKind
+	opts    Options
 	stripes []KV
 	hs      []*core.Handle
 	bits    uint
+
+	version uint64
+	moved   bool     // set at cutover on the superseded source
+	mig     *Striped // double-log destination while a handoff streams
 }
 
 // stripeOf maps a key to a stripe by hashed key range: the top bits of
@@ -66,17 +80,19 @@ func CreateStriped(c *core.Conn, kind KVKind, name string, stripes int, opts Opt
 	if err != nil {
 		return nil, err
 	}
-	var b [16]byte
+	var b [32]byte
 	binary.LittleEndian.PutUint64(b[:8], uint64(kind))
-	binary.LittleEndian.PutUint64(b[8:], uint64(stripes))
+	binary.LittleEndian.PutUint64(b[8:16], uint64(stripes))
+	binary.LittleEndian.PutUint64(b[16:24], 1) // meta version
+	// b[24:32] is the moved-to word, zero while this is the home.
 	if err := meta.Write(meta.AuxAddr()+backend.AuxUser, b[:]); err != nil {
 		return nil, err
 	}
 	if err := meta.Flush(); err != nil {
 		return nil, err
 	}
-	s := &Striped{name: name, meta: meta, bits: log2(stripes)}
 	opts.LockPerOp = true
+	s := &Striped{name: name, meta: meta, conn: c, kind: kind, opts: opts, bits: log2(stripes), version: 1}
 	for i := 0; i < stripes; i++ {
 		kv, err := createKV(c, kind, stripeName(name, i), opts)
 		if err != nil {
@@ -111,17 +127,23 @@ func OpenStriped(c *core.Conn, name string, writer bool, opts Options) (*Striped
 	if err != nil {
 		return nil, err
 	}
-	mb, err := meta.Read(meta.AuxAddr()+backend.AuxUser, 16, false)
+	mb, err := meta.Read(meta.AuxAddr()+backend.AuxUser, 32, false)
 	if err != nil {
 		return nil, err
 	}
 	kind := KVKind(binary.LittleEndian.Uint64(mb[:8]))
-	stripes := int(binary.LittleEndian.Uint64(mb[8:]))
+	stripes := int(binary.LittleEndian.Uint64(mb[8:16]))
+	version := binary.LittleEndian.Uint64(mb[16:24])
+	movedTo := binary.LittleEndian.Uint64(mb[24:32])
 	if stripes <= 0 || stripes > 1<<12 || stripes&(stripes-1) != 0 {
 		return nil, fmt.Errorf("ds: corrupt stripe meta (stripes=%d)", stripes)
 	}
+	if movedTo != 0 {
+		return nil, fmt.Errorf("ds: striped structure %q re-homed to back-end %d: %w",
+			name, movedTo-1, core.ErrMoved)
+	}
 	opts.LockPerOp = true
-	s := &Striped{name: name, meta: meta, bits: log2(stripes)}
+	s := &Striped{name: name, meta: meta, conn: c, kind: kind, opts: opts, bits: log2(stripes), version: version}
 	for i := 0; i < stripes; i++ {
 		kv, err := openKV(c, kind, stripeName(name, i), writer, opts)
 		if err != nil {
@@ -173,13 +195,30 @@ func (s *Striped) Stripe(i int) KV { return s.stripes[i] }
 func (s *Striped) Handles() []*core.Handle { return s.hs }
 
 // Put routes to the owning stripe; the per-operation lock bracket
-// acquires that stripe's shared writer lock around the write.
+// acquires that stripe's shared writer lock around the write. During a
+// handoff's double-log window the destination stripe receives the write
+// too (the live log suffix of the migration stream).
 func (s *Striped) Put(key uint64, val []byte) error {
-	return s.stripes[s.StripeIndex(key)].Put(key, val)
+	if s.moved {
+		return fmt.Errorf("ds: striped structure %q: %w", s.name, core.ErrMoved)
+	}
+	if err := s.stripes[s.StripeIndex(key)].Put(key, val); err != nil {
+		return err
+	}
+	if s.mig != nil {
+		if err := s.mig.Put(key, val); err != nil {
+			return fmt.Errorf("ds: double-log to migration destination: %w", err)
+		}
+		s.meta.Conn().Frontend().Stats().DoubleLoggedOps.Add(1)
+	}
+	return nil
 }
 
 // Get routes to the owning stripe (readers run that stripe's seqlock).
 func (s *Striped) Get(key uint64) ([]byte, bool, error) {
+	if s.moved {
+		return nil, false, fmt.Errorf("ds: striped structure %q: %w", s.name, core.ErrMoved)
+	}
 	return s.stripes[s.StripeIndex(key)].Get(key)
 }
 

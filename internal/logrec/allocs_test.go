@@ -94,6 +94,38 @@ func TestOpRoundTripZeroAllocs(t *testing.T) {
 	}
 }
 
+func TestMigRoundTripZeroAllocs(t *testing.T) {
+	payload := make([]byte, 96)
+	for i := range payload {
+		payload[i] = byte(i * 5)
+	}
+	rec := MigRecord{Kind: MigSuffix, Slot: 4, Seq: 31, Epoch: 6, Payload: payload}
+	var (
+		buf []byte
+		dec MigRecord
+		a   arena.Arena
+	)
+	buf = rec.AppendTo(buf[:0])
+	if _, err := DecodeMigInto(&dec, buf, rec.Seq, &a); err != nil {
+		t.Fatal(err)
+	}
+	a.Reset()
+
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = rec.AppendTo(buf[:0])
+		if _, err := DecodeMigInto(&dec, buf, rec.Seq, &a); err != nil {
+			t.Fatal(err)
+		}
+		a.Reset()
+	})
+	if allocs != 0 {
+		t.Errorf("migration record encode+decode round trip allocates %.1f/op, want 0", allocs)
+	}
+	if dec.Kind != rec.Kind || dec.Epoch != rec.Epoch || string(dec.Payload) != string(rec.Payload) {
+		t.Fatalf("decode mismatch: %+v", dec)
+	}
+}
+
 // TestAppendToChains pins the framing property the flush paths rely on:
 // several records appended to one buffer decode back in sequence.
 func TestAppendToChains(t *testing.T) {

@@ -1,0 +1,131 @@
+package logrec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"slices"
+
+	"asymnvm/internal/arena"
+)
+
+// Migration stream records frame the elastic-rebalancing handoff between
+// two back-ends: the coordinator re-executes a structure's operation
+// history on the destination ("snapshot" records), double-logs the live
+// write suffix while the handoff is in flight ("suffix" records), and
+// finally emits a cutover marker carrying the new partition-map version.
+// Each record carries the stream sequence number it was emitted at, so a
+// consumer detects reordering or replays the same way the log decoders
+// detect stale records through their absolute offsets.
+
+// MigMagic distinguishes migration stream records.
+const MigMagic byte = 0x7D
+
+// Migration record kinds.
+const (
+	// MigSnap carries one operation record of the source structure's
+	// history, re-executed on the destination to rebuild its state.
+	MigSnap uint8 = 1
+	// MigSuffix carries one double-logged live operation committed on the
+	// source while the handoff was in flight.
+	MigSuffix uint8 = 2
+	// MigCutover is the epoch fence: the map version in Epoch became
+	// authoritative and the source stopped accepting writes. No payload.
+	MigCutover uint8 = 3
+)
+
+// MigRecord is one migration stream record.
+type MigRecord struct {
+	Kind    uint8
+	Slot    uint16 // source naming-table slot of the migrating structure
+	Seq     uint64 // position in the migration stream (0-based, dense)
+	Epoch   uint64 // partition-map version this stream targets
+	Payload []byte // verbatim op record (Snap/Suffix); empty for Cutover
+}
+
+// migHeaderLen is magic(1) + kind(1) + slot(2) + seq(8) + epoch(8) + plen(4).
+const migHeaderLen = 1 + 1 + 2 + 8 + 8 + 4
+
+// EncodedLen reports the wire size of the record.
+func (m *MigRecord) EncodedLen() int { return migHeaderLen + len(m.Payload) + 4 }
+
+// AppendTo serializes the record (with its trailing checksum) onto dst and
+// returns the extended slice, allocation-free given capacity — the same
+// contract as the log record encoders, so the streaming path can reuse
+// one wire buffer per record.
+func (m *MigRecord) AppendTo(dst []byte) []byte {
+	n := m.EncodedLen()
+	base := len(dst)
+	dst = slices.Grow(dst, n)[:base+n]
+	buf := dst[base:]
+	buf[0] = MigMagic
+	buf[1] = m.Kind
+	binary.LittleEndian.PutUint16(buf[2:], m.Slot)
+	binary.LittleEndian.PutUint64(buf[4:], m.Seq)
+	binary.LittleEndian.PutUint64(buf[12:], m.Epoch)
+	binary.LittleEndian.PutUint32(buf[20:], uint32(len(m.Payload)))
+	copy(buf[migHeaderLen:], m.Payload)
+	binary.LittleEndian.PutUint32(buf[migHeaderLen+len(m.Payload):],
+		crc32.Checksum(buf[:migHeaderLen+len(m.Payload)], castagnoli))
+	return dst
+}
+
+// Encode serializes the record into a fresh buffer.
+func (m *MigRecord) Encode() []byte {
+	return m.AppendTo(make([]byte, 0, m.EncodedLen()))
+}
+
+// DecodeMig parses one migration record, verifying the checksum and the
+// embedded sequence number against expectSeq (a replayed or reordered
+// record surfaces as ErrBadAbs, like a stale log record).
+func DecodeMig(src []byte, expectSeq uint64) (MigRecord, int, error) {
+	var m MigRecord
+	n, err := DecodeMigInto(&m, src, expectSeq, nil)
+	if err != nil {
+		return MigRecord{}, 0, err
+	}
+	return m, n, nil
+}
+
+// DecodeMigInto parses one migration record into *m. When a is non-nil the
+// payload is copied into the arena (valid until its next Reset) instead of
+// the heap, keeping the import loop allocation-free in steady state.
+func DecodeMigInto(m *MigRecord, src []byte, expectSeq uint64, a *arena.Arena) (int, error) {
+	if len(src) < migHeaderLen {
+		return 0, ErrShort
+	}
+	if src[0] != MigMagic {
+		return 0, ErrBadMagic
+	}
+	kind := src[1]
+	if kind < MigSnap || kind > MigCutover {
+		return 0, fmt.Errorf("%w: migration record kind %#x", ErrBadMagic, kind)
+	}
+	m.Kind = kind
+	m.Slot = binary.LittleEndian.Uint16(src[2:])
+	m.Seq = binary.LittleEndian.Uint64(src[4:])
+	m.Epoch = binary.LittleEndian.Uint64(src[12:])
+	plen := int(binary.LittleEndian.Uint32(src[20:]))
+	if m.Seq != expectSeq {
+		return 0, ErrBadAbs
+	}
+	end := migHeaderLen + plen
+	if plen < 0 || len(src) < end+4 {
+		return 0, ErrShort
+	}
+	want := binary.LittleEndian.Uint32(src[end:])
+	if crc32.Checksum(src[:end], castagnoli) != want {
+		return 0, ErrBadCRC
+	}
+	if kind == MigCutover && plen != 0 {
+		return 0, fmt.Errorf("%w: cutover record with %d payload bytes", ErrBadMagic, plen)
+	}
+	if plen == 0 {
+		m.Payload = nil
+	} else if a != nil {
+		m.Payload = a.Copy(src[migHeaderLen:end])
+	} else {
+		m.Payload = append([]byte(nil), src[migHeaderLen:end]...)
+	}
+	return end + 4, nil
+}

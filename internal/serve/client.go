@@ -66,6 +66,27 @@ func (c *Client) Do(req Request) (Response, error) {
 	return resp, nil
 }
 
+// DoRetryMoved sends one request, transparently retrying while the
+// server reports StatusMoved — the window where a partition's new home
+// is already durable but the serving front-end has not yet run the
+// routed operation that refreshes its mapping table. Each retry waits
+// the server's RetryAfterNS hint. Any other status (including Overload
+// and Breaker, which carry admission semantics the caller may want to
+// handle differently) is returned as-is.
+func (c *Client) DoRetryMoved(req Request, attempts int) (Response, error) {
+	for {
+		resp, err := c.Do(req)
+		if err != nil || resp.Status != StatusMoved {
+			return resp, err
+		}
+		attempts--
+		if attempts <= 0 {
+			return resp, nil
+		}
+		time.Sleep(time.Duration(resp.RetryAfterNS))
+	}
+}
+
 // Get fetches one key.
 func (c *Client) Get(key uint64, budget time.Duration) (Response, error) {
 	return c.Do(Request{Op: OpGet, Key: key, BudgetNS: uint64(budget)})

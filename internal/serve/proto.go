@@ -73,6 +73,7 @@ const (
 	StatusDeadline   uint8 = 4 // the request's budget expired
 	StatusBadRequest uint8 = 5 // malformed or oversized request
 	StatusError      uint8 = 6 // execution failed server-side
+	StatusMoved      uint8 = 7 // partition re-homed mid-request; retry re-resolves
 )
 
 // Errors reported by the codec.

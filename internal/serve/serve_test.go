@@ -1,8 +1,11 @@
 package serve
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
+	"fmt"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -663,5 +666,98 @@ func TestMirrorServedReads(t *testing.T) {
 	resp, err = c.GetStale(2, uint32(lag), 0)
 	if err != nil || !resp.Found || string(resp.Val) != "two" {
 		t.Fatalf("post-sync stale get: %+v err=%v", resp, err)
+	}
+}
+
+// A partition that re-homed under a request maps to StatusMoved with a
+// small retry hint — the client outwaits one fence refresh, not a
+// migration — while other failures keep their existing statuses.
+func TestMovedStatusMapping(t *testing.T) {
+	resp := errResponse(fmt.Errorf("route: %w", core.ErrMoved))
+	if resp.Status != StatusMoved {
+		t.Fatalf("ErrMoved mapped to status %d, want StatusMoved", resp.Status)
+	}
+	if resp.RetryAfterNS == 0 {
+		t.Fatal("StatusMoved carries no retry hint")
+	}
+	if r := errResponse(errors.New("plain failure")); r.Status != StatusError {
+		t.Fatalf("plain error mapped to %d, want StatusError", r.Status)
+	}
+
+	// The hint survives the wire round-trip.
+	b, err := resp.AppendFramed(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ReadFrameInto(bytes.NewReader(b), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StatusMoved || got.RetryAfterNS != resp.RetryAfterNS {
+		t.Fatalf("round-trip: got status=%d retry=%d, want status=%d retry=%d",
+			got.Status, got.RetryAfterNS, StatusMoved, resp.RetryAfterNS)
+	}
+}
+
+// DoRetryMoved keeps retrying while the server answers StatusMoved and
+// returns the first settled response; a server that never settles
+// exhausts the attempt budget and surfaces StatusMoved to the caller.
+func TestClientRetriesMoved(t *testing.T) {
+	serveMoved := func(nc net.Conn, movedReplies int) {
+		r := bufio.NewReader(nc)
+		w := bufio.NewWriter(nc)
+		for {
+			payload, err := ReadFrameInto(r, nil)
+			if err != nil {
+				return
+			}
+			req, err := DecodeRequest(payload)
+			if err != nil {
+				return
+			}
+			resp := Response{Status: StatusOK, ID: req.ID, Found: true, Val: []byte("home")}
+			if movedReplies > 0 {
+				movedReplies--
+				resp = Response{Status: StatusMoved, ID: req.ID, RetryAfterNS: 1}
+			}
+			b, err := resp.AppendFramed(nil)
+			if err != nil {
+				return
+			}
+			if _, err := w.Write(b); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}
+
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	go serveMoved(c2, 2)
+	cl := &Client{nc: c1, r: bufio.NewReader(c1), w: bufio.NewWriter(c1), tenant: 1}
+	resp, err := cl.DoRetryMoved(Request{Op: OpGet, Key: 7}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusOK || !resp.Found || string(resp.Val) != "home" {
+		t.Fatalf("retry did not settle: status=%d found=%v val=%q", resp.Status, resp.Found, resp.Val)
+	}
+
+	c3, c4 := net.Pipe()
+	defer c3.Close()
+	go serveMoved(c4, 1000)
+	cl2 := &Client{nc: c3, r: bufio.NewReader(c3), w: bufio.NewWriter(c3), tenant: 1}
+	resp, err = cl2.DoRetryMoved(Request{Op: OpGet, Key: 7}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusMoved {
+		t.Fatalf("exhausted retries returned status %d, want StatusMoved", resp.Status)
 	}
 }

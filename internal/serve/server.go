@@ -488,9 +488,18 @@ func (s *Server) execOp(req Request) Response {
 	}
 }
 
+// movedRetryNS is the retry hint attached to StatusMoved. A moved
+// partition resolves on the server's next routed operation (the epoch
+// fence re-reads the mapping table and re-opens the children), so the
+// client only needs to outwait that one refresh, not a migration.
+const movedRetryNS = 200_000
+
 func errResponse(err error) Response {
 	if errors.Is(err, core.ErrDeadlineExceeded) {
 		return Response{Status: StatusDeadline}
+	}
+	if errors.Is(err, core.ErrMoved) {
+		return Response{Status: StatusMoved, RetryAfterNS: movedRetryNS}
 	}
 	return Response{Status: StatusError, Val: []byte(fmt.Sprintf("%v", err))}
 }

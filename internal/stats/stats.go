@@ -105,6 +105,16 @@ type Stats struct {
 	MirrorReads      atomic.Int64
 	MirrorStaleEpochs atomic.Int64
 
+	// Elastic rebalancing counters. MigrationsActive is a gauge of
+	// handoffs currently in flight (between BeginMigration and Finish);
+	// DoubleLoggedOps counts write operations committed to both source
+	// and destination during a handoff window; CutoverEpochs counts
+	// partition-map version flips (each cutover and each reclaim bumps
+	// the map version once).
+	MigrationsActive atomic.Int64
+	DoubleLoggedOps  atomic.Int64
+	CutoverEpochs    atomic.Int64
+
 	// BusyNS accumulates virtual nanoseconds during which the owning
 	// node's CPU was doing work (as opposed to waiting on the fabric).
 	BusyNS atomic.Int64
@@ -145,6 +155,8 @@ type Snapshot struct {
 	TxCrossAborts, InDoubtResolved            int64
 	StripeConflicts, CASRetries               int64
 	MirrorReads, MirrorStaleEpochs            int64
+	MigrationsActive, DoubleLoggedOps         int64
+	CutoverEpochs                             int64
 	BusyNS                                    int64
 }
 
@@ -196,6 +208,9 @@ func (s *Stats) Snapshot() Snapshot {
 		CASRetries:        s.CASRetries.Load(),
 		MirrorReads:       s.MirrorReads.Load(),
 		MirrorStaleEpochs: s.MirrorStaleEpochs.Load(),
+		MigrationsActive:  s.MigrationsActive.Load(),
+		DoubleLoggedOps:   s.DoubleLoggedOps.Load(),
+		CutoverEpochs:     s.CutoverEpochs.Load(),
 		BusyNS:            s.BusyNS.Load(),
 	}
 }
@@ -248,6 +263,9 @@ func (a Snapshot) Sub(b Snapshot) Snapshot {
 		CASRetries:        a.CASRetries - b.CASRetries,
 		MirrorReads:       a.MirrorReads - b.MirrorReads,
 		MirrorStaleEpochs: a.MirrorStaleEpochs - b.MirrorStaleEpochs,
+		MigrationsActive:  a.MigrationsActive - b.MigrationsActive,
+		DoubleLoggedOps:   a.DoubleLoggedOps - b.DoubleLoggedOps,
+		CutoverEpochs:     a.CutoverEpochs - b.CutoverEpochs,
 		BusyNS:            a.BusyNS - b.BusyNS,
 	}
 }
@@ -279,7 +297,7 @@ func (a Snapshot) HitRatio() float64 {
 // String renders a compact human-readable summary.
 func (a Snapshot) String() string {
 	return fmt.Sprintf(
-		"rdma{r=%d w=%d atom=%d rpc=%d} bytes{r=%d w=%d} cache{hit=%d miss=%d} logs{op=%d mem=%d tx=%d replayed=%d} retry=%d resil{retry=%d fo=%d} pipe{wr=%d db=%d qd=%.1f saved=%dns} fan{win=%d saved=%dns} tune{steps=%d B=%d depth=%d} ckpt{n=%d trunc=%dB rro=%d} serve{acc=%d rej=%d brk=%d exp=%d slow=%d dl=%d} 2pc{prep=%d commit=%d abort=%d doubt=%d} mw{stripe=%d cas=%d mread=%d mstale=%d}",
+		"rdma{r=%d w=%d atom=%d rpc=%d} bytes{r=%d w=%d} cache{hit=%d miss=%d} logs{op=%d mem=%d tx=%d replayed=%d} retry=%d resil{retry=%d fo=%d} pipe{wr=%d db=%d qd=%.1f saved=%dns} fan{win=%d saved=%dns} tune{steps=%d B=%d depth=%d} ckpt{n=%d trunc=%dB rro=%d} serve{acc=%d rej=%d brk=%d exp=%d slow=%d dl=%d} 2pc{prep=%d commit=%d abort=%d doubt=%d} mw{stripe=%d cas=%d mread=%d mstale=%d} mig{active=%d dbl=%d cut=%d}",
 		a.RDMARead, a.RDMAWrite, a.RDMAAtomic, a.RPCCalls,
 		a.BytesRead, a.BytesWrite,
 		a.CacheHit, a.CacheMiss,
@@ -294,5 +312,6 @@ func (a Snapshot) String() string {
 		a.ServeExpired, a.ServeSlowDrop, a.DeadlineMiss,
 		a.TxPrepares, a.TxCrossCommits, a.TxCrossAborts, a.InDoubtResolved,
 		a.StripeConflicts, a.CASRetries, a.MirrorReads, a.MirrorStaleEpochs,
+		a.MigrationsActive, a.DoubleLoggedOps, a.CutoverEpochs,
 	)
 }

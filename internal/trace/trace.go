@@ -52,6 +52,7 @@ const (
 	KindCheckpoint               // back-end: compaction checkpoint (apply+truncate)
 	KindStripeAcquire            // ordered acquisition of one stripe's writer lock
 	KindMirrorRead               // read served from a mirror replica (arg = stale epochs)
+	KindCutover                  // migration cutover: map version flip (event; arg = new version)
 	NumKinds                     // sentinel
 )
 
@@ -60,7 +61,7 @@ var kindNames = [NumKinds]string{
 	"verb.read", "verb.write", "verb.atomic",
 	"post", "doorbell", "retire.wait", "overlap.saved",
 	"rpc", "retry.backoff", "failover", "replay", "mirror.fwd", "cpu",
-	"checkpoint", "stripe.acquire", "mirror.read",
+	"checkpoint", "stripe.acquire", "mirror.read", "cutover",
 }
 
 // String names the kind as it appears in exported traces.
@@ -97,6 +98,7 @@ var kindPhase = [NumKinds]stats.Phase{
 	KindCheckpoint:    stats.PhaseReplay,
 	KindStripeAcquire: stats.PhaseOp,
 	KindMirrorRead:    stats.PhaseFetch,
+	KindCutover:       noPhase,
 }
 
 // attributable reports span kinds that round trips are attributed to:
